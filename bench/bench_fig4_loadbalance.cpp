@@ -1,0 +1,89 @@
+// bench_fig4_loadbalance — the Canuto sea-point load balancer (Fig. 4).
+//
+// Two parts:
+//   1. the planning arithmetic on realistic censuses: sea-point imbalance
+//      before/after over a sweep of rank counts against the synthetic Earth's
+//      real land distribution;
+//   2. the executed effect: wall time of the vertical-mixing phase with the
+//      balancer on vs off on a multi-rank run, plus the census of shipped
+//      columns.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "comm/runtime.hpp"
+#include "core/model.hpp"
+#include "decomp/load_balance.hpp"
+#include "kxx/kxx.hpp"
+
+using namespace licomk;
+
+namespace {
+std::vector<long long> sea_census(const grid::GlobalGrid& global, int px, int py) {
+  decomp::Decomposition dec(global.nx(), global.ny(), px, py);
+  std::vector<long long> census;
+  for (int r = 0; r < dec.nranks(); ++r) {
+    auto e = dec.block(r);
+    long long count = 0;
+    for (int j = e.j0; j < e.j1; ++j)
+      for (int i = e.i0; i < e.i1; ++i)
+        if (global.bathymetry().kmt(j, i) > 1) ++count;
+    census.push_back(count);
+  }
+  return census;
+}
+
+double time_vmix(const core::ModelConfig& cfg,
+                 std::shared_ptr<const grid::GlobalGrid> global, int nranks) {
+  std::atomic<long long> shipped{0};
+  auto begin = std::chrono::steady_clock::now();
+  comm::Runtime::run(nranks, [&](comm::Communicator& c) {
+    core::LicomModel model(cfg, global, c);
+    for (int s = 0; s < 10; ++s) model.mixer().compute(model.state());
+    shipped.fetch_add(model.mixer().columns_shipped_out());
+  });
+  double secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - begin).count();
+  std::printf("      (columns shipped per sweep: %lld)\n", shipped.load() / 10);
+  return secs;
+}
+}  // namespace
+
+int main() {
+  kxx::initialize({kxx::Backend::Serial, 0, false});
+  auto spec = grid::shrink(grid::spec_coarse100km(), 4);  // 90 x 54
+  spec.nz = 12;
+  auto global = std::make_shared<grid::GlobalGrid>(spec);
+
+  std::printf("Fig. 4 — Canuto load balancing on the realistic (synthetic) topography\n");
+  std::printf("grid %dx%d, ocean fraction %.1f%%\n\n", spec.nx, spec.ny,
+              100.0 * global->bathymetry().ocean_fraction());
+
+  std::printf("planning: sea-point census imbalance (max/mean) before -> after\n");
+  std::printf("%8s %14s %14s %12s\n", "ranks", "before", "after", "transfers");
+  for (auto [px, py] :
+       {std::pair{2, 2}, {4, 2}, {4, 4}, {8, 4}, {9, 6}, {15, 9}, {18, 13}}) {
+    auto census = sea_census(*global, px, py);
+    auto plan = decomp::balance_work(census);
+    std::printf("%8d %14.3f %14.3f %12zu\n", px * py, plan.imbalance_before(),
+                plan.imbalance_after(), plan.transfers.size());
+  }
+
+  std::printf("\nexecution: 10 vertical-mixing sweeps on 6 ranks\n");
+  core::ModelConfig cfg;
+  cfg.grid = spec;
+  cfg.canuto_load_balance = false;
+  std::printf("  balancer OFF: ");
+  double off = time_vmix(cfg, global, 6);
+  std::printf("      %.3f s\n", off);
+  cfg.canuto_load_balance = true;
+  std::printf("  balancer ON : ");
+  double on = time_vmix(cfg, global, 6);
+  std::printf("      %.3f s\n", on);
+  std::printf(
+      "\n(on one physical core the balanced run adds shipping overhead without a\n"
+      " parallel win; the census table above is the paper's Fig. 4 claim — the\n"
+      " imbalance the balancer removes grows with rank count.)\n");
+  return 0;
+}

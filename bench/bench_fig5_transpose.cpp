@@ -1,0 +1,94 @@
+// bench_fig5_transpose — the 3-D halo update methods of Fig. 5.
+//
+// Measures (a) the standalone halo-strip transposes (horizontal-major ↔
+// vertical-major) and (b) the full 3-D halo update under both methods while
+// sweeping the vertical level count — 30/55/80/244, the Table III hierarchy.
+// The paper's point: with vertical levels growing, assembling messages in
+// vertical-major order removes the strided-access bottleneck of the
+// horizontal-major packing.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "halo/halo_exchange.hpp"
+#include "halo/transpose.hpp"
+#include "kxx/kxx.hpp"
+
+namespace lh = licomk::halo;
+namespace ld = licomk::decomp;
+namespace kxx = licomk::kxx;
+
+static void BM_TransposeH2V(benchmark::State& state) {
+  kxx::initialize({kxx::Backend::Serial, 0, false});
+  const long long nk = state.range(0);
+  const long long nj = 2;          // halo width
+  const long long ni = 512;        // strip length
+  std::vector<double> src(static_cast<size_t>(nk * nj * ni), 1.0);
+  std::vector<double> dst(src.size());
+  for (auto _ : state) {
+    lh::transpose_h2v(src.data(), dst.data(), nk, nj, ni);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(src.size()) * 16);
+}
+BENCHMARK(BM_TransposeH2V)->Arg(30)->Arg(55)->Arg(80)->Arg(244);
+
+static void BM_TransposeV2H(benchmark::State& state) {
+  kxx::initialize({kxx::Backend::Serial, 0, false});
+  const long long nk = state.range(0);
+  const long long nj = 2, ni = 512;
+  std::vector<double> src(static_cast<size_t>(nk * nj * ni), 1.0);
+  std::vector<double> dst(src.size());
+  for (auto _ : state) {
+    lh::transpose_v2h(src.data(), dst.data(), nk, nj, ni);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(src.size()) * 16);
+}
+BENCHMARK(BM_TransposeV2H)->Arg(80)->Arg(244);
+
+namespace {
+struct HaloSetup {
+  ld::Decomposition dec;
+  licomk::comm::World world;
+  lh::HaloExchanger ex;
+  lh::BlockField3D field;
+
+  explicit HaloSetup(int nz)
+      : dec(128, 96, 1, 1),
+        world(1),
+        ex(dec, world.communicator(0), 0),
+        field("f", dec.block(0), nz) {
+    ex.set_eliminate_redundant(false);
+    for (size_t n = 0; n < field.view().size(); ++n)
+      field.view().data()[n] = 0.001 * static_cast<double>(n % 9973);
+  }
+};
+}  // namespace
+
+static void BM_Halo3DHorizontalMajor(benchmark::State& state) {
+  kxx::initialize({kxx::Backend::Serial, 0, false});
+  HaloSetup setup(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    setup.ex.update(setup.field, lh::FoldSign::Symmetric, lh::Halo3DMethod::HorizontalMajor);
+  }
+  state.counters["nz"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Halo3DHorizontalMajor)->Arg(30)->Arg(55)->Arg(80)->Arg(244);
+
+static void BM_Halo3DTransposeVerticalMajor(benchmark::State& state) {
+  kxx::initialize({kxx::Backend::Serial, 0, false});
+  HaloSetup setup(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    setup.ex.update(setup.field, lh::FoldSign::Symmetric,
+                    lh::Halo3DMethod::TransposeVerticalMajor);
+  }
+  state.counters["nz"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Halo3DTransposeVerticalMajor)->Arg(30)->Arg(55)->Arg(80)->Arg(244);
+
+BENCHMARK_MAIN();

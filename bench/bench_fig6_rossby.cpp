@@ -1,0 +1,62 @@
+// bench_fig6_rossby — Fig. 6: Rossby-number richness across resolution.
+//
+// The paper's science claim: higher horizontal resolution resolves more
+// submesoscale signal — |Ro| = |zeta/f| ~ O(1) structures appear as the grid
+// refines. This harness runs the same global ocean at three grid spacings
+// (proportionally shrunk; the paper's 10/2/1-km hierarchy at host scale) and
+// prints the |Ro| statistics: the monotone richness trend is the reproduced
+// shape.
+#include <cstdio>
+
+#include "core/model.hpp"
+#include "kxx/kxx.hpp"
+
+using namespace licomk;
+
+namespace {
+struct Row {
+  int shrink;
+  const char* proxy;
+  core::RossbyStats stats;
+  double ke;
+};
+
+Row run_resolution(int shrink, const char* proxy, double days) {
+  core::ModelConfig cfg;
+  cfg.grid = grid::shrink(grid::spec_coarse100km(), shrink);
+  cfg.grid.nz = 12;
+  core::LicomModel model(cfg);
+  model.run_days(days);
+  halo::BlockField2D ro("ro", model.local_grid().extent());
+  core::compute_rossby_number(model.local_grid(), model.state(), 0, ro);
+  Row row{shrink, proxy, core::rossby_statistics(model.local_grid(), ro, model.communicator()),
+          model.diagnostics().kinetic_energy};
+  std::printf("%10s %10dx%-6d %10.5f %12.4f%% %12.4f%%\n", proxy, cfg.grid.nx, cfg.grid.ny,
+              row.stats.rms, 100.0 * row.stats.frac_above_half,
+              100.0 * row.stats.frac_above_one);
+  return row;
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  double days = argc > 1 ? std::atof(argv[1]) : 6.0;
+  kxx::initialize({kxx::Backend::Serial, 0, false});
+
+  std::printf("Fig. 6 — Rossby number vs resolution (surface level, %.0f-day spin-up)\n\n",
+              days);
+  std::printf("%10s %17s %10s %13s %13s\n", "proxy", "grid", "rms|Ro|", "|Ro|>0.5",
+              "|Ro|>1.0");
+  Row coarse = run_resolution(10, "10-km", days);
+  Row mid = run_resolution(6, "2-km", days);
+  Row fine = run_resolution(4, "1-km", days);
+
+  std::printf("\nrichness trend (rms|Ro| relative to coarsest):  1.00 : %.2f : %.2f\n",
+              mid.stats.rms / coarse.stats.rms, fine.stats.rms / coarse.stats.rms);
+  bool monotone = fine.stats.rms > mid.stats.rms && mid.stats.rms > coarse.stats.rms;
+  std::printf("monotone richness with resolution (the Fig. 6 shape): %s\n",
+              monotone ? "YES" : "no (longer spin-up needed)");
+  std::printf(
+      "\n(the paper's absolute |Ro| ~ O(1) submesoscale soup needs the true 1-km\n"
+      " grid; at host scale the reproduced claim is the monotone trend)\n");
+  return 0;
+}

@@ -1,0 +1,126 @@
+// bench_fig7_portability — Fig. 7: single-node SYPD at 100-km resolution.
+//
+// Three layers of evidence:
+//   1. MEASURED on this host: the same shrunken 100-km model run through the
+//      Serial, Threads, and AthreadSim backends (the portability claim:
+//      one source, every backend, same physics, SYPD per backend);
+//   2. PREDICTED for the paper's four platforms by the machine model
+//      (Table II hardware), calibrated once on the V100 workstation point
+//      and predicting the other three;
+//   3. the PAPER's published values (317.73 / 180.56 / 22.22 / 63.01 SYPD
+//      and speedups 7.08 / 11.42 / 11.45 / 1.03 over Fortran LICOM3).
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "core/baseline.hpp"
+#include "core/model.hpp"
+#include "kxx/kxx.hpp"
+#include "perfmodel/paper_data.hpp"
+#include "perfmodel/scaling_model.hpp"
+
+using namespace licomk;
+
+namespace {
+double measure_backend(kxx::Backend backend) {
+  kxx::initialize({backend, 0, false});
+  auto cfg = core::ModelConfig::testing(6);
+  cfg.grid.nz = 15;
+  core::LicomModel model(cfg);
+  model.run_days(1.0);
+  return model.sypd();
+}
+}  // namespace
+
+int main() {
+  std::printf("Fig. 7 — single-node SYPD at 100-km resolution\n\n");
+
+  std::printf("1) measured on this host (same model source, per backend):\n");
+  std::printf("%14s %12s\n", "backend", "SYPD");
+  double serial = measure_backend(kxx::Backend::Serial);
+  std::printf("%14s %12.1f   (reference; stands in for the MPE/Fortran path)\n", "Serial",
+              serial);
+  double threads = measure_backend(kxx::Backend::Threads);
+  std::printf("%14s %12.1f   (OpenMP-style pool)\n", "Threads", threads);
+  double athread = measure_backend(kxx::Backend::AthreadSim);
+  std::printf("%14s %12.1f   (registry dispatch over 64 simulated CPEs)\n", "AthreadSim",
+              athread);
+  kxx::initialize({kxx::Backend::Serial, 0, false});
+  // The "Fortran LICOM3" role: the legacy-style monolithic advection routine
+  // vs the kxx pipeline on the hottest kernel (bit-identical results).
+  {
+    auto cfg = core::ModelConfig::testing(6);
+    cfg.grid.nz = 15;
+    core::LicomModel m(cfg);
+    m.run_days(0.2);
+    core::AdvectionWorkspace ws(m.local_grid());
+    auto time_it = [&](auto&& fn) {
+      fn();  // warm-up
+      auto t0 = std::chrono::steady_clock::now();
+      for (int it = 0; it < 20; ++it) fn();
+      return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    };
+    double legacy = time_it([&] {
+      core::baseline_volume_fluxes(m.local_grid(), m.state().u_cur, m.state().v_cur, ws);
+      core::baseline_advect_tracer(m.local_grid(), 1440.0, m.state().t_cur, ws, m.exchanger(),
+                                   m.state().t_new);
+    });
+    double portable = time_it([&] {
+      core::compute_volume_fluxes(m.local_grid(), m.state().u_cur, m.state().v_cur, ws);
+      core::advect_tracer_fct(m.local_grid(), 1440.0, m.state().t_cur, ws, m.exchanger(),
+                              m.state().t_new);
+    });
+    std::printf("%14s %12s   advection_tracer: legacy loops %.2f ms, kxx %.2f ms (%.2fx)\n",
+                "(hot kernel)", "-", 1e3 * legacy / 20, 1e3 * portable / 20,
+                legacy / portable);
+    std::printf("%14s %12s   (the paper's Taishan CPU parity point: 1.03x)\n", "", "");
+  }
+
+  std::printf("\n2) machine-model prediction for the paper's platforms\n");
+  std::printf("   (calibrated ONCE on the V100 workstation; others predicted):\n");
+  auto spec = grid::spec_coarse100km();
+  auto work = perf::WorkloadSpec::from_grid(spec);
+  struct Platform {
+    perf::MachineSpec machine;
+    int devices;
+    double paper_sypd;
+    double paper_speedup;
+  };
+  Platform platforms[] = {
+      {perf::spec_v100_workstation(), 4, 317.73, 7.08},
+      {perf::spec_orise(), 4, 180.56, 11.42},
+      {perf::spec_new_sunway(), 6, 22.22, 11.45},
+      {perf::spec_taishan(), 64, 63.01, 1.03},
+  };
+  // Calibrate on the first platform; transfer the constant to the rest.
+  perf::ScalingModel anchor(platforms[0].machine, work);
+  double c = anchor.calibrate(platforms[0].devices, platforms[0].paper_sypd);
+  std::printf("%-28s %10s %10s %8s %18s\n", "platform", "paper", "model", "ratio",
+              "paper speedup vs F90");
+  for (const auto& p : platforms) {
+    perf::ScalingModel m(p.machine, work);
+    m.set_calibration(c);
+    auto e = m.estimate(p.devices);
+    std::printf("%-28s %10.2f %10.2f %8.2f %15.2fx\n", p.machine.name.c_str(), p.paper_sypd,
+                e.sypd, e.sypd / p.paper_sypd, p.paper_speedup);
+  }
+  std::printf("\n   implied Fortran-LICOM3 baselines (paper SYPD / paper speedup):\n");
+  for (const auto& e : perf::fig7_entries()) {
+    std::printf("   %-28s %10.2f SYPD\n", e.platform.c_str(),
+                e.licomkxx_sypd / e.speedup_vs_fortran);
+  }
+  // 3) §VII-B's floating-point throughput: achieved GFLOPS on one SW26010 Pro
+  //    (6 CGs) at 100 km, from the kernel inventory's flop count over the
+  //    model-predicted step time.
+  perf::ScalingModel sw(perf::spec_new_sunway(), work);
+  sw.set_calibration(c);
+  auto e = sw.estimate(6);
+  double gflops = work.flops_per_step() / e.step_seconds / 1.0e9;
+  std::printf(
+      "\n3) achieved FLOPS on one SW26010 Pro at 100 km (job-level monitoring, §VI-C):\n"
+      "   paper: %.2f GFLOPS    model: %.2f GFLOPS\n"
+      "   (both ~0.1%% of peak: the memory-bound, low arithmetic-intensity\n"
+      "   regime the paper describes in §VII-D)\n",
+      perf::kPaperSunwayGflops, gflops);
+  return 0;
+}

@@ -1,0 +1,88 @@
+// bench_model_kernels — per-phase kernel timings of the ocean model.
+//
+// Mirrors the paper's hotspot analysis (§V-C): advection_tracer is the
+// dominant 3-D stencil, canuto the second hotspot, and the remaining load is
+// dispersed across many kernels (§VII-D "hotspot dispersion").
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "comm/runtime.hpp"
+#include "core/advection.hpp"
+#include "core/dynamics.hpp"
+#include "core/model.hpp"
+#include "core/tracer.hpp"
+#include "kxx/kxx.hpp"
+
+namespace lc = licomk::core;
+namespace kxx = licomk::kxx;
+
+namespace {
+struct ModelHolder {
+  std::unique_ptr<lc::LicomModel> model;
+  ModelHolder(int shrink, int nz, kxx::Backend backend) {
+    kxx::initialize({backend, 0, false});
+    auto cfg = lc::ModelConfig::testing(shrink);
+    cfg.grid.nz = nz;
+    model = std::make_unique<lc::LicomModel>(cfg);
+    model->run_days(0.2);  // spin up a nontrivial state
+  }
+};
+}  // namespace
+
+static void BM_FullStep(benchmark::State& state) {
+  ModelHolder h(static_cast<int>(state.range(0)), 12, kxx::Backend::Serial);
+  for (auto _ : state) h.model->step();
+  auto points = h.model->config().grid.points();
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * points);
+}
+BENCHMARK(BM_FullStep)->Arg(8)->Arg(5)->Unit(benchmark::kMillisecond);
+
+static void BM_FullStepAthreadSim(benchmark::State& state) {
+  ModelHolder h(8, 12, kxx::Backend::AthreadSim);
+  for (auto _ : state) h.model->step();
+  kxx::initialize({kxx::Backend::Serial, 0, false});
+}
+BENCHMARK(BM_FullStepAthreadSim)->Unit(benchmark::kMillisecond);
+
+static void BM_AdvectionTracer(benchmark::State& state) {
+  ModelHolder h(8, static_cast<int>(state.range(0)), kxx::Backend::Serial);
+  auto& m = *h.model;
+  lc::AdvectionWorkspace ws(m.local_grid());
+  lc::compute_volume_fluxes(m.local_grid(), m.state().u_cur, m.state().v_cur, ws);
+  for (auto _ : state) {
+    lc::advect_tracer_fct(m.local_grid(), 1440.0, m.state().t_cur, ws, m.exchanger(),
+                          m.state().t_new);
+  }
+  state.counters["nz"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_AdvectionTracer)->Arg(12)->Arg(30)->Unit(benchmark::kMillisecond);
+
+static void BM_DensityAndPressure(benchmark::State& state) {
+  ModelHolder h(8, 12, kxx::Backend::Serial);
+  auto& m = *h.model;
+  for (auto _ : state) {
+    lc::compute_density(m.local_grid(), false, m.state().t_cur, m.state().s_cur, m.state().rho);
+    lc::compute_pressure(m.local_grid(), m.state().rho, m.state().eta_cur, m.state().pressure);
+  }
+}
+BENCHMARK(BM_DensityAndPressure)->Unit(benchmark::kMillisecond);
+
+static void BM_MomentumTendencies(benchmark::State& state) {
+  ModelHolder h(8, 12, kxx::Backend::Serial);
+  auto& m = *h.model;
+  for (auto _ : state) {
+    lc::compute_momentum_tendencies(m.local_grid(), m.config(), m.state(), 0.0,
+                                    m.state().fu_tend, m.state().fv_tend);
+  }
+}
+BENCHMARK(BM_MomentumTendencies)->Unit(benchmark::kMillisecond);
+
+static void BM_VerticalMixing(benchmark::State& state) {
+  ModelHolder h(8, 12, kxx::Backend::Serial);
+  auto& m = *h.model;
+  for (auto _ : state) m.mixer().compute(m.state());
+}
+BENCHMARK(BM_VerticalMixing)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+// bench_table1_backends — Table I: programming models unified behind the
+// portability layer, with a live dispatch proof on every backend this
+// reproduction implements.
+#include <cstdio>
+
+#include "kxx/kxx.hpp"
+
+namespace kxx = licomk::kxx;
+
+namespace {
+struct Probe {
+  double* out;
+  void operator()(long long i) const { out[static_cast<size_t>(i)] = static_cast<double>(i); }
+};
+}  // namespace
+
+KXX_REGISTER_FOR_1D(table1_probe, Probe);
+
+int main() {
+  std::printf("Table I — programming models behind one portability layer\n");
+  std::printf("%-22s %-20s %-14s %s\n", "architecture", "programming model", "Kokkos support",
+              "this repo's backend");
+  std::printf("%-22s %-20s %-14s %s\n", "Intel coprocessors", "OpenMP", "yes", "Threads (sim)");
+  std::printf("%-22s %-20s %-14s %s\n", "ARM CPUs", "OpenMP", "yes", "Threads (sim)");
+  std::printf("%-22s %-20s %-14s %s\n", "NVIDIA GPUs", "CUDA", "yes", "DeviceSim (perf model)");
+  std::printf("%-22s %-20s %-14s %s\n", "AMD GPUs", "HIP", "yes", "DeviceSim (perf model)");
+  std::printf("%-22s %-20s %-14s %s\n", "Sunway many-cores", "Athread",
+              "yes (this work)", "AthreadSim (64-CPE sim)");
+
+  std::printf("\nlive dispatch proof (same functor source, every backend):\n");
+  for (auto backend : {kxx::Backend::Serial, kxx::Backend::Threads, kxx::Backend::AthreadSim}) {
+    kxx::initialize({backend, 0, backend == kxx::Backend::AthreadSim});
+    double out[64] = {};
+    kxx::parallel_for("probe", 64LL, Probe{out});
+    bool ok = true;
+    for (int i = 0; i < 64; ++i) ok = ok && out[i] == static_cast<double>(i);
+    std::printf("  %-12s -> %s\n", kxx::backend_name(backend).c_str(),
+                ok ? "dispatched, results verified" : "FAILED");
+  }
+  std::printf("\n(AthreadSim ran in strict mode: the functor had to be registered via\n");
+  std::printf(" KXX_REGISTER_FOR_1D, the paper's KOKKOS_REGISTER_FOR_1D mechanism)\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// bench_table5_strong — Table V / Fig. 8: strong scaling of LICOMK++ on
+// ORISE and the new Sunway at 10-km, 2-km, and 1-km resolution.
+//
+// For every system/resolution row, the machine model is calibrated on the
+// FIRST (smallest) scale only; every other point is a prediction printed next
+// to the paper's measurement. The reproduction claim is the shape: SYPD
+// growth, efficiency decay, and the ORISE-vs-Sunway ordering.
+#include <cmath>
+#include <cstdio>
+
+#include "perfmodel/paper_data.hpp"
+#include "perfmodel/scaling_model.hpp"
+
+using namespace licomk;
+
+int main() {
+  std::printf("Table V / Fig. 8 — strong scaling (model calibrated on each row's first point)\n");
+  double worst_rel = 1.0;
+  double sum_abs_log = 0.0;
+  int points = 0;
+
+  for (const auto& row : perf::table5_rows()) {
+    grid::GridSpec spec = row.resolution_km == 10.0  ? grid::spec_eddy10km()
+                          : row.resolution_km == 2.0 ? grid::spec_km2_fulldepth()
+                                                     : grid::spec_km1();
+    perf::MachineSpec machine = row.sunway ? perf::spec_new_sunway() : perf::spec_orise();
+    perf::ScalingModel model(machine, perf::WorkloadSpec::from_grid(spec));
+    long long dev0 = row.sunway ? row.units.front() / 65 : row.units.front();
+    model.calibrate(dev0, row.sypd.front());
+    auto base = model.estimate(dev0);
+
+    std::printf("\n%s @ %.0f km   (units = %s)\n", row.system.c_str(), row.resolution_km,
+                row.sunway ? "cores" : "GPUs");
+    std::printf("%12s %10s %10s %9s %10s %10s %9s\n", "units", "paperSYPD", "modelSYPD",
+                "ratio", "paperEff%", "modelEff%", "");
+    for (size_t p = 0; p < row.units.size(); ++p) {
+      long long dev = row.sunway ? row.units[p] / 65 : row.units[p];
+      auto e = model.estimate(dev);
+      double eff = 100.0 * perf::ScalingModel::strong_efficiency(base, e);
+      double rel = e.sypd / row.sypd[p];
+      std::printf("%12lld %10.3f %10.3f %9.2f %9.1f%% %9.1f%% %9s\n", row.units[p],
+                  row.sypd[p], e.sypd, rel, row.efficiency_pct[p], eff,
+                  p == 0 ? "(anchor)" : "");
+      if (p > 0) {
+        worst_rel = std::max(worst_rel, std::max(rel, 1.0 / rel));
+        sum_abs_log += std::fabs(std::log(rel));
+        points += 1;
+      }
+    }
+  }
+
+  std::printf("\npredicted-vs-paper across %d non-anchor points: worst ratio %.2fx, "
+              "geometric mean deviation %.1f%%\n",
+              points, worst_rel, 100.0 * (std::exp(sum_abs_log / points) - 1.0));
+  std::printf("\nheadlines reproduced: ORISE 1-km peak %.3f SYPD (paper %.3f), "
+              "Sunway 1-km peak %.3f SYPD (paper %.3f)\n",
+              [&] {
+                perf::ScalingModel m(perf::spec_orise(),
+                                     perf::WorkloadSpec::from_grid(grid::spec_km1()));
+                m.calibrate(4000, 0.765);
+                return m.estimate(16000).sypd;
+              }(),
+              perf::kPaperOrise1kmSypd,
+              [&] {
+                perf::ScalingModel m(perf::spec_new_sunway(),
+                                     perf::WorkloadSpec::from_grid(grid::spec_km1()));
+                m.calibrate(5053750 / 65, 0.252);
+                return m.estimate(perf::kPaperSunwayCores / 65).sypd;
+              }(),
+              perf::kPaperSunway1kmSypd);
+  std::printf("paper optimization speedups on Sunway (original -> optimized LICOMK++): "
+              "%.1fx at 2 km, %.1fx at 1 km\n",
+              perf::kPaperOptSpeedup2km, perf::kPaperOptSpeedup1km);
+  return 0;
+}

@@ -1,0 +1,81 @@
+// idealized_channel — a Southern-Ocean-like re-entrant channel.
+//
+// The idealized counterpart to the realistic global runs (§IV discusses
+// idealized-bathymetry simulations as the standard process-study setup; the
+// LICOM group's ISOM is exactly such a channel). A flat 4000-m zonally
+// periodic channel between land walls, driven by the climatological
+// westerlies, spins up an ACC-like zonal jet; the example reports its
+// transport through a meridional section (the canonical channel metric, in
+// Sverdrups) and the eddy activity.
+//
+// Usage: idealized_channel [days=15] [nx=90] [ny=40]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/model.hpp"
+#include "core/science_diagnostics.hpp"
+#include "io/field_writer.hpp"
+#include "kxx/kxx.hpp"
+
+using namespace licomk;
+
+namespace {
+/// Zonal volume transport through the section i = i0 (Sv).
+double zonal_transport_sv(const core::LicomModel& model, int i_local) {
+  const auto& g = model.local_grid();
+  const int h = decomp::kHaloWidth;
+  double sv = 0.0;
+  for (int j = h; j < h + g.ny(); ++j) {
+    for (int k = 0; k < g.nz(); ++k) {
+      if (k >= g.kmt(j, i_local) || k >= g.kmt(j, i_local + 1)) continue;
+      double uf = 0.5 * (model.state().u_cur.at(k, j, i_local) +
+                         model.state().u_cur.at(k, j - 1, i_local));
+      sv += uf * g.dy_u(j, i_local) * g.vertical().dz(k);
+    }
+  }
+  return sv / 1.0e6;
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  double days = argc > 1 ? std::atof(argv[1]) : 15.0;
+  int nx = argc > 2 ? std::atoi(argv[2]) : 90;
+  int ny = argc > 3 ? std::atoi(argv[3]) : 40;
+  kxx::initialize({kxx::Backend::Serial, 0, false});
+
+  core::ModelConfig cfg;
+  cfg.grid = grid::spec_idealized_channel(nx, ny, 12);
+  core::LicomModel model(cfg);
+
+  std::printf("idealized re-entrant channel: %dx%dx%d, latitudes %.0f..%.0f\n", nx, ny, 12,
+              model.local_grid().lat(decomp::kHaloWidth, 0),
+              model.local_grid().lat(decomp::kHaloWidth + ny - 1, 0));
+  std::printf("%6s %14s %14s %12s %10s\n", "day", "transport(Sv)", "KE(J)", "max|u|(m/s)",
+              "rms|Ro|");
+  int section = decomp::kHaloWidth + nx / 2;
+  for (int day = 1; day <= static_cast<int>(days); ++day) {
+    model.run_days(1.0);
+    if (day % 3 != 0 && day != static_cast<int>(days)) continue;
+    auto d = model.diagnostics();
+    halo::BlockField2D ro("ro", model.local_grid().extent());
+    core::compute_rossby_number(model.local_grid(), model.state(), 0, ro);
+    auto stats = core::rossby_statistics(model.local_grid(), ro, model.communicator());
+    std::printf("%6d %14.2f %14.3e %12.3f %10.5f\n", day, zonal_transport_sv(model, section),
+                d.kinetic_energy, d.max_speed, stats.rms);
+    if (!d.finite()) return 1;
+  }
+
+  // The westerlies drive an eastward (positive) circumpolar transport.
+  double sv = zonal_transport_sv(model, section);
+  std::printf("\nfinal circumpolar transport: %.2f Sv (%s; real ACC ~ 130-170 Sv at\n"
+              "full strength — a %d-day spin-up reaches only a fraction)\n",
+              sv, sv > 0 ? "eastward, ACC-like" : "westward?", static_cast<int>(days));
+
+  halo::BlockField2D sst("sst", model.local_grid().extent());
+  for (int j = 0; j < model.local_grid().ny_total(); ++j)
+    for (int i = 0; i < model.local_grid().nx_total(); ++i)
+      sst.at(j, i) = model.state().t_cur.at(0, j, i);
+  io::write_pgm("channel_sst.pgm", model.local_grid(), sst, -2.0, 25.0);
+  std::printf("SST map: channel_sst.pgm\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// marianas_fulldepth — the Fig. 1f/g experiment at host scale.
+//
+// Builds the full-depth configuration (Table III: 244 eta-levels reaching
+// 10 905 m — the Challenger Deep), runs a short integration, and extracts:
+//   * the deepest column's temperature profile (Fig. 1g's 3-D structure,
+//     reduced to its center column), and
+//   * a meridional temperature section through the trench longitude
+//     (Fig. 1f), written as CSV.
+//
+// Usage: marianas_fulldepth [days=1] [shrink=250] [levels=244]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/model.hpp"
+#include "io/field_writer.hpp"
+#include "kxx/kxx.hpp"
+
+using namespace licomk;
+
+int main(int argc, char** argv) {
+  double days = argc > 1 ? std::atof(argv[1]) : 1.0;
+  int shrink = argc > 2 ? std::atoi(argv[2]) : 250;
+  int levels = argc > 3 ? std::atoi(argv[3]) : 244;
+  kxx::initialize({kxx::Backend::Serial, 0, false});
+
+  core::ModelConfig cfg = core::ModelConfig::km2_fulldepth();
+  cfg.grid = grid::shrink(cfg.grid, shrink);
+  cfg.grid.nz = levels;
+  cfg.grid.full_depth = true;
+
+  std::printf("full-depth LICOMK++: %s\n", cfg.describe().c_str());
+  core::LicomModel model(cfg);
+  const auto& bathy = model.global_grid().bathymetry();
+  std::printf("model topography maximum depth: %.0f m at (%.1fE, %.1fN)\n", bathy.max_depth(),
+              model.global_grid().h().lon_t(bathy.max_depth_j(), bathy.max_depth_i()),
+              model.global_grid().h().lat_t(bathy.max_depth_j(), bathy.max_depth_i()));
+
+  model.run_days(days);
+  auto d = model.diagnostics();
+  std::printf("after %.1f days: SST %.2f degC, KE %.3e J, finite=%d\n", days, d.mean_sst,
+              d.kinetic_energy, d.finite());
+
+  // Temperature profile down the deepest column (Fig. 1g flavor).
+  const auto& g = model.local_grid();
+  const int h = decomp::kHaloWidth;
+  int jt = bathy.max_depth_j() + h;  // single rank: local == global + halo
+  int it = bathy.max_depth_i() + h;
+  int nlev = g.kmt(jt, it);
+  std::printf("\ntrench column: %d active levels\n", nlev);
+  std::printf("%10s %12s\n", "depth (m)", "T (degC)");
+  for (int k = 0; k < nlev; k += std::max(1, nlev / 16)) {
+    std::printf("%10.0f %12.4f\n", g.vertical().depth(k), model.state().t_cur.at(k, jt, it));
+  }
+  std::printf("%10.0f %12.4f   <- below 10000 m (Challenger-Deep class)\n",
+              g.vertical().depth(nlev - 1), model.state().t_cur.at(nlev - 1, jt, it));
+
+  io::write_section_csv("marianas_section.csv", g, model.state().t_cur, bathy.max_depth_i());
+  std::printf("\nmeridional T section through the trench written to marianas_section.csv\n");
+  std::printf("(rows = %d levels down to %.0f m, columns = latitude)\n", g.nz(),
+              g.vertical().max_depth());
+  return 0;
+}

@@ -1,0 +1,66 @@
+// scaling_explorer — interactive use of the performance model.
+//
+// Given a machine and a model configuration, prints the predicted SYPD and
+// the per-step cost breakdown over a range of scales — the tool a user would
+// reach for to answer "how many GPUs do I need for 1 SYPD at 2 km?"
+// (paper §VIII: choosing the platform by simulation requirements).
+//
+// Usage: scaling_explorer [machine=orise|sunway|v100|taishan] [res=1|2|10|100]
+#include <cstdio>
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "perfmodel/paper_data.hpp"
+#include "perfmodel/scaling_model.hpp"
+
+using namespace licomk;
+
+int main(int argc, char** argv) {
+  std::string machine_name = argc > 1 ? argv[1] : "orise";
+  std::string res = argc > 2 ? argv[2] : "1";
+
+  perf::MachineSpec machine = perf::spec_orise();
+  if (machine_name == "sunway") machine = perf::spec_new_sunway();
+  if (machine_name == "v100") machine = perf::spec_v100_workstation();
+  if (machine_name == "taishan") machine = perf::spec_taishan();
+
+  grid::GridSpec spec = grid::spec_km1();
+  if (res == "2") spec = grid::spec_km2_fulldepth();
+  if (res == "10") spec = grid::spec_eddy10km();
+  if (res == "100") spec = grid::spec_coarse100km();
+
+  perf::ScalingModel model(machine, perf::WorkloadSpec::from_grid(spec));
+
+  // Anchor the absolute throughput on the paper's published base points where
+  // available (Table V); otherwise leave the mechanistic default.
+  for (const auto& row : perf::table5_rows()) {
+    bool matches_machine = (machine.cores_per_device == 65) == row.sunway;
+    if (matches_machine && std::fabs(row.resolution_km - spec.resolution_km) < 0.5) {
+      long long dev = row.sunway ? row.units.front() / 65 : row.units.front();
+      model.calibrate(dev, row.sypd.front());
+      std::printf("calibrated on the paper's %s %.0f-km base point (%lld units -> %.3f SYPD)\n",
+                  row.system.c_str(), row.resolution_km, row.units.front(), row.sypd.front());
+      break;
+    }
+  }
+
+  std::printf("\nmachine: %s   configuration: %s (%dx%dx%d, dt %.0f s)\n", machine.name.c_str(),
+              spec.name.c_str(), spec.nx, spec.ny, spec.nz, spec.dt_baroclinic);
+  std::printf("%12s %14s %10s %12s %10s %10s %10s %10s\n", "devices",
+              machine.cores_per_device > 1 ? "cores" : "(=ranks)", "SYPD", "step(ms)",
+              "compute%", "halo%", "staging%", "fixed%");
+  std::vector<long long> scales = {256, 1024, 4000, 8000, 16000, 64000, 256000, 590250};
+  for (long long d : scales) {
+    if (d > static_cast<long long>(spec.nx) * spec.ny / 64) break;  // blocks too small
+    auto e = model.estimate(d);
+    double total = e.step_seconds;
+    std::printf("%12lld %14lld %10.3f %12.2f %9.1f%% %9.1f%% %9.1f%% %9.1f%%\n", d,
+                model.cores_for_devices(d), e.sypd, 1e3 * total, 100.0 * e.compute_s / total,
+                100.0 * (e.halo_s + e.fold_s) / total, 100.0 * e.staging_s / total,
+                100.0 * e.fixed_s / total);
+  }
+  std::printf("\n(1 SYPD at 1-km global resolution is the paper's headline challenge)\n");
+  return 0;
+}

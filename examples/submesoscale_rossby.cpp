@@ -1,0 +1,64 @@
+// submesoscale_rossby — the Fig. 6 experiment at host scale.
+//
+// Runs the same global ocean at two horizontal resolutions, lets eddies spin
+// up, and compares Rossby-number statistics: finer grids resolve more
+// |Ro| ~ O(1) signal (active submesoscale motion, paper §VII-A). Writes the
+// surface Rossby-number and SST maps as PGM images + CSV for inspection.
+//
+// Usage: submesoscale_rossby [days=10] [outdir=.]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/model.hpp"
+#include "io/field_writer.hpp"
+#include "kxx/kxx.hpp"
+
+using namespace licomk;
+
+namespace {
+core::RossbyStats run_at(int shrink, double days, const std::string& outdir) {
+  core::ModelConfig cfg;
+  cfg.grid = grid::shrink(grid::spec_coarse100km(), shrink);
+  cfg.grid.nz = 12;
+  core::LicomModel model(cfg);
+  model.run_days(days);
+
+  halo::BlockField2D ro("rossby", model.local_grid().extent());
+  core::compute_rossby_number(model.local_grid(), model.state(), 0, ro);
+  auto stats = core::rossby_statistics(model.local_grid(), ro, model.communicator());
+
+  std::string tag = "shrink" + std::to_string(shrink);
+  io::write_pgm(outdir + "/rossby_" + tag + ".pgm", model.local_grid(), ro, -1.0, 1.0);
+  io::write_csv(outdir + "/rossby_" + tag + ".csv", model.local_grid(), ro);
+  halo::BlockField2D sst("sst", model.local_grid().extent());
+  for (int j = 0; j < model.local_grid().ny_total(); ++j)
+    for (int i = 0; i < model.local_grid().nx_total(); ++i)
+      sst.at(j, i) = model.state().t_cur.at(0, j, i);
+  io::write_pgm(outdir + "/sst_" + tag + ".pgm", model.local_grid(), sst, -2.0, 30.0);
+
+  auto d = model.diagnostics();
+  std::printf("  grid %4dx%-4d | SST %6.2f degC | KE %9.3e J | ", cfg.grid.nx, cfg.grid.ny,
+              d.mean_sst, d.kinetic_energy);
+  std::printf("|Ro|>0.5: %6.3f%% | |Ro|>1: %6.3f%% | rms %8.5f\n",
+              100.0 * stats.frac_above_half, 100.0 * stats.frac_above_one, stats.rms);
+  return stats;
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  double days = argc > 1 ? std::atof(argv[1]) : 10.0;
+  std::string outdir = argc > 2 ? argv[2] : ".";
+  kxx::initialize({kxx::Backend::Serial, 0, false});
+
+  std::printf("Rossby-number comparison across resolution (Fig. 6 flavor)\n");
+  std::printf("coarse grid:\n");
+  auto coarse = run_at(10, days, outdir);
+  std::printf("fine grid (2.5x finer):\n");
+  auto fine = run_at(4, days, outdir);
+
+  std::printf("\nsubmesoscale signal richness (fine / coarse rms ratio): %.2f\n",
+              coarse.rms > 0 ? fine.rms / coarse.rms : 0.0);
+  std::printf("maps written to rossby_*.pgm / sst_*.pgm\n");
+  return 0;
+}

@@ -1,0 +1,280 @@
+#include "comm/communicator.hpp"
+
+#include <algorithm>
+
+namespace licomk::comm {
+
+namespace {
+// Internal tags for collectives; user tags must be non-negative.
+constexpr int kTagReduce = -101;
+constexpr int kTagBcast = -102;
+constexpr int kTagGather = -103;
+
+void check_user_tag(int tag) { LICOMK_REQUIRE(tag >= 0, "user message tags must be >= 0"); }
+
+template <typename T>
+void join_op(T* acc, const T* contrib, std::size_t n, ReduceOp op) {
+  switch (op) {
+    case ReduceOp::Sum:
+      for (std::size_t i = 0; i < n; ++i) acc[i] += contrib[i];
+      return;
+    case ReduceOp::Min:
+      for (std::size_t i = 0; i < n; ++i) acc[i] = std::min(acc[i], contrib[i]);
+      return;
+    case ReduceOp::Max:
+      for (std::size_t i = 0; i < n; ++i) acc[i] = std::max(acc[i], contrib[i]);
+      return;
+    case ReduceOp::LogicalAnd:
+      for (std::size_t i = 0; i < n; ++i) acc[i] = (acc[i] != T{} && contrib[i] != T{}) ? T{1} : T{};
+      return;
+  }
+}
+}  // namespace
+
+/// --- World ------------------------------------------------------------------
+
+World::World(int nranks) : nranks_(nranks) {
+  LICOMK_REQUIRE(nranks >= 1, "world needs at least one rank");
+  mailboxes_.reserve(static_cast<size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) mailboxes_.push_back(std::make_unique<Mailbox>());
+}
+
+World::~World() = default;
+
+Communicator World::communicator(int rank) {
+  LICOMK_REQUIRE(rank >= 0 && rank < nranks_, "rank out of range");
+  return Communicator(this, rank);
+}
+
+World::Mailbox& World::mailbox(int rank) {
+  LICOMK_REQUIRE(rank >= 0 && rank < nranks_, "rank out of range");
+  return *mailboxes_[static_cast<size_t>(rank)];
+}
+
+void World::deliver(int source, int dest, int tag, const void* buf, std::size_t bytes) {
+  Mailbox& box = mailbox(dest);
+  Message msg;
+  msg.source = source;
+  msg.tag = tag;
+  msg.payload.resize(bytes);
+  if (bytes > 0) std::memcpy(msg.payload.data(), buf, bytes);
+  {
+    std::lock_guard<std::mutex> lock(box.mutex);
+    box.messages.push_back(std::move(msg));
+  }
+  box.cv.notify_all();
+  message_count_.fetch_add(1, std::memory_order_relaxed);
+  byte_count_.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+std::vector<std::byte> World::take_owned(int self, int source, int tag, Status* status_out) {
+  Mailbox& box = mailbox(self);
+  std::unique_lock<std::mutex> lock(box.mutex);
+  auto matches = [&](const Message& m) {
+    return (source == kAnySource || m.source == source) && (tag == kAnyTag || m.tag == tag);
+  };
+  std::deque<Message>::iterator it;
+  box.cv.wait(lock, [&] {
+    it = std::find_if(box.messages.begin(), box.messages.end(), matches);
+    return it != box.messages.end();
+  });
+  Message msg = std::move(*it);
+  box.messages.erase(it);
+  lock.unlock();
+  if (status_out != nullptr) {
+    *status_out = Status{msg.source, msg.tag, msg.payload.size()};
+  }
+  return std::move(msg.payload);
+}
+
+Status World::take(int self, void* buf, std::size_t capacity, int source, int tag) {
+  Status st;
+  std::vector<std::byte> payload = take_owned(self, source, tag, &st);
+  Message msg{st.source, st.tag, std::move(payload)};
+  if (msg.payload.size() > capacity) {
+    throw CommError("message truncation: " + std::to_string(msg.payload.size()) +
+                    " bytes into a " + std::to_string(capacity) + "-byte buffer (tag " +
+                    std::to_string(msg.tag) + ")");
+  }
+  if (!msg.payload.empty()) std::memcpy(buf, msg.payload.data(), msg.payload.size());
+  return Status{msg.source, msg.tag, msg.payload.size()};
+}
+
+void World::barrier_wait() {
+  std::unique_lock<std::mutex> lock(barrier_mutex_);
+  std::uint64_t my_generation = barrier_generation_;
+  barrier_count_ += 1;
+  if (barrier_count_ == nranks_) {
+    barrier_count_ = 0;
+    barrier_generation_ += 1;
+    barrier_cv_.notify_all();
+  } else {
+    barrier_cv_.wait(lock, [&] { return barrier_generation_ != my_generation; });
+  }
+}
+
+std::uint64_t World::total_messages() const { return message_count_.load(); }
+std::uint64_t World::total_bytes() const { return byte_count_.load(); }
+
+/// --- Communicator -------------------------------------------------------------
+
+int Communicator::size() const { return world_ ? world_->size() : 1; }
+
+void Communicator::send(const void* buf, std::size_t bytes, int dest, int tag) const {
+  check_user_tag(tag);
+  LICOMK_REQUIRE(world_ != nullptr, "communicator not attached to a world");
+  world_->deliver(rank_, dest, tag, buf, bytes);
+}
+
+Status Communicator::recv(void* buf, std::size_t bytes, int source, int tag) const {
+  if (tag != kAnyTag) check_user_tag(tag);
+  LICOMK_REQUIRE(world_ != nullptr, "communicator not attached to a world");
+  return world_->take(rank_, buf, bytes, source, tag);
+}
+
+Request Communicator::isend(const void* buf, std::size_t bytes, int dest, int tag) const {
+  // Buffered semantics: the payload is copied on send, so the operation is
+  // already complete when isend returns; wait() is a no-op for sends.
+  send(buf, bytes, dest, tag);
+  Request req;
+  req.kind_ = Request::Kind::Send;
+  return req;
+}
+
+Request Communicator::irecv(void* buf, std::size_t bytes, int source, int tag,
+                            Status* status_out) const {
+  Request req;
+  req.kind_ = Request::Kind::Recv;
+  req.buffer = buf;
+  req.bytes = bytes;
+  req.peer = source;
+  req.tag = tag;
+  req.status_out = status_out;
+  return req;
+}
+
+void Communicator::wait(Request& request) const {
+  switch (request.kind_) {
+    case Request::Kind::Null:
+      throw CommError("wait on a null request");
+    case Request::Kind::Send:
+      break;
+    case Request::Kind::Recv: {
+      Status st = recv(request.buffer, request.bytes, request.peer, request.tag);
+      if (request.status_out != nullptr) *request.status_out = st;
+      break;
+    }
+  }
+  request.kind_ = Request::Kind::Null;
+}
+
+void Communicator::wait_all(std::span<Request> requests) const {
+  for (Request& r : requests) {
+    if (r.valid()) wait(r);
+  }
+}
+
+void Communicator::barrier() const {
+  LICOMK_REQUIRE(world_ != nullptr, "communicator not attached to a world");
+  world_->barrier_wait();
+}
+
+struct WorldAccess {
+  template <typename T>
+  static void allreduce(World* world, int rank, T* data, std::size_t n, ReduceOp op) {
+    int size = world->size();
+    if (size == 1) return;
+    if (rank != 0) {
+      world->deliver(rank, 0, kTagReduce, data, n * sizeof(T));
+      Status st = world->take(rank, data, n * sizeof(T), 0, kTagBcast);
+      LICOMK_REQUIRE(st.bytes == n * sizeof(T), "allreduce size mismatch");
+      return;
+    }
+    std::vector<T> contrib(n);
+    for (int src = 1; src < size; ++src) {  // rank-order join => deterministic
+      Status st = world->take(0, contrib.data(), n * sizeof(T), src, kTagReduce);
+      LICOMK_REQUIRE(st.bytes == n * sizeof(T), "allreduce size mismatch");
+      join_op(data, contrib.data(), n, op);
+    }
+    for (int dst = 1; dst < size; ++dst) world->deliver(0, dst, kTagBcast, data, n * sizeof(T));
+  }
+};
+
+void Communicator::allreduce(double* data, std::size_t n, ReduceOp op) const {
+  LICOMK_REQUIRE(world_ != nullptr, "communicator not attached to a world");
+  WorldAccess::allreduce(world_, rank_, data, n, op);
+}
+
+void Communicator::allreduce(long long* data, std::size_t n, ReduceOp op) const {
+  LICOMK_REQUIRE(world_ != nullptr, "communicator not attached to a world");
+  WorldAccess::allreduce(world_, rank_, data, n, op);
+}
+
+double Communicator::allreduce_scalar(double value, ReduceOp op) const {
+  allreduce(&value, 1, op);
+  return value;
+}
+
+long long Communicator::allreduce_scalar(long long value, ReduceOp op) const {
+  allreduce(&value, 1, op);
+  return value;
+}
+
+void Communicator::bcast(void* buf, std::size_t bytes, int root) const {
+  LICOMK_REQUIRE(world_ != nullptr, "communicator not attached to a world");
+  if (size() == 1) return;
+  if (rank_ == root) {
+    for (int dst = 0; dst < size(); ++dst) {
+      if (dst != root) world_->deliver(root, dst, kTagBcast, buf, bytes);
+    }
+  } else {
+    Status st = world_->take(rank_, buf, bytes, root, kTagBcast);
+    LICOMK_REQUIRE(st.bytes == bytes, "bcast size mismatch");
+  }
+}
+
+std::vector<std::vector<std::byte>> Communicator::gatherv(const void* buf, std::size_t bytes,
+                                                          int root) const {
+  LICOMK_REQUIRE(world_ != nullptr, "communicator not attached to a world");
+  if (rank_ != root) {
+    world_->deliver(rank_, root, kTagGather, buf, bytes);
+    return {};
+  }
+  std::vector<std::vector<std::byte>> out(static_cast<size_t>(size()));
+  out[static_cast<size_t>(root)].resize(bytes);
+  if (bytes > 0) std::memcpy(out[static_cast<size_t>(root)].data(), buf, bytes);
+  for (int src = 0; src < size(); ++src) {
+    if (src == root) continue;
+    out[static_cast<size_t>(src)] = world_->take_owned(root, src, kTagGather, nullptr);
+  }
+  return out;
+}
+
+std::vector<std::vector<std::byte>> Communicator::allgatherv(const void* buf,
+                                                             std::size_t bytes) const {
+  auto gathered = gatherv(buf, bytes, 0);
+  int n = size();
+  if (rank_ == 0) {
+    std::vector<long long> sizes(static_cast<size_t>(n));
+    for (int r = 0; r < n; ++r) sizes[static_cast<size_t>(r)] =
+        static_cast<long long>(gathered[static_cast<size_t>(r)].size());
+    bcast(sizes.data(), sizes.size() * sizeof(long long), 0);
+    for (int r = 0; r < n; ++r) {
+      auto& block = gathered[static_cast<size_t>(r)];
+      if (!block.empty()) bcast(block.data(), block.size(), 0);
+    }
+    return gathered;
+  }
+  std::vector<long long> sizes(static_cast<size_t>(n));
+  bcast(sizes.data(), sizes.size() * sizeof(long long), 0);
+  std::vector<std::vector<std::byte>> out(static_cast<size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    out[static_cast<size_t>(r)].resize(static_cast<size_t>(sizes[static_cast<size_t>(r)]));
+    if (sizes[static_cast<size_t>(r)] > 0) {
+      bcast(out[static_cast<size_t>(r)].data(), out[static_cast<size_t>(r)].size(), 0);
+    }
+  }
+  return out;
+}
+
+}  // namespace licomk::comm

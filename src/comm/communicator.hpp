@@ -1,0 +1,191 @@
+// communicator.hpp — in-process message passing with MPI semantics.
+//
+// LICOM's halo exchange, north-fold, and load balancing are written against
+// this API exactly as the original is written against MPI (see DESIGN.md §1).
+// Ranks are threads inside one process; point-to-point messages are buffered
+// and obey MPI's non-overtaking rule per (source, tag) pair. Collectives are
+// deterministic: reductions join contributions in rank order, so results are
+// bit-reproducible for a fixed rank count — a property several tests rely on.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace licomk::comm {
+
+/// Wildcards accepted by recv/irecv.
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// Completion information of a receive.
+struct Status {
+  int source = -1;
+  int tag = -1;
+  std::size_t bytes = 0;
+};
+
+enum class ReduceOp { Sum, Min, Max, LogicalAnd };
+
+class World;
+
+/// A nonblocking-operation handle. Send requests complete immediately
+/// (buffered sends); receive requests complete inside wait().
+class Request {
+ public:
+  Request() = default;
+  bool valid() const { return kind_ != Kind::Null; }
+
+ private:
+  friend class Communicator;
+  enum class Kind { Null, Send, Recv };
+  Kind kind_ = Kind::Null;
+  void* buffer = nullptr;
+  std::size_t bytes = 0;
+  int peer = kAnySource;
+  int tag = kAnyTag;
+  Status* status_out = nullptr;
+};
+
+/// A rank's handle onto a World. Cheap to copy.
+class Communicator {
+ public:
+  Communicator() = default;
+  Communicator(World* world, int rank) : world_(world), rank_(rank) {}
+
+  int rank() const { return rank_; }
+  int size() const;
+
+  /// --- point to point ----------------------------------------------------
+
+  /// Buffered send: returns once the message is enqueued at the destination.
+  void send(const void* buf, std::size_t bytes, int dest, int tag) const;
+
+  /// Blocking receive; `bytes` is the buffer capacity and the incoming
+  /// message must fit (truncation throws CommError, like MPI_ERR_TRUNCATE).
+  Status recv(void* buf, std::size_t bytes, int source, int tag) const;
+
+  Request isend(const void* buf, std::size_t bytes, int dest, int tag) const;
+  Request irecv(void* buf, std::size_t bytes, int source, int tag,
+                Status* status_out = nullptr) const;
+  void wait(Request& request) const;
+  void wait_all(std::span<Request> requests) const;
+
+  /// Typed helpers.
+  template <typename T>
+  void send_n(const T* data, std::size_t n, int dest, int tag) const {
+    send(data, n * sizeof(T), dest, tag);
+  }
+  template <typename T>
+  std::size_t recv_n(T* data, std::size_t n, int source, int tag) const {
+    Status st = recv(data, n * sizeof(T), source, tag);
+    return st.bytes / sizeof(T);
+  }
+
+  /// --- collectives (must be called by every rank of the world) ------------
+
+  void barrier() const;
+
+  /// In-place allreduce of `n` values; deterministic rank-order join.
+  void allreduce(double* data, std::size_t n, ReduceOp op) const;
+  void allreduce(long long* data, std::size_t n, ReduceOp op) const;
+
+  double allreduce_scalar(double value, ReduceOp op) const;
+  long long allreduce_scalar(long long value, ReduceOp op) const;
+
+  /// Broadcast `bytes` from `root` to all ranks.
+  void bcast(void* buf, std::size_t bytes, int root) const;
+
+  /// Gather variable-length byte blocks to `root`; non-roots get {}.
+  std::vector<std::vector<std::byte>> gatherv(const void* buf, std::size_t bytes,
+                                              int root) const;
+
+  /// Typed gatherv convenience: every rank contributes a vector<T>, root gets
+  /// all of them indexed by rank.
+  template <typename T>
+  std::vector<std::vector<T>> gatherv_n(const std::vector<T>& mine, int root) const {
+    auto raw = gatherv(mine.data(), mine.size() * sizeof(T), root);
+    std::vector<std::vector<T>> out;
+    out.reserve(raw.size());
+    for (auto& block : raw) {
+      std::vector<T> typed(block.size() / sizeof(T));
+      std::memcpy(typed.data(), block.data(), block.size());
+      out.push_back(std::move(typed));
+    }
+    return out;
+  }
+
+  /// All-to-all variant of gatherv (gather to root, then bcast sizes+data).
+  std::vector<std::vector<std::byte>> allgatherv(const void* buf, std::size_t bytes) const;
+
+  World* world() const { return world_; }
+
+ private:
+  World* world_ = nullptr;
+  int rank_ = 0;
+};
+
+/// The shared state of a set of ranks: one mailbox per rank plus collective
+/// rendezvous state. Construct with the rank count, hand Communicators out.
+class World {
+ public:
+  explicit World(int nranks);
+  ~World();
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  int size() const { return nranks_; }
+  Communicator communicator(int rank);
+
+  /// Total point-to-point traffic so far (for communication benches).
+  std::uint64_t total_messages() const;
+  std::uint64_t total_bytes() const;
+
+ private:
+  friend class Communicator;
+  friend struct WorldAccess;  ///< .cpp-internal helper for collectives.
+
+  struct Message {
+    int source;
+    int tag;
+    std::vector<std::byte> payload;
+  };
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Message> messages;
+  };
+
+  Mailbox& mailbox(int rank);
+  void deliver(int source, int dest, int tag, const void* buf, std::size_t bytes);
+  Status take(int self, void* buf, std::size_t capacity, int source, int tag);
+  /// Matching receive that returns the payload by value (no capacity limit);
+  /// used by size-agnostic collectives like gatherv.
+  std::vector<std::byte> take_owned(int self, int source, int tag, Status* status_out);
+
+  // Collective rendezvous: a sense-reversing barrier plus a scratch slot for
+  // rank-0-rooted reductions/broadcasts.
+  void barrier_wait();
+
+  int nranks_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+
+  std::mutex barrier_mutex_;
+  std::condition_variable barrier_cv_;
+  int barrier_count_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+
+  std::atomic<std::uint64_t> message_count_{0};
+  std::atomic<std::uint64_t> byte_count_{0};
+};
+
+}  // namespace licomk::comm

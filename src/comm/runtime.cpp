@@ -1,0 +1,31 @@
+#include "comm/runtime.hpp"
+
+#include <exception>
+#include <thread>
+#include <vector>
+
+namespace licomk::comm {
+
+void Runtime::run(int nranks, const std::function<void(Communicator&)>& fn) {
+  LICOMK_REQUIRE(nranks >= 1, "need at least one rank");
+  World world(nranks);
+  std::vector<std::exception_ptr> errors(static_cast<size_t>(nranks));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&world, &fn, &errors, r] {
+      Communicator c = world.communicator(r);
+      try {
+        fn(c);
+      } catch (...) {
+        errors[static_cast<size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace licomk::comm

@@ -1,0 +1,207 @@
+#include "core/baseline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace licomk::core {
+
+namespace {
+constexpr int kH = decomp::kHaloWidth;
+
+double upwind(double vol, double q_from, double q_to) {
+  return vol > 0.0 ? vol * q_from : vol * q_to;
+}
+}  // namespace
+
+void baseline_volume_fluxes(const LocalGrid& g, const halo::BlockField3D& u,
+                            const halo::BlockField3D& v, AdvectionWorkspace& ws) {
+  const int nz = g.nz();
+  const int nyt = g.ny_total();
+  const int nxt = g.nx_total();
+  const auto& dz = g.vertical().thicknesses();
+  const int seam = g.seam_row();
+
+  for (int k = 0; k < nz; ++k) {
+    for (int j = 1; j < nyt; ++j) {
+      for (int i = 0; i < nxt - 1; ++i) {
+        double flux = 0.0;
+        if (k < g.kmt(j, i) && k < g.kmt(j, i + 1)) {
+          flux = 0.5 * (u.at(k, j, i) + u.at(k, j - 1, i)) * g.dy_u(j, i) *
+                 dz[static_cast<size_t>(k)];
+        }
+        ws.flux_e.at(k, j, i) = flux;
+      }
+    }
+    for (int j = 0; j < nyt - 1; ++j) {
+      for (int i = 1; i < nxt; ++i) {
+        double flux = 0.0;
+        if (j != seam && k < g.kmt(j, i) && k < g.kmt(j + 1, i)) {
+          flux = 0.5 * (v.at(k, j, i) + v.at(k, j, i - 1)) * g.dx_u(j, i) *
+                 dz[static_cast<size_t>(k)];
+        }
+        ws.flux_n.at(k, j, i) = flux;
+      }
+    }
+  }
+  for (int j = 1; j < nyt - 1; ++j) {
+    for (int i = 1; i < nxt - 1; ++i) {
+      for (int k = 0; k < nz; ++k) ws.w_top.at(k, j, i) = 0.0;
+      double below = 0.0;
+      for (int k = g.kmt(j, i) - 1; k >= 0; --k) {
+        double divh = ws.flux_e.at(k, j, i) - ws.flux_e.at(k, j, i - 1) +
+                      ws.flux_n.at(k, j, i) - ws.flux_n.at(k, j - 1, i);
+        below -= divh;
+        ws.w_top.at(k, j, i) = below;
+      }
+    }
+  }
+  ws.flux_e.mark_dirty();
+  ws.flux_n.mark_dirty();
+  ws.w_top.mark_dirty();
+}
+
+void baseline_advect_tracer(const LocalGrid& g, double dt, const halo::BlockField3D& q,
+                            AdvectionWorkspace& ws, halo::HaloExchanger& exchanger,
+                            halo::BlockField3D& q_out) {
+  const int nz = g.nz();
+  const int nyt = g.ny_total();
+  const int nxt = g.nx_total();
+  const auto& dz = g.vertical().thicknesses();
+
+  auto lo_t = [&](int k, int j, int i) {
+    if (k <= 0 || k >= g.kmt(j, i)) return 0.0;
+    return upwind(ws.w_top.at(k, j, i), q.at(k, j, i), q.at(k - 1, j, i));
+  };
+
+  // Monotone predictor + free-surface consistency term.
+  for (int k = 0; k < nz; ++k) {
+    for (int j = 1; j < nyt - 1; ++j) {
+      for (int i = 1; i < nxt - 1; ++i) {
+        if (k >= g.kmt(j, i)) {
+          ws.q_td.at(k, j, i) = q.at(k, j, i);
+          continue;
+        }
+        double lo_e = upwind(ws.flux_e.at(k, j, i), q.at(k, j, i), q.at(k, j, i + 1));
+        double lo_w = upwind(ws.flux_e.at(k, j, i - 1), q.at(k, j, i - 1), q.at(k, j, i));
+        double lo_n = upwind(ws.flux_n.at(k, j, i), q.at(k, j, i), q.at(k, j + 1, i));
+        double lo_s = upwind(ws.flux_n.at(k, j - 1, i), q.at(k, j - 1, i), q.at(k, j, i));
+        double vol = g.area_t(j, i) * dz[static_cast<size_t>(k)];
+        double div = lo_e - lo_w + lo_n - lo_s + lo_t(k, j, i) - lo_t(k + 1, j, i);
+        if (k == 0) div += q.at(0, j, i) * ws.w_top.at(0, j, i);
+        ws.q_td.at(k, j, i) = q.at(k, j, i) - dt * div / vol;
+      }
+    }
+  }
+  ws.q_td.mark_dirty();
+  exchanger.update(ws.q_td);
+
+  // Anti-diffusive fluxes.
+  for (int k = 0; k < nz; ++k) {
+    for (int j = 1; j < nyt; ++j)
+      for (int i = 0; i < nxt - 1; ++i) {
+        double vol = ws.flux_e.at(k, j, i);
+        ws.a_e.at(k, j, i) =
+            vol * 0.5 * (q.at(k, j, i) + q.at(k, j, i + 1)) -
+            upwind(vol, q.at(k, j, i), q.at(k, j, i + 1));
+      }
+    for (int j = 0; j < nyt - 1; ++j)
+      for (int i = 1; i < nxt; ++i) {
+        double vol = ws.flux_n.at(k, j, i);
+        ws.a_n.at(k, j, i) =
+            vol * 0.5 * (q.at(k, j, i) + q.at(k, j + 1, i)) -
+            upwind(vol, q.at(k, j, i), q.at(k, j + 1, i));
+      }
+    for (int j = 1; j < nyt - 1; ++j)
+      for (int i = 1; i < nxt - 1; ++i) {
+        if (k <= 0 || k >= g.kmt(j, i)) {
+          ws.a_t.at(k, j, i) = 0.0;
+          continue;
+        }
+        double vol = ws.w_top.at(k, j, i);
+        ws.a_t.at(k, j, i) = vol * 0.5 * (q.at(k, j, i) + q.at(k - 1, j, i)) -
+                             upwind(vol, q.at(k, j, i), q.at(k - 1, j, i));
+      }
+  }
+
+  // Zalesak limiter factors.
+  for (int k = 0; k < nz; ++k) {
+    for (int j = 1; j < nyt - 1; ++j) {
+      for (int i = 1; i < nxt - 1; ++i) {
+        if (k >= g.kmt(j, i)) {
+          ws.r_plus.at(k, j, i) = 0.0;
+          ws.r_minus.at(k, j, i) = 0.0;
+          continue;
+        }
+        double qmax = std::max(q.at(k, j, i), ws.q_td.at(k, j, i));
+        double qmin = std::min(q.at(k, j, i), ws.q_td.at(k, j, i));
+        auto consider = [&](int kk, int jj, int ii) {
+          if (kk >= 0 && kk < nz && kk < g.kmt(jj, ii)) {
+            qmax = std::max({qmax, q.at(kk, jj, ii), ws.q_td.at(kk, jj, ii)});
+            qmin = std::min({qmin, q.at(kk, jj, ii), ws.q_td.at(kk, jj, ii)});
+          }
+        };
+        consider(k, j, i - 1);
+        consider(k, j, i + 1);
+        consider(k, j - 1, i);
+        consider(k, j + 1, i);
+        consider(k - 1, j, i);
+        consider(k + 1, j, i);
+        double a_e = ws.a_e.at(k, j, i);
+        double a_w = ws.a_e.at(k, j, i - 1);
+        double a_n = ws.a_n.at(k, j, i);
+        double a_s = ws.a_n.at(k, j - 1, i);
+        double a_t_face = ws.a_t.at(k, j, i);
+        double a_b = k + 1 < nz ? ws.a_t.at(k + 1, j, i) : 0.0;
+        double p_plus = dt * (std::max(a_w, 0.0) - std::min(a_e, 0.0) + std::max(a_s, 0.0) -
+                              std::min(a_n, 0.0) + std::max(a_b, 0.0) -
+                              std::min(a_t_face, 0.0));
+        double p_minus = dt * (std::max(a_e, 0.0) - std::min(a_w, 0.0) + std::max(a_n, 0.0) -
+                               std::min(a_s, 0.0) + std::max(a_t_face, 0.0) -
+                               std::min(a_b, 0.0));
+        double vol = g.area_t(j, i) * dz[static_cast<size_t>(k)];
+        double q_plus = (qmax - ws.q_td.at(k, j, i)) * vol;
+        double q_minus = (ws.q_td.at(k, j, i) - qmin) * vol;
+        ws.r_plus.at(k, j, i) = p_plus > 0.0 ? std::min(1.0, q_plus / p_plus) : 0.0;
+        ws.r_minus.at(k, j, i) = p_minus > 0.0 ? std::min(1.0, q_minus / p_minus) : 0.0;
+      }
+    }
+  }
+
+  // Corrected update.
+  auto limited_e = [&](int k, int j, int i) {
+    double a = ws.a_e.at(k, j, i);
+    double c = a >= 0.0 ? std::min(ws.r_plus.at(k, j, i + 1), ws.r_minus.at(k, j, i))
+                        : std::min(ws.r_plus.at(k, j, i), ws.r_minus.at(k, j, i + 1));
+    return c * a;
+  };
+  auto limited_n = [&](int k, int j, int i) {
+    double a = ws.a_n.at(k, j, i);
+    double c = a >= 0.0 ? std::min(ws.r_plus.at(k, j + 1, i), ws.r_minus.at(k, j, i))
+                        : std::min(ws.r_plus.at(k, j, i), ws.r_minus.at(k, j + 1, i));
+    return c * a;
+  };
+  auto limited_t = [&](int k, int j, int i) {
+    if (k <= 0 || k >= g.kmt(j, i)) return 0.0;
+    double a = ws.a_t.at(k, j, i);
+    double c = a >= 0.0 ? std::min(ws.r_plus.at(k - 1, j, i), ws.r_minus.at(k, j, i))
+                        : std::min(ws.r_plus.at(k, j, i), ws.r_minus.at(k - 1, j, i));
+    return c * a;
+  };
+  for (int k = 0; k < nz; ++k) {
+    for (int j = kH; j < nyt - kH; ++j) {
+      for (int i = kH; i < nxt - kH; ++i) {
+        if (k >= g.kmt(j, i)) {
+          q_out.at(k, j, i) = q.at(k, j, i);
+          continue;
+        }
+        double vol = g.area_t(j, i) * dz[static_cast<size_t>(k)];
+        double div = limited_e(k, j, i) - limited_e(k, j, i - 1) + limited_n(k, j, i) -
+                     limited_n(k, j - 1, i) + limited_t(k, j, i) - limited_t(k + 1, j, i);
+        q_out.at(k, j, i) = ws.q_td.at(k, j, i) - dt * div / vol;
+      }
+    }
+  }
+  q_out.mark_dirty();
+}
+
+}  // namespace licomk::core

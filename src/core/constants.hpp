@@ -1,0 +1,18 @@
+// constants.hpp — physical constants of the ocean model (double precision,
+// per the paper's "Precision reported: Double precision" attribute).
+#pragma once
+
+namespace licomk::core {
+
+inline constexpr double kRho0 = 1025.0;        ///< reference density, kg/m^3
+inline constexpr double kCp = 3996.0;          ///< seawater heat capacity, J/(kg K)
+inline constexpr double kGravity = 9.806;      ///< m/s^2
+inline constexpr double kTRef = 10.0;          ///< EOS reference temperature, degC
+inline constexpr double kSRef = 35.0;          ///< EOS reference salinity, psu
+inline constexpr double kAlphaT = 1.7e-4;      ///< thermal expansion, 1/K
+inline constexpr double kBetaS = 7.6e-4;       ///< haline contraction, 1/psu
+inline constexpr double kKappaBackgroundM = 1.0e-4;  ///< background viscosity m^2/s
+inline constexpr double kKappaBackgroundT = 1.0e-5;  ///< background diffusivity m^2/s
+inline constexpr double kConvectiveKappa = 1.0;      ///< unstable-column mixing m^2/s
+
+}  // namespace licomk::core

@@ -1,0 +1,140 @@
+#include "core/diagnostics.hpp"
+
+#include <cmath>
+
+#include "core/constants.hpp"
+
+namespace licomk::core {
+
+bool GlobalDiagnostics::finite() const {
+  for (double v : {mean_sst, min_sst, max_sst, mean_temp, mean_salt, total_heat, kinetic_energy,
+                   max_speed, max_abs_eta, ocean_volume}) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+GlobalDiagnostics compute_diagnostics(const LocalGrid& g, const OceanState& state,
+                                      comm::Communicator comm) {
+  const int h = decomp::kHaloWidth;
+  const auto& vg = g.vertical();
+
+  double area_sum = 0.0;
+  double sst_area = 0.0;
+  double min_sst = 1e30;
+  double max_sst = -1e30;
+  double vol_sum = 0.0;
+  double t_vol = 0.0;
+  double s_vol = 0.0;
+  double ke = 0.0;
+  double max_speed = 0.0;
+  double max_eta = 0.0;
+
+  for (int j = h; j < h + g.ny(); ++j) {
+    for (int i = h; i < h + g.nx(); ++i) {
+      int nlev_t = g.kmt(j, i);
+      if (nlev_t > 0) {
+        double area = g.area_t(j, i);
+        double sst = state.t_cur.at(0, j, i);
+        area_sum += area;
+        sst_area += sst * area;
+        min_sst = std::min(min_sst, sst);
+        max_sst = std::max(max_sst, sst);
+        max_eta = std::max(max_eta, std::fabs(state.eta_cur.at(j, i)));
+        for (int k = 0; k < nlev_t; ++k) {
+          double vol = area * vg.dz(k);
+          vol_sum += vol;
+          t_vol += state.t_cur.at(k, j, i) * vol;
+          s_vol += state.s_cur.at(k, j, i) * vol;
+        }
+      }
+      int nlev_u = g.kmu(j, i);
+      if (nlev_u > 0) {
+        // U-cell volume approximated with the T-cell area at the corner.
+        double area = g.area_t(j, i);
+        for (int k = 0; k < nlev_u; ++k) {
+          double u = state.u_cur.at(k, j, i);
+          double v = state.v_cur.at(k, j, i);
+          ke += 0.5 * kRho0 * (u * u + v * v) * area * vg.dz(k);
+          max_speed = std::max(max_speed, std::sqrt(u * u + v * v));
+        }
+      }
+    }
+  }
+
+  double sums[5] = {area_sum, sst_area, vol_sum, t_vol, s_vol};
+  comm.allreduce(sums, 5, comm::ReduceOp::Sum);
+  double ke_sum = comm.allreduce_scalar(ke, comm::ReduceOp::Sum);
+  double mins[1] = {min_sst};
+  comm.allreduce(mins, 1, comm::ReduceOp::Min);
+  double maxs[3] = {max_sst, max_speed, max_eta};
+  comm.allreduce(maxs, 3, comm::ReduceOp::Max);
+
+  GlobalDiagnostics d;
+  d.mean_sst = sums[0] > 0.0 ? sums[1] / sums[0] : 0.0;
+  d.min_sst = mins[0];
+  d.max_sst = maxs[0];
+  d.ocean_volume = sums[2];
+  d.mean_temp = sums[2] > 0.0 ? sums[3] / sums[2] : 0.0;
+  d.mean_salt = sums[2] > 0.0 ? sums[4] / sums[2] : 0.0;
+  d.total_heat = kRho0 * kCp * sums[3];
+  d.kinetic_energy = ke_sum;
+  d.max_speed = maxs[1];
+  d.max_abs_eta = maxs[2];
+  return d;
+}
+
+void compute_rossby_number(const LocalGrid& g, const OceanState& state, int k,
+                           halo::BlockField2D& ro) {
+  const int h = decomp::kHaloWidth;
+  for (int j = h; j < h + g.ny(); ++j) {
+    for (int i = h; i < h + g.nx(); ++i) {
+      if (k >= g.kmt(j, i)) {
+        ro.at(j, i) = 0.0;
+        continue;
+      }
+      // Relative vorticity at the T point from the four surrounding corners.
+      double dvdx = 0.5 *
+                    ((state.v_cur.at(k, j, i) + state.v_cur.at(k, j - 1, i)) -
+                     (state.v_cur.at(k, j, i - 1) + state.v_cur.at(k, j - 1, i - 1))) /
+                    g.dx_t(j, i);
+      double dudy = 0.5 *
+                    ((state.u_cur.at(k, j, i) + state.u_cur.at(k, j, i - 1)) -
+                     (state.u_cur.at(k, j - 1, i) + state.u_cur.at(k, j - 1, i - 1))) /
+                    g.dy_t(j, i);
+      double zeta = dvdx - dudy;
+      double f = 0.25 * (g.coriolis_u(j, i) + g.coriolis_u(j - 1, i) + g.coriolis_u(j, i - 1) +
+                         g.coriolis_u(j - 1, i - 1));
+      double abs_f = std::max(std::fabs(f), 1.0e-6);
+      ro.at(j, i) = zeta / (f >= 0.0 ? abs_f : -abs_f);
+    }
+  }
+  ro.mark_dirty();
+}
+
+RossbyStats rossby_statistics(const LocalGrid& g, const halo::BlockField2D& ro,
+                              comm::Communicator comm) {
+  const int h = decomp::kHaloWidth;
+  double sums[4] = {0.0, 0.0, 0.0, 0.0};  // cells, >0.5, >1.0, sum ro^2
+  for (int j = h; j < h + g.ny(); ++j) {
+    for (int i = h; i < h + g.nx(); ++i) {
+      if (g.kmt(j, i) == 0) continue;
+      double r = std::fabs(ro.at(j, i));
+      sums[0] += 1.0;
+      if (r > 0.5) sums[1] += 1.0;
+      if (r > 1.0) sums[2] += 1.0;
+      sums[3] += r * r;
+    }
+  }
+  comm.allreduce(sums, 4, comm::ReduceOp::Sum);
+  RossbyStats st;
+  st.cells = static_cast<long long>(sums[0]);
+  if (sums[0] > 0.0) {
+    st.frac_above_half = sums[1] / sums[0];
+    st.frac_above_one = sums[2] / sums[0];
+    st.rms = std::sqrt(sums[3] / sums[0]);
+  }
+  return st;
+}
+
+}  // namespace licomk::core

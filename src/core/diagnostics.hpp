@@ -1,0 +1,51 @@
+// diagnostics.hpp — global and field diagnostics.
+//
+// Provides the quantities the paper's science figures report: SST fields
+// (Fig. 1), Rossby-number snapshots and submesoscale statistics (Fig. 6),
+// plus the conservation/energy bookkeeping the test suite relies on.
+// Global numbers are deterministic rank-order reductions over comm.
+#pragma once
+
+#include "comm/communicator.hpp"
+#include "core/local_grid.hpp"
+#include "core/state.hpp"
+
+namespace licomk::core {
+
+struct GlobalDiagnostics {
+  double mean_sst = 0.0;      ///< area-weighted surface temperature, degC
+  double min_sst = 0.0;
+  double max_sst = 0.0;
+  double mean_temp = 0.0;     ///< volume-weighted temperature
+  double mean_salt = 0.0;     ///< volume-weighted salinity
+  double total_heat = 0.0;    ///< rho0 * cp * ∫ T dV, joules (anomaly scale)
+  double kinetic_energy = 0.0;///< 0.5 * rho0 * ∫ (u^2 + v^2) dV, joules
+  double max_speed = 0.0;     ///< max |u| over U points, m/s
+  double max_abs_eta = 0.0;   ///< max |free surface|, m
+  double ocean_volume = 0.0;  ///< ∫ dV over active cells, m^3
+
+  bool finite() const;        ///< all entries finite (NaN/Inf watchdog)
+};
+
+/// Compute global diagnostics (collective across `comm`).
+GlobalDiagnostics compute_diagnostics(const LocalGrid& g, const OceanState& state,
+                                      comm::Communicator comm);
+
+/// Vertical component of relative vorticity over the Coriolis parameter
+/// (the Rossby number of Fig. 6) at level k, written into `ro` interior.
+void compute_rossby_number(const LocalGrid& g, const OceanState& state, int k,
+                           halo::BlockField2D& ro);
+
+/// Submesoscale-activity statistics of a Rossby-number field: the fraction
+/// of ocean cells with |Ro| exceeding 0.5 and 1.0, and the RMS. |Ro| ~ O(1)
+/// marks active submesoscale motion (paper §VII-A).
+struct RossbyStats {
+  double frac_above_half = 0.0;
+  double frac_above_one = 0.0;
+  double rms = 0.0;
+  long long cells = 0;
+};
+RossbyStats rossby_statistics(const LocalGrid& g, const halo::BlockField2D& ro,
+                              comm::Communicator comm);
+
+}  // namespace licomk::core

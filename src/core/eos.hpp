@@ -1,0 +1,28 @@
+// eos.hpp — equation of state for seawater.
+//
+// Two forms are provided: a linear EOS (classic for idealized studies and for
+// conservation-property tests) and a UNESCO-style nonlinear polynomial with
+// thermobaric pressure dependence, a reduced-coefficient form of the
+// Jackett & McDougall (1995) fit LICOM uses. Density is returned as the
+// anomaly relative to kRho0 (kg/m^3), which is all the pressure-gradient and
+// stability computations need.
+#pragma once
+
+namespace licomk::core {
+
+/// Linear EOS: rho' = kRho0 * (-alpha (T - Tref) + beta (S - Sref)).
+double density_linear(double temp_c, double salt_psu);
+
+/// UNESCO-style EOS: nonlinear in T and S with a pressure (depth) term.
+/// `depth_m` is positive-down meters (used as a proxy for pressure in dbar).
+double density_unesco(double temp_c, double salt_psu, double depth_m);
+
+/// Dispatch helper.
+double density(bool linear, double temp_c, double salt_psu, double depth_m);
+
+/// Squared buoyancy frequency N^2 between two vertically adjacent samples
+/// (upper above lower; dz > 0 is the center-to-center distance in meters).
+/// Positive N^2 = statically stable.
+double brunt_vaisala_sq(double rho_upper, double rho_lower, double dz);
+
+}  // namespace licomk::core

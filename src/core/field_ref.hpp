@@ -1,0 +1,72 @@
+// field_ref.hpp — lightweight POD references into block fields for kernels.
+//
+// kxx functors must be trivially copyable and carry only raw pointers plus
+// strides (they cross the simulated C-ABI kernel launch). These helpers wrap
+// a BlockField's storage for halo-inclusive (k, j, i) indexing.
+#pragma once
+
+#include "halo/block_field.hpp"
+
+namespace licomk::core {
+
+/// Read-only 3-D reference.
+struct CF3 {
+  const double* p = nullptr;
+  long long plane = 0;
+  long long row = 0;
+  double operator()(long long k, long long j, long long i) const {
+    return p[k * plane + j * row + i];
+  }
+};
+
+/// Mutable 3-D reference.
+struct F3 {
+  double* p = nullptr;
+  long long plane = 0;
+  long long row = 0;
+  double& operator()(long long k, long long j, long long i) const {
+    return p[k * plane + j * row + i];
+  }
+};
+
+/// Read-only / mutable 2-D references.
+struct CF2 {
+  const double* p = nullptr;
+  long long row = 0;
+  double operator()(long long j, long long i) const { return p[j * row + i]; }
+};
+struct F2 {
+  double* p = nullptr;
+  long long row = 0;
+  double& operator()(long long j, long long i) const { return p[j * row + i]; }
+};
+
+/// Integer 2-D reference (kmt/kmu masks).
+struct CI2 {
+  const int* p = nullptr;
+  long long row = 0;
+  int operator()(long long j, long long i) const { return p[j * row + i]; }
+};
+
+inline CF3 cref(const halo::BlockField3D& f) {
+  return CF3{f.view().data(), static_cast<long long>(f.ny_total()) * f.nx_total(),
+             static_cast<long long>(f.nx_total())};
+}
+inline F3 mref(halo::BlockField3D& f) {
+  return F3{f.view().data(), static_cast<long long>(f.ny_total()) * f.nx_total(),
+            static_cast<long long>(f.nx_total())};
+}
+inline CF2 cref(const halo::BlockField2D& f) {
+  return CF2{f.view().data(), static_cast<long long>(f.nx_total())};
+}
+inline F2 mref(halo::BlockField2D& f) {
+  return F2{f.view().data(), static_cast<long long>(f.nx_total())};
+}
+inline CI2 cref(const kxx::View<int, 2>& v) {
+  return CI2{v.data(), static_cast<long long>(v.extent(1))};
+}
+inline CF2 cref(const kxx::View<double, 2>& v) {
+  return CF2{v.data(), static_cast<long long>(v.extent(1))};
+}
+
+}  // namespace licomk::core

@@ -1,0 +1,113 @@
+#include "core/local_grid.hpp"
+
+#include <algorithm>
+
+namespace licomk::core {
+
+namespace {
+/// Map a local halo-inclusive index to the global cell it shadows, honoring
+/// periodic wrap in i and the tripolar fold in j. Returns false if the cell
+/// lies beyond a closed boundary (south edge, or north edge w/o fold).
+bool global_of(const decomp::Decomposition& dec, const decomp::BlockExtent& e, int lj, int li,
+               int* gj_out, int* gi_out) {
+  const int h = decomp::kHaloWidth;
+  int gj = e.j0 + (lj - h);
+  int gi = e.i0 + (li - h);
+  if (dec.periodic_x()) {
+    gi = (gi % dec.nx() + dec.nx()) % dec.nx();
+  } else if (gi < 0 || gi >= dec.nx()) {
+    return false;
+  }
+  if (gj < 0) return false;
+  if (gj >= dec.ny()) {
+    if (!dec.tripolar()) return false;
+    // Fold: ghost row ny-1+d mirrors row ny-d at column nx-1-i.
+    int d = gj - (dec.ny() - 1);
+    gj = dec.ny() - d;
+    gi = dec.nx() - 1 - gi;
+    if (gj < 0) return false;
+  }
+  *gj_out = gj;
+  *gi_out = gi;
+  return true;
+}
+}  // namespace
+
+LocalGrid::LocalGrid(const grid::GlobalGrid& global, const decomp::Decomposition& dec, int rank)
+    : global_(&global),
+      extent_(dec.block(rank)),
+      dxt_("dxt", static_cast<size_t>(ny_total()), static_cast<size_t>(nx_total())),
+      dyt_("dyt", static_cast<size_t>(ny_total()), static_cast<size_t>(nx_total())),
+      dxu_("dxu", static_cast<size_t>(ny_total()), static_cast<size_t>(nx_total())),
+      dyu_("dyu", static_cast<size_t>(ny_total()), static_cast<size_t>(nx_total())),
+      area_("area", static_cast<size_t>(ny_total()), static_cast<size_t>(nx_total())),
+      fu_("fu", static_cast<size_t>(ny_total()), static_cast<size_t>(nx_total())),
+      lon_("lon", static_cast<size_t>(ny_total()), static_cast<size_t>(nx_total())),
+      lat_("lat", static_cast<size_t>(ny_total()), static_cast<size_t>(nx_total())),
+      kmt_("kmt", static_cast<size_t>(ny_total()), static_cast<size_t>(nx_total())),
+      kmu_("kmu", static_cast<size_t>(ny_total()), static_cast<size_t>(nx_total())) {
+  const auto& h = global.h();
+  const auto& bathy = global.bathymetry();
+  if (dec.tripolar() && extent_.j1 == dec.ny()) {
+    seam_row_ = decomp::kHaloWidth + (dec.ny() - 1 - extent_.j0);
+  }
+  for (int lj = 0; lj < ny_total(); ++lj) {
+    for (int li = 0; li < nx_total(); ++li) {
+      size_t jj = static_cast<size_t>(lj);
+      size_t ii = static_cast<size_t>(li);
+      int gj = 0;
+      int gi = 0;
+      if (global_of(dec, extent_, lj, li, &gj, &gi)) {
+        dxt_(jj, ii) = h.dx_t(gj, gi);
+        dyt_(jj, ii) = h.dy_t(gj, gi);
+        dxu_(jj, ii) = h.dx_u(gj, gi);
+        dyu_(jj, ii) = h.dy_u(gj, gi);
+        area_(jj, ii) = h.area_t(gj, gi);
+        fu_(jj, ii) = h.coriolis_u(gj, gi);
+        lon_(jj, ii) = h.lon_t(gj, gi);
+        lat_(jj, ii) = h.lat_t(gj, gi);
+        kmt_(jj, ii) = bathy.kmt(gj, gi);
+      } else {
+        // Closed boundary: land with benign metrics (never divided by zero).
+        dxt_(jj, ii) = 1.0;
+        dyt_(jj, ii) = 1.0;
+        dxu_(jj, ii) = 1.0;
+        dyu_(jj, ii) = 1.0;
+        area_(jj, ii) = 1.0;
+        fu_(jj, ii) = 1e-5;
+        lon_(jj, ii) = 0.0;
+        lat_(jj, ii) = -90.0;
+        kmt_(jj, ii) = 0;
+      }
+    }
+  }
+  // B-grid U column depth: the corner NE of T cell (j,i) is active only down
+  // to the shallowest of its four surrounding T columns.
+  for (int lj = 0; lj < ny_total() - 1; ++lj) {
+    for (int li = 0; li < nx_total() - 1; ++li) {
+      size_t jj = static_cast<size_t>(lj);
+      size_t ii = static_cast<size_t>(li);
+      kmu_(jj, ii) = std::min(std::min(kmt_(jj, ii), kmt_(jj, ii + 1)),
+                              std::min(kmt_(jj + 1, ii), kmt_(jj + 1, ii + 1)));
+    }
+  }
+  for (int lj = 0; lj < ny_total(); ++lj) {
+    kmu_(static_cast<size_t>(lj), static_cast<size_t>(nx_total() - 1)) = 0;
+  }
+  for (int li = 0; li < nx_total(); ++li) {
+    kmu_(static_cast<size_t>(ny_total() - 1), static_cast<size_t>(li)) = 0;
+  }
+}
+
+long long LocalGrid::interior_sea_columns() const {
+  const int h = decomp::kHaloWidth;
+  long long count = 0;
+  for (int j = h; j < h + ny(); ++j) {
+    for (int i = h; i < h + nx(); ++i) {
+      if (kmt(j, i) > 0) ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace licomk::core

@@ -1,0 +1,82 @@
+// local_grid.hpp — per-rank, halo-inclusive slices of the global grid.
+//
+// Grid metrics are globally computable, so ghost cells are filled directly
+// from the global grid using the same connectivity the halo exchange
+// implements (periodic zonal wrap, tripolar fold, closed south); kmt is 0
+// beyond closed boundaries. This gives every kernel stencil-safe metric and
+// mask access without communication.
+#pragma once
+
+#include "decomp/decomposition.hpp"
+#include "grid/grid.hpp"
+#include "kxx/view.hpp"
+
+namespace licomk::core {
+
+class LocalGrid {
+ public:
+  LocalGrid(const grid::GlobalGrid& global, const decomp::Decomposition& dec, int rank);
+
+  const decomp::BlockExtent& extent() const { return extent_; }
+  int nx() const { return extent_.nx(); }
+  int ny() const { return extent_.ny(); }
+  int nz() const { return global_->v().nz(); }
+  int nx_total() const { return nx() + 2 * decomp::kHaloWidth; }
+  int ny_total() const { return ny() + 2 * decomp::kHaloWidth; }
+  const grid::VerticalGrid& vertical() const { return global_->v(); }
+  const grid::GlobalGrid& global() const { return *global_; }
+
+  /// Halo-inclusive local accessors (j in [0, ny_total), i in [0, nx_total)).
+  double dx_t(int j, int i) const { return dxt_(static_cast<size_t>(j), static_cast<size_t>(i)); }
+  double dy_t(int j, int i) const { return dyt_(static_cast<size_t>(j), static_cast<size_t>(i)); }
+  double dx_u(int j, int i) const { return dxu_(static_cast<size_t>(j), static_cast<size_t>(i)); }
+  double dy_u(int j, int i) const { return dyu_(static_cast<size_t>(j), static_cast<size_t>(i)); }
+  double area_t(int j, int i) const {
+    return area_(static_cast<size_t>(j), static_cast<size_t>(i));
+  }
+  double coriolis_u(int j, int i) const {
+    return fu_(static_cast<size_t>(j), static_cast<size_t>(i));
+  }
+  double lon(int j, int i) const { return lon_(static_cast<size_t>(j), static_cast<size_t>(i)); }
+  double lat(int j, int i) const { return lat_(static_cast<size_t>(j), static_cast<size_t>(i)); }
+
+  /// Active levels of the T column (0 over land / outside the domain).
+  int kmt(int j, int i) const { return kmt_(static_cast<size_t>(j), static_cast<size_t>(i)); }
+  /// Active levels of the U (B-grid corner) column.
+  int kmu(int j, int i) const { return kmu_(static_cast<size_t>(j), static_cast<size_t>(i)); }
+
+  bool t_active(int k, int j, int i) const { return k < kmt(j, i); }
+  bool u_active(int k, int j, int i) const { return k < kmu(j, i); }
+
+  const kxx::View<int, 2>& kmt_view() const { return kmt_; }
+  const kxx::View<int, 2>& kmu_view() const { return kmu_; }
+  const kxx::View<double, 2>& area_view() const { return area_; }
+  const kxx::View<double, 2>& dxt_view() const { return dxt_; }
+  const kxx::View<double, 2>& dyt_view() const { return dyt_; }
+  const kxx::View<double, 2>& dxu_view() const { return dxu_; }
+  const kxx::View<double, 2>& dyu_view() const { return dyu_; }
+  const kxx::View<double, 2>& coriolis_view() const { return fu_; }
+  const kxx::View<double, 2>& lon_view() const { return lon_; }
+  const kxx::View<double, 2>& lat_view() const { return lat_; }
+
+  /// Count of ocean T columns in the interior (for the Fig. 4 census).
+  long long interior_sea_columns() const;
+
+  /// Local halo-inclusive row index of the global top row (whose north face
+  /// is the tripolar seam), or -1 if this block does not touch the fold.
+  /// Conservative transport (advection, diffusion, barotropic volume flux)
+  /// treats the seam as closed: on this analytic tripolar stand-in the two
+  /// sides of the seam carry independent B-grid corner velocities, so open
+  /// fluxes would not cancel exactly (see DESIGN.md §1). Stencil terms still
+  /// use the fold-exchanged ghosts.
+  int seam_row() const { return seam_row_; }
+
+ private:
+  const grid::GlobalGrid* global_;
+  decomp::BlockExtent extent_;
+  int seam_row_ = -1;
+  kxx::View<double, 2> dxt_, dyt_, dxu_, dyu_, area_, fu_, lon_, lat_;
+  kxx::View<int, 2> kmt_, kmu_;
+};
+
+}  // namespace licomk::core

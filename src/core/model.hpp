@@ -1,0 +1,101 @@
+// model.hpp — LicomModel, the top-level LICOMK++ driver.
+//
+// One LicomModel instance per rank; construct inside comm::Runtime::run for
+// multi-rank execution or with a default single-rank communicator for serial
+// use. Each step() executes the LICOM sequence (readyt → vmix → readyc →
+// barotr → bclinc → tracer) with GPTL-style timers around every phase — the
+// measurement mechanism behind the paper's SYPD numbers (§VI-C).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "core/advection.hpp"
+#include "core/diagnostics.hpp"
+#include "core/model_config.hpp"
+#include "core/polar_filter.hpp"
+#include "core/state.hpp"
+#include "core/vmix.hpp"
+#include "halo/halo_exchange.hpp"
+#include "util/timer.hpp"
+
+namespace licomk::core {
+
+class LicomModel {
+ public:
+  /// Build everything (grid included) for a single-rank run.
+  explicit LicomModel(const ModelConfig& cfg);
+
+  /// Multi-rank: the global grid is shared (construct it once outside
+  /// Runtime::run and pass the same pointer to every rank's model).
+  LicomModel(const ModelConfig& cfg, std::shared_ptr<const grid::GlobalGrid> global,
+             comm::Communicator comm);
+
+  /// Advance one baroclinic time step.
+  void step();
+
+  /// Advance `days` of simulated time (rounded to whole steps).
+  void run_days(double days);
+
+  /// Simulated-years-per-day from accumulated step wall time (excludes
+  /// initialization, like the paper's metric).
+  double sypd() const;
+
+  /// The paper's exact measurement (§VI-C): elapsed wall time is the MAXIMUM
+  /// across ranks of the top-level loop timer, including the daily memory
+  /// copies. Collective.
+  double sypd_global() const;
+
+  /// Surface snapshot staged by the daily device-to-host copy (the paper's
+  /// timed "daily memory copies in heterogeneous systems"): interior SST,
+  /// row-major (j, i); empty before the first simulated day completes.
+  const std::vector<double>& daily_sst() const { return daily_sst_; }
+
+  double simulated_seconds() const { return sim_seconds_; }
+  long long steps_taken() const { return steps_; }
+  double day_of_year() const;
+
+  GlobalDiagnostics diagnostics();
+
+  /// Checkpoint this rank's prognostic state ("<prefix>.rank<r>.lrs").
+  void write_restart(const std::string& prefix) const;
+
+  /// Resume from a checkpoint written with the same configuration and
+  /// decomposition; restores simulated time and step count.
+  void read_restart(const std::string& prefix);
+
+  const ModelConfig& config() const { return cfg_; }
+  const LocalGrid& local_grid() const { return *lgrid_; }
+  const grid::GlobalGrid& global_grid() const { return *global_; }
+  const decomp::Decomposition& decomposition() const { return *decomp_; }
+  OceanState& state() { return *state_; }
+  const OceanState& state() const { return *state_; }
+  halo::HaloExchanger& exchanger() { return *exchanger_; }
+  VerticalMixer& mixer() { return *mixer_; }
+  util::TimerRegistry& timers() { return timers_; }
+  comm::Communicator communicator() const { return comm_; }
+
+ private:
+  void initial_exchange();
+
+  ModelConfig cfg_;
+  std::shared_ptr<const grid::GlobalGrid> global_;
+  comm::Communicator comm_;
+  std::unique_ptr<decomp::Decomposition> decomp_;
+  std::unique_ptr<LocalGrid> lgrid_;
+  std::unique_ptr<halo::HaloExchanger> exchanger_;
+  std::unique_ptr<OceanState> state_;
+  std::unique_ptr<VerticalMixer> mixer_;
+  std::unique_ptr<PolarFilter> polar_;
+  std::unique_ptr<AdvectionWorkspace> adv_ws_;
+  halo::BlockField2D ubar_avg_, vbar_avg_, gu_bar_, gv_bar_;
+  util::TimerRegistry timers_;
+  std::vector<double> daily_sst_;
+  std::vector<double> daily_eta_;
+  double sim_seconds_ = 0.0;
+  long long steps_ = 0;
+};
+
+}  // namespace licomk::core

@@ -1,0 +1,108 @@
+#include "core/model_config.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace licomk::core {
+
+ModelConfig ModelConfig::coarse100km() {
+  ModelConfig c;
+  c.grid = grid::spec_coarse100km();
+  return c;
+}
+
+ModelConfig ModelConfig::eddy10km() {
+  ModelConfig c;
+  c.grid = grid::spec_eddy10km();
+  return c;
+}
+
+ModelConfig ModelConfig::km2_fulldepth() {
+  ModelConfig c;
+  c.grid = grid::spec_km2_fulldepth();
+  return c;
+}
+
+ModelConfig ModelConfig::km1() {
+  ModelConfig c;
+  c.grid = grid::spec_km1();
+  return c;
+}
+
+ModelConfig ModelConfig::testing(int factor) {
+  ModelConfig c;
+  c.grid = grid::shrink(grid::spec_coarse100km(), factor);
+  c.grid.nz = 12;
+  return c;
+}
+
+ModelConfig ModelConfig::from_config(const util::Config& cfg) {
+  ModelConfig c;
+  std::string base = cfg.get_string_or("model.grid", "coarse100km");
+  if (base == "coarse100km") {
+    c.grid = grid::spec_coarse100km();
+  } else if (base == "eddy10km") {
+    c.grid = grid::spec_eddy10km();
+  } else if (base == "km2") {
+    c.grid = grid::spec_km2_fulldepth();
+  } else if (base == "km1") {
+    c.grid = grid::spec_km1();
+  } else {
+    throw ConfigError("unknown model.grid: " + base);
+  }
+  int factor = static_cast<int>(cfg.get_int_or("model.shrink", 1));
+  if (factor > 1) c.grid = grid::shrink(c.grid, factor);
+  if (cfg.has("model.nz")) c.grid.nz = static_cast<int>(cfg.get_int("model.nz"));
+
+  std::string vmix = cfg.get_string_or("model.vmix", "canuto");
+  if (vmix == "canuto") {
+    c.vmix = VMixScheme::Canuto;
+  } else if (vmix == "richardson") {
+    c.vmix = VMixScheme::Richardson;
+  } else {
+    throw ConfigError("unknown model.vmix: " + vmix);
+  }
+  std::string hmix = cfg.get_string_or("model.hmix", "laplacian");
+  if (hmix == "laplacian") {
+    c.hmix = HMixScheme::Laplacian;
+  } else if (hmix == "biharmonic") {
+    c.hmix = HMixScheme::Biharmonic;
+  } else {
+    throw ConfigError("unknown model.hmix: " + hmix);
+  }
+  c.biharmonic_coeff = cfg.get_double_or("model.biharmonic_coeff", 0.0);
+  c.solar_penetration = cfg.get_bool_or("model.solar_penetration", true);
+  c.gm_kappa = cfg.get_double_or("model.gm_kappa", 0.0);
+  c.canuto_load_balance = cfg.get_bool_or("model.canuto_load_balance", true);
+  c.linear_eos = cfg.get_bool_or("model.linear_eos", false);
+  c.horizontal_viscosity = cfg.get_double_or("model.horizontal_viscosity", 0.0);
+  c.horizontal_diffusivity = cfg.get_double_or("model.horizontal_diffusivity", 0.0);
+  c.asselin_coeff = cfg.get_double_or("model.asselin_coeff", 0.1);
+  c.restore_timescale_days = cfg.get_double_or("model.restore_days", 30.0);
+  c.bathymetry_seed = static_cast<unsigned>(cfg.get_int_or("model.seed", 42));
+  std::string halo = cfg.get_string_or("model.halo3d", "transpose");
+  if (halo == "transpose") {
+    c.halo_strategy = HaloStrategy::TransposeVerticalMajor;
+  } else if (halo == "horizontal") {
+    c.halo_strategy = HaloStrategy::HorizontalMajor;
+  } else {
+    throw ConfigError("unknown model.halo3d: " + halo);
+  }
+  c.eliminate_redundant_halo = cfg.get_bool_or("model.eliminate_redundant_halo", true);
+  c.fp32_barotropic = cfg.get_bool_or("model.fp32_barotropic", false);
+  return c;
+}
+
+std::string ModelConfig::describe() const {
+  std::ostringstream os;
+  os << grid.name << " " << grid.nx << "x" << grid.ny << "x" << grid.nz << " dt="
+     << grid.dt_barotropic << "/" << grid.dt_baroclinic << "/" << grid.dt_tracer << "s vmix="
+     << (vmix == VMixScheme::Canuto ? "canuto" : "richardson")
+     << (canuto_load_balance ? "+lb" : "") << " halo3d="
+     << (halo_strategy == HaloStrategy::TransposeVerticalMajor ? "transpose" : "horizontal")
+     << (fp32_barotropic ? " fp32-barotr" : "");
+  return os.str();
+}
+
+}  // namespace licomk::core

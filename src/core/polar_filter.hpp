@@ -1,0 +1,54 @@
+// polar_filter.hpp — high-latitude zonal filtering.
+//
+// On a (tri)polar grid the zonal spacing collapses toward the fold, so the
+// CFL limit of the split-explicit barotropic sub-cycle would force absurdly
+// small time steps. LICOM's lineage (like other B-grid z-level models)
+// filters the zonal grid-scale components of the prognostic fields poleward
+// of a threshold latitude instead. This module implements that filter as
+// repeated 1-2-1 zonal smoothing passes — an approximation of the classical
+// Fourier truncation — with the pass count growing as the zonal spacing
+// shrinks relative to the threshold row.
+//
+// Tracers and the free surface use the conservative (flux-form,
+// area-weighted) variant, so the filter preserves ∑ q·A along each row to
+// round-off; velocities use the plain stencil. Land cells never exchange.
+#pragma once
+
+#include "core/local_grid.hpp"
+#include "halo/halo_exchange.hpp"
+
+namespace licomk::core {
+
+class PolarFilter {
+ public:
+  /// `threshold_lat` — filtering starts poleward of this latitude (deg).
+  /// `strength` — multiplies the pass count (tuning for stability margins).
+  PolarFilter(const LocalGrid& grid, double threshold_lat = 60.0, double strength = 2.0);
+
+  /// True if any local row needs filtering (fast skip for tropical blocks).
+  bool active() const { return max_passes_ > 0; }
+  int max_passes() const { return max_passes_; }
+
+  /// Number of smoothing passes applied to local halo-inclusive row `j`.
+  int passes_for_row(int j) const { return passes_[static_cast<size_t>(j)]; }
+
+  /// Filter a 2-D field in place (interior rows; needs valid EW ghosts on
+  /// entry, refreshes the halo after each pass through `exchanger`).
+  /// `conservative` selects the area-weighted flux form.
+  void apply(halo::BlockField2D& f, halo::HaloExchanger& exchanger, halo::FoldSign sign,
+             bool conservative) const;
+
+  /// Filter every level of a 3-D field in place.
+  void apply(halo::BlockField3D& f, halo::HaloExchanger& exchanger, halo::FoldSign sign,
+             bool conservative) const;
+
+ private:
+  void smooth_rows_2d(halo::BlockField2D& f, int pass, bool conservative) const;
+  void smooth_rows_3d(halo::BlockField3D& f, int pass, bool conservative) const;
+
+  const LocalGrid& grid_;
+  std::vector<int> passes_;  ///< per local row (halo-inclusive indexing)
+  int max_passes_ = 0;
+};
+
+}  // namespace licomk::core

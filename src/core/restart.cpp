@@ -1,0 +1,100 @@
+#include "core/restart.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace licomk::core {
+
+namespace {
+constexpr char kMagic[8] = {'L', 'I', 'C', 'O', 'M', 'K', 'R', 'S'};
+constexpr std::int32_t kVersion = 1;
+
+struct Header {
+  char magic[8];
+  std::int32_t version;
+  std::int32_t nx, ny, nz;          // interior shape
+  std::int32_t i0, j0;              // block origin (decomposition check)
+  std::int32_t field_count;
+  double sim_seconds;
+  long long steps;
+};
+
+std::vector<const halo::BlockField3D*> fields3(const OceanState& s) {
+  return {&s.u_old, &s.u_cur, &s.v_old, &s.v_cur, &s.t_old, &s.t_cur, &s.s_old, &s.s_cur};
+}
+std::vector<const halo::BlockField2D*> fields2(const OceanState& s) {
+  return {&s.eta_old, &s.eta_cur, &s.ubar_old, &s.ubar_cur, &s.vbar_old, &s.vbar_cur};
+}
+}  // namespace
+
+std::string restart_rank_path(const std::string& prefix, int rank) {
+  return prefix + ".rank" + std::to_string(rank) + ".lrs";
+}
+
+void write_restart(const std::string& path, const LocalGrid& grid, const OceanState& state,
+                   const RestartInfo& info) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw Error("cannot open restart file for writing: " + path);
+
+  Header h{};
+  std::memcpy(h.magic, kMagic, sizeof(kMagic));
+  h.version = kVersion;
+  h.nx = grid.nx();
+  h.ny = grid.ny();
+  h.nz = grid.nz();
+  h.i0 = grid.extent().i0;
+  h.j0 = grid.extent().j0;
+  h.field_count = static_cast<std::int32_t>(fields3(state).size() + fields2(state).size());
+  h.sim_seconds = info.sim_seconds;
+  h.steps = info.steps;
+  out.write(reinterpret_cast<const char*>(&h), sizeof(h));
+
+  for (const auto* f : fields3(state)) {
+    out.write(reinterpret_cast<const char*>(f->view().data()),
+              static_cast<std::streamsize>(f->view().size() * sizeof(double)));
+  }
+  for (const auto* f : fields2(state)) {
+    out.write(reinterpret_cast<const char*>(f->view().data()),
+              static_cast<std::streamsize>(f->view().size() * sizeof(double)));
+  }
+  if (!out) throw Error("short write to restart file: " + path);
+}
+
+RestartInfo read_restart(const std::string& path, const LocalGrid& grid, OceanState& state) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open restart file: " + path);
+
+  Header h{};
+  in.read(reinterpret_cast<char*>(&h), sizeof(h));
+  if (!in || std::memcmp(h.magic, kMagic, sizeof(kMagic)) != 0) {
+    throw Error("not a LICOMK++ restart file: " + path);
+  }
+  if (h.version != kVersion) {
+    throw Error("restart version mismatch in " + path + ": file has v" +
+                std::to_string(h.version));
+  }
+  if (h.nx != grid.nx() || h.ny != grid.ny() || h.nz != grid.nz() ||
+      h.i0 != grid.extent().i0 || h.j0 != grid.extent().j0) {
+    throw Error("restart shape/extent mismatch in " + path +
+                " (was the decomposition or grid changed?)");
+  }
+
+  auto read_block = [&](double* dst, std::size_t count) {
+    in.read(reinterpret_cast<char*>(dst), static_cast<std::streamsize>(count * sizeof(double)));
+    if (!in) throw Error("truncated restart file: " + path);
+  };
+  for (const auto* f : fields3(state)) {
+    read_block(const_cast<double*>(f->view().data()), f->view().size());
+    const_cast<halo::BlockField3D*>(f)->mark_dirty();
+  }
+  for (const auto* f : fields2(state)) {
+    read_block(const_cast<double*>(f->view().data()), f->view().size());
+    const_cast<halo::BlockField2D*>(f)->mark_dirty();
+  }
+  return RestartInfo{h.sim_seconds, h.steps};
+}
+
+}  // namespace licomk::core

@@ -1,0 +1,38 @@
+// restart.hpp — checkpoint/restart of the model state.
+//
+// Production OGCM runs span months of wall time; LICOM runs are driven by
+// restart chains. This module writes/reads a self-describing binary snapshot
+// of one rank's prognostic state (both leapfrog time levels, so a restarted
+// run continues bit-identically — verified in test_model).
+//
+// Format: a fixed header (magic, version, grid shape, extent, sim time)
+// followed by the prognostic fields' full halo-inclusive storage. Multi-rank
+// runs write one file per rank (`<prefix>.rankN.lrs`), the standard
+// file-per-process pattern.
+#pragma once
+
+#include <string>
+
+#include "core/local_grid.hpp"
+#include "core/state.hpp"
+
+namespace licomk::core {
+
+struct RestartInfo {
+  double sim_seconds = 0.0;
+  long long steps = 0;
+};
+
+/// Write a checkpoint for this rank. Throws licomk::Error on I/O failure.
+void write_restart(const std::string& path, const LocalGrid& grid, const OceanState& state,
+                   const RestartInfo& info);
+
+/// Read a checkpoint written by write_restart into an allocated state of the
+/// same configuration. Validates magic/version/shape and throws
+/// licomk::Error on any mismatch. Returns the stored time info.
+RestartInfo read_restart(const std::string& path, const LocalGrid& grid, OceanState& state);
+
+/// Per-rank restart path: "<prefix>.rank<r>.lrs".
+std::string restart_rank_path(const std::string& prefix, int rank);
+
+}  // namespace licomk::core

@@ -1,0 +1,152 @@
+#include "core/science_diagnostics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/constants.hpp"
+
+namespace licomk::core {
+
+namespace {
+constexpr int kH = decomp::kHaloWidth;
+
+/// Zonally-integrated northward transport per (global row, level): the
+/// common kernel of the MOC and heat-transport diagnostics. `weight_t`
+/// multiplies the transport by the row's tracer (nullptr = volume only).
+std::vector<double> zonal_transport(const LocalGrid& g, const OceanState& state,
+                                    comm::Communicator comm, bool weight_by_temp) {
+  const int ny_g = g.global().h().ny();
+  const int nz = g.nz();
+  std::vector<double> sums(static_cast<size_t>(ny_g) * nz, 0.0);
+  const auto& e = g.extent();
+  for (int j = kH; j < kH + g.ny(); ++j) {
+    int gj = e.j0 + (j - kH);
+    for (int i = kH; i < kH + g.nx(); ++i) {
+      // Northward velocity through the north face of T cell (j, i).
+      for (int k = 0; k < nz; ++k) {
+        if (k >= g.kmt(j, i) || k >= g.kmt(j + 1, i)) continue;
+        if (j == g.seam_row()) continue;  // seam closed to transport
+        double vf = 0.5 * (state.v_cur.at(k, j, i) + state.v_cur.at(k, j, i - 1));
+        double transport = vf * g.dx_u(j, i) * g.vertical().dz(k);
+        if (weight_by_temp) {
+          transport *= 0.5 * (state.t_cur.at(k, j, i) + state.t_cur.at(k, j + 1, i));
+        }
+        sums[static_cast<size_t>(gj) * nz + static_cast<size_t>(k)] += transport;
+      }
+    }
+  }
+  comm.allreduce(sums.data(), sums.size(), comm::ReduceOp::Sum);
+  return sums;
+}
+}  // namespace
+
+OverturningStreamfunction compute_moc(const LocalGrid& g, const OceanState& state,
+                                      comm::Communicator comm) {
+  const int ny_g = g.global().h().ny();
+  const int nz = g.nz();
+  auto v_transport = zonal_transport(g, state, comm, /*weight_by_temp=*/false);
+
+  OverturningStreamfunction moc;
+  moc.ny = ny_g;
+  moc.nz = nz;
+  moc.psi_sv.assign(static_cast<size_t>(ny_g) * (nz + 1), 0.0);
+  for (int j = 0; j < ny_g; ++j) {
+    double acc = 0.0;
+    for (int k = 0; k < nz; ++k) {
+      acc += v_transport[static_cast<size_t>(j) * nz + static_cast<size_t>(k)];
+      double sv = acc / 1.0e6;
+      moc.psi_sv[static_cast<size_t>(j) * (nz + 1) + static_cast<size_t>(k) + 1] = sv;
+      moc.max_sv = std::max(moc.max_sv, sv);
+      moc.min_sv = std::min(moc.min_sv, sv);
+    }
+  }
+  return moc;
+}
+
+ZonalMeanSection zonal_mean_temperature(const LocalGrid& g, const OceanState& state,
+                                        comm::Communicator comm) {
+  const int ny_g = g.global().h().ny();
+  const int nz = g.nz();
+  ZonalMeanSection out;
+  out.ny = ny_g;
+  out.nz = nz;
+  out.mean.assign(static_cast<size_t>(ny_g) * nz, 0.0);
+  out.weight.assign(static_cast<size_t>(ny_g) * nz, 0.0);
+
+  const auto& e = g.extent();
+  for (int j = kH; j < kH + g.ny(); ++j) {
+    int gj = e.j0 + (j - kH);
+    for (int i = kH; i < kH + g.nx(); ++i) {
+      for (int k = 0; k < g.kmt(j, i); ++k) {
+        size_t idx = static_cast<size_t>(gj) * nz + static_cast<size_t>(k);
+        double w = g.dx_t(j, i);
+        out.mean[idx] += state.t_cur.at(k, j, i) * w;
+        out.weight[idx] += w;
+      }
+    }
+  }
+  comm.allreduce(out.mean.data(), out.mean.size(), comm::ReduceOp::Sum);
+  comm.allreduce(out.weight.data(), out.weight.size(), comm::ReduceOp::Sum);
+  for (size_t n = 0; n < out.mean.size(); ++n) {
+    if (out.weight[n] > 0.0) out.mean[n] /= out.weight[n];
+  }
+  return out;
+}
+
+void compute_mixed_layer_depth(const LocalGrid& g, const OceanState& state,
+                               halo::BlockField2D& mld, double delta_t) {
+  const auto& vg = g.vertical();
+  for (int j = kH; j < kH + g.ny(); ++j) {
+    for (int i = kH; i < kH + g.nx(); ++i) {
+      int nlev = g.kmt(j, i);
+      if (nlev == 0) {
+        mld.at(j, i) = 0.0;
+        continue;
+      }
+      double sst = state.t_cur.at(0, j, i);
+      double depth = vg.interface_depth(nlev);  // default: whole column mixed
+      for (int k = 1; k < nlev; ++k) {
+        if (state.t_cur.at(k, j, i) < sst - delta_t) {
+          // Linear interpolation between level centers for a smooth MLD.
+          double t_hi = state.t_cur.at(k - 1, j, i);
+          double t_lo = state.t_cur.at(k, j, i);
+          double frac = (t_hi - (sst - delta_t)) / std::max(t_hi - t_lo, 1e-12);
+          depth = vg.depth(k - 1) + frac * (vg.depth(k) - vg.depth(k - 1));
+          break;
+        }
+      }
+      mld.at(j, i) = depth;
+    }
+  }
+  mld.mark_dirty();
+}
+
+double ocean_mean(const LocalGrid& g, const halo::BlockField2D& field,
+                  comm::Communicator comm) {
+  double sums[2] = {0.0, 0.0};
+  for (int j = kH; j < kH + g.ny(); ++j) {
+    for (int i = kH; i < kH + g.nx(); ++i) {
+      if (g.kmt(j, i) == 0) continue;
+      sums[0] += field.at(j, i) * g.area_t(j, i);
+      sums[1] += g.area_t(j, i);
+    }
+  }
+  comm.allreduce(sums, 2, comm::ReduceOp::Sum);
+  return sums[1] > 0.0 ? sums[0] / sums[1] : 0.0;
+}
+
+std::vector<double> meridional_heat_transport_pw(const LocalGrid& g, const OceanState& state,
+                                                 comm::Communicator comm) {
+  auto vt = zonal_transport(g, state, comm, /*weight_by_temp=*/true);
+  const int ny_g = g.global().h().ny();
+  const int nz = g.nz();
+  std::vector<double> out(static_cast<size_t>(ny_g), 0.0);
+  for (int j = 0; j < ny_g; ++j) {
+    double sum = 0.0;
+    for (int k = 0; k < nz; ++k) sum += vt[static_cast<size_t>(j) * nz + static_cast<size_t>(k)];
+    out[static_cast<size_t>(j)] = kRho0 * kCp * sum / 1.0e15;  // PW
+  }
+  return out;
+}
+
+}  // namespace licomk::core

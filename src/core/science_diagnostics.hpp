@@ -1,0 +1,75 @@
+// science_diagnostics.hpp — climate-science diagnostics beyond the step-level
+// bookkeeping: the quantities ocean modelling papers (this one included)
+// evaluate simulations with.
+//
+//   * meridional overturning circulation (MOC) streamfunction,
+//   * zonal-mean temperature section,
+//   * mixed-layer depth (the quantity the Canuto scheme most directly
+//     controls, §V-A),
+//   * meridional heat transport.
+//
+// All are collective over the communicator (deterministic rank-order
+// reductions) and return global row-indexed results on every rank.
+#pragma once
+
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "core/local_grid.hpp"
+#include "core/state.hpp"
+
+namespace licomk::core {
+
+/// MOC streamfunction psi(j, k) in Sverdrups (1 Sv = 1e6 m^3/s): the
+/// cumulative northward transport above interface k at global row j.
+/// psi has (ny_global) x (nz+1) entries, interfaces indexed 0 (surface) to
+/// nz (bottom); psi(., 0) == 0 by construction.
+struct OverturningStreamfunction {
+  int ny = 0;
+  int nz = 0;
+  std::vector<double> psi_sv;  ///< row-major (j, k_interface)
+  double max_sv = 0.0;         ///< strongest clockwise cell
+  double min_sv = 0.0;         ///< strongest counter-clockwise cell
+
+  double psi(int j, int k_iface) const {
+    return psi_sv[static_cast<size_t>(j) * (nz + 1) + static_cast<size_t>(k_iface)];
+  }
+};
+OverturningStreamfunction compute_moc(const LocalGrid& g, const OceanState& state,
+                                      comm::Communicator comm);
+
+/// Zonal-mean temperature: (ny_global x nz), NaN-free (land-masked means;
+/// rows/levels with no ocean report 0 with weight 0).
+struct ZonalMeanSection {
+  int ny = 0;
+  int nz = 0;
+  std::vector<double> mean;    ///< row-major (j, k)
+  std::vector<double> weight;  ///< summed cell widths (m) per (j, k)
+
+  double at(int j, int k) const {
+    return mean[static_cast<size_t>(j) * nz + static_cast<size_t>(k)];
+  }
+  bool has_ocean(int j, int k) const {
+    return weight[static_cast<size_t>(j) * nz + static_cast<size_t>(k)] > 0.0;
+  }
+};
+ZonalMeanSection zonal_mean_temperature(const LocalGrid& g, const OceanState& state,
+                                        comm::Communicator comm);
+
+/// Mixed-layer depth at each interior T column (meters): the depth where
+/// temperature first drops `delta_t` (default 0.5 K) below the surface value;
+/// columns shallower than that report their full depth. Fills `mld` interior.
+void compute_mixed_layer_depth(const LocalGrid& g, const OceanState& state,
+                               halo::BlockField2D& mld, double delta_t = 0.5);
+
+/// Area-weighted global mean of an interior 2-D field over ocean columns
+/// (collective).
+double ocean_mean(const LocalGrid& g, const halo::BlockField2D& field,
+                  comm::Communicator comm);
+
+/// Northward heat transport per global row, in petawatts:
+/// rho0 * cp * sum_x sum_z v * T * dx * dz across the row's U faces.
+std::vector<double> meridional_heat_transport_pw(const LocalGrid& g, const OceanState& state,
+                                                 comm::Communicator comm);
+
+}  // namespace licomk::core

@@ -1,0 +1,204 @@
+#include "core/tracer.hpp"
+
+#include <cmath>
+
+#include "core/constants.hpp"
+#include "core/dynamics.hpp"
+#include "core/field_ref.hpp"
+#include "core/forcing.hpp"
+#include "kxx/kxx.hpp"
+
+namespace licomk::core {
+namespace trc {
+
+/// Flux-form Laplacian horizontal diffusion added onto the advected field.
+/// No-flux across land faces by construction (face conductance zero).
+struct HDiffK {
+  CI2 kmt;
+  CF2 dxt, dyt, dxu, dyu, area;
+  CF3 q;     ///< pre-step tracer (diffusion operates on time level n)
+  F3 q_acc;  ///< advected field, incremented in place
+  const double* dz = nullptr;
+  double dt_ah = 0.0;  ///< dt * A_h
+  long long seam_j = -2;  ///< closed fold seam (see LocalGrid::seam_row)
+
+  void operator()(long long k, long long j, long long i) const {
+    if (k >= kmt(j, i)) return;
+    auto cond_e = [&](long long jj, long long ii) {
+      if (k >= kmt(jj, ii) || k >= kmt(jj, ii + 1)) return 0.0;
+      return dyu(jj, ii) * dz[k] / dxt(jj, ii);
+    };
+    auto cond_n = [&](long long jj, long long ii) {
+      if (jj == seam_j || k >= kmt(jj, ii) || k >= kmt(jj + 1, ii)) return 0.0;
+      return dxu(jj, ii) * dz[k] / dyt(jj, ii);
+    };
+    double div = cond_e(j, i) * (q(k, j, i + 1) - q(k, j, i)) -
+                 cond_e(j, i - 1) * (q(k, j, i) - q(k, j, i - 1)) +
+                 cond_n(j, i) * (q(k, j + 1, i) - q(k, j, i)) -
+                 cond_n(j - 1, i) * (q(k, j, i) - q(k, j - 1, i));
+    q_acc(k, j, i) += dt_ah * div / (area(j, i) * dz[k]);
+  }
+};
+
+/// First pass of the biharmonic operator: the flux-form Laplacian of q as a
+/// FIELD (not an increment). The second pass reuses HDiffK on this field
+/// with a negative coefficient: dq/dt = -A4 * lap(lap(q)). Two ghost layers
+/// make the whole ∇⁴ stencil computable without an extra halo exchange:
+/// this pass runs on interior + 1 ring, the second on the interior.
+struct LapFieldK {
+  CI2 kmt;
+  CF2 dxt, dyt, dxu, dyu, area;
+  CF3 q;
+  F3 lap;
+  const double* dz = nullptr;
+  long long seam_j = -2;
+
+  void operator()(long long k, long long j, long long i) const {
+    if (k >= kmt(j, i)) {
+      lap(k, j, i) = 0.0;
+      return;
+    }
+    auto cond_e = [&](long long jj, long long ii) {
+      if (k >= kmt(jj, ii) || k >= kmt(jj, ii + 1)) return 0.0;
+      return dyu(jj, ii) * dz[k] / dxt(jj, ii);
+    };
+    auto cond_n = [&](long long jj, long long ii) {
+      if (jj == seam_j || k >= kmt(jj, ii) || k >= kmt(jj + 1, ii)) return 0.0;
+      return dxu(jj, ii) * dz[k] / dyt(jj, ii);
+    };
+    double div = cond_e(j, i) * (q(k, j, i + 1) - q(k, j, i)) -
+                 cond_e(j, i - 1) * (q(k, j, i) - q(k, j, i - 1)) +
+                 cond_n(j, i) * (q(k, j + 1, i) - q(k, j, i)) -
+                 cond_n(j - 1, i) * (q(k, j, i) - q(k, j - 1, i));
+    lap(k, j, i) = div / (area(j, i) * dz[k]);
+  }
+};
+
+/// Column finisher: penetrating shortwave, implicit vertical diffusion,
+/// surface restoring.
+struct TracerColumnK {
+  CI2 kmt;
+  CF2 lon, lat;
+  CF3 kappa_t, q_old;
+  F3 q;  ///< advected+diffused field, solved in place
+  const double* dz = nullptr;
+  const double* zc = nullptr;
+  const double* iface = nullptr;  ///< nz+1 interface depths
+  double dt = 0.0;
+  double restore_rate = 0.0;  ///< 1/s
+  double day_of_year = 0.0;
+  int which = 0;  ///< 0 = temperature, 1 = salinity
+  int solar = 0;  ///< Jerlov shortwave penetration (temperature only)
+  int nz = 0;
+
+  void operator()(long long j, long long i) const {
+    int nlev = kmt(j, i);
+    if (nlev == 0) return;
+    double col[256];
+    double kf[256];
+    for (int k = 0; k < nlev; ++k) {
+      col[k] = q(k, j, i);
+      kf[k] = kappa_t(k, j, i);
+    }
+    SurfaceForcing f = climatological_forcing(lon(j, i), lat(j, i), day_of_year);
+
+    if (which == 0 && solar != 0) {
+      // Penetrating shortwave: the Jerlov profile deposits heat through the
+      // upper ocean. The column-integrated surface balance (longwave/latent
+      // cooling vs insolation) is already folded into the restoring target,
+      // so the whole flux is withdrawn from the top cell again — the term is
+      // purely redistributive (column heat change is exactly zero) but warms
+      // the subsurface, the physical effect the profile exists to capture.
+      double q0 = f.shortwave / (kRho0 * kCp);  // K m / s
+      for (int k = 0; k < nlev; ++k) {
+        double absorbed = shortwave_fraction(iface[k]) - shortwave_fraction(iface[k + 1]);
+        if (k == nlev - 1) absorbed += shortwave_fraction(iface[nlev]);  // bottom absorbs rest
+        col[k] += dt * q0 * absorbed / dz[k];
+      }
+      col[0] -= dt * q0 / dz[0];
+    }
+
+    // Surface restoring enters as an explicit source in the top cell.
+    double target = which == 0 ? f.sst_target : f.sss_target;
+    col[0] += dt * restore_rate * (target - q_old(0, j, i));
+    implicit_vertical_solve(nlev, dt, kf, dz, zc, col);
+    for (int k = 0; k < nlev; ++k) q(k, j, i) = col[k];
+  }
+};
+
+}  // namespace trc
+}  // namespace licomk::core
+
+KXX_REGISTER_FOR_3D(trc_hdiff, licomk::core::trc::HDiffK);
+KXX_REGISTER_FOR_3D(trc_lap_field, licomk::core::trc::LapFieldK);
+KXX_REGISTER_FOR_2D(trc_column, licomk::core::trc::TracerColumnK);
+
+namespace licomk::core {
+
+void tracer_step(const LocalGrid& g, const ModelConfig& cfg, OceanState& state,
+                 AdvectionWorkspace& ws, halo::HaloExchanger& exchanger, double day_of_year) {
+  const int h = decomp::kHaloWidth;
+  const double dt = cfg.grid.dt_tracer;
+  // Global representative spacing (decomposition-independent physics).
+  const auto& gh = g.global().h();
+  const double dx_mean = gh.dx_t(gh.ny() / 2, gh.nx() / 2);
+  const double ah = cfg.effective_diffusivity(dx_mean);
+  const double restore_rate = 1.0 / (cfg.restore_timescale_days * 86400.0);
+
+  compute_volume_fluxes(g, state.u_cur, state.v_cur, ws, cfg.gm_kappa, &state.rho);
+  advect_tracer_fct(g, dt, state.t_cur, ws, exchanger, state.t_new);
+  advect_tracer_fct(g, dt, state.s_cur, ws, exchanger, state.s_new);
+
+  kxx::MDRangePolicy3 interior3({0, h, h}, {g.nz(), h + g.ny(), h + g.nx()});
+  kxx::MDRangePolicy2 interior2({h, h}, {h + g.ny(), h + g.nx()});
+
+  const long long seam = g.seam_row() >= 0 ? g.seam_row() : -2;
+  const double a4 = cfg.effective_biharmonic(dx_mean);
+
+  for (int which = 0; which < 2; ++which) {
+    const halo::BlockField3D& q_cur = which == 0 ? state.t_cur : state.s_cur;
+    halo::BlockField3D& q_new = which == 0 ? state.t_new : state.s_new;
+
+    if (cfg.hmix == HMixScheme::Laplacian) {
+      trc::HDiffK hd{cref(g.kmt_view()), cref(g.dxt_view()), cref(g.dyt_view()),
+                     cref(g.dxu_view()), cref(g.dyu_view()), cref(g.area_view()),
+                     cref(q_cur),        mref(q_new),        g.vertical().thicknesses().data(),
+                     dt * ah,            seam};
+      kxx::parallel_for("trc_hdiff", interior3, hd);
+    } else {
+      // Biharmonic: lap(q) over interior + 1 ring, then -A4 * lap(lap(q)).
+      kxx::MDRangePolicy3 ring1({0, 1, 1},
+                                {g.nz(), g.ny_total() - 1, g.nx_total() - 1});
+      trc::LapFieldK lf{cref(g.kmt_view()), cref(g.dxt_view()), cref(g.dyt_view()),
+                        cref(g.dxu_view()), cref(g.dyu_view()), cref(g.area_view()),
+                        cref(q_cur),        mref(ws.hmix_lap),
+                        g.vertical().thicknesses().data(), seam};
+      kxx::parallel_for("trc_lap_field", ring1, lf);
+      trc::HDiffK bh{cref(g.kmt_view()), cref(g.dxt_view()), cref(g.dyt_view()),
+                     cref(g.dxu_view()), cref(g.dyu_view()), cref(g.area_view()),
+                     cref(ws.hmix_lap),  mref(q_new),        g.vertical().thicknesses().data(),
+                     -dt * a4,           seam};
+      kxx::parallel_for("trc_hdiff", interior3, bh);
+    }
+
+    trc::TracerColumnK tc{cref(g.kmt_view()),
+                          cref(g.lon_view()),
+                          cref(g.lat_view()),
+                          cref(state.kappa_t),
+                          cref(q_cur),
+                          mref(q_new),
+                          g.vertical().thicknesses().data(),
+                          g.vertical().centers().data(),
+                          g.vertical().interfaces().data(),
+                          dt,
+                          restore_rate,
+                          day_of_year,
+                          which,
+                          cfg.solar_penetration ? 1 : 0,
+                          g.nz()};
+    kxx::parallel_for("trc_column", interior2, tc);
+    q_new.mark_dirty();
+  }
+}
+
+}  // namespace licomk::core

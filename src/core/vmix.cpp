@@ -1,0 +1,242 @@
+#include "core/vmix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/constants.hpp"
+#include "core/eos.hpp"
+#include "util/error.hpp"
+
+namespace licomk::core {
+
+namespace {
+constexpr double kRiMin = -2.0;
+constexpr double kRiMax = 50.0;
+constexpr double kShearEps = 1e-10;  ///< floor on S^2 (1/s^2)
+constexpr double kKappaCap = 0.5;    ///< m^2/s
+
+constexpr int kTagVmixRequest = 30;
+constexpr int kTagVmixResponse = 31;
+}  // namespace
+
+double canuto_sm(double ri) {
+  ri = std::clamp(ri, kRiMin, kRiMax);
+  if (ri >= 0.0) {
+    // Rational quasi-equilibrium fit: neutral value 0.107, monotone decay,
+    // effective cutoff near the closure's critical Ri (~1).
+    return 0.107 * (1.0 + 2.0 * ri) / (1.0 + 10.0 * ri + 30.0 * ri * ri);
+  }
+  // Unstable branch: enhanced momentum mixing, saturating.
+  return 0.107 * (1.0 + 9.0 * (-ri) / (1.0 - 1.5 * ri));
+}
+
+double canuto_sh(double ri) {
+  ri = std::clamp(ri, kRiMin, kRiMax);
+  if (ri >= 0.0) {
+    // Heat stability function decays faster than momentum: the turbulent
+    // Prandtl number sm/sh grows with Ri, a signature of the Canuto closure.
+    return 0.134 / (1.0 + 14.0 * ri + 60.0 * ri * ri);
+  }
+  return 0.134 * (1.0 + 12.0 * (-ri) / (1.0 - 1.5 * ri));
+}
+
+double mixing_length(double z) {
+  constexpr double kKappaVonKarman = 0.4;
+  constexpr double kL0 = 30.0;  // asymptotic length, m
+  double lz = kKappaVonKarman * std::max(z, 0.5);
+  return lz * kL0 / (lz + kL0);
+}
+
+MixingCoeffs canuto_mixing(double n2, double shear2, double z_below_surface) {
+  MixingCoeffs out;
+  if (n2 < 0.0) {  // statically unstable: convective adjustment
+    out.km = kConvectiveKappa;
+    out.kt = kConvectiveKappa;
+    return out;
+  }
+  double s2 = std::max(shear2, kShearEps);
+  double ri = n2 / s2;
+  double l = mixing_length(z_below_surface);
+  double q = l * l * std::sqrt(s2);  // l^2 |S|, the closure's velocity scale
+  out.km = std::min(canuto_sm(ri) * q + kKappaBackgroundM, kKappaCap);
+  out.kt = std::min(canuto_sh(ri) * q + kKappaBackgroundT, kKappaCap);
+  return out;
+}
+
+MixingCoeffs richardson_mixing(double n2, double shear2) {
+  MixingCoeffs out;
+  if (n2 < 0.0) {
+    out.km = kConvectiveKappa;
+    out.kt = kConvectiveKappa;
+    return out;
+  }
+  double s2 = std::max(shear2, kShearEps);
+  double ri = std::clamp(n2 / s2, 0.0, kRiMax);
+  constexpr double nu0 = 0.01;  // PP81 peak viscosity, m^2/s
+  double denom = 1.0 + 5.0 * ri;
+  double nu = nu0 / (denom * denom);
+  out.km = std::min(nu + kKappaBackgroundM, kKappaCap);
+  out.kt = std::min(nu / denom + kKappaBackgroundT, kKappaCap);
+  return out;
+}
+
+void compute_column_mixing(VMixScheme scheme, int nlev, const double* n2, const double* shear2,
+                           const double* iface_depth, double* km_out, double* kt_out) {
+  for (int k = 0; k + 1 < nlev; ++k) {
+    MixingCoeffs c = scheme == VMixScheme::Canuto
+                         ? canuto_mixing(n2[k], shear2[k], iface_depth[k])
+                         : richardson_mixing(n2[k], shear2[k]);
+    km_out[k] = c.km;
+    kt_out[k] = c.kt;
+  }
+}
+
+VerticalMixer::VerticalMixer(const LocalGrid& grid, comm::Communicator comm, VMixScheme scheme,
+                             bool load_balance)
+    : grid_(grid), comm_(comm), scheme_(scheme), load_balance_(load_balance) {
+  const int h = decomp::kHaloWidth;
+  for (int j = h; j < h + grid_.ny(); ++j) {
+    for (int i = h; i < h + grid_.nx(); ++i) {
+      if (grid_.kmt(j, i) > 1) sea_columns_.push_back(ColumnTask{j, i});
+    }
+  }
+}
+
+void VerticalMixer::compute_inputs(const OceanState& state, const ColumnTask& c,
+                                   std::vector<double>& n2, std::vector<double>& shear2) const {
+  const int j = c.j;
+  const int i = c.i;
+  const int nlev = grid_.kmt(j, i);
+  const auto& vg = grid_.vertical();
+  for (int k = 0; k + 1 < nlev; ++k) {
+    double dzc = vg.depth(k + 1) - vg.depth(k);
+    n2[static_cast<size_t>(k)] =
+        brunt_vaisala_sq(state.rho.at(k, j, i), state.rho.at(k + 1, j, i), dzc);
+    // B-grid: average the four corner velocities around the T column.
+    auto avg_u = [&](int k2) {
+      return 0.25 * (state.u_cur.at(k2, j, i) + state.u_cur.at(k2, j - 1, i) +
+                     state.u_cur.at(k2, j, i - 1) + state.u_cur.at(k2, j - 1, i - 1));
+    };
+    auto avg_v = [&](int k2) {
+      return 0.25 * (state.v_cur.at(k2, j, i) + state.v_cur.at(k2, j - 1, i) +
+                     state.v_cur.at(k2, j, i - 1) + state.v_cur.at(k2, j - 1, i - 1));
+    };
+    double dudz = (avg_u(k) - avg_u(k + 1)) / dzc;
+    double dvdz = (avg_v(k) - avg_v(k + 1)) / dzc;
+    shear2[static_cast<size_t>(k)] = dudz * dudz + dvdz * dvdz;
+  }
+}
+
+void VerticalMixer::compute(OceanState& state) {
+  const int nz = grid_.nz();
+  const int nface = nz - 1;
+  const auto& vg = grid_.vertical();
+  std::vector<double> iface(static_cast<size_t>(nface));
+  for (int k = 0; k < nface; ++k) iface[static_cast<size_t>(k)] = vg.interface_depth(k + 1);
+
+  kxx::fill(state.kappa_m.view(), 0.0);
+  kxx::fill(state.kappa_t.view(), 0.0);
+
+  // --- Census + plan (Fig. 4) ---------------------------------------------
+  long long my_count = static_cast<long long>(sea_columns_.size());
+  long long keep = my_count;
+  std::vector<decomp::Transfer> my_sends, my_recvs;
+  if (load_balance_ && comm_.size() > 1) {
+    auto counts_raw = comm_.allgatherv(&my_count, sizeof(long long));
+    std::vector<long long> census(static_cast<size_t>(comm_.size()));
+    for (int r = 0; r < comm_.size(); ++r) {
+      std::memcpy(&census[static_cast<size_t>(r)], counts_raw[static_cast<size_t>(r)].data(),
+                  sizeof(long long));
+    }
+    decomp::LoadBalancePlan plan = decomp::balance_work(census);
+    for (const auto& t : plan.transfers) {
+      if (t.from == comm_.rank()) {
+        my_sends.push_back(t);
+        keep -= t.count;
+      }
+      if (t.to == comm_.rank()) my_recvs.push_back(t);
+    }
+  }
+
+  const size_t colsize = 1 + 2 * static_cast<size_t>(nface);  // kmt, n2[], shear2[]
+  std::vector<double> n2(static_cast<size_t>(nface), 0.0);
+  std::vector<double> s2(static_cast<size_t>(nface), 0.0);
+
+  // 1. Ship surplus column inputs (taken from the tail of the census order).
+  long long cursor = keep;
+  shipped_out_ = 0;
+  for (const auto& t : my_sends) {
+    std::vector<double> msg(static_cast<size_t>(t.count) * colsize);
+    for (long long c = 0; c < t.count; ++c) {
+      const ColumnTask& col = sea_columns_[static_cast<size_t>(cursor + c)];
+      compute_inputs(state, col, n2, s2);
+      double* dst = msg.data() + static_cast<size_t>(c) * colsize;
+      dst[0] = static_cast<double>(grid_.kmt(col.j, col.i));
+      std::copy(n2.begin(), n2.end(), dst + 1);
+      std::copy(s2.begin(), s2.end(), dst + 1 + nface);
+    }
+    comm_.send(msg.data(), msg.size() * sizeof(double), t.to, kTagVmixRequest);
+    cursor += t.count;
+    shipped_out_ += t.count;
+  }
+
+  // 2. Compute retained columns locally.
+  std::vector<double> km(static_cast<size_t>(nface));
+  std::vector<double> kt(static_cast<size_t>(nface));
+  local_columns_ = 0;
+  for (long long c = 0; c < keep; ++c) {
+    const ColumnTask& col = sea_columns_[static_cast<size_t>(c)];
+    int nlev = grid_.kmt(col.j, col.i);
+    compute_inputs(state, col, n2, s2);
+    compute_column_mixing(scheme_, nlev, n2.data(), s2.data(), iface.data(), km.data(),
+                          kt.data());
+    for (int k = 0; k + 1 < nlev; ++k) {
+      state.kappa_m.at(k, col.j, col.i) = km[static_cast<size_t>(k)];
+      state.kappa_t.at(k, col.j, col.i) = kt[static_cast<size_t>(k)];
+    }
+    local_columns_ += 1;
+  }
+
+  // 3. Serve incoming requests (before waiting on any response: deadlock-free).
+  received_ = 0;
+  for (const auto& t : my_recvs) {
+    std::vector<double> req(static_cast<size_t>(t.count) * colsize);
+    comm_.recv(req.data(), req.size() * sizeof(double), t.from, kTagVmixRequest);
+    std::vector<double> resp(static_cast<size_t>(t.count) * 2 * static_cast<size_t>(nface));
+    for (long long c = 0; c < t.count; ++c) {
+      const double* src = req.data() + static_cast<size_t>(c) * colsize;
+      int nlev = static_cast<int>(src[0]);
+      double* out_km = resp.data() + static_cast<size_t>(c) * 2 * nface;
+      double* out_kt = out_km + nface;
+      std::fill_n(out_km, 2 * static_cast<size_t>(nface), 0.0);
+      compute_column_mixing(scheme_, nlev, src + 1, src + 1 + nface, iface.data(), out_km,
+                            out_kt);
+      local_columns_ += 1;
+      received_ += 1;
+    }
+    comm_.send(resp.data(), resp.size() * sizeof(double), t.from, kTagVmixResponse);
+  }
+
+  // 4. Collect responses for shipped columns.
+  cursor = keep;
+  for (const auto& t : my_sends) {
+    std::vector<double> resp(static_cast<size_t>(t.count) * 2 * static_cast<size_t>(nface));
+    comm_.recv(resp.data(), resp.size() * sizeof(double), t.to, kTagVmixResponse);
+    for (long long c = 0; c < t.count; ++c) {
+      const ColumnTask& col = sea_columns_[static_cast<size_t>(cursor + c)];
+      int nlev = grid_.kmt(col.j, col.i);
+      const double* src_km = resp.data() + static_cast<size_t>(c) * 2 * nface;
+      const double* src_kt = src_km + nface;
+      for (int k = 0; k + 1 < nlev; ++k) {
+        state.kappa_m.at(k, col.j, col.i) = src_km[k];
+        state.kappa_t.at(k, col.j, col.i) = src_kt[k];
+      }
+    }
+    cursor += t.count;
+  }
+
+  state.kappa_m.mark_dirty();
+  state.kappa_t.mark_dirty();
+}
+
+}  // namespace licomk::core

@@ -1,0 +1,83 @@
+// vmix.hpp — vertical mixing parameterizations.
+//
+// LICOMK++ introduces the Canuto second-order turbulence closure (Canuto et
+// al. 2010; Huang et al. 2014) for kilometer-scale vertical mixing (§V-A);
+// the Richardson-number (Pacanowski–Philander) scheme is kept as the
+// baseline. Both reduce to stability functions of the gradient Richardson
+// number Ri = N²/S². This file provides the pure point/column functions —
+// unit-testable without a model — and the VerticalMixer, which evaluates
+// them over a block with the optional Fig. 4 sea-point load balancing: ranks
+// census their ocean columns, compute the deterministic transfer plan, ship
+// surplus column inputs to under-loaded ranks, and collect coefficients back.
+#pragma once
+
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "core/local_grid.hpp"
+#include "core/model_config.hpp"
+#include "core/state.hpp"
+#include "decomp/load_balance.hpp"
+
+namespace licomk::core {
+
+/// Canuto-style stability functions of Ri (reduced rational fits with the
+/// closure's qualitative structure: monotone decay for stable Ri, enhanced
+/// mixing for unstable Ri, turbulent Prandtl number rising with Ri).
+double canuto_sm(double ri);
+double canuto_sh(double ri);
+
+/// Blackadar master length scale at distance z below the surface (m).
+double mixing_length(double z_below_surface);
+
+struct MixingCoeffs {
+  double km = 0.0;  ///< vertical viscosity, m^2/s
+  double kt = 0.0;  ///< vertical diffusivity, m^2/s
+};
+
+/// Canuto closure at one interface. `shear2` = (du/dz)^2 + (dv/dz)^2.
+MixingCoeffs canuto_mixing(double n2, double shear2, double z_below_surface);
+
+/// Pacanowski–Philander (1981) baseline.
+MixingCoeffs richardson_mixing(double n2, double shear2);
+
+/// Evaluate a whole column: inputs at interfaces 0..nlev-2 (between cells k
+/// and k+1); outputs km/kt at the same interfaces. `nlev` is the column's
+/// kmt. Static convective adjustment (N² < 0 → kConvectiveKappa) included.
+void compute_column_mixing(VMixScheme scheme, int nlev, const double* n2, const double* shear2,
+                           const double* iface_depth, double* km_out, double* kt_out);
+
+/// Per-block vertical mixing driver.
+class VerticalMixer {
+ public:
+  VerticalMixer(const LocalGrid& grid, comm::Communicator comm, VMixScheme scheme,
+                bool load_balance);
+
+  /// Fill state.kappa_m / state.kappa_t at cell-bottom faces from the current
+  /// density and velocity fields. Collective when load balancing is on.
+  void compute(OceanState& state);
+
+  /// Work census from the last compute() (columns evaluated locally).
+  long long columns_computed_locally() const { return local_columns_; }
+  long long columns_shipped_out() const { return shipped_out_; }
+  long long columns_received() const { return received_; }
+
+ private:
+  struct ColumnTask {
+    int j, i;  ///< local halo-inclusive indices
+  };
+
+  void compute_inputs(const OceanState& state, const ColumnTask& c, std::vector<double>& n2,
+                      std::vector<double>& shear2) const;
+
+  const LocalGrid& grid_;
+  comm::Communicator comm_;
+  VMixScheme scheme_;
+  bool load_balance_;
+  std::vector<ColumnTask> sea_columns_;  ///< row-major interior sea columns
+  long long local_columns_ = 0;
+  long long shipped_out_ = 0;
+  long long received_ = 0;
+};
+
+}  // namespace licomk::core

@@ -1,0 +1,110 @@
+#include "decomp/decomposition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace licomk::decomp {
+
+std::pair<int, int> choose_layout(int nranks, int nx, int ny) {
+  LICOMK_REQUIRE(nranks >= 1, "need at least one rank");
+  LICOMK_REQUIRE(nx >= 1 && ny >= 1, "grid must be non-empty");
+  double target = static_cast<double>(nx) / static_cast<double>(ny);
+  int best_px = 1;
+  double best_score = std::numeric_limits<double>::max();
+  for (int px = 1; px <= nranks; ++px) {
+    if (nranks % px != 0) continue;
+    int py = nranks / px;
+    if (px > nx || py > ny) continue;
+    double aspect = static_cast<double>(px) / static_cast<double>(py);
+    double score = std::fabs(std::log(aspect / target));
+    if (score < best_score) {
+      best_score = score;
+      best_px = px;
+    }
+  }
+  LICOMK_REQUIRE(best_score < std::numeric_limits<double>::max(),
+                 "no feasible layout: more ranks than grid cells in a direction");
+  return {best_px, nranks / best_px};
+}
+
+Decomposition::Decomposition(int nx, int ny, int px, int py, bool periodic_x, bool tripolar)
+    : nx_(nx), ny_(ny), px_(px), py_(py), periodic_x_(periodic_x), tripolar_(tripolar) {
+  LICOMK_REQUIRE(px >= 1 && py >= 1, "layout must be positive");
+  LICOMK_REQUIRE(nx >= px, "more zonal blocks than cells");
+  LICOMK_REQUIRE(ny >= py, "more meridional blocks than cells");
+}
+
+int Decomposition::start(int total, int parts, int index) const {
+  // First (total % parts) blocks get one extra cell.
+  int base = total / parts;
+  int extra = total % parts;
+  return index * base + std::min(index, extra);
+}
+
+std::pair<int, int> Decomposition::coords(int rank) const {
+  LICOMK_REQUIRE(rank >= 0 && rank < nranks(), "rank out of range");
+  return {rank % px_, rank / px_};
+}
+
+int Decomposition::rank_of(int bx, int by) const {
+  LICOMK_REQUIRE(bx >= 0 && bx < px_ && by >= 0 && by < py_, "block coords out of range");
+  return by * px_ + bx;
+}
+
+BlockExtent Decomposition::block(int rank) const {
+  auto [bx, by] = coords(rank);
+  BlockExtent e;
+  e.i0 = start(nx_, px_, bx);
+  e.i1 = start(nx_, px_, bx + 1);
+  e.j0 = start(ny_, py_, by);
+  e.j1 = start(ny_, py_, by + 1);
+  return e;
+}
+
+Neighbors Decomposition::neighbors(int rank) const {
+  auto [bx, by] = coords(rank);
+  Neighbors n;
+  if (bx > 0) {
+    n.west = rank_of(bx - 1, by);
+  } else if (periodic_x_) {
+    n.west = rank_of(px_ - 1, by);
+  }
+  if (bx < px_ - 1) {
+    n.east = rank_of(bx + 1, by);
+  } else if (periodic_x_) {
+    n.east = rank_of(0, by);
+  }
+  if (by > 0) n.south = rank_of(bx, by - 1);
+  if (by < py_ - 1) {
+    n.north = rank_of(bx, by + 1);
+  } else if (tripolar_) {
+    // Across the fold the partner block owns the mirrored zonal range.
+    BlockExtent e = block(rank);
+    int mid = (e.i0 + e.i1 - 1) / 2;  // representative column
+    n.north = fold_neighbor_of_column(mid);
+    n.north_is_fold = true;
+  }
+  return n;
+}
+
+int Decomposition::fold_neighbor_of_column(int global_i) const {
+  LICOMK_REQUIRE(tripolar_, "fold query on a non-tripolar decomposition");
+  int partner_i = nx_ - 1 - global_i;
+  return owner_of(ny_ - 1, partner_i);
+}
+
+int Decomposition::owner_of(int j, int i) const {
+  LICOMK_REQUIRE(j >= 0 && j < ny_ && i >= 0 && i < nx_, "cell out of range");
+  int base_x = nx_ / px_;
+  int extra_x = nx_ % px_;
+  int wide_span = (base_x + 1) * extra_x;  // cells covered by the wider blocks
+  int bx = i < wide_span ? i / (base_x + 1) : extra_x + (i - wide_span) / base_x;
+  int base_y = ny_ / py_;
+  int extra_y = ny_ % py_;
+  int wide_span_y = (base_y + 1) * extra_y;
+  int by = j < wide_span_y ? j / (base_y + 1) : extra_y + (j - wide_span_y) / base_y;
+  return rank_of(bx, by);
+}
+
+}  // namespace licomk::decomp

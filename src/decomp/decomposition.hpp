@@ -1,0 +1,82 @@
+// decomposition.hpp — 2-D horizontal domain decomposition.
+//
+// LICOM divides the Earth into horizontal 2-D grid blocks, one MPI rank per
+// block (paper §V-D). Each block carries a two-layer halo: the paper
+// distinguishes the "real halo" (the outermost two rows of owned data, which
+// neighbors need) from the "ghost halo" (the two surrounding rows of
+// neighbor-owned data). The zonal direction is periodic; the top row meets
+// the tripolar north fold.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace licomk::decomp {
+
+/// Halo width used throughout the model (two layers, per the paper).
+inline constexpr int kHaloWidth = 2;
+
+/// The owned (interior) region of one block in global index space,
+/// half-open: i in [i0, i1), j in [j0, j1).
+struct BlockExtent {
+  int i0 = 0, i1 = 0, j0 = 0, j1 = 0;
+  int nx() const { return i1 - i0; }
+  int ny() const { return j1 - j0; }
+  long long cells() const { return static_cast<long long>(nx()) * ny(); }
+  bool contains(int j, int i) const { return j >= j0 && j < j1 && i >= i0 && i < i1; }
+};
+
+/// Neighbor ranks of a block; -1 where the domain ends (south boundary, or
+/// north boundary of a non-tripolar grid). `north_is_fold` marks blocks whose
+/// northern neighbor is the tripolar seam rather than a normal block.
+struct Neighbors {
+  int west = -1, east = -1, south = -1, north = -1;
+  bool north_is_fold = false;
+};
+
+/// Pick a process layout px × py (px*py == nranks) whose block aspect ratio
+/// best matches the grid's, minimizing halo perimeter.
+std::pair<int, int> choose_layout(int nranks, int nx, int ny);
+
+/// A px × py block decomposition of an nx × ny global grid.
+class Decomposition {
+ public:
+  Decomposition(int nx, int ny, int px, int py, bool periodic_x = true, bool tripolar = true);
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  int px() const { return px_; }
+  int py() const { return py_; }
+  int nranks() const { return px_ * py_; }
+  bool periodic_x() const { return periodic_x_; }
+  bool tripolar() const { return tripolar_; }
+
+  /// Block coordinates of `rank` (bx fast: rank = by*px + bx).
+  std::pair<int, int> coords(int rank) const;
+  int rank_of(int bx, int by) const;
+
+  /// Owned region of `rank`. Blocks differ by at most one cell per direction.
+  BlockExtent block(int rank) const;
+
+  /// Neighbor ranks with periodic zonal wrap and the tripolar fold.
+  /// Across the fold, the northern neighbor is the block owning the mirrored
+  /// zonal range on the same top row (possibly the block itself).
+  Neighbors neighbors(int rank) const;
+
+  /// For a top-row block: the rank owning global column `i_partner` on the
+  /// top block row (the fold pairs column i with nx-1-i).
+  int fold_neighbor_of_column(int global_i) const;
+
+  /// Global cell (j, i) → owning rank.
+  int owner_of(int j, int i) const;
+
+ private:
+  int start(int total, int parts, int index) const;
+
+  int nx_, ny_, px_, py_;
+  bool periodic_x_, tripolar_;
+};
+
+}  // namespace licomk::decomp

@@ -1,0 +1,56 @@
+#include "decomp/load_balance.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace licomk::decomp {
+
+double LoadBalancePlan::imbalance(const std::vector<long long>& load) {
+  if (load.empty()) return 1.0;
+  long long total = std::accumulate(load.begin(), load.end(), 0LL);
+  if (total == 0) return 1.0;
+  long long mx = *std::max_element(load.begin(), load.end());
+  double mean = static_cast<double>(total) / static_cast<double>(load.size());
+  return static_cast<double>(mx) / mean;
+}
+
+LoadBalancePlan balance_work(const std::vector<long long>& census) {
+  LICOMK_REQUIRE(!census.empty(), "empty census");
+  for (long long c : census) LICOMK_REQUIRE(c >= 0, "negative census entry");
+
+  const int n = static_cast<int>(census.size());
+  const long long total = std::accumulate(census.begin(), census.end(), 0LL);
+  const long long base = total / n;
+  const long long extra = total % n;
+
+  LoadBalancePlan plan;
+  plan.before = census;
+  plan.after.resize(census.size());
+  // Target: first `extra` ranks get base+1 (same convention as block sizing).
+  auto target = [&](int r) { return base + (r < extra ? 1 : 0); };
+
+  std::vector<long long> surplus(census.size());
+  for (int r = 0; r < n; ++r) {
+    plan.after[static_cast<size_t>(r)] = target(r);
+    surplus[static_cast<size_t>(r)] = census[static_cast<size_t>(r)] - target(r);
+  }
+
+  // Two-pointer match in rank order: deterministic given the census.
+  int give = 0;
+  int take = 0;
+  while (true) {
+    while (give < n && surplus[static_cast<size_t>(give)] <= 0) ++give;
+    while (take < n && surplus[static_cast<size_t>(take)] >= 0) ++take;
+    if (give >= n || take >= n) break;
+    long long amount =
+        std::min(surplus[static_cast<size_t>(give)], -surplus[static_cast<size_t>(take)]);
+    plan.transfers.push_back(Transfer{give, take, amount});
+    surplus[static_cast<size_t>(give)] -= amount;
+    surplus[static_cast<size_t>(take)] += amount;
+  }
+  return plan;
+}
+
+}  // namespace licomk::decomp

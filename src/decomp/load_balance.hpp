@@ -1,0 +1,41 @@
+// load_balance.hpp — sea-point load balancing for the Canuto kernel (Fig. 4).
+//
+// At high resolution and scale, ranks whose blocks straddle sea-land
+// boundaries do far less Canuto work than open-ocean ranks (the kernel runs
+// only on ocean columns). The paper's fix: ranks gather the census of ocean
+// points needing the calculation, partition the workload evenly, and
+// redistribute columns. This module computes the deterministic transfer plan
+// from a per-rank census; core::CanutoMixing executes it over the comm layer.
+#pragma once
+
+#include <vector>
+
+namespace licomk::decomp {
+
+/// One column shipment: `count` work items moving from rank `from` to `to`.
+struct Transfer {
+  int from = 0;
+  int to = 0;
+  long long count = 0;
+};
+
+/// A balanced assignment derived from a per-rank work census.
+struct LoadBalancePlan {
+  std::vector<long long> before;      ///< census[r]: items owned by rank r.
+  std::vector<long long> after;       ///< items computed by rank r post-plan.
+  std::vector<Transfer> transfers;    ///< deterministic shipment list.
+
+  /// max/mean load ratio (1.0 = perfectly balanced; higher = worse).
+  static double imbalance(const std::vector<long long>& load);
+  double imbalance_before() const { return imbalance(before); }
+  double imbalance_after() const { return imbalance(after); }
+};
+
+/// Build the plan: surplus ranks (load > ceil(total/n)) send items to deficit
+/// ranks, matched in rank order (lowest surplus rank feeds lowest deficit
+/// rank first), so every rank ends with floor or ceil of the mean. The plan
+/// is a pure function of the census — all ranks can compute it redundantly
+/// after an allgather, requiring no coordinator.
+LoadBalancePlan balance_work(const std::vector<long long>& census);
+
+}  // namespace licomk::decomp

@@ -1,0 +1,166 @@
+#include "grid/bathymetry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace licomk::grid {
+
+namespace {
+
+double deg2rad(double d) { return d * kPi / 180.0; }
+
+/// Great-circle-ish squared distance in "degree" units with zonal wrap.
+double blob(double lon, double lat, double lon0, double lat0, double rlon, double rlat) {
+  double dl = std::remainder(lon - lon0, 360.0);
+  double dp = lat - lat0;
+  double q = (dl * dl) / (rlon * rlon) + (dp * dp) / (rlat * rlat);
+  return std::exp(-q);
+}
+
+/// Deterministic integer hash → [0,1).
+double hash01(unsigned x, unsigned y, unsigned seed) {
+  unsigned h = x * 0x9E3779B1u ^ y * 0x85EBCA77u ^ seed * 0xC2B2AE3Du;
+  h ^= h >> 16;
+  h *= 0x7FEB352Du;
+  h ^= h >> 15;
+  h *= 0x846CA68Bu;
+  h ^= h >> 16;
+  return static_cast<double>(h) / 4294967296.0;
+}
+
+}  // namespace
+
+double Bathymetry::continentality(double lon, double lat) {
+  double c = 0.0;
+  // Eurasia + Africa
+  c += 1.1 * blob(lon, lat, 60.0, 45.0, 70.0, 28.0);
+  c += 0.9 * blob(lon, lat, 20.0, 5.0, 22.0, 30.0);
+  // Americas
+  c += 0.9 * blob(lon, lat, 260.0, 45.0, 35.0, 22.0);
+  c += 0.8 * blob(lon, lat, 295.0, -15.0, 18.0, 26.0);
+  // Australia
+  c += 0.7 * blob(lon, lat, 134.0, -25.0, 16.0, 12.0);
+  // Greenland
+  c += 0.6 * blob(lon, lat, 318.0, 74.0, 18.0, 10.0);
+  // Antarctica: solid land cap
+  if (lat < -72.0) c += 1.0;
+  c += 0.8 * blob(lon, lat, 0.0, -86.0, 400.0, 14.0);
+  return std::min(c, 1.5);
+}
+
+Bathymetry::Bathymetry(const HorizontalGrid& hgrid, const VerticalGrid& vgrid, unsigned seed,
+                       Mode mode)
+    : nx_(hgrid.nx()),
+      ny_(hgrid.ny()),
+      depth_("depth", static_cast<size_t>(ny_), static_cast<size_t>(nx_)),
+      kmt_("kmt", static_cast<size_t>(ny_), static_cast<size_t>(nx_)) {
+  if (mode == Mode::IdealizedChannel) {
+    // Flat zonally-periodic channel: land walls on the two outermost rows
+    // (so the meridional boundaries are closed), 4000-m floor elsewhere.
+    const double floor = std::min(4000.0, vgrid.max_depth());
+    const int levels = vgrid.levels_for_depth(floor);
+    for (int j = 0; j < ny_; ++j) {
+      for (int i = 0; i < nx_; ++i) {
+        size_t jj = static_cast<size_t>(j);
+        size_t ii = static_cast<size_t>(i);
+        bool wall = j == 0 || j == ny_ - 1;
+        depth_(jj, ii) = wall ? 0.0 : floor;
+        kmt_(jj, ii) = wall ? 0 : levels;
+        if (!wall) ocean_points_ += 1;
+      }
+    }
+    max_depth_ = floor;
+    max_j_ = ny_ / 2;
+    max_i_ = nx_ / 2;
+    ocean_fraction_ = static_cast<double>(ocean_points_) /
+                      (static_cast<double>(nx_) * static_cast<double>(ny_));
+    return;
+  }
+
+  const double trench_lon = 142.2;  // Mariana-like trench
+  const double trench_lat = 11.3;
+  const double floor_depth = std::min(5200.0, vgrid.max_depth() * 0.95);
+
+  for (int j = 0; j < ny_; ++j) {
+    for (int i = 0; i < nx_; ++i) {
+      size_t jj = static_cast<size_t>(j);
+      size_t ii = static_cast<size_t>(i);
+      double lon = hgrid.lon_t(j, i);
+      double lat = hgrid.lat_t(j, i);
+      double c = continentality(lon, lat);
+      if (c >= 0.5) {  // land
+        depth_(jj, ii) = 0.0;
+        kmt_(jj, ii) = 0;
+        continue;
+      }
+      // Shelf: depth shoals toward the coast (c -> 0.5).
+      double shelf = std::clamp((0.5 - c) / 0.35, 0.0, 1.0);
+      double d = 120.0 + (floor_depth - 120.0) * std::sqrt(shelf);
+      // Mid-ocean ridges: long-wavelength undulation.
+      d -= 900.0 * shelf *
+           std::pow(std::sin(deg2rad(2.0 * lon + 35.0)) * std::cos(deg2rad(3.0 * lat)), 2.0);
+      // Seamount noise (deterministic).
+      double noise = hash01(static_cast<unsigned>(i), static_cast<unsigned>(j), seed);
+      if (noise > 0.995) d *= 0.45;  // isolated seamount
+      d += 350.0 * (hash01(static_cast<unsigned>(i) * 7 + 1, static_cast<unsigned>(j) * 3 + 5,
+                           seed) -
+                    0.5);
+      // Trench: carve down to (nearly) the vertical grid's full depth.
+      double t = blob(lon, lat, trench_lon, trench_lat, 4.0, 2.0);
+      d += t * (vgrid.max_depth() - d);
+      d = std::clamp(d, 80.0, vgrid.max_depth());
+
+      int levels = vgrid.levels_for_depth(d);
+      if (levels < 2) {  // too shallow to model: treat as land
+        depth_(jj, ii) = 0.0;
+        kmt_(jj, ii) = 0;
+        continue;
+      }
+      depth_(jj, ii) = d;
+      kmt_(jj, ii) = levels;
+      ocean_points_ += 1;
+      if (d > max_depth_) {
+        max_depth_ = d;
+        max_j_ = j;
+        max_i_ = i;
+      }
+    }
+  }
+  // Anchor the Challenger-Deep cell: the model topography's maximum depth
+  // must reach the vertical grid's bottom (10 905 m on the full-depth grid,
+  // Fig. 1f) even when the trench's Gaussian footprint falls between coarse
+  // cell centers. Pick the ocean cell nearest the trench center.
+  double best = 1e30;
+  int bj = -1;
+  int bi = -1;
+  for (int j = 0; j < ny_; ++j) {
+    for (int i = 0; i < nx_; ++i) {
+      if (kmt_(static_cast<size_t>(j), static_cast<size_t>(i)) == 0) continue;
+      double dl = std::remainder(hgrid.lon_t(j, i) - trench_lon, 360.0);
+      double dp = hgrid.lat_t(j, i) - trench_lat;
+      double dist = dl * dl + dp * dp;
+      if (dist < best) {
+        best = dist;
+        bj = j;
+        bi = i;
+      }
+    }
+  }
+  if (bj >= 0) {
+    size_t jj = static_cast<size_t>(bj);
+    size_t ii = static_cast<size_t>(bi);
+    depth_(jj, ii) = vgrid.max_depth();
+    kmt_(jj, ii) = vgrid.nz();
+    if (depth_(jj, ii) > max_depth_) {
+      max_depth_ = depth_(jj, ii);
+      max_j_ = bj;
+      max_i_ = bi;
+    }
+  }
+  ocean_fraction_ =
+      static_cast<double>(ocean_points_) / (static_cast<double>(nx_) * static_cast<double>(ny_));
+}
+
+}  // namespace licomk::grid

@@ -1,0 +1,71 @@
+// bathymetry.hpp — synthetic global bathymetry and land-sea mask.
+//
+// The paper runs on real ETOPO-style topography; this reproduction generates
+// a deterministic synthetic Earth with the features the model's code paths
+// depend on (DESIGN.md §1): continents (so sea-land boundaries create the
+// load imbalance of Fig. 4), shelves, mid-ocean ridges, hash-noise seamounts,
+// and a Mariana-like trench reaching the full 10 905 m column of Fig. 1f/g.
+#pragma once
+
+#include "grid/horizontal.hpp"
+#include "grid/vertical.hpp"
+#include "kxx/view.hpp"
+
+namespace licomk::grid {
+
+class Bathymetry {
+ public:
+  enum class Mode {
+    SyntheticEarth,    ///< continents + shelves + ridges + trench (default)
+    IdealizedChannel,  ///< flat 4000-m zonal channel, land walls N and S
+  };
+
+  /// Generate bathymetry for `hgrid` discretized onto `vgrid` levels.
+  /// `seed` varies the seamount noise field only; continents are fixed.
+  Bathymetry(const HorizontalGrid& hgrid, const VerticalGrid& vgrid, unsigned seed = 42,
+             Mode mode = Mode::SyntheticEarth);
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+
+  /// Ocean depth in meters (0 over land).
+  double depth(int j, int i) const {
+    return depth_(static_cast<size_t>(j), static_cast<size_t>(i));
+  }
+
+  /// Number of active vertical levels in column (j,i); 0 over land.
+  int kmt(int j, int i) const { return kmt_(static_cast<size_t>(j), static_cast<size_t>(i)); }
+
+  bool is_ocean(int j, int i) const { return kmt(j, i) > 0; }
+
+  /// Fraction of horizontal cells that are ocean.
+  double ocean_fraction() const { return ocean_fraction_; }
+
+  /// Total ocean cells.
+  long long ocean_points() const { return ocean_points_; }
+
+  /// Deepest column in the field (meters) and its location.
+  double max_depth() const { return max_depth_; }
+  int max_depth_j() const { return max_j_; }
+  int max_depth_i() const { return max_i_; }
+
+  const kxx::View<int, 2>& kmt_view() const { return kmt_; }
+  const kxx::View<double, 2>& depth_view() const { return depth_; }
+
+  /// The raw continental-ness function in [0,1] at (lon, lat) degrees;
+  /// land where >= 0.5. Exposed for tests and plotting.
+  static double continentality(double lon_deg, double lat_deg);
+
+ private:
+  int nx_;
+  int ny_;
+  double ocean_fraction_ = 0.0;
+  long long ocean_points_ = 0;
+  double max_depth_ = 0.0;
+  int max_j_ = 0;
+  int max_i_ = 0;
+  kxx::View<double, 2> depth_;
+  kxx::View<int, 2> kmt_;
+};
+
+}  // namespace licomk::grid

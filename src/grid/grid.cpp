@@ -1,0 +1,63 @@
+#include "grid/grid.hpp"
+
+#include "util/error.hpp"
+
+namespace licomk::grid {
+
+GridSpec spec_coarse100km() {
+  return GridSpec{"coarse-100km", 100.0, 360, 218, 30, 120.0, 1440.0, 1440.0, false};
+}
+
+GridSpec spec_eddy10km() {
+  return GridSpec{"eddy-10km", 10.0, 3600, 2302, 55, 9.0, 180.0, 180.0, false};
+}
+
+GridSpec spec_km2_fulldepth() {
+  return GridSpec{"km-scale-2km-fulldepth", 2.0, 18000, 11511, 244, 2.0, 20.0, 20.0, true};
+}
+
+GridSpec spec_km1() {
+  return GridSpec{"km-scale-1km", 1.0, 36000, 22018, 80, 2.0, 20.0, 20.0, false};
+}
+
+std::vector<GridSpec> weak_scaling_specs() {
+  // Table IV: consistent dt 2/20/20 s and 80 vertical levels at every size.
+  return {
+      GridSpec{"weak-10km", 10.0, 3600, 2302, 80, 2.0, 20.0, 20.0, false},
+      GridSpec{"weak-6.66km", 6.66, 5400, 3453, 80, 2.0, 20.0, 20.0, false},
+      GridSpec{"weak-5km", 5.0, 7200, 4605, 80, 2.0, 20.0, 20.0, false},
+      GridSpec{"weak-3.33km", 3.33, 10800, 6907, 80, 2.0, 20.0, 20.0, false},
+      GridSpec{"weak-2km", 2.0, 18000, 11511, 80, 2.0, 20.0, 20.0, false},
+      GridSpec{"weak-1km", 1.0, 36000, 22018, 80, 2.0, 20.0, 20.0, false},
+  };
+}
+
+GridSpec shrink(const GridSpec& spec, int factor) {
+  LICOMK_REQUIRE(factor >= 1, "shrink factor must be >= 1");
+  GridSpec out = spec;
+  out.name = spec.name + "/shrink" + std::to_string(factor);
+  out.nx = std::max(spec.nx / factor, 8);
+  out.ny = std::max(spec.ny / factor, 8);
+  out.resolution_km = spec.resolution_km * factor;
+  return out;
+}
+
+GridSpec spec_idealized_channel(int nx, int ny, int nz) {
+  GridSpec s{"idealized-channel", 0.0, nx, ny, nz, 120.0, 1440.0, 1440.0, false, true};
+  s.resolution_km = 40000.0 / nx;  // nominal equatorial spacing
+  return s;
+}
+
+GlobalGrid::GlobalGrid(const GridSpec& spec, unsigned seed)
+    : spec_(spec),
+      hgrid_(spec.nx, spec.ny,
+             spec.idealized_channel ? -60.0 : -78.0,
+             spec.idealized_channel ? -20.0 : 66.0,
+             /*tripolar=*/!spec.idealized_channel),
+      vgrid_(spec.full_depth ? VerticalGrid(spec.nz, 10905.0, 4.0)
+                             : VerticalGrid(spec.nz, 5500.0, std::max(4.0, 160.0 / spec.nz))),
+      bathy_(hgrid_, vgrid_, seed,
+             spec.idealized_channel ? Bathymetry::Mode::IdealizedChannel
+                                    : Bathymetry::Mode::SyntheticEarth) {}
+
+}  // namespace licomk::grid

@@ -1,0 +1,68 @@
+#include "grid/horizontal.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace licomk::grid {
+
+namespace {
+double deg2rad(double d) { return d * kPi / 180.0; }
+}  // namespace
+
+HorizontalGrid::HorizontalGrid(int nx, int ny, double lat_south, double lat_north, bool tripolar)
+    : nx_(nx),
+      ny_(ny),
+      tripolar_(tripolar),
+      lon_t_("lon_t", static_cast<size_t>(ny), static_cast<size_t>(nx)),
+      lat_t_("lat_t", static_cast<size_t>(ny), static_cast<size_t>(nx)),
+      dx_t_("dx_t", static_cast<size_t>(ny), static_cast<size_t>(nx)),
+      dy_t_("dy_t", static_cast<size_t>(ny), static_cast<size_t>(nx)),
+      dx_u_("dx_u", static_cast<size_t>(ny), static_cast<size_t>(nx)),
+      dy_u_("dy_u", static_cast<size_t>(ny), static_cast<size_t>(nx)),
+      area_t_("area_t", static_cast<size_t>(ny), static_cast<size_t>(nx)),
+      f_u_("f_u", static_cast<size_t>(ny), static_cast<size_t>(nx)) {
+  LICOMK_REQUIRE(nx >= 4 && ny >= 4, "horizontal grid too small");
+  LICOMK_REQUIRE(lat_north > lat_south, "latitude range inverted");
+
+  const double dlon = 360.0 / nx;
+  const double dlat = (lat_north - lat_south) / ny;
+  // Poleward of the join latitude the tripolar mapping compresses meridians;
+  // model that with a smooth convergence factor on dx (1 at the join, ~0.55
+  // at the fold), which reproduces the metric non-uniformity and the polar
+  // pack/unpack volume growth discussed in §V-D.
+  const double lat_join = std::min(55.0, lat_north - 10.0);
+
+  for (int j = 0; j < ny_; ++j) {
+    double lat = lat_south + (j + 0.5) * dlat;
+    double lat_u = lat_south + (j + 1.0) * dlat;
+    for (int i = 0; i < nx_; ++i) {
+      size_t jj = static_cast<size_t>(j);
+      size_t ii = static_cast<size_t>(i);
+      double lon = (i + 0.5) * dlon;
+      lon_t_(jj, ii) = lon;
+      lat_t_(jj, ii) = lat;
+
+      double converge = 1.0;
+      if (tripolar_ && lat > lat_join) {
+        double s = (lat - lat_join) / (lat_north - lat_join);  // 0..1
+        // Mild zonal dependence mimics the bipolar stretch around the two
+        // artificial poles (placed at lon 60E / 240E over land).
+        double zonal = 1.0 + 0.25 * std::cos(2.0 * deg2rad(lon - 60.0));
+        converge = 1.0 - 0.45 * s * zonal / 1.25;
+      }
+
+      double coslat = std::cos(deg2rad(lat));
+      double coslat_u = std::cos(deg2rad(std::min(lat_u, 89.9)));
+      dx_t_(jj, ii) = kEarthRadius * coslat * deg2rad(dlon) * converge;
+      dy_t_(jj, ii) = kEarthRadius * deg2rad(dlat);
+      dx_u_(jj, ii) = kEarthRadius * coslat_u * deg2rad(dlon) * converge;
+      dy_u_(jj, ii) = kEarthRadius * deg2rad(dlat);
+      area_t_(jj, ii) = dx_t_(jj, ii) * dy_t_(jj, ii);
+      f_u_(jj, ii) = 2.0 * kOmega * std::sin(deg2rad(lat_u));
+      total_area_ += area_t_(jj, ii);
+    }
+  }
+}
+
+}  // namespace licomk::grid

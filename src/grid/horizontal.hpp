@@ -1,0 +1,88 @@
+// horizontal.hpp — tripolar Arakawa-B horizontal grid.
+//
+// LICOMK++ uses a tripolar grid (two artificial north poles over land, no
+// coordinate singularity in the Arctic ocean) with Arakawa-B staggering:
+// tracers (T, S, ssh) at cell centers, both velocity components at cell
+// corners. This reproduction builds the grid as a regular longitude/latitude
+// mesh south of a join latitude with a smooth meridian-convergence factor
+// applied poleward of it (standing in for the bipolar stretch), plus the
+// north-fold connectivity the tripolar seam requires of the halo exchange:
+// across the top row, logical neighbor (ny, i) is (ny-1, nx-1-i) with the
+// velocity sign flipped. DESIGN.md records this as a documented substitution:
+// every code path a true Murray tripolar mapping exercises (2-D metric
+// arrays, fold exchange, sign flips) is present.
+#pragma once
+
+#include <cstddef>
+
+#include "kxx/view.hpp"
+
+namespace licomk::grid {
+
+/// Earth constants shared by the model.
+inline constexpr double kEarthRadius = 6.371e6;      ///< meters
+inline constexpr double kOmega = 7.292115e-5;        ///< rad/s
+inline constexpr double kGravity = 9.806;            ///< m/s^2
+inline constexpr double kPi = 3.14159265358979323846;
+
+/// Horizontal mesh and metric terms. Index convention: (j, i) with j the
+/// meridional (south→north) and i the zonal index; i is the fast dimension.
+class HorizontalGrid {
+ public:
+  /// Build a global grid with `nx` zonal and `ny` meridional cells covering
+  /// longitudes [0, 360) and latitudes [lat_south, lat_north], folding into a
+  /// tripolar seam at the top row when `tripolar` is true.
+  ///
+  /// The default fold latitude (66°N) matches where real tripolar grids place
+  /// their bipolar Arctic patch; the essential property is that the minimum
+  /// zonal spacing stays bounded near dx(66°) instead of collapsing toward a
+  /// pole — that bound is what makes the paper's Table III barotropic time
+  /// steps CFL-feasible.
+  HorizontalGrid(int nx, int ny, double lat_south = -78.0, double lat_north = 66.0,
+                 bool tripolar = true);
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  bool tripolar() const { return tripolar_; }
+
+  /// T-point (cell center) geographic coordinates, degrees.
+  double lon_t(int j, int i) const { return lon_t_(static_cast<size_t>(j), static_cast<size_t>(i)); }
+  double lat_t(int j, int i) const { return lat_t_(static_cast<size_t>(j), static_cast<size_t>(i)); }
+
+  /// Metric terms (meters): zonal/meridional extent of the T cell and of the
+  /// U cell (B-grid corner).
+  double dx_t(int j, int i) const { return dx_t_(static_cast<size_t>(j), static_cast<size_t>(i)); }
+  double dy_t(int j, int i) const { return dy_t_(static_cast<size_t>(j), static_cast<size_t>(i)); }
+  double dx_u(int j, int i) const { return dx_u_(static_cast<size_t>(j), static_cast<size_t>(i)); }
+  double dy_u(int j, int i) const { return dy_u_(static_cast<size_t>(j), static_cast<size_t>(i)); }
+
+  /// T-cell horizontal area, m^2.
+  double area_t(int j, int i) const { return area_t_(static_cast<size_t>(j), static_cast<size_t>(i)); }
+
+  /// Coriolis parameter at the U point (B-grid corner), 1/s.
+  double coriolis_u(int j, int i) const {
+    return f_u_(static_cast<size_t>(j), static_cast<size_t>(i));
+  }
+
+  /// Total ocean-covered area of the sphere section represented, m^2.
+  double total_area() const { return total_area_; }
+
+  /// North-fold image of zonal index i (used by the tripolar halo seam).
+  int fold_partner(int i) const { return nx_ - 1 - i; }
+
+  /// Direct access for kernels (read-only Views).
+  const kxx::View<double, 2>& dx_t_view() const { return dx_t_; }
+  const kxx::View<double, 2>& dy_t_view() const { return dy_t_; }
+  const kxx::View<double, 2>& area_t_view() const { return area_t_; }
+  const kxx::View<double, 2>& coriolis_view() const { return f_u_; }
+
+ private:
+  int nx_;
+  int ny_;
+  bool tripolar_;
+  double total_area_ = 0.0;
+  kxx::View<double, 2> lon_t_, lat_t_;
+  kxx::View<double, 2> dx_t_, dy_t_, dx_u_, dy_u_, area_t_, f_u_;
+};
+
+}  // namespace licomk::grid

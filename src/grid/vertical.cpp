@@ -1,0 +1,65 @@
+#include "grid/vertical.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace licomk::grid {
+
+VerticalGrid::VerticalGrid(int nz, double max_depth, double surface_dz) {
+  LICOMK_REQUIRE(nz >= 1, "need at least one vertical level");
+  LICOMK_REQUIRE(max_depth > 0.0, "max depth must be positive");
+  LICOMK_REQUIRE(surface_dz > 0.0 && surface_dz * nz <= max_depth * 1.0000001,
+                 "surface layer too thick for requested depth");
+  // Thickness profile dz(k) = surface_dz * r^k with r solving the geometric
+  // sum surface_dz * (r^nz - 1)/(r - 1) = max_depth. Bisection on r.
+  double lo = 1.0 + 1e-12;
+  double hi = 2.0;
+  auto total = [&](double r) {
+    return surface_dz * (std::pow(r, nz) - 1.0) / (r - 1.0);
+  };
+  while (total(hi) < max_depth) hi *= 1.5;
+  for (int it = 0; it < 200; ++it) {
+    double mid = 0.5 * (lo + hi);
+    (total(mid) < max_depth ? lo : hi) = mid;
+  }
+  double r = 0.5 * (lo + hi);
+
+  dz_.resize(static_cast<size_t>(nz));
+  interfaces_.resize(static_cast<size_t>(nz) + 1);
+  centers_.resize(static_cast<size_t>(nz));
+  interfaces_[0] = 0.0;
+  double thickness = surface_dz;
+  for (int k = 0; k < nz; ++k) {
+    dz_[static_cast<size_t>(k)] = thickness;
+    interfaces_[static_cast<size_t>(k) + 1] = interfaces_[static_cast<size_t>(k)] + thickness;
+    centers_[static_cast<size_t>(k)] =
+        0.5 * (interfaces_[static_cast<size_t>(k)] + interfaces_[static_cast<size_t>(k) + 1]);
+    thickness *= r;
+  }
+  // Normalize the accumulated rounding so the bottom interface is exact.
+  double scale = max_depth / interfaces_.back();
+  for (auto& v : dz_) v *= scale;
+  for (auto& v : interfaces_) v *= scale;
+  for (auto& v : centers_) v *= scale;
+}
+
+int VerticalGrid::levels_for_depth(double bottom_depth) const {
+  if (bottom_depth <= 0.0) return 0;
+  int k = 0;
+  while (k < nz() && interfaces_[static_cast<size_t>(k) + 1] <= bottom_depth) ++k;
+  // A column at least half into level k keeps that level (partial bottom cell
+  // rounded to the nearest whole level, LICOM's z-coordinate convention).
+  if (k < nz()) {
+    double into = bottom_depth - interfaces_[static_cast<size_t>(k)];
+    if (into >= 0.5 * dz_[static_cast<size_t>(k)]) ++k;
+  }
+  return k;
+}
+
+VerticalGrid levels_coarse30() { return VerticalGrid(30, 5500.0, 25.0); }
+VerticalGrid levels_eddy55() { return VerticalGrid(55, 5500.0, 10.0); }
+VerticalGrid levels_km1_80() { return VerticalGrid(80, 5500.0, 6.0); }
+VerticalGrid levels_fulldepth244() { return VerticalGrid(244, 10905.0, 4.0); }
+
+}  // namespace licomk::grid

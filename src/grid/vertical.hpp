@@ -1,0 +1,50 @@
+// vertical.hpp — vertical (eta-level) grid of the ocean model.
+//
+// LICOMK++ runs 30/55/80/244 eta-levels depending on configuration
+// (Table III); the 244-level full-depth grid resolves the Challenger Deep
+// (model maximum depth 10 905 m, Fig. 1f). Levels are generated with a
+// hyperbolic stretching: fine near the surface (mixed-layer/submesoscale
+// physics) and coarsening toward the abyss.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace licomk::grid {
+
+/// Depths are positive-down in meters. Level k occupies
+/// [interface(k), interface(k+1)); its center is depth(k).
+class VerticalGrid {
+ public:
+  /// Build `nz` levels reaching `max_depth` meters, with the top layer
+  /// `surface_dz` meters thick and smooth stretching below.
+  VerticalGrid(int nz, double max_depth, double surface_dz = 10.0);
+
+  int nz() const { return static_cast<int>(dz_.size()); }
+  double max_depth() const { return interfaces_.back(); }
+
+  double dz(int k) const { return dz_[static_cast<size_t>(k)]; }
+  double depth(int k) const { return centers_[static_cast<size_t>(k)]; }
+  double interface_depth(int k) const { return interfaces_[static_cast<size_t>(k)]; }
+
+  const std::vector<double>& thicknesses() const { return dz_; }
+  const std::vector<double>& centers() const { return centers_; }
+  const std::vector<double>& interfaces() const { return interfaces_; }
+
+  /// Deepest level index whose interface is shallower than `bottom_depth`
+  /// (i.e. the kmt value for a column of that depth). Returns 0 for land.
+  int levels_for_depth(double bottom_depth) const;
+
+ private:
+  std::vector<double> dz_;          // nz layer thicknesses
+  std::vector<double> centers_;     // nz layer centers
+  std::vector<double> interfaces_;  // nz+1 interfaces, interfaces_[0] = 0
+};
+
+/// Table III level counts with the paper's depth ranges.
+VerticalGrid levels_coarse30();      ///< 30 levels, 5 500 m.
+VerticalGrid levels_eddy55();        ///< 55 levels, 5 500 m.
+VerticalGrid levels_km1_80();        ///< 80 levels, 5 500 m.
+VerticalGrid levels_fulldepth244();  ///< 244 levels, 10 905 m (Mariana-deep).
+
+}  // namespace licomk::grid

@@ -1,0 +1,94 @@
+// block_field.hpp — per-rank field storage with a two-layer halo.
+//
+// Each MPI rank owns one horizontal block (paper §V-D). A BlockField stores
+// the owned cells plus kHaloWidth ghost layers on every side. Local indices
+// include the halo: the first interior cell is (h, h). 3-D fields are stored
+// horizontal-major — k slowest, i fastest — matching the model's layout; the
+// Fig. 5 transpose converts halo strips to vertical-major for exchange.
+//
+// Fields carry a version counter bumped by mark_dirty(); the halo exchanger
+// uses it to skip exchanges of unmodified fields (the paper's redundant
+// pack/unpack elimination).
+#pragma once
+
+#include <cstdint>
+
+#include "decomp/decomposition.hpp"
+#include "kxx/view.hpp"
+
+namespace licomk::halo {
+
+/// How a field transforms across the tripolar north fold.
+enum class FoldSign : int {
+  Symmetric = +1,   ///< tracers, ssh
+  Antisymmetric = -1,  ///< velocity components
+};
+
+class BlockField2D {
+ public:
+  BlockField2D() = default;
+  BlockField2D(std::string label, const decomp::BlockExtent& extent)
+      : extent_(extent),
+        data_(std::move(label), static_cast<size_t>(extent.ny() + 2 * decomp::kHaloWidth),
+              static_cast<size_t>(extent.nx() + 2 * decomp::kHaloWidth)) {}
+
+  static constexpr int h() { return decomp::kHaloWidth; }
+  const decomp::BlockExtent& extent() const { return extent_; }
+  int nx() const { return extent_.nx(); }  ///< owned cells
+  int ny() const { return extent_.ny(); }
+  int nx_total() const { return nx() + 2 * h(); }
+  int ny_total() const { return ny() + 2 * h(); }
+
+  /// Local halo-inclusive access: j in [0, ny_total), i in [0, nx_total).
+  double& at(int j, int i) const { return data_(static_cast<size_t>(j), static_cast<size_t>(i)); }
+
+  /// Interior access: j in [0, ny), i in [0, nx).
+  double& interior(int j, int i) const { return at(j + h(), i + h()); }
+
+  const kxx::View<double, 2>& view() const { return data_; }
+
+  std::uint64_t version() const { return version_; }
+  void mark_dirty() { version_ += 1; }
+
+ private:
+  decomp::BlockExtent extent_;
+  kxx::View<double, 2> data_;
+  std::uint64_t version_ = 1;  // starts dirty so the first exchange runs
+};
+
+class BlockField3D {
+ public:
+  BlockField3D() = default;
+  BlockField3D(std::string label, const decomp::BlockExtent& extent, int nz)
+      : extent_(extent),
+        nz_(nz),
+        data_(std::move(label), static_cast<size_t>(nz),
+              static_cast<size_t>(extent.ny() + 2 * decomp::kHaloWidth),
+              static_cast<size_t>(extent.nx() + 2 * decomp::kHaloWidth)) {}
+
+  static constexpr int h() { return decomp::kHaloWidth; }
+  const decomp::BlockExtent& extent() const { return extent_; }
+  int nx() const { return extent_.nx(); }
+  int ny() const { return extent_.ny(); }
+  int nz() const { return nz_; }
+  int nx_total() const { return nx() + 2 * h(); }
+  int ny_total() const { return ny() + 2 * h(); }
+
+  double& at(int k, int j, int i) const {
+    return data_(static_cast<size_t>(k), static_cast<size_t>(j), static_cast<size_t>(i));
+  }
+  double& interior(int k, int j, int i) const { return at(k, j + h(), i + h()); }
+
+  const kxx::View<double, 3>& view() const { return data_; }
+
+  std::uint64_t version() const { return version_; }
+  void mark_dirty() { version_ += 1; }
+
+ private:
+  decomp::BlockExtent extent_;
+  int nz_ = 0;
+  kxx::View<double, 3> data_;
+  std::uint64_t version_ = 1;
+};
+
+}  // namespace licomk::halo

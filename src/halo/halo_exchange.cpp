@@ -1,0 +1,251 @@
+#include "halo/halo_exchange.hpp"
+
+#include <algorithm>
+
+#include "halo/box_copy.hpp"
+#include "kxx/kxx.hpp"
+
+KXX_REGISTER_FOR_1D(halo_box_copy, licomk::halo::detail::BoxCopy);
+
+namespace licomk::halo {
+namespace {
+
+using detail::BoxCopy;
+using detail::box_copy;
+
+constexpr int kTagToSouth = 10;
+constexpr int kTagToNorth = 11;
+constexpr int kTagToWest = 12;
+constexpr int kTagToEast = 13;
+constexpr int kTagFold = 14;
+
+/// Message buffer strides for (nk, nj, ni) boxes under each method.
+struct BufStrides {
+  long long s0, s1, s2;  // strides for iteration dims (k, j, i)
+};
+
+BufStrides buffer_strides(Halo3DMethod method, long long nk, long long nj, long long ni) {
+  if (method == Halo3DMethod::HorizontalMajor) {
+    return {nj * ni, ni, 1};  // k slowest, i fastest
+  }
+  return {1, ni * nk, nk};  // Fig. 5: k fastest ("vertical major")
+}
+
+}  // namespace
+
+HaloExchanger::HaloExchanger(const decomp::Decomposition& decomp, comm::Communicator comm,
+                             int rank)
+    : decomp_(decomp), comm_(comm), rank_(rank), extent_(decomp.block(rank)),
+      neigh_(decomp.neighbors(rank)) {
+  LICOMK_REQUIRE(extent_.nx() >= decomp::kHaloWidth && extent_.ny() >= decomp::kHaloWidth,
+                 "block smaller than the halo width");
+  top_row_fold_ = decomp.tripolar() && extent_.j1 == decomp.ny();
+  if (top_row_fold_) {
+    // Partners owning my mirrored column interval on the top block row.
+    int nxg = decomp.nx();
+    int lo = nxg - extent_.i1;
+    int hi = nxg - extent_.i0;
+    int py = decomp.py();
+    for (int bx = 0; bx < decomp.px(); ++bx) {
+      int r = decomp.rank_of(bx, py - 1);
+      decomp::BlockExtent e = decomp.block(r);
+      int a = std::max(lo, e.i0);
+      int b = std::min(hi, e.i1);
+      if (a < b) fold_partners_.push_back(FoldPartner{r, a, b});
+    }
+  }
+}
+
+bool HaloExchanger::should_skip(const void* key, std::uint64_t version) {
+  if (!eliminate_redundant_) return false;
+  auto [it, inserted] = last_version_.try_emplace(key, 0);
+  if (!inserted && it->second == version) {
+    stats_.skipped += 1;
+    return true;
+  }
+  it->second = version;
+  return false;
+}
+
+void HaloExchanger::update(BlockField2D& field, FoldSign sign) {
+  LICOMK_REQUIRE(field.extent().cells() == extent_.cells() && field.extent().i0 == extent_.i0 &&
+                     field.extent().j0 == extent_.j0,
+                 "field extent does not match this exchanger's block");
+  if (should_skip(field.view().data(), field.version())) return;
+  do_update(field.view().data(), 1, sign, Halo3DMethod::HorizontalMajor);
+}
+
+void HaloExchanger::update(BlockField3D& field, FoldSign sign, Halo3DMethod method) {
+  LICOMK_REQUIRE(field.extent().cells() == extent_.cells() && field.extent().i0 == extent_.i0 &&
+                     field.extent().j0 == extent_.j0,
+                 "field extent does not match this exchanger's block");
+  if (should_skip(field.view().data(), field.version())) return;
+  do_update(field.view().data(), field.nz(), sign, method);
+}
+
+void HaloExchanger::send_box(double* base, int nz, Halo3DMethod method, int dest, int tag,
+                             int j0, int nj, int i0, int ni) {
+  const long long nxt = extent_.nx() + 2 * decomp::kHaloWidth;
+  const long long nyt = extent_.ny() + 2 * decomp::kHaloWidth;
+  std::vector<double> buf(static_cast<size_t>(nz) * nj * ni);
+  BufStrides bs = buffer_strides(method, nz, nj, ni);
+  BoxCopy op;
+  op.src = base + static_cast<long long>(j0) * nxt + i0;
+  op.dst = buf.data();
+  op.n1 = nj;
+  op.n2 = ni;
+  op.ss0 = nxt * nyt;
+  op.ss1 = nxt;
+  op.ss2 = 1;
+  op.ds0 = bs.s0;
+  op.ds1 = bs.s1;
+  op.ds2 = bs.s2;
+  box_copy(op, nz);
+  stats_.packed_elements += buf.size();
+  comm_.send(buf.data(), buf.size() * sizeof(double), dest, tag);
+  stats_.messages += 1;
+  stats_.bytes += buf.size() * sizeof(double);
+}
+
+void HaloExchanger::recv_box(double* base, int nz, Halo3DMethod method, int src, int tag,
+                             int j0, int nj, int i0, int ni, long long dst_sj, long long dst_si,
+                             double scale) {
+  const long long nxt = extent_.nx() + 2 * decomp::kHaloWidth;
+  const long long nyt = extent_.ny() + 2 * decomp::kHaloWidth;
+  std::vector<double> buf(static_cast<size_t>(nz) * nj * ni);
+  comm_.recv(buf.data(), buf.size() * sizeof(double), src, tag);
+  BufStrides bs = buffer_strides(method, nz, nj, ni);
+  BoxCopy op;
+  op.src = buf.data();
+  op.dst = base + static_cast<long long>(j0) * nxt + i0;
+  op.n1 = nj;
+  op.n2 = ni;
+  op.ss0 = bs.s0;
+  op.ss1 = bs.s1;
+  op.ss2 = bs.s2;
+  op.ds0 = nxt * nyt;
+  op.ds1 = dst_sj;
+  op.ds2 = dst_si;
+  op.scale = scale;
+  box_copy(op, nz);
+  stats_.unpacked_elements += buf.size();
+}
+
+void HaloExchanger::zero_box(double* base, int nz, int j0, int nj, int i0, int ni) {
+  const long long nxt = extent_.nx() + 2 * decomp::kHaloWidth;
+  const long long nyt = extent_.ny() + 2 * decomp::kHaloWidth;
+  const long long plane = nxt * nyt;
+  for (int k = 0; k < nz; ++k)
+    for (int j = j0; j < j0 + nj; ++j)
+      std::fill_n(base + k * plane + static_cast<long long>(j) * nxt + i0, ni, 0.0);
+}
+
+/// Phase 1 sends: north/south + fold, interior columns. This is the portion
+/// begin_update posts before the caller's overlapped computation.
+void HaloExchanger::send_phase1(double* base, int nz, Halo3DMethod method) {
+  const int h = decomp::kHaloWidth;
+  const int nx = extent_.nx();
+  const int ny = extent_.ny();
+  if (neigh_.south >= 0) send_box(base, nz, method, neigh_.south, kTagToSouth, h, h, h, nx);
+  if (neigh_.north >= 0 && !neigh_.north_is_fold) {
+    send_box(base, nz, method, neigh_.north, kTagToNorth, h + ny - h, h, h, nx);
+  }
+  if (top_row_fold_) {
+    const int nxg = decomp_.nx();
+    for (const FoldPartner& p : fold_partners_) {
+      // I send the mirror of the columns I receive: global [nxg - hi, nxg - lo).
+      int g_lo = nxg - p.col_hi;
+      int i_loc = h + (g_lo - extent_.i0);
+      send_box(base, nz, method, p.rank, kTagFold, h + ny - h, h, i_loc,
+               p.col_hi - p.col_lo);
+      stats_.fold_messages += 1;
+    }
+  }
+}
+
+/// Phase 1 receives + the full zonal phase 2 (which depends on phase 1's
+/// unpacked ghosts).
+void HaloExchanger::finish_phases(double* base, int nz, FoldSign sign, Halo3DMethod method) {
+  const int h = decomp::kHaloWidth;
+  const int nx = extent_.nx();
+  const int ny = extent_.ny();
+  const long long nxt = nx + 2 * h;
+  const long long nyt = ny + 2 * h;
+  const double fold_scale = sign == FoldSign::Symmetric ? 1.0 : -1.0;
+
+  if (neigh_.south >= 0) {
+    recv_box(base, nz, method, neigh_.south, kTagToNorth, 0, h, h, nx, nxt, 1, 1.0);
+  } else {
+    zero_box(base, nz, 0, h, 0, static_cast<int>(nxt));
+  }
+  if (neigh_.north >= 0 && !neigh_.north_is_fold) {
+    recv_box(base, nz, method, neigh_.north, kTagToSouth, h + ny, h, h, nx, nxt, 1, 1.0);
+  } else if (!top_row_fold_) {
+    zero_box(base, nz, h + ny, h, 0, static_cast<int>(nxt));
+  }
+  if (top_row_fold_) {
+    const int nxg = decomp_.nx();
+    for (const FoldPartner& p : fold_partners_) {
+      // Received buffer covers global columns [col_lo, col_hi), rows
+      // (ny_g-2, ny_g-1) ascending. Ghost row d=1 (local h+ny) mirrors the
+      // top row; d=2 mirrors the row below it. Columns mirror: global m maps
+      // to local i = h + (nxg-1-m) - i0, so ascending m walks i downward.
+      int ni = p.col_hi - p.col_lo;
+      int i_start = h + (nxg - 1 - p.col_lo) - extent_.i0;
+      recv_box(base, nz, method, p.rank, kTagFold, h + ny + 1, h, i_start, ni, -nxt, -1,
+               fold_scale);
+    }
+  }
+
+  /// ---- Phase 2: east/west over the full meridional extent ----------------
+  if (neigh_.west >= 0) {
+    send_box(base, nz, method, neigh_.west, kTagToWest, 0, static_cast<int>(nyt), h, h);
+  }
+  if (neigh_.east >= 0) {
+    send_box(base, nz, method, neigh_.east, kTagToEast, 0, static_cast<int>(nyt), h + nx - h,
+             h);
+  }
+  if (neigh_.west >= 0) {
+    recv_box(base, nz, method, neigh_.west, kTagToEast, 0, static_cast<int>(nyt), 0, h, nxt, 1,
+             1.0);
+  } else {
+    zero_box(base, nz, 0, static_cast<int>(nyt), 0, h);
+  }
+  if (neigh_.east >= 0) {
+    recv_box(base, nz, method, neigh_.east, kTagToWest, 0, static_cast<int>(nyt), h + nx, h,
+             nxt, 1, 1.0);
+  } else {
+    zero_box(base, nz, 0, static_cast<int>(nyt), h + nx, h);
+  }
+}
+
+void HaloExchanger::do_update(double* base, int nz, FoldSign sign, Halo3DMethod method) {
+  stats_.exchanges += 1;
+  send_phase1(base, nz, method);
+  finish_phases(base, nz, sign, method);
+}
+
+HaloExchanger::Pending HaloExchanger::begin_update(BlockField3D& field, FoldSign sign,
+                                                   Halo3DMethod method) {
+  LICOMK_REQUIRE(field.extent().cells() == extent_.cells() && field.extent().i0 == extent_.i0 &&
+                     field.extent().j0 == extent_.j0,
+                 "field extent does not match this exchanger's block");
+  Pending p;
+  if (should_skip(field.view().data(), field.version())) return p;
+  p.active = true;
+  p.base = field.view().data();
+  p.nz = field.nz();
+  p.sign = sign;
+  p.method = method;
+  stats_.exchanges += 1;
+  send_phase1(p.base, p.nz, p.method);
+  return p;
+}
+
+void HaloExchanger::finish_update(Pending& pending) {
+  if (!pending.active) return;
+  finish_phases(pending.base, pending.nz, pending.sign, pending.method);
+  pending.active = false;
+}
+
+}  // namespace licomk::halo

@@ -1,0 +1,150 @@
+#include "io/dataset.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace licomk::io {
+
+namespace {
+constexpr char kMagic[8] = {'L', 'S', 'D', 'A', 'T', 'A', '0', '1'};
+
+void write_u32(std::ostream& out, std::uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void write_u64(std::ostream& out, std::uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void write_string(std::ostream& out, const std::string& s) {
+  write_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::uint32_t read_u32(std::istream& in) {
+  std::uint32_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) throw Error("truncated dataset (u32)");
+  return v;
+}
+std::uint64_t read_u64(std::istream& in) {
+  std::uint64_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in) throw Error("truncated dataset (u64)");
+  return v;
+}
+std::string read_string(std::istream& in) {
+  std::uint32_t len = read_u32(in);
+  if (len > (1u << 20)) throw Error("implausible string length in dataset");
+  std::string s(len, '\0');
+  in.read(s.data(), len);
+  if (!in) throw Error("truncated dataset (string)");
+  return s;
+}
+}  // namespace
+
+void Dataset::set_attribute(const std::string& key, const std::string& value) {
+  attrs_[key] = value;
+}
+
+std::string Dataset::attribute(const std::string& key) const {
+  auto it = attrs_.find(key);
+  return it == attrs_.end() ? "" : it->second;
+}
+
+void Dataset::add(Variable var) {
+  LICOMK_REQUIRE(!var.name.empty(), "variable needs a name");
+  LICOMK_REQUIRE(var.dim_names.size() == var.extents.size(),
+                 "dimension names/extents mismatch");
+  LICOMK_REQUIRE(var.data.size() == var.size(), "variable data size does not match extents");
+  LICOMK_REQUIRE(!has(var.name), "duplicate variable: " + var.name);
+  vars_.push_back(std::move(var));
+}
+
+bool Dataset::has(const std::string& name) const {
+  return std::any_of(vars_.begin(), vars_.end(),
+                     [&](const Variable& v) { return v.name == name; });
+}
+
+const Variable& Dataset::var(const std::string& name) const {
+  for (const auto& v : vars_) {
+    if (v.name == name) return v;
+  }
+  throw Error("unknown dataset variable: " + name);
+}
+
+std::vector<std::string> Dataset::variable_names() const {
+  std::vector<std::string> names;
+  names.reserve(vars_.size());
+  for (const auto& v : vars_) names.push_back(v.name);
+  return names;
+}
+
+void Dataset::add_2d(const std::string& name, std::uint64_t ny, std::uint64_t nx,
+                     std::vector<double> data) {
+  add(Variable{name, {"y", "x"}, {ny, nx}, std::move(data)});
+}
+
+void Dataset::add_3d(const std::string& name, std::uint64_t nz, std::uint64_t ny,
+                     std::uint64_t nx, std::vector<double> data) {
+  add(Variable{name, {"z", "y", "x"}, {nz, ny, nx}, std::move(data)});
+}
+
+void Dataset::write(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw Error("cannot open dataset for writing: " + path);
+  out.write(kMagic, sizeof(kMagic));
+  write_u32(out, static_cast<std::uint32_t>(attrs_.size()));
+  for (const auto& [k, v] : attrs_) {
+    write_string(out, k);
+    write_string(out, v);
+  }
+  write_u32(out, static_cast<std::uint32_t>(vars_.size()));
+  for (const auto& v : vars_) {
+    write_string(out, v.name);
+    write_u32(out, static_cast<std::uint32_t>(v.extents.size()));
+    for (size_t d = 0; d < v.extents.size(); ++d) {
+      write_string(out, v.dim_names[d]);
+      write_u64(out, v.extents[d]);
+    }
+    out.write(reinterpret_cast<const char*>(v.data.data()),
+              static_cast<std::streamsize>(v.data.size() * sizeof(double)));
+  }
+  if (!out) throw Error("short write to dataset: " + path);
+}
+
+Dataset Dataset::read(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open dataset: " + path);
+  char magic[8] = {};
+  in.read(magic, sizeof(magic));
+  if (!in || !std::equal(magic, magic + 8, kMagic)) {
+    throw Error("not an LSD dataset: " + path);
+  }
+  Dataset ds;
+  std::uint32_t nattrs = read_u32(in);
+  for (std::uint32_t a = 0; a < nattrs; ++a) {
+    std::string k = read_string(in);
+    std::string v = read_string(in);
+    ds.set_attribute(k, v);
+  }
+  std::uint32_t nvars = read_u32(in);
+  for (std::uint32_t n = 0; n < nvars; ++n) {
+    Variable v;
+    v.name = read_string(in);
+    std::uint32_t ndims = read_u32(in);
+    if (ndims > 8) throw Error("implausible dimension count in dataset");
+    for (std::uint32_t d = 0; d < ndims; ++d) {
+      v.dim_names.push_back(read_string(in));
+      v.extents.push_back(read_u64(in));
+    }
+    v.data.resize(v.size());
+    in.read(reinterpret_cast<char*>(v.data.data()),
+            static_cast<std::streamsize>(v.data.size() * sizeof(double)));
+    if (!in) throw Error("truncated dataset payload: " + path);
+    ds.vars_.push_back(std::move(v));
+  }
+  return ds;
+}
+
+}  // namespace licomk::io

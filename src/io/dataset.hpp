@@ -1,0 +1,72 @@
+// dataset.hpp — a minimal self-describing array container ("LSD": LICOMK
+// Simple Dataset), the NetCDF stand-in for model output.
+//
+// Production OGCMs write NetCDF; this host has no NetCDF, so snapshots go to
+// a simple but fully self-describing binary format: named variables, each
+// with named dimensions, double-precision payloads, and free-form text
+// attributes. A Dataset round-trips exactly (tested) and the format is
+// stable enough for external tooling (fixed little-endian headers).
+//
+// Layout:
+//   magic "LSDATA01"
+//   u32 attribute count, then (name, value) length-prefixed strings
+//   u32 variable count, then per variable:
+//     name, u32 ndims, per dim (name, u64 extent), payload doubles
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace licomk::io {
+
+/// One named array with named dimensions.
+struct Variable {
+  std::string name;
+  std::vector<std::string> dim_names;
+  std::vector<std::uint64_t> extents;
+  std::vector<double> data;  ///< row-major over extents
+
+  std::uint64_t size() const {
+    std::uint64_t n = 1;
+    for (auto e : extents) n *= e;
+    return n;
+  }
+};
+
+/// An in-memory dataset: attributes + variables, writable/readable as one
+/// file.
+class Dataset {
+ public:
+  /// Set/overwrite a text attribute ("title", "config", "sim_days", ...).
+  void set_attribute(const std::string& key, const std::string& value);
+  std::string attribute(const std::string& key) const;  ///< "" if absent
+  const std::map<std::string, std::string>& attributes() const { return attrs_; }
+
+  /// Add a variable; dims and data sizes must agree. Throws on duplicates.
+  void add(Variable var);
+
+  bool has(const std::string& name) const;
+  const Variable& var(const std::string& name) const;  ///< throws if unknown
+  std::vector<std::string> variable_names() const;
+
+  /// Convenience: add a 2-D (ny, nx) variable from row-major data.
+  void add_2d(const std::string& name, std::uint64_t ny, std::uint64_t nx,
+              std::vector<double> data);
+
+  /// Convenience: add a 3-D (nz, ny, nx) variable.
+  void add_3d(const std::string& name, std::uint64_t nz, std::uint64_t ny, std::uint64_t nx,
+              std::vector<double> data);
+
+  /// Serialize to / parse from a file. Throws licomk::Error on I/O or format
+  /// problems (bad magic, truncation, inconsistent sizes).
+  void write(const std::string& path) const;
+  static Dataset read(const std::string& path);
+
+ private:
+  std::map<std::string, std::string> attrs_;
+  std::vector<Variable> vars_;
+};
+
+}  // namespace licomk::io

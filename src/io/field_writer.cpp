@@ -1,0 +1,87 @@
+#include "io/field_writer.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace licomk::io {
+
+namespace {
+std::ofstream open_or_throw(const std::string& path, std::ios_base::openmode mode = {}) {
+  std::ofstream out(path, mode);
+  if (!out) throw Error("cannot open output file: " + path);
+  return out;
+}
+constexpr int kH = decomp::kHaloWidth;
+}  // namespace
+
+void write_csv(const std::string& path, const core::LocalGrid& g,
+               const halo::BlockField2D& field) {
+  auto out = open_or_throw(path);
+  out.precision(17);
+  for (int j = 0; j < g.ny(); ++j) {
+    for (int i = 0; i < g.nx(); ++i) {
+      out << field.at(j + kH, i + kH) << (i + 1 < g.nx() ? "," : "");
+    }
+    out << "\n";
+  }
+}
+
+void write_csv_level(const std::string& path, const core::LocalGrid& g,
+                     const halo::BlockField3D& field, int k) {
+  auto out = open_or_throw(path);
+  out.precision(17);
+  for (int j = 0; j < g.ny(); ++j) {
+    for (int i = 0; i < g.nx(); ++i) {
+      out << field.at(k, j + kH, i + kH) << (i + 1 < g.nx() ? "," : "");
+    }
+    out << "\n";
+  }
+}
+
+void write_pgm(const std::string& path, const core::LocalGrid& g,
+               const halo::BlockField2D& field, double lo, double hi) {
+  LICOMK_REQUIRE(hi > lo, "PGM scale range empty");
+  auto out = open_or_throw(path, std::ios::binary);
+  out << "P5\n" << g.nx() << " " << g.ny() << "\n255\n";
+  for (int j = g.ny() - 1; j >= 0; --j) {  // north at the top
+    for (int i = 0; i < g.nx(); ++i) {
+      unsigned char pix = 0;
+      if (g.kmt(j + kH, i + kH) > 0) {
+        double v = (field.at(j + kH, i + kH) - lo) / (hi - lo);
+        pix = static_cast<unsigned char>(std::clamp(v, 0.0, 1.0) * 254.0) + 1;
+      }
+      out.put(static_cast<char>(pix));
+    }
+  }
+}
+
+void write_section_csv(const std::string& path, const core::LocalGrid& g,
+                       const halo::BlockField3D& field, int i_local) {
+  auto out = open_or_throw(path);
+  out.precision(17);
+  for (int k = 0; k < g.nz(); ++k) {
+    for (int j = 0; j < g.ny(); ++j) {
+      out << field.at(k, j + kH, i_local + kH) << (j + 1 < g.ny() ? "," : "");
+    }
+    out << "\n";
+  }
+}
+
+void write_raw(const std::string& path, const core::LocalGrid& g,
+               const halo::BlockField2D& field) {
+  {
+    auto hdr = open_or_throw(path + ".hdr");
+    hdr << g.nx() << " " << g.ny() << "\n";
+  }
+  auto out = open_or_throw(path, std::ios::binary);
+  for (int j = 0; j < g.ny(); ++j) {
+    for (int i = 0; i < g.nx(); ++i) {
+      double v = field.at(j + kH, i + kH);
+      out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+    }
+  }
+}
+
+}  // namespace licomk::io

@@ -1,0 +1,40 @@
+// field_writer.hpp — simple field output (CSV, PGM, raw binary).
+//
+// The paper excludes I/O from its performance numbers; this module exists so
+// the examples can emit inspectable snapshots (SST maps, Rossby-number
+// fields, vertical sections) without a NetCDF dependency.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/local_grid.hpp"
+#include "halo/block_field.hpp"
+
+namespace licomk::io {
+
+/// Write the interior of a 2-D field as CSV (ny rows × nx columns).
+void write_csv(const std::string& path, const core::LocalGrid& g,
+               const halo::BlockField2D& field);
+
+/// Write level `k` of a 3-D field as CSV.
+void write_csv_level(const std::string& path, const core::LocalGrid& g,
+                     const halo::BlockField3D& field, int k);
+
+/// Write a grayscale PGM image of a 2-D field, linearly mapped from
+/// [lo, hi] to [0, 255]; land cells are black. Row 0 is the northernmost row
+/// so images are map-oriented.
+void write_pgm(const std::string& path, const core::LocalGrid& g,
+               const halo::BlockField2D& field, double lo, double hi);
+
+/// Write a meridional-vertical section (all k, all j) at zonal index `i_local`
+/// as CSV (nz rows × ny columns).
+void write_section_csv(const std::string& path, const core::LocalGrid& g,
+                       const halo::BlockField3D& field, int i_local);
+
+/// Raw doubles (interior only), row-major (j, i), with a small text header
+/// file alongside (".hdr": nx ny).
+void write_raw(const std::string& path, const core::LocalGrid& g,
+               const halo::BlockField2D& field);
+
+}  // namespace licomk::io

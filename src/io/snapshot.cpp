@@ -1,0 +1,76 @@
+#include "io/snapshot.hpp"
+
+namespace licomk::io {
+
+namespace {
+constexpr int kH = decomp::kHaloWidth;
+
+std::vector<double> interior_2d(const core::LocalGrid& g, const halo::BlockField2D& f) {
+  std::vector<double> out(static_cast<size_t>(g.ny()) * g.nx());
+  for (int j = 0; j < g.ny(); ++j)
+    for (int i = 0; i < g.nx(); ++i)
+      out[static_cast<size_t>(j) * g.nx() + i] = f.at(j + kH, i + kH);
+  return out;
+}
+
+std::vector<double> interior_level(const core::LocalGrid& g, const halo::BlockField3D& f,
+                                   int k) {
+  std::vector<double> out(static_cast<size_t>(g.ny()) * g.nx());
+  for (int j = 0; j < g.ny(); ++j)
+    for (int i = 0; i < g.nx(); ++i)
+      out[static_cast<size_t>(j) * g.nx() + i] = f.at(k, j + kH, i + kH);
+  return out;
+}
+
+std::vector<double> interior_3d(const core::LocalGrid& g, const halo::BlockField3D& f) {
+  std::vector<double> out(static_cast<size_t>(g.nz()) * g.ny() * g.nx());
+  for (int k = 0; k < g.nz(); ++k) {
+    auto level = interior_level(g, f, k);
+    std::copy(level.begin(), level.end(),
+              out.begin() + static_cast<long long>(k) * g.ny() * g.nx());
+  }
+  return out;
+}
+}  // namespace
+
+Dataset snapshot(core::LicomModel& model, bool include_3d) {
+  const auto& g = model.local_grid();
+  Dataset ds;
+  ds.set_attribute("title", "LICOMK++ snapshot");
+  ds.set_attribute("config", model.config().describe());
+  ds.set_attribute("sim_seconds", std::to_string(model.simulated_seconds()));
+  ds.set_attribute("steps", std::to_string(model.steps_taken()));
+
+  ds.add_2d("sst", static_cast<std::uint64_t>(g.ny()), static_cast<std::uint64_t>(g.nx()),
+            interior_level(g, model.state().t_cur, 0));
+  ds.add_2d("sss", static_cast<std::uint64_t>(g.ny()), static_cast<std::uint64_t>(g.nx()),
+            interior_level(g, model.state().s_cur, 0));
+  ds.add_2d("eta", static_cast<std::uint64_t>(g.ny()), static_cast<std::uint64_t>(g.nx()),
+            interior_2d(g, model.state().eta_cur));
+
+  std::vector<double> kmt(static_cast<size_t>(g.ny()) * g.nx());
+  for (int j = 0; j < g.ny(); ++j)
+    for (int i = 0; i < g.nx(); ++i)
+      kmt[static_cast<size_t>(j) * g.nx() + i] = g.kmt(j + kH, i + kH);
+  ds.add_2d("kmt", static_cast<std::uint64_t>(g.ny()), static_cast<std::uint64_t>(g.nx()),
+            std::move(kmt));
+
+  if (include_3d) {
+    ds.add_3d("temperature", static_cast<std::uint64_t>(g.nz()),
+              static_cast<std::uint64_t>(g.ny()), static_cast<std::uint64_t>(g.nx()),
+              interior_3d(g, model.state().t_cur));
+    ds.add_3d("salinity", static_cast<std::uint64_t>(g.nz()),
+              static_cast<std::uint64_t>(g.ny()), static_cast<std::uint64_t>(g.nx()),
+              interior_3d(g, model.state().s_cur));
+    Variable depths{"level_depth", {"z"}, {static_cast<std::uint64_t>(g.nz())}, {}};
+    depths.data = g.vertical().centers();
+    ds.add(std::move(depths));
+  }
+  return ds;
+}
+
+void write_snapshot(const std::string& path, core::LicomModel& model, bool include_3d) {
+  snapshot(model, include_3d).write(path);
+}
+
+}  // namespace licomk::io

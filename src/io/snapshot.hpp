@@ -1,0 +1,18 @@
+// snapshot.hpp — package a model state into a self-describing Dataset.
+#pragma once
+
+#include "core/model.hpp"
+#include "io/dataset.hpp"
+
+namespace licomk::io {
+
+/// Capture this rank's interior state as an LSD dataset: 2-D sst / sss /
+/// eta / mld-free surface fields plus (optionally) the full 3-D temperature,
+/// salinity, and mask. Attributes record the configuration and simulated
+/// time, so a snapshot is interpretable standalone.
+Dataset snapshot(core::LicomModel& model, bool include_3d = false);
+
+/// Write snapshot(model) to `path`.
+void write_snapshot(const std::string& path, core::LicomModel& model, bool include_3d = false);
+
+}  // namespace licomk::io

@@ -1,0 +1,76 @@
+#include "kxx/backend.hpp"
+
+#include <atomic>
+#include <thread>
+
+#include "kxx/thread_pool.hpp"
+#include "swsim/athread.hpp"
+#include "util/error.hpp"
+
+namespace licomk::kxx {
+
+namespace {
+struct RuntimeState {
+  bool initialized = false;
+  Backend backend = Backend::Serial;
+  bool strict = false;
+  int threads = 1;
+  std::atomic<long long> fallbacks{0};
+};
+
+RuntimeState& state() {
+  static RuntimeState s;
+  return s;
+}
+}  // namespace
+
+void initialize(const InitConfig& config) {
+  RuntimeState& s = state();
+  s.backend = config.backend;
+  s.strict = config.athread_strict;
+  int hw = static_cast<int>(std::thread::hardware_concurrency());
+  s.threads = config.num_threads > 0 ? config.num_threads : (hw > 0 ? hw : 1);
+  detail::global_thread_pool().resize(s.threads);
+  swsim::athread_init();
+  s.initialized = true;
+}
+
+void finalize() {
+  RuntimeState& s = state();
+  detail::global_thread_pool().shutdown();
+  swsim::athread_halt();
+  s.initialized = false;
+}
+
+bool is_initialized() { return state().initialized; }
+
+Backend default_backend() { return state().backend; }
+
+void set_default_backend(Backend backend) { state().backend = backend; }
+
+bool athread_strict() { return state().strict; }
+
+void set_athread_strict(bool strict) { state().strict = strict; }
+
+int num_threads() { return state().threads; }
+
+void fence() {}
+
+std::string backend_name(Backend backend) {
+  switch (backend) {
+    case Backend::Serial: return "Serial";
+    case Backend::Threads: return "Threads";
+    case Backend::AthreadSim: return "AthreadSim";
+  }
+  return "?";
+}
+
+long long athread_fallback_count() { return state().fallbacks.load(); }
+
+void reset_athread_fallback_count() { state().fallbacks.store(0); }
+
+namespace detail {
+void note_athread_fallback() { state().fallbacks.fetch_add(1); }
+}  // namespace detail
+
+}  // namespace licomk::kxx

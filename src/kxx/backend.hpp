@@ -1,0 +1,63 @@
+// backend.hpp — execution backends and the kxx runtime lifecycle.
+//
+// A single functor source compiles against every backend; the backend is
+// selected at runtime (Table I of the paper: OpenMP, CUDA, HIP, Athread all
+// behind one programming model). In this reproduction:
+//   Serial     — reference single-core execution (stands in for the plain
+//                Fortran/MPE path);
+//   Threads    — std::thread pool (stands in for OpenMP on ARM/x86 CPUs);
+//   AthreadSim — the simulated Sunway core group; kernels must be registered
+//                via the KXX_REGISTER_* macros or (in permissive mode) they
+//                fall back to the MPE.
+#pragma once
+
+#include <string>
+
+namespace licomk::kxx {
+
+enum class Backend { Serial, Threads, AthreadSim };
+
+/// Runtime configuration for initialize().
+struct InitConfig {
+  Backend backend = Backend::Serial;
+  int num_threads = 0;          ///< Threads backend pool size; 0 = hardware.
+  bool athread_strict = false;  ///< Throw instead of MPE fallback for
+                                ///< unregistered functors on AthreadSim.
+};
+
+/// Initialize the runtime (idempotent per process; reconfigures on repeat
+/// calls). Must be called before any parallel dispatch.
+void initialize(const InitConfig& config = {});
+
+/// Tear down pools and the simulated core group runtime.
+void finalize();
+
+bool is_initialized();
+
+Backend default_backend();
+void set_default_backend(Backend backend);
+
+/// Strict-mode flag for the AthreadSim backend (see InitConfig).
+bool athread_strict();
+void set_athread_strict(bool strict);
+
+/// Number of workers the Threads backend uses.
+int num_threads();
+
+/// No-op barrier kept for Kokkos API fidelity (all simulated backends are
+/// synchronous).
+void fence();
+
+/// Human-readable backend name ("Serial", "Threads", "AthreadSim").
+std::string backend_name(Backend backend);
+
+/// Count of AthreadSim dispatches that fell back to MPE execution because the
+/// functor type was not registered (permissive mode only).
+long long athread_fallback_count();
+void reset_athread_fallback_count();
+
+namespace detail {
+void note_athread_fallback();
+}
+
+}  // namespace licomk::kxx

@@ -1,0 +1,15 @@
+// kxx.hpp — umbrella header for the kxx performance-portability layer.
+//
+// kxx is this repository's stand-in for Kokkos (see DESIGN.md §1): the same
+// programming model — views, policies, functors, one source for many
+// backends — including the Athread functor-registration mechanism the paper
+// contributes for Sunway processors.
+#pragma once
+
+#include "kxx/backend.hpp"     // IWYU pragma: export
+#include "kxx/parallel.hpp"    // IWYU pragma: export
+#include "kxx/policy.hpp"      // IWYU pragma: export
+#include "kxx/reducers.hpp"    // IWYU pragma: export
+#include "kxx/registry.hpp"    // IWYU pragma: export
+#include "kxx/team.hpp"        // IWYU pragma: export
+#include "kxx/view.hpp"        // IWYU pragma: export

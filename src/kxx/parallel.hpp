@@ -1,0 +1,321 @@
+// parallel.hpp — kxx::parallel_for / parallel_reduce / parallel_scan.
+//
+// One functor source dispatches to the backend selected at kxx::initialize:
+//   Serial     — straight loops;
+//   Threads    — contiguous chunks across the persistent worker pool;
+//   AthreadSim — registry lookup (paper §V-B), then a C-ABI spawn of the
+//                preset function onto the 64 simulated CPEs.
+// All backends produce identical results for pure data-parallel functors;
+// reductions join partials in a fixed order for reproducibility.
+#pragma once
+
+#include <algorithm>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "kxx/backend.hpp"
+#include "kxx/policy.hpp"
+#include "kxx/reducers.hpp"
+#include "kxx/registry.hpp"
+#include "kxx/thread_pool.hpp"
+#include "swsim/athread.hpp"
+#include "util/error.hpp"
+
+namespace licomk::kxx {
+
+/// Thrown by the AthreadSim backend in strict mode when a functor type has no
+/// KXX_REGISTER_* registration (the situation the paper's macro prevents).
+class KernelNotRegistered : public Error {
+ public:
+  KernelNotRegistered(const std::string& label, KernelKind kind)
+      : Error("kernel '" + label + "' (" + kernel_kind_name(kind) +
+              ") is not registered for the Athread backend; add a KXX_REGISTER_* macro") {}
+};
+
+namespace detail {
+
+/// Serializes simulated-device dispatch when several comm ranks (threads)
+/// drive kernels concurrently: one process models one accelerator per rank on
+/// the real machines, but here all ranks share a single simulated core group
+/// and one worker pool.
+inline std::mutex& dispatch_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+/// Split [begin, end) into pool-size contiguous chunks; returns chunk w.
+inline std::pair<long long, long long> chunk_of(long long begin, long long end, int w, int nw) {
+  long long len = end - begin;
+  long long base = len / nw;
+  long long extra = len % nw;
+  long long lo = begin + w * base + std::min<long long>(w, extra);
+  long long hi = lo + base + (w < extra ? 1 : 0);
+  return {lo, hi};
+}
+
+template <typename F>
+bool maybe_athread_for(const std::string& label, KernelKind kind, CpeLaunch& d) {
+  FunctorRegistry& reg = FunctorRegistry::instance();
+  const RegistryNode* node = reg.lookup(std::type_index(typeid(F)), kind);
+  if (node == nullptr) {
+    if (athread_strict()) throw KernelNotRegistered(label, kind);
+    note_athread_fallback();
+    return false;  // caller runs the serial fallback on the MPE
+  }
+  std::lock_guard<std::mutex> lock(dispatch_mutex());
+  swsim::athread_spawn(node->entry, &d);
+  swsim::athread_join();
+  return true;
+}
+
+/// Run a pool job exclusively (the pool is a shared per-process resource).
+template <typename Job>
+void run_pool_exclusive(Job&& job) {
+  std::lock_guard<std::mutex> lock(dispatch_mutex());
+  global_thread_pool().run_chunks(std::forward<Job>(job));
+}
+
+}  // namespace detail
+
+/// --- parallel_for ---------------------------------------------------------
+
+template <typename F>
+void parallel_for(const std::string& label, const RangePolicy& p, const F& f) {
+  switch (default_backend()) {
+    case Backend::Serial:
+      for (long long i = p.begin; i < p.end; ++i) f(i);
+      return;
+    case Backend::Threads: {
+      int nw = num_threads();
+      detail::run_pool_exclusive([&](int w) {
+        auto [lo, hi] = detail::chunk_of(p.begin, p.end, w, nw);
+        for (long long i = lo; i < hi; ++i) f(i);
+      });
+      return;
+    }
+    case Backend::AthreadSim: {
+      detail::CpeLaunch d;
+      d.functor = &f;
+      d.num_dims = 1;
+      d.begin[0] = p.begin;
+      d.end[0] = p.end;
+      d.tile[0] = p.tile;
+      if (!detail::maybe_athread_for<F>(label, KernelKind::For1D, d)) {
+        for (long long i = p.begin; i < p.end; ++i) f(i);
+      }
+      return;
+    }
+  }
+}
+
+/// Convenience: iterate [0, n).
+template <typename F>
+void parallel_for(const std::string& label, long long n, const F& f) {
+  parallel_for(label, RangePolicy(0, n), f);
+}
+
+template <typename F>
+void parallel_for(const std::string& label, const MDRangePolicy2& p, const F& f) {
+  switch (default_backend()) {
+    case Backend::Serial:
+      for (long long i = p.begin[0]; i < p.end[0]; ++i)
+        for (long long j = p.begin[1]; j < p.end[1]; ++j) f(i, j);
+      return;
+    case Backend::Threads: {
+      int nw = num_threads();
+      detail::run_pool_exclusive([&](int w) {
+        auto [lo, hi] = detail::chunk_of(p.begin[0], p.end[0], w, nw);
+        for (long long i = lo; i < hi; ++i)
+          for (long long j = p.begin[1]; j < p.end[1]; ++j) f(i, j);
+      });
+      return;
+    }
+    case Backend::AthreadSim: {
+      detail::CpeLaunch d;
+      d.functor = &f;
+      d.num_dims = 2;
+      for (int dim = 0; dim < 2; ++dim) {
+        d.begin[dim] = p.begin[dim];
+        d.end[dim] = p.end[dim];
+        d.tile[dim] = p.tile[dim];
+      }
+      if (!detail::maybe_athread_for<F>(label, KernelKind::For2D, d)) {
+        for (long long i = p.begin[0]; i < p.end[0]; ++i)
+          for (long long j = p.begin[1]; j < p.end[1]; ++j) f(i, j);
+      }
+      return;
+    }
+  }
+}
+
+template <typename F>
+void parallel_for(const std::string& label, const MDRangePolicy3& p, const F& f) {
+  switch (default_backend()) {
+    case Backend::Serial:
+      for (long long i = p.begin[0]; i < p.end[0]; ++i)
+        for (long long j = p.begin[1]; j < p.end[1]; ++j)
+          for (long long k = p.begin[2]; k < p.end[2]; ++k) f(i, j, k);
+      return;
+    case Backend::Threads: {
+      int nw = num_threads();
+      detail::run_pool_exclusive([&](int w) {
+        auto [lo, hi] = detail::chunk_of(p.begin[0], p.end[0], w, nw);
+        for (long long i = lo; i < hi; ++i)
+          for (long long j = p.begin[1]; j < p.end[1]; ++j)
+            for (long long k = p.begin[2]; k < p.end[2]; ++k) f(i, j, k);
+      });
+      return;
+    }
+    case Backend::AthreadSim: {
+      detail::CpeLaunch d;
+      d.functor = &f;
+      d.num_dims = 3;
+      for (int dim = 0; dim < 3; ++dim) {
+        d.begin[dim] = p.begin[dim];
+        d.end[dim] = p.end[dim];
+        d.tile[dim] = p.tile[dim];
+      }
+      if (!detail::maybe_athread_for<F>(label, KernelKind::For3D, d)) {
+        for (long long i = p.begin[0]; i < p.end[0]; ++i)
+          for (long long j = p.begin[1]; j < p.end[1]; ++j)
+            for (long long k = p.begin[2]; k < p.end[2]; ++k) f(i, j, k);
+      }
+      return;
+    }
+  }
+}
+
+/// --- parallel_reduce -------------------------------------------------------
+
+namespace detail {
+
+template <typename F, typename Reducer, typename Invoke>
+void reduce_dispatch(const std::string& label, KernelKind kind, CpeLaunch& d,
+                     const Reducer& reducer, long long begin0, long long end0,
+                     Invoke&& serial_over_dim0) {
+  using Op = typename Reducer::op;
+  using T = typename Reducer::value_type;
+  switch (default_backend()) {
+    case Backend::Serial: {
+      T acc = Op::identity();
+      serial_over_dim0(begin0, end0, acc);
+      reducer.result = acc;
+      return;
+    }
+    case Backend::Threads: {
+      int nw = num_threads();
+      std::vector<T> partials(static_cast<size_t>(nw), Op::identity());
+      run_pool_exclusive([&](int w) {
+        auto [lo, hi] = chunk_of(begin0, end0, w, nw);
+        serial_over_dim0(lo, hi, partials[static_cast<size_t>(w)]);
+      });
+      T acc = Op::identity();
+      for (const T& part : partials) Op::join(acc, part);
+      reducer.result = acc;
+      return;
+    }
+    case Backend::AthreadSim: {
+      std::vector<T> partials(static_cast<size_t>(swsim::CoreGroup::kNumCpes), Op::identity());
+      d.partials = partials.data();
+      FunctorRegistry& reg = FunctorRegistry::instance();
+      const RegistryNode* node = reg.lookup(std::type_index(typeid(F)), kind);
+      if (node == nullptr) {
+        if (athread_strict()) throw KernelNotRegistered(label, kind);
+        note_athread_fallback();
+        T acc = Op::identity();
+        serial_over_dim0(begin0, end0, acc);
+        reducer.result = acc;
+        return;
+      }
+      if (node->op_type != std::type_index(typeid(Op))) {
+        throw InvalidArgument("kernel '" + label + "' registered with a different reduction op");
+      }
+      {
+        std::lock_guard<std::mutex> lock(dispatch_mutex());
+        swsim::athread_spawn(node->entry, &d);
+        swsim::athread_join();
+      }
+      T acc = Op::identity();
+      for (const T& part : partials) Op::join(acc, part);
+      reducer.result = acc;
+      return;
+    }
+  }
+}
+
+}  // namespace detail
+
+template <typename F, typename Reducer>
+void parallel_reduce(const std::string& label, const RangePolicy& p, const F& f,
+                     const Reducer& reducer) {
+  detail::CpeLaunch d;
+  d.functor = &f;
+  d.num_dims = 1;
+  d.begin[0] = p.begin;
+  d.end[0] = p.end;
+  d.tile[0] = p.tile;
+  detail::reduce_dispatch<F>(label, KernelKind::Reduce1D, d, reducer, p.begin, p.end,
+                             [&](long long lo, long long hi, auto& acc) {
+                               for (long long i = lo; i < hi; ++i) f(i, acc);
+                             });
+}
+
+/// Convenience: reduce over [0, n) with Sum semantics via any reducer.
+template <typename F, typename Reducer>
+void parallel_reduce(const std::string& label, long long n, const F& f, const Reducer& reducer) {
+  parallel_reduce(label, RangePolicy(0, n), f, reducer);
+}
+
+template <typename F, typename Reducer>
+void parallel_reduce(const std::string& label, const MDRangePolicy2& p, const F& f,
+                     const Reducer& reducer) {
+  detail::CpeLaunch d;
+  d.functor = &f;
+  d.num_dims = 2;
+  for (int dim = 0; dim < 2; ++dim) {
+    d.begin[dim] = p.begin[dim];
+    d.end[dim] = p.end[dim];
+    d.tile[dim] = p.tile[dim];
+  }
+  detail::reduce_dispatch<F>(label, KernelKind::Reduce2D, d, reducer, p.begin[0], p.end[0],
+                             [&](long long lo, long long hi, auto& acc) {
+                               for (long long i = lo; i < hi; ++i)
+                                 for (long long j = p.begin[1]; j < p.end[1]; ++j) f(i, j, acc);
+                             });
+}
+
+template <typename F, typename Reducer>
+void parallel_reduce(const std::string& label, const MDRangePolicy3& p, const F& f,
+                     const Reducer& reducer) {
+  detail::CpeLaunch d;
+  d.functor = &f;
+  d.num_dims = 3;
+  for (int dim = 0; dim < 3; ++dim) {
+    d.begin[dim] = p.begin[dim];
+    d.end[dim] = p.end[dim];
+    d.tile[dim] = p.tile[dim];
+  }
+  detail::reduce_dispatch<F>(label, KernelKind::Reduce3D, d, reducer, p.begin[0], p.end[0],
+                             [&](long long lo, long long hi, auto& acc) {
+                               for (long long i = lo; i < hi; ++i)
+                                 for (long long j = p.begin[1]; j < p.end[1]; ++j)
+                                   for (long long k = p.begin[2]; k < p.end[2]; ++k)
+                                     f(i, j, k, acc);
+                             });
+}
+
+/// --- parallel_scan ---------------------------------------------------------
+
+/// Inclusive prefix scan of f's contributions: f(i, update, final) is called
+/// twice per element (Kokkos semantics) — first pass accumulates, second pass
+/// (final == true) observes the running prefix. Runs serially on every
+/// backend (scan is not on the model's hot path; documented limitation).
+template <typename F, typename T>
+void parallel_scan(const std::string& /*label*/, const RangePolicy& p, const F& f, T& total) {
+  T update = T{};
+  for (long long i = p.begin; i < p.end; ++i) f(i, update, true);
+  total = update;
+}
+
+}  // namespace licomk::kxx

@@ -1,0 +1,66 @@
+// policy.hpp — execution policies (iteration spaces) for kxx dispatches.
+//
+// RangePolicy is a 1-D half-open index range; MDRangePolicy{2,3} are
+// multi-dimensional ranges with per-dimension tile lengths. Tile lengths feed
+// the paper's CPE work-distribution formulas (Eq. 1 and Eq. 2 in §V-B): the
+// iteration space is cut into ceil(len/tile) tiles per dimension and tiles are
+// dealt out to the 64 CPEs as evenly as possible.
+#pragma once
+
+#include <array>
+
+#include "util/error.hpp"
+
+namespace licomk::kxx {
+
+/// 1-D half-open range [begin, end).
+struct RangePolicy {
+  long long begin = 0;
+  long long end = 0;
+  long long tile = 256;  ///< Tile length for CPE distribution.
+
+  RangePolicy() = default;
+  RangePolicy(long long b, long long e, long long t = 256) : begin(b), end(e), tile(t) {
+    LICOMK_REQUIRE(e >= b, "RangePolicy end < begin");
+    LICOMK_REQUIRE(t > 0, "RangePolicy tile must be positive");
+  }
+  long long length() const { return end - begin; }
+};
+
+/// 2-D range; functor signature is f(i0, i1) with i1 fastest.
+struct MDRangePolicy2 {
+  std::array<long long, 2> begin{0, 0};
+  std::array<long long, 2> end{0, 0};
+  std::array<long long, 2> tile{4, 64};
+
+  MDRangePolicy2() = default;
+  MDRangePolicy2(std::array<long long, 2> b, std::array<long long, 2> e,
+                 std::array<long long, 2> t = {4, 64})
+      : begin(b), end(e), tile(t) {
+    for (int d = 0; d < 2; ++d) {
+      LICOMK_REQUIRE(end[d] >= begin[d], "MDRangePolicy2 end < begin");
+      LICOMK_REQUIRE(tile[d] > 0, "MDRangePolicy2 tile must be positive");
+    }
+  }
+  long long length(int d) const { return end[d] - begin[d]; }
+};
+
+/// 3-D range; functor signature is f(i0, i1, i2) with i2 fastest.
+struct MDRangePolicy3 {
+  std::array<long long, 3> begin{0, 0, 0};
+  std::array<long long, 3> end{0, 0, 0};
+  std::array<long long, 3> tile{2, 4, 64};
+
+  MDRangePolicy3() = default;
+  MDRangePolicy3(std::array<long long, 3> b, std::array<long long, 3> e,
+                 std::array<long long, 3> t = {2, 4, 64})
+      : begin(b), end(e), tile(t) {
+    for (int d = 0; d < 3; ++d) {
+      LICOMK_REQUIRE(end[d] >= begin[d], "MDRangePolicy3 end < begin");
+      LICOMK_REQUIRE(tile[d] > 0, "MDRangePolicy3 tile must be positive");
+    }
+  }
+  long long length(int d) const { return end[d] - begin[d]; }
+};
+
+}  // namespace licomk::kxx

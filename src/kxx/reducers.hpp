@@ -1,0 +1,72 @@
+// reducers.hpp — reduction operations and reducer wrappers.
+//
+// A reduction op supplies the identity and the join; a reducer wrapper binds
+// an op to the caller's result reference, mirroring Kokkos::Sum/Min/Max.
+// parallel_reduce computes per-worker (or per-CPE) partials initialized to
+// the identity and joins them in worker order, so results are deterministic
+// for a fixed worker count.
+#pragma once
+
+#include <algorithm>
+#include <limits>
+
+namespace licomk::kxx {
+
+template <typename T>
+struct SumOp {
+  using value_type = T;
+  static T identity() { return T{}; }
+  static void join(T& a, const T& b) { a += b; }
+};
+
+template <typename T>
+struct MinOp {
+  using value_type = T;
+  static T identity() { return std::numeric_limits<T>::max(); }
+  static void join(T& a, const T& b) { a = std::min(a, b); }
+};
+
+template <typename T>
+struct MaxOp {
+  using value_type = T;
+  static T identity() { return std::numeric_limits<T>::lowest(); }
+  static void join(T& a, const T& b) { a = std::max(a, b); }
+};
+
+/// Logical-AND over bool-like values (used by property checks).
+struct LAndOp {
+  using value_type = int;
+  static int identity() { return 1; }
+  static void join(int& a, const int& b) { a = (a && b) ? 1 : 0; }
+};
+
+namespace detail {
+template <typename Op>
+struct Reducer {
+  using op = Op;
+  using value_type = typename Op::value_type;
+  value_type& result;
+  explicit Reducer(value_type& r) : result(r) {}
+};
+}  // namespace detail
+
+template <typename T>
+struct Sum : detail::Reducer<SumOp<T>> {
+  explicit Sum(T& r) : detail::Reducer<SumOp<T>>(r) {}
+};
+
+template <typename T>
+struct Min : detail::Reducer<MinOp<T>> {
+  explicit Min(T& r) : detail::Reducer<MinOp<T>>(r) {}
+};
+
+template <typename T>
+struct Max : detail::Reducer<MaxOp<T>> {
+  explicit Max(T& r) : detail::Reducer<MaxOp<T>>(r) {}
+};
+
+struct LAnd : detail::Reducer<LAndOp> {
+  explicit LAnd(int& r) : detail::Reducer<LAndOp>(r) {}
+};
+
+}  // namespace licomk::kxx

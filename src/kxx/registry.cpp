@@ -1,0 +1,87 @@
+#include "kxx/registry.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace licomk::kxx {
+
+const char* kernel_kind_name(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::For1D: return "For1D";
+    case KernelKind::For2D: return "For2D";
+    case KernelKind::For3D: return "For3D";
+    case KernelKind::Reduce1D: return "Reduce1D";
+    case KernelKind::Reduce2D: return "Reduce2D";
+    case KernelKind::Reduce3D: return "Reduce3D";
+    case KernelKind::Team: return "Team";
+  }
+  return "?";
+}
+
+namespace detail {
+
+FunctorRegistry& FunctorRegistry::instance() {
+  static FunctorRegistry registry;
+  return registry;
+}
+
+void FunctorRegistry::add(std::string name, std::type_index functor_type,
+                          std::type_index op_type, KernelKind kind, swsim::CpeKernel entry) {
+  Key key{functor_type, static_cast<int>(kind)};
+  if (hashed_.count(key) > 0) {
+    LICOMK_LOG_DEBUG("kxx") << "duplicate registration ignored: " << name;
+    return;
+  }
+  auto* node = new RegistryNode{std::move(name), functor_type, op_type, kind, entry, nullptr};
+  if (tail_ == nullptr) {
+    head_ = tail_ = node;
+  } else {
+    tail_->next = node;
+    tail_ = node;
+  }
+  count_ += 1;
+  hashed_.emplace(key, node);
+}
+
+const RegistryNode* FunctorRegistry::lookup(std::type_index functor_type, KernelKind kind) {
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  for (RegistryNode* n = head_; n != nullptr; n = n->next) {
+    nodes_visited_.fetch_add(1, std::memory_order_relaxed);
+    if (n->functor_type == functor_type && n->kind == kind) return n;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;
+}
+
+const RegistryNode* FunctorRegistry::lookup_hashed(std::type_index functor_type,
+                                                   KernelKind kind) {
+  auto it = hashed_.find(Key{functor_type, static_cast<int>(kind)});
+  return it == hashed_.end() ? nullptr : it->second;
+}
+
+TileAssignment assign_tiles(const CpeLaunch& d, int cpe_id, int num_cpe) {
+  LICOMK_REQUIRE(num_cpe > 0, "num_cpe must be positive");
+  TileAssignment a;
+  // Eq. (1): total_tile = prod ceil(len_range_n / len_tile_n)
+  a.total_tiles = 1;
+  for (int dim = 0; dim < d.num_dims; ++dim) {
+    long long len = d.end[dim] - d.begin[dim];
+    long long tiles = len <= 0 ? 0 : (len + d.tile[dim] - 1) / d.tile[dim];
+    a.tiles_per_dim[dim] = std::max<long long>(tiles, 0);
+    a.total_tiles *= a.tiles_per_dim[dim];
+  }
+  if (a.total_tiles <= 0) {
+    a.first_tile = a.last_tile = 0;
+    return a;
+  }
+  // Eq. (2): num_tile_per_cpe = ceil(total_tile / num_cpe)
+  long long per_cpe = (a.total_tiles + num_cpe - 1) / num_cpe;
+  a.first_tile = std::min<long long>(static_cast<long long>(cpe_id) * per_cpe, a.total_tiles);
+  a.last_tile = std::min<long long>(a.first_tile + per_cpe, a.total_tiles);
+  return a;
+}
+
+}  // namespace detail
+}  // namespace licomk::kxx

@@ -1,0 +1,296 @@
+// registry.hpp — the functor registration / callback machinery that lets
+// Kokkos-style template functors run on the (simulated) Sunway CPEs.
+//
+// The Athread kernel-launch ABI accepts only `void (*)(void*)` — no template
+// parameters cross it (paper §V-B "Challenge"). The paper's solution, which
+// this file reproduces:
+//   * each functor type is registered once, via a macro like
+//     KXX_REGISTER_FOR_1D(my_axpy, FunctorAXPY<double>), which instantiates a
+//     concrete "preset function" wrapping the functor's operator() and links
+//     it into a registry;
+//   * the registry is a singly linked list (the paper's chosen structure,
+//     trading O(n) lookup for robustness and tiny memory footprint);
+//   * at launch, kxx::parallel_for looks the functor type up and spawns the
+//     preset function on the CPEs with a POD launch descriptor.
+// Lookup statistics (walk lengths) are recorded so bench_registry_lookup can
+// reproduce the linked-list-vs-hash trade-off the paper discusses, and a
+// hashed side index is provided as the ablation alternative.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <typeindex>
+#include <unordered_map>
+#include <vector>
+
+#include "swsim/core_group.hpp"
+#include "util/stats.hpp"
+
+namespace licomk::kxx {
+
+enum class KernelKind : int { For1D, For2D, For3D, Reduce1D, Reduce2D, Reduce3D, Team };
+
+const char* kernel_kind_name(KernelKind kind);
+
+namespace detail {
+
+/// POD launch descriptor passed through the C-ABI spawn to the preset
+/// function. One structure serves all kinds; unused dimensions are length 1.
+struct CpeLaunch {
+  const void* functor = nullptr;
+  int num_dims = 1;
+  long long begin[3] = {0, 0, 0};
+  long long end[3] = {0, 0, 0};
+  long long tile[3] = {1, 1, 1};
+  /// Reduce kernels write per-CPE partials here (array of 64 value_type,
+  /// allocated by the MPE-side dispatcher which knows the concrete type).
+  void* partials = nullptr;
+  /// Team kernels: per-team scratch bytes (taken from LDM on the CPEs).
+  long long scratch_bytes = 0;
+};
+
+/// One registered kernel.
+struct RegistryNode {
+  std::string name;             ///< User-chosen registration name.
+  std::type_index functor_type; ///< typeid of the functor class.
+  std::type_index op_type;      ///< typeid of the reduction op (or void).
+  KernelKind kind;
+  swsim::CpeKernel entry;       ///< The preset function.
+  RegistryNode* next = nullptr; ///< Linked-list order = registration order.
+};
+
+/// Lookup statistics for the registry bench (snapshot of atomic counters —
+/// lookups happen concurrently when several ranks dispatch kernels).
+struct RegistryLookupStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t nodes_visited = 0;
+  std::uint64_t misses = 0;
+};
+
+/// The process-wide kernel registry (linked list + hashed ablation index).
+class FunctorRegistry {
+ public:
+  static FunctorRegistry& instance();
+
+  /// Register a kernel; duplicate (type, kind) registrations are ignored with
+  /// a warning so the macro can appear in multiple translation units.
+  void add(std::string name, std::type_index functor_type, std::type_index op_type,
+           KernelKind kind, swsim::CpeKernel entry);
+
+  /// Linked-list lookup (the paper's design). Returns nullptr on miss.
+  const RegistryNode* lookup(std::type_index functor_type, KernelKind kind);
+
+  /// Hash-map lookup over the same nodes (ablation comparator).
+  const RegistryNode* lookup_hashed(std::type_index functor_type, KernelKind kind);
+
+  std::size_t size() const { return count_; }
+  const RegistryNode* head() const { return head_; }
+
+  RegistryLookupStats stats() const {
+    return RegistryLookupStats{lookups_.load(), nodes_visited_.load(), misses_.load()};
+  }
+  void reset_stats() {
+    lookups_.store(0);
+    nodes_visited_.store(0);
+    misses_.store(0);
+  }
+
+ private:
+  FunctorRegistry() = default;
+
+  RegistryNode* head_ = nullptr;
+  RegistryNode* tail_ = nullptr;
+  std::size_t count_ = 0;
+  std::atomic<std::uint64_t> lookups_{0};
+  std::atomic<std::uint64_t> nodes_visited_{0};
+  std::atomic<std::uint64_t> misses_{0};
+
+  struct Key {
+    std::type_index type;
+    int kind;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return k.type.hash_code() * 31 + static_cast<std::size_t>(k.kind);
+    }
+  };
+  std::unordered_map<Key, RegistryNode*, KeyHash> hashed_;
+};
+
+/// Tile assignment per the paper's Eq. (1)/(2): total tiles across all loop
+/// dimensions, dealt to CPEs in contiguous chunks of ceil(total/num_cpe).
+struct TileAssignment {
+  long long first_tile = 0;
+  long long last_tile = 0;  ///< half-open
+  long long total_tiles = 0;
+  long long tiles_per_dim[3] = {1, 1, 1};
+};
+
+TileAssignment assign_tiles(const CpeLaunch& d, int cpe_id, int num_cpe);
+
+/// Iterate every index of tile `t` (row-major over the tile grid), invoking
+/// `body(i0, i1, i2)`; unused dims pass their begin value.
+template <typename Body>
+void for_each_index_in_tile(const CpeLaunch& d, const TileAssignment& a, long long t,
+                            Body&& body) {
+  long long rem = t;
+  long long tile_coord[3] = {0, 0, 0};
+  for (int dim = d.num_dims - 1; dim >= 0; --dim) {
+    tile_coord[dim] = rem % a.tiles_per_dim[dim];
+    rem /= a.tiles_per_dim[dim];
+  }
+  long long lo[3];
+  long long hi[3];
+  for (int dim = 0; dim < 3; ++dim) {
+    if (dim < d.num_dims) {
+      lo[dim] = d.begin[dim] + tile_coord[dim] * d.tile[dim];
+      hi[dim] = std::min(lo[dim] + d.tile[dim], d.end[dim]);
+    } else {
+      lo[dim] = 0;
+      hi[dim] = 1;
+    }
+  }
+  for (long long i0 = lo[0]; i0 < hi[0]; ++i0)
+    for (long long i1 = lo[1]; i1 < hi[1]; ++i1)
+      for (long long i2 = lo[2]; i2 < hi[2]; ++i2) body(i0, i1, i2);
+}
+
+/// --- Preset functions (instantiated per functor at registration) ---------
+
+template <typename Functor>
+void cpe_entry_for_1d(void* argp) {
+  const auto* d = static_cast<const CpeLaunch*>(argp);
+  const auto& f = *static_cast<const Functor*>(d->functor);
+  const int cpe = swsim::this_cpe()->id();
+  TileAssignment a = assign_tiles(*d, cpe, swsim::CoreGroup::kNumCpes);
+  for (long long t = a.first_tile; t < a.last_tile; ++t) {
+    for_each_index_in_tile(*d, a, t, [&](long long i0, long long, long long) { f(i0); });
+  }
+}
+
+template <typename Functor>
+void cpe_entry_for_2d(void* argp) {
+  const auto* d = static_cast<const CpeLaunch*>(argp);
+  const auto& f = *static_cast<const Functor*>(d->functor);
+  const int cpe = swsim::this_cpe()->id();
+  TileAssignment a = assign_tiles(*d, cpe, swsim::CoreGroup::kNumCpes);
+  for (long long t = a.first_tile; t < a.last_tile; ++t) {
+    for_each_index_in_tile(*d, a, t, [&](long long i0, long long i1, long long) { f(i0, i1); });
+  }
+}
+
+template <typename Functor>
+void cpe_entry_for_3d(void* argp) {
+  const auto* d = static_cast<const CpeLaunch*>(argp);
+  const auto& f = *static_cast<const Functor*>(d->functor);
+  const int cpe = swsim::this_cpe()->id();
+  TileAssignment a = assign_tiles(*d, cpe, swsim::CoreGroup::kNumCpes);
+  for (long long t = a.first_tile; t < a.last_tile; ++t) {
+    for_each_index_in_tile(*d, a, t,
+                           [&](long long i0, long long i1, long long i2) { f(i0, i1, i2); });
+  }
+}
+
+template <typename Functor, typename Op>
+void cpe_entry_reduce_1d(void* argp) {
+  const auto* d = static_cast<const CpeLaunch*>(argp);
+  const auto& f = *static_cast<const Functor*>(d->functor);
+  const int cpe = swsim::this_cpe()->id();
+  TileAssignment a = assign_tiles(*d, cpe, swsim::CoreGroup::kNumCpes);
+  typename Op::value_type local = Op::identity();
+  for (long long t = a.first_tile; t < a.last_tile; ++t) {
+    for_each_index_in_tile(*d, a, t, [&](long long i0, long long, long long) { f(i0, local); });
+  }
+  static_cast<typename Op::value_type*>(d->partials)[cpe] = local;
+}
+
+template <typename Functor, typename Op>
+void cpe_entry_reduce_2d(void* argp) {
+  const auto* d = static_cast<const CpeLaunch*>(argp);
+  const auto& f = *static_cast<const Functor*>(d->functor);
+  const int cpe = swsim::this_cpe()->id();
+  TileAssignment a = assign_tiles(*d, cpe, swsim::CoreGroup::kNumCpes);
+  typename Op::value_type local = Op::identity();
+  for (long long t = a.first_tile; t < a.last_tile; ++t) {
+    for_each_index_in_tile(*d, a, t,
+                           [&](long long i0, long long i1, long long) { f(i0, i1, local); });
+  }
+  static_cast<typename Op::value_type*>(d->partials)[cpe] = local;
+}
+
+template <typename Functor, typename Op>
+void cpe_entry_reduce_3d(void* argp) {
+  const auto* d = static_cast<const CpeLaunch*>(argp);
+  const auto& f = *static_cast<const Functor*>(d->functor);
+  const int cpe = swsim::this_cpe()->id();
+  TileAssignment a = assign_tiles(*d, cpe, swsim::CoreGroup::kNumCpes);
+  typename Op::value_type local = Op::identity();
+  for (long long t = a.first_tile; t < a.last_tile; ++t) {
+    for_each_index_in_tile(
+        *d, a, t, [&](long long i0, long long i1, long long i2) { f(i0, i1, i2, local); });
+  }
+  static_cast<typename Op::value_type*>(d->partials)[cpe] = local;
+}
+
+struct VoidOp {};
+
+template <typename Functor>
+bool register_for(const char* name, KernelKind kind, swsim::CpeKernel entry) {
+  FunctorRegistry::instance().add(name, std::type_index(typeid(Functor)),
+                                  std::type_index(typeid(VoidOp)), kind, entry);
+  return true;
+}
+
+template <typename Functor, typename Op>
+bool register_reduce(const char* name, KernelKind kind, swsim::CpeKernel entry) {
+  FunctorRegistry::instance().add(name, std::type_index(typeid(Functor)),
+                                  std::type_index(typeid(Op)), kind, entry);
+  return true;
+}
+
+}  // namespace detail
+}  // namespace licomk::kxx
+
+/// Register `Functor` (second argument, may contain commas via __VA_ARGS__)
+/// for 1-D parallel_for dispatch on the Athread backend under `name`.
+/// Mirrors the paper's KOKKOS_REGISTER_FOR_1D(Arg1, Arg2) macro (Code 1).
+#define KXX_REGISTER_FOR_1D(name, ...)                                                 \
+  static const bool kxx_registered_for1d_##name [[maybe_unused]] =                     \
+      ::licomk::kxx::detail::register_for<__VA_ARGS__>(                                \
+          #name, ::licomk::kxx::KernelKind::For1D,                                     \
+          &::licomk::kxx::detail::cpe_entry_for_1d<__VA_ARGS__>)
+
+#define KXX_REGISTER_FOR_2D(name, ...)                                                 \
+  static const bool kxx_registered_for2d_##name [[maybe_unused]] =                     \
+      ::licomk::kxx::detail::register_for<__VA_ARGS__>(                                \
+          #name, ::licomk::kxx::KernelKind::For2D,                                     \
+          &::licomk::kxx::detail::cpe_entry_for_2d<__VA_ARGS__>)
+
+#define KXX_REGISTER_FOR_3D(name, ...)                                                 \
+  static const bool kxx_registered_for3d_##name [[maybe_unused]] =                     \
+      ::licomk::kxx::detail::register_for<__VA_ARGS__>(                                \
+          #name, ::licomk::kxx::KernelKind::For3D,                                     \
+          &::licomk::kxx::detail::cpe_entry_for_3d<__VA_ARGS__>)
+
+/// Register `Functor` for 1-D parallel_reduce with reduction op `Op`
+/// (e.g. kxx::SumOp<double>).
+#define KXX_REGISTER_REDUCE_1D(name, Functor, Op)                                      \
+  static const bool kxx_registered_red1d_##name [[maybe_unused]] =                     \
+      ::licomk::kxx::detail::register_reduce<Functor, Op>(                             \
+          #name, ::licomk::kxx::KernelKind::Reduce1D,                                  \
+          &::licomk::kxx::detail::cpe_entry_reduce_1d<Functor, Op>)
+
+#define KXX_REGISTER_REDUCE_2D(name, Functor, Op)                                      \
+  static const bool kxx_registered_red2d_##name [[maybe_unused]] =                     \
+      ::licomk::kxx::detail::register_reduce<Functor, Op>(                             \
+          #name, ::licomk::kxx::KernelKind::Reduce2D,                                  \
+          &::licomk::kxx::detail::cpe_entry_reduce_2d<Functor, Op>)
+
+#define KXX_REGISTER_REDUCE_3D(name, Functor, Op)                                      \
+  static const bool kxx_registered_red3d_##name [[maybe_unused]] =                     \
+      ::licomk::kxx::detail::register_reduce<Functor, Op>(                             \
+          #name, ::licomk::kxx::KernelKind::Reduce3D,                                  \
+          &::licomk::kxx::detail::cpe_entry_reduce_3d<Functor, Op>)

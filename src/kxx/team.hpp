@@ -1,0 +1,147 @@
+// team.hpp — team-level dispatch with per-team scratch memory.
+//
+// Kokkos' hierarchical parallelism pairs a league of teams with per-team
+// scratch memory; on Sunway that scratch is the CPE's LDM (paper §V-B:
+// "developers can optimize memory latency by using LDM ... by defining and
+// using local arrays within the functor"). This header provides the reduced
+// form this reproduction needs: each team is one execution lane (one CPE on
+// the AthreadSim backend), the league is distributed like 1-D tiles
+// (Eq. 1/2), and team_scratch() hands the functor a scratch arena that is
+//   * a heap buffer on Serial/Threads,
+//   * a genuine LdmArena allocation on AthreadSim — so an oversized request
+//     fails with the same ResourceError a real LDM overflow produces.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "kxx/parallel.hpp"
+
+namespace licomk::kxx {
+
+/// A league of `league_size` teams, each with `scratch_bytes` of scratch.
+struct TeamPolicy {
+  int league_size = 0;
+  std::size_t scratch_bytes = 0;
+
+  TeamPolicy(int league, std::size_t scratch) : league_size(league), scratch_bytes(scratch) {
+    LICOMK_REQUIRE(league >= 0, "league size must be non-negative");
+  }
+};
+
+/// Handle passed to a team functor: identity plus the scratch arena.
+class TeamMember {
+ public:
+  TeamMember(int league_rank, int league_size, void* scratch, std::size_t scratch_bytes)
+      : league_rank_(league_rank),
+        league_size_(league_size),
+        scratch_(scratch),
+        scratch_bytes_(scratch_bytes) {}
+
+  int league_rank() const { return league_rank_; }
+  int league_size() const { return league_size_; }
+
+  /// The team's scratch arena (scratch_bytes from the policy). On AthreadSim
+  /// this is LDM; treat it as uninitialized scratch.
+  void* team_scratch() const { return scratch_; }
+  std::size_t scratch_bytes() const { return scratch_bytes_; }
+
+  template <typename T>
+  T* scratch_array(std::size_t count) const {
+    LICOMK_REQUIRE(count * sizeof(T) <= scratch_bytes_, "scratch_array exceeds team scratch");
+    return static_cast<T*>(scratch_);
+  }
+
+ private:
+  int league_rank_;
+  int league_size_;
+  void* scratch_;
+  std::size_t scratch_bytes_;
+};
+
+namespace detail {
+
+/// Preset function for team kernels on the CPEs: allocate the team scratch
+/// from the executing CPE's LDM for every assigned team.
+template <typename Functor>
+void cpe_entry_team(void* argp) {
+  const auto* d = static_cast<const CpeLaunch*>(argp);
+  const auto& f = *static_cast<const Functor*>(d->functor);
+  const int cpe = swsim::this_cpe()->id();
+  TileAssignment a = assign_tiles(*d, cpe, swsim::CoreGroup::kNumCpes);
+  const auto scratch_bytes = static_cast<std::size_t>(d->scratch_bytes);
+  for (long long t = a.first_tile; t < a.last_tile; ++t) {
+    for_each_index_in_tile(*d, a, t, [&](long long league, long long, long long) {
+      void* scratch = scratch_bytes > 0 ? swsim::ldm_malloc(scratch_bytes) : nullptr;
+      f(TeamMember(static_cast<int>(league), static_cast<int>(d->end[0]), scratch,
+                   scratch_bytes));
+      if (scratch != nullptr) swsim::ldm_free(scratch);
+    });
+  }
+}
+
+struct TeamTag {};
+
+}  // namespace detail
+
+/// Team-policy parallel_for; the functor signature is f(const TeamMember&).
+template <typename F>
+void parallel_for(const std::string& label, const TeamPolicy& p, const F& f) {
+  if (p.league_size == 0) return;
+  switch (default_backend()) {
+    case Backend::Serial: {
+      std::vector<std::byte> scratch(p.scratch_bytes);
+      for (int league = 0; league < p.league_size; ++league) {
+        f(TeamMember(league, p.league_size, scratch.empty() ? nullptr : scratch.data(),
+                     p.scratch_bytes));
+      }
+      return;
+    }
+    case Backend::Threads: {
+      int nw = num_threads();
+      detail::run_pool_exclusive([&](int w) {
+        auto [lo, hi] = detail::chunk_of(0, p.league_size, w, nw);
+        std::vector<std::byte> scratch(p.scratch_bytes);
+        for (long long league = lo; league < hi; ++league) {
+          f(TeamMember(static_cast<int>(league), p.league_size,
+                       scratch.empty() ? nullptr : scratch.data(), p.scratch_bytes));
+        }
+      });
+      return;
+    }
+    case Backend::AthreadSim: {
+      detail::CpeLaunch d;
+      d.functor = &f;
+      d.num_dims = 1;
+      d.begin[0] = 0;
+      d.end[0] = p.league_size;
+      d.tile[0] = 1;  // one team per tile: scratch lifetime is per team
+      d.scratch_bytes = static_cast<long long>(p.scratch_bytes);
+      if (!detail::maybe_athread_for<F>(label, KernelKind::Team, d)) {
+        std::vector<std::byte> scratch(p.scratch_bytes);
+        for (int league = 0; league < p.league_size; ++league) {
+          f(TeamMember(league, p.league_size, scratch.empty() ? nullptr : scratch.data(),
+                       p.scratch_bytes));
+        }
+      }
+      return;
+    }
+  }
+}
+
+namespace detail {
+template <typename Functor>
+bool register_team(const char* name, swsim::CpeKernel entry) {
+  FunctorRegistry::instance().add(name, std::type_index(typeid(Functor)),
+                                  std::type_index(typeid(VoidOp)), KernelKind::Team, entry);
+  return true;
+}
+}  // namespace detail
+
+}  // namespace licomk::kxx
+
+/// Register a team functor for the Athread backend (scratch comes from LDM).
+#define KXX_REGISTER_TEAM(name, ...)                                           \
+  static const bool kxx_registered_team_##name [[maybe_unused]] =              \
+      ::licomk::kxx::detail::register_team<__VA_ARGS__>(                       \
+          #name, &::licomk::kxx::detail::cpe_entry_team<__VA_ARGS__>)

@@ -1,0 +1,98 @@
+#include "kxx/thread_pool.hpp"
+
+#include "util/error.hpp"
+
+namespace licomk::kxx::detail {
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::resize(int n) {
+  LICOMK_REQUIRE(n >= 1, "thread pool size must be >= 1");
+  shutdown();
+  {
+    // Fresh epoch: workers start with seen == generation_, so a generation
+    // left over from a previous pool cannot fire them on a null job.
+    std::lock_guard<std::mutex> lock(mutex_);
+    workers_requested_ = n;
+    stop_ = false;
+    generation_ = 0;
+    job_ = nullptr;
+    pending_ = 0;
+  }
+  // Workers 1..n-1 are real threads; worker 0 is the caller in run_chunks.
+  for (int i = 1; i < n; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+void ThreadPool::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+void ThreadPool::worker_loop(int index) {
+  unsigned long long seen = 0;
+  while (true) {
+    const std::function<void(int)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_start_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+    }
+    try {
+      (*job)(index);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      pending_ -= 1;
+    }
+    cv_done_.notify_all();
+  }
+}
+
+void ThreadPool::run_chunks(const std::function<void(int)>& chunk) {
+  if (workers_requested_ == 1 || threads_.empty()) {
+    for (int w = 0; w < workers_requested_; ++w) chunk(w);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &chunk;
+    pending_ = static_cast<int>(threads_.size());
+    first_error_ = nullptr;
+    generation_ += 1;
+  }
+  cv_start_.notify_all();
+  std::exception_ptr caller_error;
+  try {
+    chunk(0);
+  } catch (...) {
+    caller_error = std::current_exception();
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_done_.wait(lock, [&] { return pending_ == 0; });
+    job_ = nullptr;
+    if (!caller_error && first_error_) caller_error = first_error_;
+  }
+  if (caller_error) std::rethrow_exception(caller_error);
+}
+
+ThreadPool& global_thread_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace licomk::kxx::detail

@@ -1,0 +1,58 @@
+// thread_pool.hpp — persistent worker pool backing the Threads backend.
+//
+// A classic condition-variable pool. parallel dispatches split an index range
+// into one contiguous chunk per worker; the caller blocks until all chunks
+// complete. Chunk order is deterministic, so reductions that join partials in
+// chunk order are reproducible run-to-run regardless of thread scheduling.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace licomk::kxx::detail {
+
+class ThreadPool {
+ public:
+  ThreadPool() = default;
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// (Re)create the pool with `n` workers (n >= 1). Worker 0 is the calling
+  /// thread — a pool of size 1 runs everything inline with zero overhead.
+  void resize(int n);
+
+  /// Stop and join all workers.
+  void shutdown();
+
+  int size() const { return workers_requested_; }
+
+  /// Run chunk(w) for w in [0, size()) — chunk 0 on the caller, the rest on
+  /// workers — and return when all are done. Exceptions from chunks are
+  /// rethrown on the caller (first one wins).
+  void run_chunks(const std::function<void(int)>& chunk);
+
+ private:
+  struct Shared;
+  void worker_loop(int index);
+
+  std::vector<std::thread> threads_;
+  int workers_requested_ = 1;
+
+  std::mutex mutex_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(int)>* job_ = nullptr;
+  unsigned long long generation_ = 0;
+  int pending_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+/// The process-wide pool used by the Threads backend.
+ThreadPool& global_thread_pool();
+
+}  // namespace licomk::kxx::detail

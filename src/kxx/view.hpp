@@ -1,0 +1,161 @@
+// view.hpp — kxx::View, a Kokkos-style multi-dimensional array.
+//
+// Views are reference-counted, label-carrying, layout-aware array handles with
+// shallow copy semantics: copying a View aliases the same allocation, exactly
+// like Kokkos::View. Rank is a compile-time parameter (1..4); extents are
+// dynamic. Two layouts are supported:
+//   LayoutRight — C order, last index fastest (GPU-coalesced in the paper's
+//                 horizontal-major fields);
+//   LayoutLeft  — Fortran order, first index fastest (the vertical-major
+//                 ordering the 3-D halo transpose of Fig. 5 produces).
+//
+// Sunway MPE/CPEs share one address space (paper §V-B "Memory Management"),
+// so a single host memory space suffices; create_mirror_view/deep_copy are
+// provided for API fidelity with Kokkos code.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace licomk::kxx {
+
+enum class Layout { Right, Left };
+
+/// Multi-dimensional array handle. T must be trivially copyable (checked).
+template <typename T, int Rank, Layout L = Layout::Right>
+class View {
+  static_assert(Rank >= 1 && Rank <= 4, "kxx::View supports rank 1..4");
+  static_assert(std::is_trivially_copyable_v<T>, "kxx::View elements must be POD-like");
+
+ public:
+  using value_type = T;
+  static constexpr int rank = Rank;
+  static constexpr Layout layout = L;
+
+  /// Empty (null) view.
+  View() = default;
+
+  /// Allocate a zero-initialized view. Extents beyond Rank must be omitted.
+  View(std::string label, std::size_t n0, std::size_t n1 = 1, std::size_t n2 = 1,
+       std::size_t n3 = 1)
+      : label_(std::move(label)) {
+    std::array<std::size_t, 4> all{n0, n1, n2, n3};
+    for (int d = 0; d < Rank; ++d) extents_[static_cast<size_t>(d)] = all[static_cast<size_t>(d)];
+    for (int d = Rank; d < 4; ++d) {
+      LICOMK_REQUIRE(all[static_cast<size_t>(d)] == 1, "extra extent on rank-" +
+                                                           std::to_string(Rank) + " view");
+    }
+    size_ = 1;
+    for (int d = 0; d < Rank; ++d) size_ *= extents_[static_cast<size_t>(d)];
+    compute_strides();
+    data_ = std::shared_ptr<T[]>(new T[size_]());
+  }
+
+  std::size_t extent(int dim) const {
+    LICOMK_REQUIRE(dim >= 0 && dim < Rank, "extent dim out of range");
+    return extents_[static_cast<size_t>(dim)];
+  }
+  std::size_t size() const { return size_; }
+  const std::string& label() const { return label_; }
+  bool valid() const { return static_cast<bool>(data_); }
+
+  /// Raw pointer — the View.data escape hatch the paper recommends for
+  /// LDM/DMA optimization inside Athread functors.
+  T* data() const { return data_.get(); }
+
+  /// Element access (const-qualified like Kokkos: views of non-const T are
+  /// writable through const handles — the handle, not the data, is const).
+  T& operator()(std::size_t i0) const {
+    static_assert(Rank == 1, "rank-1 access on higher-rank view");
+    return data_[i0 * stride_[0]];
+  }
+  T& operator()(std::size_t i0, std::size_t i1) const {
+    static_assert(Rank == 2, "rank mismatch");
+    return data_[i0 * stride_[0] + i1 * stride_[1]];
+  }
+  T& operator()(std::size_t i0, std::size_t i1, std::size_t i2) const {
+    static_assert(Rank == 3, "rank mismatch");
+    return data_[i0 * stride_[0] + i1 * stride_[1] + i2 * stride_[2]];
+  }
+  T& operator()(std::size_t i0, std::size_t i1, std::size_t i2, std::size_t i3) const {
+    static_assert(Rank == 4, "rank mismatch");
+    return data_[i0 * stride_[0] + i1 * stride_[1] + i2 * stride_[2] + i3 * stride_[3]];
+  }
+
+  /// Linear stride of dimension `dim` in elements.
+  std::size_t stride(int dim) const {
+    LICOMK_REQUIRE(dim >= 0 && dim < Rank, "stride dim out of range");
+    return stride_[static_cast<size_t>(dim)];
+  }
+
+  /// Two views alias the same allocation?
+  bool is_same_allocation(const View& other) const { return data_ == other.data_; }
+
+ private:
+  void compute_strides() {
+    if constexpr (L == Layout::Right) {
+      std::size_t s = 1;
+      for (int d = Rank - 1; d >= 0; --d) {
+        stride_[static_cast<size_t>(d)] = s;
+        s *= extents_[static_cast<size_t>(d)];
+      }
+    } else {
+      std::size_t s = 1;
+      for (int d = 0; d < Rank; ++d) {
+        stride_[static_cast<size_t>(d)] = s;
+        s *= extents_[static_cast<size_t>(d)];
+      }
+    }
+  }
+
+  std::string label_;
+  std::array<std::size_t, 4> extents_{1, 1, 1, 1};
+  std::array<std::size_t, 4> stride_{0, 0, 0, 0};
+  std::size_t size_ = 0;
+  std::shared_ptr<T[]> data_;
+};
+
+/// Copy every element of `src` into `dst`; shapes must match. Layouts may
+/// differ (the copy is index-wise, like Kokkos::deep_copy between layouts).
+template <typename T, int Rank, Layout LD, Layout LS>
+void deep_copy(const View<T, Rank, LD>& dst, const View<T, Rank, LS>& src) {
+  for (int d = 0; d < Rank; ++d) {
+    LICOMK_REQUIRE(dst.extent(d) == src.extent(d), "deep_copy shape mismatch");
+  }
+  if constexpr (Rank == 1) {
+    for (std::size_t i = 0; i < src.extent(0); ++i) dst(i) = src(i);
+  } else if constexpr (Rank == 2) {
+    for (std::size_t i = 0; i < src.extent(0); ++i)
+      for (std::size_t j = 0; j < src.extent(1); ++j) dst(i, j) = src(i, j);
+  } else if constexpr (Rank == 3) {
+    for (std::size_t i = 0; i < src.extent(0); ++i)
+      for (std::size_t j = 0; j < src.extent(1); ++j)
+        for (std::size_t k = 0; k < src.extent(2); ++k) dst(i, j, k) = src(i, j, k);
+  } else {
+    for (std::size_t i = 0; i < src.extent(0); ++i)
+      for (std::size_t j = 0; j < src.extent(1); ++j)
+        for (std::size_t k = 0; k < src.extent(2); ++k)
+          for (std::size_t l = 0; l < src.extent(3); ++l) dst(i, j, k, l) = src(i, j, k, l);
+  }
+}
+
+/// Fill a view with a constant.
+template <typename T, int Rank, Layout L>
+void fill(const View<T, Rank, L>& v, const T& value) {
+  T* p = v.data();
+  for (std::size_t i = 0; i < v.size(); ++i) p[i] = value;
+}
+
+/// Same-space mirror (host == device on all simulated backends): returns the
+/// view itself, matching Kokkos::create_mirror_view semantics when spaces
+/// coincide.
+template <typename T, int Rank, Layout L>
+View<T, Rank, L> create_mirror_view(const View<T, Rank, L>& v) {
+  return v;
+}
+
+}  // namespace licomk::kxx

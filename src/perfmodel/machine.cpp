@@ -1,0 +1,63 @@
+#include "perfmodel/machine.hpp"
+
+namespace licomk::perf {
+
+MachineSpec spec_orise() {
+  MachineSpec m;
+  m.name = "ORISE";
+  m.device_mem_bw = 1.0e12;  // MI60-class HBM2
+  m.devices_per_node = 4;
+  m.stream_efficiency = 0.28;
+  m.host_dev_bw = 16.0e9;  // 32-bit PCIe DMA (§VI-A)
+  m.net_bw = 25.0e9;       // high-speed network (§VI-A)
+  m.net_latency = 10.0e-6;  // effective at scale (software + contention)
+  m.launch_overhead = 12.0e-6;
+  m.imbalance_coeff = 0.22;
+  m.cores_per_device = 1;
+  return m;
+}
+
+MachineSpec spec_new_sunway() {
+  MachineSpec m;
+  m.name = "New Sunway";
+  m.device_mem_bw = 51.2e9;  // per core group (§VI-A)
+  m.devices_per_node = 6;    // 6 CGs per SW26010 Pro
+  m.stream_efficiency = 0.35;
+  m.host_dev_bw = 0.0;  // MPE/CPE unified memory (§V-B)
+  m.net_bw = 16.0e9;
+  m.net_latency = 15.0e-6;  // effective at scale
+  m.launch_overhead = 30.0e-6;  // registry lookup + spawn across 64 CPEs
+  m.imbalance_coeff = 0.22;
+  m.cores_per_device = 65;  // 1 MPE + 64 CPEs per MPI rank (§VI-B)
+  return m;
+}
+
+MachineSpec spec_v100_workstation() {
+  MachineSpec m;
+  m.name = "GPU workstation (4x V100)";
+  m.device_mem_bw = 887.9e9;  // §VII-D
+  m.devices_per_node = 4;
+  m.stream_efficiency = 0.32;
+  m.host_dev_bw = 12.0e9;
+  m.net_bw = 50.0e9;  // intra-node only
+  m.net_latency = 1.0e-6;
+  m.launch_overhead = 6.0e-6;
+  m.cores_per_device = 1;
+  return m;
+}
+
+MachineSpec spec_taishan() {
+  MachineSpec m;
+  m.name = "Taishan 2280";
+  m.device_mem_bw = 170.0e9 / 64.0;  // per rank share of 8-channel DDR4
+  m.devices_per_node = 64;           // 64 MPI ranks x 2 OpenMP threads (§VI-B)
+  m.stream_efficiency = 0.55;
+  m.host_dev_bw = 0.0;
+  m.net_bw = 50.0e9;
+  m.net_latency = 0.5e-6;
+  m.launch_overhead = 0.3e-6;
+  m.cores_per_device = 2;
+  return m;
+}
+
+}  // namespace licomk::perf

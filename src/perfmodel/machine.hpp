@@ -1,0 +1,48 @@
+// machine.hpp — machine descriptors for the performance model (Table II).
+//
+// Full-scale runs on ORISE (16 000 HIP GPUs) and the new Sunway (38 366 250
+// cores) cannot execute on this host; the performance model reproduces the
+// paper's scaling tables from the same mechanisms the paper identifies
+// (§VII-D): memory-bandwidth-bound stencil kernels, halo latency/bandwidth,
+// non-GPU-aware MPI host↔device staging, the polar pack/unpack serial term,
+// and hotspot dispersion (many kernel launches per step).
+#pragma once
+
+#include <string>
+
+namespace licomk::perf {
+
+struct MachineSpec {
+  std::string name;
+
+  /// One "device" is the unit a rank drives: a GPU on ORISE / the
+  /// workstation, a core group (1 MPE + 64 CPEs = 65 cores) on Sunway,
+  /// a CPU socket-half on Taishan.
+  double device_mem_bw = 0.0;      ///< B/s sustained memory bandwidth
+  int devices_per_node = 1;
+  double stream_efficiency = 0.3;  ///< fraction of bw stencil kernels achieve
+  double host_dev_bw = 0.0;        ///< B/s PCIe/DMA; 0 = unified memory
+  double net_bw = 0.0;             ///< B/s injection bandwidth per node
+  double net_latency = 2.0e-6;     ///< s per message
+  double launch_overhead = 8.0e-6; ///< s per kernel launch
+  double imbalance_coeff = 0.08;   ///< sea-land imbalance growth with scale
+
+  /// Paper convention for reporting machine size.
+  int cores_per_device = 1;  ///< 65 on Sunway (1 MPE + 64 CPEs)
+};
+
+/// ORISE: 4 HIP-based GPUs per node (≈ AMD MI60 class), 32-bit PCIe with
+/// 16 GB/s DMA, 25 GB/s interconnect (§VI-A).
+MachineSpec spec_orise();
+
+/// New Sunway: SW26010 Pro, 51.2 GB/s per core group, unified memory,
+/// 6 CGs (390 cores) per processor.
+MachineSpec spec_new_sunway();
+
+/// GPU workstation: 2× Xeon 6240R + 4× V100 (887.9 GB/s HBM2).
+MachineSpec spec_v100_workstation();
+
+/// Huawei Taishan 2280 ARM server (128 cores, OpenMP backend).
+MachineSpec spec_taishan();
+
+}  // namespace licomk::perf

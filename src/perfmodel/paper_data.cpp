@@ -1,0 +1,77 @@
+#include "perfmodel/paper_data.hpp"
+
+namespace licomk::perf {
+
+std::vector<StrongScalingRow> table5_rows() {
+  return {
+      {"ORISE", 10.0, false,
+       {10, 40, 80, 160, 250},
+       {40, 160, 320, 640, 1000},
+       {1.009, 3.984, 6.880, 10.794, 13.543},
+       {100.0, 98.7, 85.2, 66.8, 53.7}},
+      {"New Sunway", 10.0, true,
+       {27, 50, 80, 130, 260},
+       {10400, 19500, 31200, 50700, 101400},
+       {0.437, 0.780, 1.165, 1.761, 3.312},
+       {100.0, 95.1, 88.8, 82.6, 77.6}},
+      {"ORISE", 2.0, false,
+       {1000, 2000, 3000, 4000},
+       {4000, 8000, 12000, 16000},
+       {0.912, 1.386, 1.577, 1.779},
+       {100.0, 76.0, 57.6, 48.8}},
+      {"New Sunway", 2.0, true,
+       {13000, 26580, 48000, 96000},
+       {5070000, 10366200, 18720000, 37440000},
+       {0.264, 0.456, 0.692, 0.992},
+       {100.0, 84.5, 71.1, 50.9}},
+      {"ORISE", 1.0, false,
+       {1000, 2000, 3000, 4000},
+       {4000, 8000, 12000, 16000},
+       {0.765, 1.248, 1.486, 1.701},
+       {100.0, 81.6, 64.8, 55.6}},
+      {"New Sunway", 1.0, true,
+       {12959, 25920, 51300, 98375},
+       {5053750, 10108800, 20007000, 38366250},
+       {0.252, 0.426, 0.709, 1.047},
+       {100.0, 84.7, 71.1, 54.8}},
+  };
+}
+
+std::vector<WeakScalingPoint> table4_points() {
+  return {
+      {10.0, 3600, 2302, 80, 160, 404625},
+      {6.66, 5400, 3453, 80, 360, 910780},
+      {5.0, 7200, 4605, 80, 640, 1608750},
+      {3.33, 10800, 6907, 80, 1440, 3612375},
+      {2.0, 18000, 11511, 80, 4000, 10042500},
+      {1.0, 36000, 22018, 80, 15360, 38366250},
+  };
+}
+
+std::vector<Fig7Entry> fig7_entries() {
+  return {
+      {"GPU workstation (4x V100)", "CUDA", 317.73, 7.08},
+      {"ORISE node (4x HIP GPU)", "HIP", 180.56, 11.42},
+      {"SW26010 Pro (390 cores)", "Athread", 22.22, 11.45},
+      {"Taishan 2280 (128 cores)", "OpenMP", 63.01, 1.03},
+  };
+}
+
+std::vector<LandscapeEntry> fig2_landscape() {
+  return {
+      {"POP2 (CESM G-compset)", 2020, 10.0, 5.5, "Sunway TaihuLight (1 189 500 cores)",
+       "Athread"},
+      {"Veros", 2021, 10.0, 0.8, "16x NVIDIA A100", "JAX/Python"},
+      {"swNEMO4", 2022, 0.5, 0.42, "New Sunway (27 988 480 cores)", "Athread"},
+      {"Oceananigans (realistic)", 2023, 1.2, 0.3, "NVIDIA GPUs", "Julia"},
+      {"Oceananigans (idealized)", 2023, 0.488, 0.041, "Perlmutter (768x A100)", "Julia"},
+      {"E3SM nonhydro dycore (atmos)", 2020, 3.0, 0.97, "Summit", "Kokkos"},
+      {"SCREAM (atmos)", 2023, 3.25, 1.26, "Frontier", "Kokkos"},
+      {"LICOM3-Kokkos", 2024, 5.0, 3.4, "4096 HIP GPUs", "Kokkos"},
+      {"LICOMK++ (this work)", 2024, 1.0, 1.701, "ORISE (16 000 HIP GPUs)", "Kokkos"},
+      {"LICOMK++ (this work)", 2024, 1.0, 1.047, "New Sunway (38 366 250 cores)",
+       "Kokkos+Athread"},
+  };
+}
+
+}  // namespace licomk::perf

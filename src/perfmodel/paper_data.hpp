@@ -1,0 +1,73 @@
+// paper_data.hpp — the published numbers this reproduction targets.
+//
+// Every table/figure value from the paper's evaluation lives here so benches
+// can print "paper vs this repo" side by side and EXPERIMENTS.md can be
+// regenerated from one source of truth.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace licomk::perf {
+
+/// One system row of Table V (strong scaling; also the Fig. 8 series).
+struct StrongScalingRow {
+  std::string system;       ///< "ORISE" or "New Sunway"
+  double resolution_km;     ///< 10, 2, or 1
+  bool sunway;              ///< units are cores (÷65 = ranks) when true
+  std::vector<long long> nodes;
+  std::vector<long long> units;  ///< GPUs (ORISE) or cores (Sunway)
+  std::vector<double> sypd;
+  std::vector<double> efficiency_pct;
+};
+
+/// Table V verbatim.
+std::vector<StrongScalingRow> table5_rows();
+
+/// Table IV (weak scaling sizes) with the paper's end-point efficiencies
+/// from Fig. 9: 85.6 % on ORISE (15 360 GPUs), 91.2 % on Sunway.
+struct WeakScalingPoint {
+  double resolution_km;
+  long long nx, ny, nz;
+  long long orise_gpus;
+  long long sunway_cores;
+};
+std::vector<WeakScalingPoint> table4_points();
+inline constexpr double kPaperWeakEffOrise = 0.856;
+inline constexpr double kPaperWeakEffSunway = 0.912;
+
+/// Fig. 7: single-node SYPD at 100-km resolution, plus LICOMK++'s speedup
+/// over the Fortran LICOM3 on the same node.
+struct Fig7Entry {
+  std::string platform;
+  std::string backend;
+  double licomkxx_sypd;
+  double speedup_vs_fortran;
+};
+std::vector<Fig7Entry> fig7_entries();
+
+/// Fig. 2: the high-resolution ocean-modelling landscape (§IV).
+struct LandscapeEntry {
+  std::string model;
+  int year;
+  double resolution_km;
+  double sypd;
+  std::string machine;
+  std::string programming_model;
+};
+std::vector<LandscapeEntry> fig2_landscape();
+
+/// Headline numbers (abstract / §VII).
+inline constexpr double kPaperSunway1kmSypd = 1.047;
+inline constexpr double kPaperOrise1kmSypd = 1.701;
+inline constexpr double kPaperSunway1kmEff = 0.548;
+inline constexpr double kPaperOrise1kmEff = 0.556;
+inline constexpr long long kPaperSunwayCores = 38366250;
+inline constexpr long long kPaperOriseGpus = 16000;
+/// Single SW26010 Pro processor at 100-km resolution (§VII-B).
+inline constexpr double kPaperSunwayGflops = 14.12;
+/// Optimization speedups on Sunway at full scale (§VII-C).
+inline constexpr double kPaperOptSpeedup2km = 2.7;
+inline constexpr double kPaperOptSpeedup1km = 3.9;
+
+}  // namespace licomk::perf

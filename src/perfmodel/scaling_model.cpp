@@ -1,0 +1,130 @@
+#include "perfmodel/scaling_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "decomp/decomposition.hpp"
+#include "util/error.hpp"
+
+namespace licomk::perf {
+
+WorkloadSpec WorkloadSpec::from_grid(const grid::GridSpec& g) {
+  WorkloadSpec w;
+  w.grid = g;
+  // Inventory of src/core kernels (arrays touched × 8 B, per grid point):
+  // density+pressure (~6), tendencies (~8), vmix inputs+coeffs (~7),
+  // bclinc column (~9), advection: fluxes+w (~8), low-order (~7),
+  // anti-diffusive (~6), limiter (~8), correct (~8), hdiff+column (~8),
+  // plus halo pack/unpack touches. ≈ 75 array touches per 3-D point.
+  w.bytes_per_point_3d = 75.0 * 8.0;
+  // Barotropic substep: eta + uv + 3 Asselin + 2 accumulate ≈ 22 touches.
+  w.bytes_per_point_2d = 22.0 * 8.0;
+  // Hotspot dispersion (§VII-D): LICOM spreads its load over O(150) kernels
+  // per baroclinic step, plus ~12 2-D kernels per barotropic substep.
+  w.launches_3d = 150;
+  w.launches_2d = 12;
+  // Halo updates per step: tracer/velocity/kappa exchanges plus the
+  // mid-advection update and polar-filter passes.
+  w.halo3d_per_step = 20;
+  w.halo2d_per_substep = 12;
+  return w;
+}
+
+double WorkloadSpec::flops_per_step() const {
+  // ~1.4 flops per byte moved: still a very low computation-to-
+  // memory-access ratio (paper §VII-D, reason the model is bandwidth-bound).
+  double sea3 = static_cast<double>(grid.nx) * grid.ny * grid.nz * sea_fraction;
+  double sea2 = static_cast<double>(grid.nx) * grid.ny * sea_fraction;
+  double bytes = sea3 * bytes_per_point_3d +
+                 grid.barotropic_substeps() * sea2 * bytes_per_point_2d;
+  return 1.4 * bytes;  // EOS polynomials + Canuto closures raise the flop count
+}
+
+ScalingModel::ScalingModel(MachineSpec machine, WorkloadSpec work)
+    : machine_(std::move(machine)), work_(std::move(work)) {}
+
+RunEstimate ScalingModel::estimate(long long devices) const {
+  LICOMK_REQUIRE(devices >= 1, "need at least one device");
+  const auto& g = work_.grid;
+  auto [px, py] = decomp::choose_layout(static_cast<int>(devices), g.nx, g.ny);
+  const double bx = static_cast<double>(g.nx) / px;
+  const double by = static_cast<double>(g.ny) / py;
+  const double points3 = bx * by * g.nz * work_.sea_fraction;
+  const double points2 = bx * by * work_.sea_fraction;
+  const int nsub = g.barotropic_substeps();
+
+  const double bw = machine_.device_mem_bw * machine_.stream_efficiency;
+
+  RunEstimate e;
+  e.devices = devices;
+
+  // Sea-land imbalance: the busiest block exceeds the mean sea load by a
+  // factor growing with block count and saturating (blocks eventually are
+  // all-ocean or all-land).
+  double imb = 1.0 + machine_.imbalance_coeff *
+                         (1.0 - std::exp(-static_cast<double>(devices) / 8000.0));
+
+  e.compute_s = calibration_ * imb *
+                (points3 * work_.bytes_per_point_3d + nsub * points2 * work_.bytes_per_point_2d) /
+                bw;
+
+  // Halo traffic: 2 layers on each of 4 sides, doubles.
+  const double halo3_bytes = 2.0 * 2.0 * (bx + by) * g.nz * 8.0;
+  const double halo2_bytes = 2.0 * 2.0 * (bx + by) * 8.0;
+  const double updates3 = work_.halo3d_per_step;
+  const double updates2 = static_cast<double>(work_.halo2d_per_substep) * nsub;
+  // Per node: devices share the NIC.
+  const double net_bw_per_dev = machine_.net_bw / machine_.devices_per_node;
+  const double msgs = 8.0;  // 4 sides, send+recv pairing
+  e.halo_s = updates3 * (msgs * machine_.net_latency + halo3_bytes / net_bw_per_dev +
+                         2.0 * halo3_bytes / bw) +
+             updates2 * (msgs * machine_.net_latency + halo2_bytes / net_bw_per_dev +
+                         2.0 * halo2_bytes / bw);
+
+  // Tripolar fold: top-row ranks pack/unpack a mirrored strip of their full
+  // zonal extent — the polar pack/unpack cost of §V-D. It shrinks only with
+  // px, not with total device count, acting as the Amdahl term.
+  const double fold_bytes = 2.0 * bx * g.nz * 8.0 * (updates3 / work_.halo3d_per_step);
+  e.fold_s = updates3 * (fold_bytes / net_bw_per_dev + 2.0 * fold_bytes / bw);
+
+  // Host<->device staging of halo buffers (no GPU-aware MPI, §V-D).
+  if (machine_.host_dev_bw > 0.0) {
+    e.staging_s = (updates3 * halo3_bytes + updates2 * halo2_bytes) * 2.0 /
+                  machine_.host_dev_bw;
+  }
+
+  e.fixed_s = machine_.launch_overhead *
+              (work_.launches_3d + static_cast<double>(work_.launches_2d) * nsub);
+
+  e.step_seconds = e.compute_s + e.halo_s + e.staging_s + e.fixed_s + e.fold_s;
+  const double steps_per_sim_day = 86400.0 / g.dt_baroclinic;
+  const double sim_days_per_wall_day = 86400.0 / (e.step_seconds * steps_per_sim_day);
+  e.sypd = sim_days_per_wall_day / 365.0;
+  return e;
+}
+
+double ScalingModel::calibrate(long long devices, double target_sypd) {
+  LICOMK_REQUIRE(target_sypd > 0.0, "target SYPD must be positive");
+  // Solve for the calibration factor with the non-compute terms fixed.
+  calibration_ = 1.0;
+  RunEstimate e = estimate(devices);
+  const double steps_per_sim_day = 86400.0 / work_.grid.dt_baroclinic;
+  double target_step_s = 86400.0 / (target_sypd * 365.0 * steps_per_sim_day);
+  double other = e.halo_s + e.staging_s + e.fixed_s + e.fold_s;
+  double needed_compute = target_step_s - other;
+  LICOMK_REQUIRE(needed_compute > 0.0,
+                 "calibration infeasible: non-compute cost already exceeds the target");
+  calibration_ = needed_compute / e.compute_s;
+  return calibration_;
+}
+
+double ScalingModel::strong_efficiency(const RunEstimate& base, const RunEstimate& e) {
+  double scale = static_cast<double>(e.devices) / static_cast<double>(base.devices);
+  return (e.sypd / base.sypd) / scale;
+}
+
+double ScalingModel::weak_efficiency(const RunEstimate& base, const RunEstimate& e) {
+  return base.step_seconds / e.step_seconds;
+}
+
+}  // namespace licomk::perf

@@ -1,0 +1,95 @@
+// scaling_model.hpp — SYPD prediction for (machine, configuration, scale).
+//
+// The model is mechanistic with one calibration constant per
+// (machine, configuration) pair — anchored on the smallest scale the paper
+// reports, every other point is predicted and compared against Table V /
+// Fig. 8 / Fig. 9 in EXPERIMENTS.md. The step time decomposes as:
+//
+//   T_step = T_compute/D' + T_halo(D) + T_staging(D) + T_fixed
+//
+//   T_compute — memory-traffic roofline over the kernel inventory (3-D
+//               kernels per baroclinic step + 2-D kernels per barotropic
+//               substep), scaled by the sea fraction;
+//   T_halo    — per-update message latency + perimeter bytes over network
+//               bandwidth + pack/unpack traffic, with the tripolar fold rows
+//               as a non-parallelizable extra on top-row ranks (§V-D);
+//   T_staging — host↔device copies of halo buffers (no GPU-aware MPI);
+//   T_fixed   — kernel-launch overhead × launches (hotspot dispersion);
+//   D'        — devices discounted by a sea-land imbalance factor that grows
+//               with scale (Fig. 4's motivation).
+#pragma once
+
+#include "grid/grid.hpp"
+#include "perfmodel/machine.hpp"
+
+namespace licomk::perf {
+
+/// Per-step cost inventory derived from the LICOMK++ kernels in src/core.
+struct WorkloadSpec {
+  grid::GridSpec grid;
+  double bytes_per_point_3d = 0.0;  ///< per baroclinic step, all 3-D kernels
+  double bytes_per_point_2d = 0.0;  ///< per barotropic substep, 2-D kernels
+  int launches_3d = 0;              ///< kernel launches per baroclinic step
+  int launches_2d = 0;              ///< launches per barotropic substep
+  int halo3d_per_step = 0;          ///< 3-D halo updates per step
+  int halo2d_per_substep = 0;       ///< 2-D halo updates per substep
+  double sea_fraction = 0.67;
+
+  static WorkloadSpec from_grid(const grid::GridSpec& g);
+
+  /// Analytic floating-point work per baroclinic step (flops): the kernel
+  /// inventory's arithmetic intensity over the grid. Used to report achieved
+  /// GFLOPS like the paper's Sunway job-level monitoring (§VI-C / §VII-B,
+  /// 14.12 GFLOPS on one SW26010 Pro at 100 km).
+  double flops_per_step() const;
+};
+
+struct RunEstimate {
+  long long devices = 0;
+  double step_seconds = 0.0;
+  double sypd = 0.0;
+  // breakdown (seconds per baroclinic step)
+  double compute_s = 0.0;
+  double halo_s = 0.0;
+  double staging_s = 0.0;
+  double fixed_s = 0.0;
+  double fold_s = 0.0;
+};
+
+class ScalingModel {
+ public:
+  ScalingModel(MachineSpec machine, WorkloadSpec work);
+
+  /// Predict a run on `devices` devices (GPUs / core groups).
+  RunEstimate estimate(long long devices) const;
+
+  /// Set the calibration constant so estimate(devices).sypd == target.
+  /// Returns the calibration factor applied to compute throughput.
+  double calibrate(long long devices, double target_sypd);
+
+  /// Transfer a calibration constant between models (weak-scaling ladders use
+  /// one constant across problem sizes on the same machine).
+  double calibration() const { return calibration_; }
+  void set_calibration(double c) { calibration_ = c; }
+
+  /// Parallel efficiency of `e` relative to `base` (strong scaling).
+  static double strong_efficiency(const RunEstimate& base, const RunEstimate& e);
+
+  /// Weak-scaling efficiency: step-time ratio at constant per-device load.
+  static double weak_efficiency(const RunEstimate& base, const RunEstimate& e);
+
+  const MachineSpec& machine() const { return machine_; }
+  const WorkloadSpec& workload() const { return work_; }
+
+  /// Sunway reporting convention: total cores for a device count.
+  long long cores_for_devices(long long devices) const {
+    return devices * machine_.cores_per_device;
+  }
+
+ private:
+  MachineSpec machine_;
+  WorkloadSpec work_;
+  double calibration_ = 1.0;  ///< multiplies compute cost
+};
+
+}  // namespace licomk::perf

@@ -1,0 +1,105 @@
+#include "swsim/athread.hpp"
+
+#include <memory>
+
+#include "util/error.hpp"
+
+namespace licomk::swsim {
+
+namespace {
+struct Runtime {
+  std::unique_ptr<CoreGroup> cg;
+  bool initialized = false;
+  bool spawn_pending = false;
+};
+
+Runtime& runtime() {
+  static Runtime rt;
+  return rt;
+}
+
+CpeContext& require_cpe(const char* what) {
+  CpeContext* ctx = this_cpe();
+  if (ctx == nullptr) {
+    throw ResourceError(std::string(what) + " called outside a CPE kernel");
+  }
+  return *ctx;
+}
+}  // namespace
+
+int athread_init() {
+  Runtime& rt = runtime();
+  if (!rt.cg) rt.cg = std::make_unique<CoreGroup>();
+  rt.initialized = true;
+  return 0;
+}
+
+bool athread_initialized() { return runtime().initialized; }
+
+int athread_spawn(CpeKernel kernel, void* arg) {
+  Runtime& rt = runtime();
+  LICOMK_REQUIRE(rt.initialized, "athread_spawn before athread_init");
+  if (rt.spawn_pending) {
+    throw ResourceError("athread_spawn while a previous spawn is unjoined");
+  }
+  rt.spawn_pending = true;
+  rt.cg->spawn(kernel, arg);
+  return 0;
+}
+
+int athread_join() {
+  Runtime& rt = runtime();
+  LICOMK_REQUIRE(rt.initialized, "athread_join before athread_init");
+  LICOMK_REQUIRE(rt.spawn_pending, "athread_join with no outstanding spawn");
+  rt.spawn_pending = false;
+  return 0;
+}
+
+int athread_halt() {
+  Runtime& rt = runtime();
+  rt.initialized = false;
+  rt.spawn_pending = false;
+  return 0;
+}
+
+int athread_get_max_threads() { return CoreGroup::kNumCpes; }
+
+CoreGroup& default_core_group() {
+  Runtime& rt = runtime();
+  if (!rt.cg) rt.cg = std::make_unique<CoreGroup>();
+  return *rt.cg;
+}
+
+void reset_default_core_group(std::size_t ldm_capacity) {
+  Runtime& rt = runtime();
+  rt.cg = std::make_unique<CoreGroup>(ldm_capacity);
+  rt.spawn_pending = false;
+}
+
+int athread_get_id() { return require_cpe("athread_get_id").id(); }
+
+void* ldm_malloc(std::size_t bytes) { return require_cpe("ldm_malloc").ldm().allocate(bytes); }
+
+void ldm_free(void* ptr) { require_cpe("ldm_free").ldm().free(ptr); }
+
+void athread_dma_get(void* ldm_dst, const void* main_src, std::size_t bytes) {
+  require_cpe("athread_dma_get").dma().get(ldm_dst, main_src, bytes);
+}
+
+void athread_dma_put(void* main_dst, const void* ldm_src, std::size_t bytes) {
+  require_cpe("athread_dma_put").dma().put(main_dst, ldm_src, bytes);
+}
+
+void athread_dma_iget(void* ldm_dst, const void* main_src, std::size_t bytes, DmaReply& reply) {
+  require_cpe("athread_dma_iget").dma().iget(ldm_dst, main_src, bytes, reply);
+}
+
+void athread_dma_iput(void* main_dst, const void* ldm_src, std::size_t bytes, DmaReply& reply) {
+  require_cpe("athread_dma_iput").dma().iput(main_dst, ldm_src, bytes, reply);
+}
+
+void athread_dma_wait(DmaReply& reply, int target) {
+  require_cpe("athread_dma_wait").dma().wait(reply, target);
+}
+
+}  // namespace licomk::swsim

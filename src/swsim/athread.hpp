@@ -1,0 +1,62 @@
+// athread.hpp — the vendor-style Athread API surface, simulated.
+//
+// This mirrors the lightweight parallel-computing library Sunway provides for
+// driving CPEs (paper §V-B): an init/spawn/join lifecycle on the MPE side and
+// id/LDM/DMA intrinsics on the CPE side. The functions intentionally keep the
+// C-flavoured shape of the real library — kernel launch takes only a function
+// pointer plus one untyped argument — because that restriction is exactly what
+// forces the functor-registration design in the kxx layer above.
+#pragma once
+
+#include <cstddef>
+
+#include "swsim/core_group.hpp"
+
+namespace licomk::swsim {
+
+/// --- MPE-side lifecycle -------------------------------------------------
+
+/// Initialize the CPE runtime. Idempotent; returns 0 on success.
+int athread_init();
+
+/// True once athread_init has been called (and not halted).
+bool athread_initialized();
+
+/// Launch `kernel(arg)` on all 64 CPEs of the default core group. Requires
+/// init; throws ResourceError if a previous spawn was never joined (the real
+/// runtime deadlocks in that case). Returns 0.
+int athread_spawn(CpeKernel kernel, void* arg);
+
+/// Wait for the outstanding spawn. (Execution is synchronous in the simulator
+/// but the join protocol is enforced.) Returns 0.
+int athread_join();
+
+/// Shut the runtime down; a later athread_init restarts it.
+int athread_halt();
+
+/// Number of CPEs a spawn fans out to (64).
+int athread_get_max_threads();
+
+/// The default core group backing this API (for stats and tests).
+CoreGroup& default_core_group();
+
+/// Replace LDM capacity of the default core group (test hook; recreates CGs).
+void reset_default_core_group(std::size_t ldm_capacity = LdmArena::kDefaultCapacity);
+
+/// --- CPE-side intrinsics (valid only inside a spawned kernel) ------------
+
+/// Id of the executing CPE, 0..63; throws if called from the MPE.
+int athread_get_id();
+
+/// Scratch allocation in the executing CPE's LDM.
+void* ldm_malloc(std::size_t bytes);
+void ldm_free(void* ptr);
+
+/// DMA between main memory and LDM.
+void athread_dma_get(void* ldm_dst, const void* main_src, std::size_t bytes);
+void athread_dma_put(void* main_dst, const void* ldm_src, std::size_t bytes);
+void athread_dma_iget(void* ldm_dst, const void* main_src, std::size_t bytes, DmaReply& reply);
+void athread_dma_iput(void* main_dst, const void* ldm_src, std::size_t bytes, DmaReply& reply);
+void athread_dma_wait(DmaReply& reply, int target);
+
+}  // namespace licomk::swsim

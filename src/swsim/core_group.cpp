@@ -1,0 +1,71 @@
+#include "swsim/core_group.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace licomk::swsim {
+
+namespace {
+thread_local CpeContext* g_current_cpe = nullptr;
+}  // namespace
+
+CpeContext::CpeContext(int id, std::size_t ldm_capacity) : id_(id), ldm_(ldm_capacity) {}
+
+CoreGroup::CoreGroup(std::size_t ldm_capacity) {
+  cpes_.reserve(kNumCpes);
+  for (int id = 0; id < kNumCpes; ++id) cpes_.emplace_back(id, ldm_capacity);
+}
+
+void CoreGroup::spawn(CpeKernel kernel, void* arg) {
+  LICOMK_REQUIRE(kernel != nullptr, "athread spawn of null kernel");
+  spawns_ += 1;
+  for (auto& ctx : cpes_) {
+    detail::CurrentCpeGuard guard(&ctx);
+    kernel(arg);
+    executions_ += 1;
+    if (ctx.ldm().live_allocations() != 0) {
+      throw ResourceError("CPE " + std::to_string(ctx.id()) + " leaked " +
+                          std::to_string(ctx.ldm().live_allocations()) +
+                          " LDM allocation(s) across a kernel boundary");
+    }
+  }
+}
+
+CpeContext& CoreGroup::cpe(int id) {
+  LICOMK_REQUIRE(id >= 0 && id < kNumCpes, "CPE id out of range");
+  return cpes_[static_cast<size_t>(id)];
+}
+
+const CpeContext& CoreGroup::cpe(int id) const {
+  LICOMK_REQUIRE(id >= 0 && id < kNumCpes, "CPE id out of range");
+  return cpes_[static_cast<size_t>(id)];
+}
+
+CoreGroupStats CoreGroup::stats() const {
+  CoreGroupStats out;
+  out.spawns = spawns_;
+  out.cpe_executions = executions_;
+  for (const auto& ctx : cpes_) {
+    out.dma.merge(ctx.dma().stats());
+    out.ldm_high_water = std::max(out.ldm_high_water, ctx.ldm().high_water());
+  }
+  return out;
+}
+
+void CoreGroup::reset_stats() {
+  spawns_ = 0;
+  executions_ = 0;
+  for (auto& ctx : cpes_) ctx.dma().reset_stats();
+}
+
+CpeContext* this_cpe() { return g_current_cpe; }
+
+namespace detail {
+CurrentCpeGuard::CurrentCpeGuard(CpeContext* ctx) : previous_(g_current_cpe) {
+  g_current_cpe = ctx;
+}
+CurrentCpeGuard::~CurrentCpeGuard() { g_current_cpe = previous_; }
+}  // namespace detail
+
+}  // namespace licomk::swsim

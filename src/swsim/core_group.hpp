@@ -1,0 +1,98 @@
+// core_group.hpp — simulated SW26010 Pro core group (CG).
+//
+// One CG is an 8×8 mesh of 64 compute processing elements (CPEs) plus a
+// management processing element (MPE) and a memory controller (paper Fig. 3).
+// The simulator executes CPE kernels on the host, one logical CPE at a time in
+// a deterministic order (or on a small thread pool when available), while
+// faithfully modelling the resources the paper's optimizations use: per-CPE
+// LDM arenas, DMA engines with accounting, and the C-ABI-only kernel launch.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "swsim/dma.hpp"
+#include "swsim/ldm.hpp"
+
+namespace licomk::swsim {
+
+/// The C-ABI kernel signature Athread accepts. This is the central constraint
+/// the paper's Kokkos enhancement works around (§V-B): no templates, no
+/// closures — just a function pointer and an untyped argument.
+using CpeKernel = void (*)(void*);
+
+/// Execution context of one CPE, visible to kernel code via `this_cpe()`.
+class CpeContext {
+ public:
+  CpeContext(int id, std::size_t ldm_capacity);
+
+  int id() const { return id_; }        ///< 0..63 within the core group.
+  int row() const { return id_ / 8; }   ///< 8×8 mesh row.
+  int col() const { return id_ % 8; }   ///< 8×8 mesh column.
+
+  LdmArena& ldm() { return ldm_; }
+  const LdmArena& ldm() const { return ldm_; }
+  DmaEngine& dma() { return dma_; }
+  const DmaEngine& dma() const { return dma_; }
+
+ private:
+  int id_;
+  LdmArena ldm_;
+  DmaEngine dma_;
+};
+
+/// Statistics aggregated over a core group.
+struct CoreGroupStats {
+  std::uint64_t spawns = 0;           ///< Kernel launches.
+  std::uint64_t cpe_executions = 0;   ///< Per-CPE kernel invocations.
+  DmaStats dma;                       ///< Summed DMA traffic.
+  std::size_t ldm_high_water = 0;     ///< Max LDM use across CPEs.
+};
+
+/// A simulated core group: owns 64 CPE contexts and runs kernels on them.
+class CoreGroup {
+ public:
+  static constexpr int kNumCpes = 64;
+
+  explicit CoreGroup(std::size_t ldm_capacity = LdmArena::kDefaultCapacity);
+
+  /// Launch `kernel(arg)` on every CPE. Blocking (the matching athread_join is
+  /// a no-op recorded for API fidelity). CPEs run in id order, so functional
+  /// results are deterministic. Any LDM left allocated by a kernel is a leak
+  /// and throws ResourceError.
+  void spawn(CpeKernel kernel, void* arg);
+
+  /// Context of CPE `id` (for post-run inspection in tests).
+  CpeContext& cpe(int id);
+  const CpeContext& cpe(int id) const;
+
+  /// Aggregated statistics (DMA summed over CPEs, LDM high-water max).
+  CoreGroupStats stats() const;
+  void reset_stats();
+
+ private:
+  std::vector<CpeContext> cpes_;
+  std::uint64_t spawns_ = 0;
+  std::uint64_t executions_ = 0;
+};
+
+/// The CPE context of the currently executing kernel, or nullptr when called
+/// from MPE (host) code. Kernel bodies use this for id/LDM/DMA access.
+CpeContext* this_cpe();
+
+namespace detail {
+/// RAII setter used by CoreGroup::spawn; exposed for white-box tests.
+class CurrentCpeGuard {
+ public:
+  explicit CurrentCpeGuard(CpeContext* ctx);
+  ~CurrentCpeGuard();
+  CurrentCpeGuard(const CurrentCpeGuard&) = delete;
+  CurrentCpeGuard& operator=(const CurrentCpeGuard&) = delete;
+
+ private:
+  CpeContext* previous_;
+};
+}  // namespace detail
+
+}  // namespace licomk::swsim

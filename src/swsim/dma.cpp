@@ -1,0 +1,59 @@
+#include "swsim/dma.hpp"
+
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace licomk::swsim {
+
+void DmaStats::merge(const DmaStats& o) {
+  sync_transfers += o.sync_transfers;
+  async_transfers += o.async_transfers;
+  sync_bytes += o.sync_bytes;
+  async_bytes += o.async_bytes;
+  waits += o.waits;
+  modeled_busy_s += o.modeled_busy_s;
+}
+
+void DmaEngine::account(std::size_t bytes, bool async) {
+  if (async) {
+    stats_.async_transfers += 1;
+    stats_.async_bytes += bytes;
+  } else {
+    stats_.sync_transfers += 1;
+    stats_.sync_bytes += bytes;
+  }
+  stats_.modeled_busy_s += static_cast<double>(bytes) / kCgBandwidthBytesPerSec;
+}
+
+void DmaEngine::get(void* ldm_dst, const void* main_src, std::size_t bytes) {
+  std::memcpy(ldm_dst, main_src, bytes);
+  account(bytes, /*async=*/false);
+}
+
+void DmaEngine::put(void* main_dst, const void* ldm_src, std::size_t bytes) {
+  std::memcpy(main_dst, ldm_src, bytes);
+  account(bytes, /*async=*/false);
+}
+
+void DmaEngine::iget(void* ldm_dst, const void* main_src, std::size_t bytes, DmaReply& reply) {
+  std::memcpy(ldm_dst, main_src, bytes);
+  account(bytes, /*async=*/true);
+  reply.completed += 1;
+}
+
+void DmaEngine::iput(void* main_dst, const void* ldm_src, std::size_t bytes, DmaReply& reply) {
+  std::memcpy(main_dst, ldm_src, bytes);
+  account(bytes, /*async=*/true);
+  reply.completed += 1;
+}
+
+void DmaEngine::wait(DmaReply& reply, int target) {
+  stats_.waits += 1;
+  if (reply.completed < target) {
+    throw ResourceError("DMA wait for " + std::to_string(target) + " replies but only " +
+                        std::to_string(reply.completed) + " transfers completed");
+  }
+}
+
+}  // namespace licomk::swsim

@@ -1,0 +1,69 @@
+// dma.hpp — simulated DMA engine between main memory and CPE LDM.
+//
+// Real Athread codes move data with dma_get/dma_put (synchronous) and
+// dma_iget/dma_iput (asynchronous with a reply counter). The simulator
+// performs the copies immediately but keeps full accounting — bytes moved,
+// transfer counts, sync vs async split, and a modeled transfer time from the
+// CG memory bandwidth — so double-buffering ablations can quantify how much
+// traffic the asynchronous path could overlap with compute.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace licomk::swsim {
+
+/// Reply counter for asynchronous DMA, mirroring Athread's `dma_desc` reply
+/// semantics: each completed async transfer increments the counter;
+/// `DmaEngine::wait` blocks (logically) until it reaches a target.
+struct DmaReply {
+  int completed = 0;
+};
+
+/// Aggregate DMA statistics for one CPE (or summed over a core group).
+struct DmaStats {
+  std::uint64_t sync_transfers = 0;
+  std::uint64_t async_transfers = 0;
+  std::uint64_t sync_bytes = 0;
+  std::uint64_t async_bytes = 0;
+  std::uint64_t waits = 0;
+  /// Modeled seconds the memory system was busy (bytes / CG bandwidth).
+  double modeled_busy_s = 0.0;
+
+  std::uint64_t total_bytes() const { return sync_bytes + async_bytes; }
+  void merge(const DmaStats& o);
+};
+
+/// Per-CPE DMA engine.
+class DmaEngine {
+ public:
+  /// SW26010 Pro core group memory bandwidth: 51.2 GB/s shared by 64 CPEs
+  /// (paper §VI-A / §VII-D).
+  static constexpr double kCgBandwidthBytesPerSec = 51.2e9;
+
+  /// Synchronous get: main memory -> LDM.
+  void get(void* ldm_dst, const void* main_src, std::size_t bytes);
+
+  /// Synchronous put: LDM -> main memory.
+  void put(void* main_dst, const void* ldm_src, std::size_t bytes);
+
+  /// Asynchronous variants; the copy is performed eagerly (functional
+  /// simulation) and `reply` is credited, but the accounting distinguishes
+  /// them so overlap can be modeled.
+  void iget(void* ldm_dst, const void* main_src, std::size_t bytes, DmaReply& reply);
+  void iput(void* main_dst, const void* ldm_src, std::size_t bytes, DmaReply& reply);
+
+  /// Wait until `reply.completed >= target`. Throws ResourceError if that can
+  /// never happen (more waits than issued transfers) — a lost-reply bug that
+  /// hangs real hardware.
+  void wait(DmaReply& reply, int target);
+
+  const DmaStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+ private:
+  void account(std::size_t bytes, bool async);
+  DmaStats stats_;
+};
+
+}  // namespace licomk::swsim

@@ -1,0 +1,60 @@
+#include "swsim/ldm.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace licomk::swsim {
+
+namespace {
+constexpr std::size_t kAlign = 16;
+constexpr std::size_t kHeader = kAlign;  // stores the previous offset
+
+std::size_t align_up(std::size_t n) { return (n + kAlign - 1) / kAlign * kAlign; }
+}  // namespace
+
+LdmArena::LdmArena(std::size_t capacity)
+    : capacity_(capacity), storage_(std::make_unique<std::byte[]>(capacity)) {
+  LICOMK_REQUIRE(capacity >= kAlign, "LDM capacity too small");
+}
+
+void* LdmArena::allocate(std::size_t bytes) {
+  std::size_t payload = align_up(std::max<std::size_t>(bytes, 1));
+  std::size_t need = kHeader + payload;
+  if (offset_ + need > capacity_) {
+    throw ResourceError("LDM overflow: requested " + std::to_string(bytes) + " bytes with " +
+                        std::to_string(capacity_ - offset_) + " of " +
+                        std::to_string(capacity_) + " free");
+  }
+  std::byte* base = storage_.get() + offset_;
+  // The header records the previous top-of-stack so free() can pop.
+  std::memcpy(base, &top_, sizeof(top_));
+  top_ = offset_;
+  offset_ += need;
+  high_water_ = std::max(high_water_, offset_);
+  live_ += 1;
+  return base + kHeader;
+}
+
+void LdmArena::free(void* ptr) {
+  LICOMK_REQUIRE(live_ > 0, "LDM free with no live allocations");
+  auto* payload = static_cast<std::byte*>(ptr);
+  std::byte* header = payload - kHeader;
+  LICOMK_REQUIRE(header >= storage_.get() && header < storage_.get() + capacity_,
+                 "LDM free of foreign pointer");
+  LICOMK_REQUIRE(header == storage_.get() + top_, "LDM free out of LIFO order");
+  std::size_t prev_top = 0;
+  std::memcpy(&prev_top, header, sizeof(prev_top));
+  offset_ = top_;
+  top_ = prev_top;
+  live_ -= 1;
+}
+
+void LdmArena::reset() {
+  offset_ = 0;
+  top_ = kNoTop;
+  live_ = 0;
+}
+
+}  // namespace licomk::swsim

@@ -1,0 +1,52 @@
+// ldm.hpp — simulated Local Data Memory (LDM) of one Sunway CPE.
+//
+// Each SW26010 Pro CPE has 256 kB of low-latency scratch memory shared between
+// software-managed LDM and a local data cache (paper §VI-A). Kernels stage
+// working sets here via DMA. The simulator enforces the capacity limit and the
+// scratch (stack-like) allocation discipline real Athread codes follow, and
+// records a high-water mark so benches can report LDM pressure.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace licomk::swsim {
+
+/// Per-CPE scratch arena with LIFO alloc/free discipline.
+class LdmArena {
+ public:
+  /// 256 kB, matching the SW26010 Pro CPE local memory.
+  static constexpr std::size_t kDefaultCapacity = 256 * 1024;
+
+  explicit LdmArena(std::size_t capacity = kDefaultCapacity);
+
+  /// Allocate `bytes` (16-byte aligned). Throws ResourceError when the arena
+  /// would overflow — the same failure an oversized working set hits on real
+  /// hardware at link/run time.
+  void* allocate(std::size_t bytes);
+
+  /// Free the most recent live allocation; `ptr` must match it (LIFO), the
+  /// discipline of Athread's ldm_malloc/ldm_free pairs inside one kernel.
+  void free(void* ptr);
+
+  /// Release everything (used between kernel launches).
+  void reset();
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t in_use() const { return offset_; }
+  std::size_t high_water() const { return high_water_; }
+  int live_allocations() const { return live_; }
+
+ private:
+  static constexpr std::size_t kNoTop = static_cast<std::size_t>(-1);
+
+  std::size_t capacity_;
+  std::unique_ptr<std::byte[]> storage_;
+  std::size_t offset_ = 0;
+  std::size_t top_ = kNoTop;  ///< header offset of the most recent live block
+  std::size_t high_water_ = 0;
+  int live_ = 0;
+};
+
+}  // namespace licomk::swsim

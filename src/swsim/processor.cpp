@@ -1,0 +1,45 @@
+#include "swsim/processor.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace licomk::swsim {
+
+Sw26010Pro::Sw26010Pro(std::size_t ldm_capacity) {
+  for (auto& g : groups_) g = std::make_unique<CoreGroup>(ldm_capacity);
+}
+
+CoreGroup& Sw26010Pro::cg(int index) {
+  LICOMK_REQUIRE(index >= 0 && index < kCoreGroups, "core-group index out of range");
+  return *groups_[static_cast<size_t>(index)];
+}
+
+const CoreGroup& Sw26010Pro::cg(int index) const {
+  LICOMK_REQUIRE(index >= 0 && index < kCoreGroups, "core-group index out of range");
+  return *groups_[static_cast<size_t>(index)];
+}
+
+void Sw26010Pro::spawn_all(CpeKernel kernel, const std::array<void*, kCoreGroups>& args) {
+  for (int g = 0; g < kCoreGroups; ++g) {
+    groups_[static_cast<size_t>(g)]->spawn(kernel, args[static_cast<size_t>(g)]);
+  }
+}
+
+CoreGroupStats Sw26010Pro::total_stats() const {
+  CoreGroupStats out;
+  for (const auto& g : groups_) {
+    CoreGroupStats s = g->stats();
+    out.spawns += s.spawns;
+    out.cpe_executions += s.cpe_executions;
+    out.dma.merge(s.dma);
+    out.ldm_high_water = std::max(out.ldm_high_water, s.ldm_high_water);
+  }
+  return out;
+}
+
+void Sw26010Pro::reset_stats() {
+  for (auto& g : groups_) g->reset_stats();
+}
+
+}  // namespace licomk::swsim

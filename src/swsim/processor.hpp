@@ -1,0 +1,42 @@
+// processor.hpp — a full simulated SW26010 Pro processor.
+//
+// Fig. 3 (lower right): one SW26010 Pro is six interconnected core groups —
+// 6 MPEs + 384 CPEs = 390 cores — each CG with its own 16 GB memory space
+// and 51.2 GB/s controller. The model maps one MPI rank per CG (§VI-B), so
+// the per-rank simulation lives in CoreGroup; this wrapper exists for
+// whole-processor experiments (Fig. 7 runs one rank per CG of a single
+// processor) and for the 390-core accounting the paper reports.
+#pragma once
+
+#include <array>
+
+#include "swsim/core_group.hpp"
+
+namespace licomk::swsim {
+
+class Sw26010Pro {
+ public:
+  static constexpr int kCoreGroups = 6;
+  static constexpr int kCpesPerGroup = CoreGroup::kNumCpes;  // 64
+  static constexpr int kMpesPerGroup = 1;
+  /// 6 * (1 MPE + 64 CPEs) = 390 cores, the number Table II lists.
+  static constexpr int kTotalCores = kCoreGroups * (kMpesPerGroup + kCpesPerGroup);
+
+  explicit Sw26010Pro(std::size_t ldm_capacity = LdmArena::kDefaultCapacity);
+
+  CoreGroup& cg(int index);
+  const CoreGroup& cg(int index) const;
+
+  /// Launch `kernel` on every CG (args[g] passed to CG g's spawn), the
+  /// whole-processor fan-out of 384 CPEs.
+  void spawn_all(CpeKernel kernel, const std::array<void*, kCoreGroups>& args);
+
+  /// Aggregate statistics over all six core groups.
+  CoreGroupStats total_stats() const;
+  void reset_stats();
+
+ private:
+  std::array<std::unique_ptr<CoreGroup>, kCoreGroups> groups_;
+};
+
+}  // namespace licomk::swsim

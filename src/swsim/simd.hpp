@@ -1,0 +1,74 @@
+// simd.hpp — fixed-width vector helpers modelling Sunway SIMD.
+//
+// SW26010 Pro CPEs provide 512-bit SIMD (8 doubles per lane group). The paper
+// uses SIMD both for kernel math and to accelerate the functor-registry
+// matching (§V-B) and halo transposes (§V-D). This header provides a small
+// value type the rest of the code uses for those paths; on the host the
+// element loops are written so the compiler can auto-vectorize them.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace licomk::swsim {
+
+/// An 8-lane double vector (512-bit), the natural Sunway SIMD width.
+struct DoubleV8 {
+  static constexpr std::size_t kLanes = 8;
+  std::array<double, kLanes> lane{};
+
+  static DoubleV8 broadcast(double x) {
+    DoubleV8 v;
+    for (auto& l : v.lane) l = x;
+    return v;
+  }
+
+  /// Unaligned load/store of 8 contiguous doubles.
+  static DoubleV8 load(const double* p) {
+    DoubleV8 v;
+    for (std::size_t i = 0; i < kLanes; ++i) v.lane[i] = p[i];
+    return v;
+  }
+  void store(double* p) const {
+    for (std::size_t i = 0; i < kLanes; ++i) p[i] = lane[i];
+  }
+
+  friend DoubleV8 operator+(DoubleV8 a, const DoubleV8& b) {
+    for (std::size_t i = 0; i < kLanes; ++i) a.lane[i] += b.lane[i];
+    return a;
+  }
+  friend DoubleV8 operator-(DoubleV8 a, const DoubleV8& b) {
+    for (std::size_t i = 0; i < kLanes; ++i) a.lane[i] -= b.lane[i];
+    return a;
+  }
+  friend DoubleV8 operator*(DoubleV8 a, const DoubleV8& b) {
+    for (std::size_t i = 0; i < kLanes; ++i) a.lane[i] *= b.lane[i];
+    return a;
+  }
+
+  /// Fused multiply-add: this = a*b + this, lane-wise.
+  void fma(const DoubleV8& a, const DoubleV8& b) {
+    for (std::size_t i = 0; i < kLanes; ++i) lane[i] += a.lane[i] * b.lane[i];
+  }
+
+  double horizontal_sum() const {
+    double s = 0.0;
+    for (double l : lane) s += l;
+    return s;
+  }
+};
+
+/// y[i] += a * x[i] over n elements, vectorized in 8-wide chunks with a scalar
+/// tail — the canonical Sunway SIMD loop shape.
+inline void simd_axpy(double a, const double* x, double* y, std::size_t n) {
+  const DoubleV8 va = DoubleV8::broadcast(a);
+  std::size_t i = 0;
+  for (; i + DoubleV8::kLanes <= n; i += DoubleV8::kLanes) {
+    DoubleV8 vy = DoubleV8::load(y + i);
+    vy.fma(va, DoubleV8::load(x + i));
+    vy.store(y + i);
+  }
+  for (; i < n; ++i) y[i] += a * x[i];
+}
+
+}  // namespace licomk::swsim

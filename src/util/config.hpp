@@ -1,0 +1,63 @@
+// config.hpp — namelist-style configuration.
+//
+// LICOM historically reads Fortran namelists; this reproduction uses a simple
+// `key = value` text format with sections, comments (#), and typed getters.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace licomk::util {
+
+/// A flat, ordered key/value configuration with typed accessors.
+///
+/// Keys are case-sensitive strings, optionally namespaced with dots
+/// ("model.nx"). Values are stored as strings and parsed on access.
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse a configuration from text. Lines are `key = value`; `[section]`
+  /// headers prefix following keys with "section."; `#` starts a comment.
+  /// Throws ConfigError on malformed lines.
+  static Config from_string(const std::string& text);
+
+  /// Load a configuration from a file; throws ConfigError if unreadable.
+  static Config from_file(const std::string& path);
+
+  /// Set (or overwrite) a key.
+  void set(const std::string& key, const std::string& value);
+  void set_int(const std::string& key, long long value);
+  void set_double(const std::string& key, double value);
+  void set_bool(const std::string& key, bool value);
+
+  bool has(const std::string& key) const;
+
+  /// Typed getters: the `get_*` forms throw ConfigError when the key is
+  /// missing or unparsable; the `get_*_or` forms return a default instead.
+  std::string get_string(const std::string& key) const;
+  long long get_int(const std::string& key) const;
+  double get_double(const std::string& key) const;
+  bool get_bool(const std::string& key) const;
+
+  std::string get_string_or(const std::string& key, const std::string& dflt) const;
+  long long get_int_or(const std::string& key, long long dflt) const;
+  double get_double_or(const std::string& key, double dflt) const;
+  bool get_bool_or(const std::string& key, bool dflt) const;
+
+  /// All keys in insertion order.
+  std::vector<std::string> keys() const;
+
+  /// Serialize back to `key = value` lines (no sections).
+  std::string to_string() const;
+
+ private:
+  std::optional<std::string> find(const std::string& key) const;
+
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace licomk::util

@@ -1,0 +1,64 @@
+// error.hpp — error handling primitives shared across all LICOMK++ modules.
+//
+// Following the C++ Core Guidelines (E.2, E.12) we throw typed exceptions for
+// recoverable errors and abort (via assertion) on programming errors.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace licomk {
+
+/// Base exception for all errors raised by this library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when a configuration value is missing or malformed.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+/// Raised on invalid arguments to a public API entry point.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Raised when a simulated hardware resource (LDM, DMA queue, ...) is
+/// exhausted or misused.
+class ResourceError : public Error {
+ public:
+  explicit ResourceError(const std::string& what) : Error(what) {}
+};
+
+/// Raised when the communication substrate detects a protocol violation
+/// (mismatched collective, message to a dead rank, ...).
+class CommError : public Error {
+ public:
+  explicit CommError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_requirement(const char* expr, const char* file,
+                                           int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "requirement failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvalidArgument(os.str());
+}
+}  // namespace detail
+
+}  // namespace licomk
+
+/// Validate a precondition on a public API; throws licomk::InvalidArgument.
+#define LICOMK_REQUIRE(expr, msg)                                       \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::licomk::detail::throw_requirement(#expr, __FILE__, __LINE__,    \
+                                          std::string(msg));            \
+    }                                                                   \
+  } while (false)

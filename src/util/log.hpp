@@ -1,0 +1,43 @@
+// log.hpp — minimal leveled logger.
+//
+// The model and its substrates log through this single sink so tests can
+// silence output and benches can keep their stdout clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace licomk::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are discarded. Defaults to kWarn so
+/// that library code is quiet unless a caller opts in.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one log line (thread-safe) at `level` with a `tag` identifying the
+/// subsystem ("kxx", "halo", ...).
+void log_message(LogLevel level, const std::string& tag, const std::string& msg);
+
+namespace detail {
+struct LogLine {
+  LogLevel level;
+  const char* tag;
+  std::ostringstream os;
+  LogLine(LogLevel l, const char* t) : level(l), tag(t) {}
+  ~LogLine() { log_message(level, tag, os.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os << v;
+    return *this;
+  }
+};
+}  // namespace detail
+
+}  // namespace licomk::util
+
+#define LICOMK_LOG_DEBUG(tag) ::licomk::util::detail::LogLine(::licomk::util::LogLevel::kDebug, tag)
+#define LICOMK_LOG_INFO(tag) ::licomk::util::detail::LogLine(::licomk::util::LogLevel::kInfo, tag)
+#define LICOMK_LOG_WARN(tag) ::licomk::util::detail::LogLine(::licomk::util::LogLevel::kWarn, tag)
+#define LICOMK_LOG_ERROR(tag) ::licomk::util::detail::LogLine(::licomk::util::LogLevel::kError, tag)

@@ -1,0 +1,49 @@
+// stats.hpp — streaming statistics and small numeric helpers used by
+// diagnostics, benches, and the performance model.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace licomk::util {
+
+/// Welford-style running accumulator for mean/variance/min/max.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::int64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< Population variance; 0 for n < 2.
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact percentile (linear interpolation) of a sample; p in [0, 100].
+double percentile(std::span<const double> sample, double p);
+
+/// ceil(a / b) for positive integers — the tile-count arithmetic of the
+/// paper's Eq. (1)/(2).
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// Relative difference |a-b| / max(|a|,|b|,eps); used by EXPERIMENTS checks.
+double rel_diff(double a, double b);
+
+/// Root-mean-square of a span.
+double rms(std::span<const double> xs);
+
+}  // namespace licomk::util

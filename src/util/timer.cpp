@@ -1,0 +1,95 @@
+#include "util/timer.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace licomk::util {
+
+void TimerRegistry::start(const std::string& name) {
+  LICOMK_REQUIRE(!name.empty(), "timer name must be non-empty");
+  std::string full = stack_.empty() ? name : stack_.back().full_name + "/" + name;
+  stack_.push_back({std::move(full), std::chrono::steady_clock::now()});
+}
+
+void TimerRegistry::stop(const std::string& name) {
+  LICOMK_REQUIRE(!stack_.empty(), "stop('" + name + "') with no active timer");
+  const Running& top = stack_.back();
+  const std::string& full = top.full_name;
+  std::string leaf = full.substr(full.find_last_of('/') + 1);
+  LICOMK_REQUIRE(leaf == name, "mismatched stop: expected '" + leaf + "', got '" + name + "'");
+  double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - top.begin).count();
+  auto [it, inserted] = stats_.try_emplace(full);
+  TimerStats& s = it->second;
+  if (inserted) {
+    s.name = full;
+    s.min_s = elapsed;
+    s.max_s = elapsed;
+  } else {
+    s.min_s = std::min(s.min_s, elapsed);
+    s.max_s = std::max(s.max_s, elapsed);
+  }
+  s.count += 1;
+  s.total_s += elapsed;
+  stack_.pop_back();
+}
+
+const TimerStats& TimerRegistry::stats(const std::string& full_name) const {
+  auto it = stats_.find(full_name);
+  LICOMK_REQUIRE(it != stats_.end(), "unknown timer: " + full_name);
+  return it->second;
+}
+
+std::vector<TimerStats> TimerRegistry::all() const {
+  std::vector<TimerStats> out;
+  out.reserve(stats_.size());
+  for (const auto& [_, s] : stats_) out.push_back(s);
+  return out;
+}
+
+double TimerRegistry::total_seconds(const std::string& full_name) const {
+  auto it = stats_.find(full_name);
+  return it == stats_.end() ? 0.0 : it->second.total_s;
+}
+
+std::string TimerRegistry::report() const {
+  std::ostringstream os;
+  os << std::left << std::setw(48) << "timer" << std::right << std::setw(10) << "count"
+     << std::setw(14) << "total(s)" << std::setw(14) << "mean(ms)" << "\n";
+  for (const auto& [full, s] : stats_) {
+    auto depth = static_cast<int>(std::count(full.begin(), full.end(), '/'));
+    std::string leaf = full.substr(full.find_last_of('/') + 1);
+    std::string indented(static_cast<size_t>(depth) * 2, ' ');
+    indented += leaf;
+    os << std::left << std::setw(48) << indented << std::right << std::setw(10) << s.count
+       << std::setw(14) << std::fixed << std::setprecision(6) << s.total_s << std::setw(14)
+       << std::setprecision(4) << (s.count ? 1e3 * s.total_s / static_cast<double>(s.count) : 0.0)
+       << "\n";
+  }
+  return os.str();
+}
+
+void TimerRegistry::reset() {
+  stats_.clear();
+  stack_.clear();
+}
+
+namespace {
+constexpr double kSecondsPerDay = 86400.0;
+constexpr double kSecondsPerYear = 365.0 * kSecondsPerDay;
+}  // namespace
+
+double sypd(double simulated_seconds, double wall_seconds) {
+  LICOMK_REQUIRE(wall_seconds > 0.0, "wall time must be positive");
+  return (simulated_seconds / kSecondsPerYear) / (wall_seconds / kSecondsPerDay);
+}
+
+double wall_seconds_per_simulated_day(double sypd_value) {
+  LICOMK_REQUIRE(sypd_value > 0.0, "SYPD must be positive");
+  return kSecondsPerDay / (sypd_value * 365.0);
+}
+
+}  // namespace licomk::util

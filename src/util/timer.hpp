@@ -1,0 +1,89 @@
+// timer.hpp — GPTL-style nested wall-clock timers.
+//
+// The paper measures SYPD from the top-level daily loop using GPTL and
+// std::chrono (§VI-C). This module reproduces that measurement mechanism:
+// named, nestable timers with call counts, accumulated wall time, and a
+// hierarchical report. The SYPD helper converts elapsed seconds per simulated
+// interval into simulated-years-per-day.
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace licomk::util {
+
+/// One named timer's accumulated statistics.
+struct TimerStats {
+  std::string name;       ///< Full hierarchical name ("step/tracer/advection").
+  long long count = 0;    ///< Number of start/stop pairs.
+  double total_s = 0.0;   ///< Accumulated wall seconds.
+  double min_s = 0.0;     ///< Shortest interval.
+  double max_s = 0.0;     ///< Longest interval.
+};
+
+/// A registry of nestable named timers. Not thread-safe by design: each rank
+/// (thread) owns its own registry, mirroring how GPTL is used per MPI rank.
+class TimerRegistry {
+ public:
+  /// Start the named timer; nesting is recorded via a name stack, so
+  /// start("a"); start("b") accumulates under "a/b".
+  void start(const std::string& name);
+
+  /// Stop the innermost active timer; `name` must match it.
+  /// Throws InvalidArgument on mismatched stop.
+  void stop(const std::string& name);
+
+  /// True if any timer is running.
+  bool active() const { return !stack_.empty(); }
+
+  /// Accumulated stats for a full hierarchical name; throws if unknown.
+  const TimerStats& stats(const std::string& full_name) const;
+
+  /// All timers, sorted by full name.
+  std::vector<TimerStats> all() const;
+
+  /// Total seconds recorded under `full_name`, or 0 if never started.
+  double total_seconds(const std::string& full_name) const;
+
+  /// Human-readable indented report.
+  std::string report() const;
+
+  /// Drop all recorded data.
+  void reset();
+
+ private:
+  struct Running {
+    std::string full_name;
+    std::chrono::steady_clock::time_point begin;
+  };
+  std::map<std::string, TimerStats> stats_;
+  std::vector<Running> stack_;
+};
+
+/// RAII scope guard: starts on construction, stops on destruction.
+class ScopedTimer {
+ public:
+  ScopedTimer(TimerRegistry& registry, std::string name)
+      : registry_(registry), name_(std::move(name)) {
+    registry_.start(name_);
+  }
+  ~ScopedTimer() { registry_.stop(name_); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  TimerRegistry& registry_;
+  std::string name_;
+};
+
+/// Simulated-years-per-day: `simulated_seconds` of model time computed in
+/// `wall_seconds` of real time. SYPD = (sim_seconds / year) / (wall / day).
+double sypd(double simulated_seconds, double wall_seconds);
+
+/// Inverse helper used by the performance model: wall seconds needed for one
+/// simulated day at a given SYPD.
+double wall_seconds_per_simulated_day(double sypd_value);
+
+}  // namespace licomk::util

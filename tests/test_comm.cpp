@@ -1,0 +1,211 @@
+// Tests for the in-process message-passing substrate (MPI semantics).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "comm/runtime.hpp"
+#include "util/error.hpp"
+
+namespace lc = licomk::comm;
+
+TEST(Comm, PointToPointRoundTrip) {
+  lc::Runtime::run(2, [](lc::Communicator& c) {
+    if (c.rank() == 0) {
+      double payload[3] = {1.0, 2.0, 3.0};
+      c.send(payload, sizeof(payload), 1, 7);
+      double back[3] = {};
+      c.recv(back, sizeof(back), 1, 8);
+      EXPECT_DOUBLE_EQ(back[2], 6.0);
+    } else {
+      double in[3] = {};
+      lc::Status st = c.recv(in, sizeof(in), 0, 7);
+      EXPECT_EQ(st.source, 0);
+      EXPECT_EQ(st.bytes, 3 * sizeof(double));
+      for (auto& v : in) v *= 2.0;
+      c.send(in, sizeof(in), 0, 8);
+    }
+  });
+}
+
+TEST(Comm, MessagesNonOvertakingPerSourceAndTag) {
+  lc::Runtime::run(2, [](lc::Communicator& c) {
+    if (c.rank() == 0) {
+      for (int m = 0; m < 10; ++m) c.send_n(&m, 1, 1, 5);
+    } else {
+      for (int m = 0; m < 10; ++m) {
+        int got = -1;
+        c.recv_n(&got, 1, 0, 5);
+        EXPECT_EQ(got, m);  // FIFO per (source, tag)
+      }
+    }
+  });
+}
+
+TEST(Comm, TagSelectivityAllowsOutOfOrderDelivery) {
+  lc::Runtime::run(2, [](lc::Communicator& c) {
+    if (c.rank() == 0) {
+      int a = 1, b = 2;
+      c.send_n(&a, 1, 1, 100);
+      c.send_n(&b, 1, 1, 200);
+    } else {
+      int got = 0;
+      c.recv_n(&got, 1, 0, 200);  // later-sent message first, by tag
+      EXPECT_EQ(got, 2);
+      c.recv_n(&got, 1, 0, 100);
+      EXPECT_EQ(got, 1);
+    }
+  });
+}
+
+TEST(Comm, AnySourceAndAnyTagWildcards) {
+  lc::Runtime::run(3, [](lc::Communicator& c) {
+    if (c.rank() != 0) {
+      int v = c.rank() * 11;
+      c.send_n(&v, 1, 0, c.rank());
+    } else {
+      int sum = 0;
+      for (int m = 0; m < 2; ++m) {
+        int got = 0;
+        lc::Status st = c.recv(&got, sizeof(int), lc::kAnySource, lc::kAnyTag);
+        EXPECT_EQ(got, st.source * 11);
+        sum += got;
+      }
+      EXPECT_EQ(sum, 33);
+    }
+  });
+}
+
+TEST(Comm, TruncationThrowsCommError) {
+  lc::Runtime::run(2, [](lc::Communicator& c) {
+    if (c.rank() == 0) {
+      double big[8] = {};
+      c.send(big, sizeof(big), 1, 1);
+    } else {
+      double small[2];
+      EXPECT_THROW(c.recv(small, sizeof(small), 0, 1), licomk::CommError);
+    }
+  });
+}
+
+TEST(Comm, IsendIrecvWaitAll) {
+  lc::Runtime::run(2, [](lc::Communicator& c) {
+    int other = 1 - c.rank();
+    std::vector<double> out(16, static_cast<double>(c.rank() + 1));
+    std::vector<double> in(16, 0.0);
+    std::vector<lc::Request> reqs;
+    reqs.push_back(c.irecv(in.data(), in.size() * sizeof(double), other, 3));
+    reqs.push_back(c.isend(out.data(), out.size() * sizeof(double), other, 3));
+    c.wait_all(reqs);
+    EXPECT_DOUBLE_EQ(in[7], static_cast<double>(other + 1));
+  });
+}
+
+TEST(Comm, BarrierSynchronizesGenerations) {
+  std::atomic<int> phase0{0};
+  std::atomic<int> phase1{0};
+  lc::Runtime::run(4, [&](lc::Communicator& c) {
+    phase0.fetch_add(1);
+    c.barrier();
+    EXPECT_EQ(phase0.load(), 4);  // everyone finished phase 0 first
+    phase1.fetch_add(1);
+    c.barrier();
+    EXPECT_EQ(phase1.load(), 4);
+  });
+}
+
+TEST(Comm, AllreduceSumMinMax) {
+  lc::Runtime::run(4, [](lc::Communicator& c) {
+    double v[2] = {static_cast<double>(c.rank() + 1), static_cast<double>(-c.rank())};
+    c.allreduce(v, 2, lc::ReduceOp::Sum);
+    EXPECT_DOUBLE_EQ(v[0], 10.0);
+    EXPECT_DOUBLE_EQ(v[1], -6.0);
+    double mn = c.allreduce_scalar(static_cast<double>(c.rank()), lc::ReduceOp::Min);
+    EXPECT_DOUBLE_EQ(mn, 0.0);
+    long long mx = c.allreduce_scalar(static_cast<long long>(c.rank()), lc::ReduceOp::Max);
+    EXPECT_EQ(mx, 3);
+  });
+}
+
+TEST(Comm, AllreduceSingleRankIsIdentity) {
+  lc::Runtime::run(1, [](lc::Communicator& c) {
+    double v = 42.0;
+    c.allreduce(&v, 1, lc::ReduceOp::Sum);
+    EXPECT_DOUBLE_EQ(v, 42.0);
+  });
+}
+
+TEST(Comm, BcastFromNonzeroRoot) {
+  lc::Runtime::run(3, [](lc::Communicator& c) {
+    char buf[5] = {};
+    if (c.rank() == 2) std::memcpy(buf, "licm", 5);
+    c.bcast(buf, 5, 2);
+    EXPECT_STREQ(buf, "licm");
+  });
+}
+
+TEST(Comm, GathervCollectsVariableLengths) {
+  lc::Runtime::run(3, [](lc::Communicator& c) {
+    std::vector<int> mine(static_cast<size_t>(c.rank()) + 1, c.rank());
+    auto all = c.gatherv_n(mine, 0);
+    if (c.rank() == 0) {
+      ASSERT_EQ(all.size(), 3u);
+      for (int r = 0; r < 3; ++r) {
+        ASSERT_EQ(all[static_cast<size_t>(r)].size(), static_cast<size_t>(r) + 1);
+        for (int x : all[static_cast<size_t>(r)]) EXPECT_EQ(x, r);
+      }
+    } else {
+      EXPECT_TRUE(all.empty());
+    }
+  });
+}
+
+TEST(Comm, AllgathervGivesEveryoneEverything) {
+  lc::Runtime::run(4, [](lc::Communicator& c) {
+    long long mine = 100 + c.rank();
+    auto all = c.allgatherv(&mine, sizeof(mine));
+    ASSERT_EQ(all.size(), 4u);
+    for (int r = 0; r < 4; ++r) {
+      long long v = 0;
+      std::memcpy(&v, all[static_cast<size_t>(r)].data(), sizeof(v));
+      EXPECT_EQ(v, 100 + r);
+    }
+  });
+}
+
+TEST(Comm, WorldTrafficCountersAdvance) {
+  lc::World world(2);
+  auto c0 = world.communicator(0);
+  double x = 1.0;
+  c0.send(&x, sizeof(x), 1, 9);
+  EXPECT_EQ(world.total_messages(), 1u);
+  EXPECT_EQ(world.total_bytes(), sizeof(double));
+}
+
+TEST(Comm, RankExceptionPropagatesToCaller) {
+  EXPECT_THROW(lc::Runtime::run(2,
+                                [](lc::Communicator& c) {
+                                  if (c.rank() == 1) throw licomk::Error("rank 1 exploded");
+                                }),
+               licomk::Error);
+}
+
+TEST(Comm, SelfSendIsDeliverable) {
+  lc::Runtime::run(1, [](lc::Communicator& c) {
+    int v = 7;
+    c.send_n(&v, 1, 0, 4);
+    int got = 0;
+    c.recv_n(&got, 1, 0, 4);
+    EXPECT_EQ(got, 7);
+  });
+}
+
+TEST(Comm, NegativeUserTagRejected) {
+  lc::Runtime::run(1, [](lc::Communicator& c) {
+    int v = 0;
+    EXPECT_THROW(c.send_n(&v, 1, 0, -5), licomk::InvalidArgument);
+  });
+}

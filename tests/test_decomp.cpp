@@ -1,0 +1,167 @@
+// Tests for domain decomposition and the Fig. 4 load balancer.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "decomp/decomposition.hpp"
+#include "decomp/load_balance.hpp"
+#include "util/error.hpp"
+
+namespace ld = licomk::decomp;
+
+TEST(Layout, ChoosesAspectMatchedFactorization) {
+  auto [px, py] = ld::choose_layout(12, 360, 180);
+  EXPECT_EQ(px * py, 12);
+  EXPECT_GE(px, py);  // grid is wider than tall
+  auto [px1, py1] = ld::choose_layout(1, 100, 100);
+  EXPECT_EQ(px1, 1);
+  EXPECT_EQ(py1, 1);
+}
+
+TEST(Layout, PrimeRankCountsStillFactor) {
+  auto [px, py] = ld::choose_layout(7, 700, 10);
+  EXPECT_EQ(px * py, 7);
+  EXPECT_EQ(px, 7);  // only 7x1 fits the aspect
+}
+
+class DecompParam : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(DecompParam, BlocksPartitionTheGridExactly) {
+  auto [nx, ny, px, py] = GetParam();
+  ld::Decomposition d(nx, ny, px, py);
+  long long total = 0;
+  std::set<std::pair<int, int>> seen;
+  for (int r = 0; r < d.nranks(); ++r) {
+    ld::BlockExtent e = d.block(r);
+    EXPECT_GT(e.nx(), 0);
+    EXPECT_GT(e.ny(), 0);
+    total += e.cells();
+    // owner_of agrees with block extents for every cell of this block.
+    EXPECT_EQ(d.owner_of(e.j0, e.i0), r);
+    EXPECT_EQ(d.owner_of(e.j1 - 1, e.i1 - 1), r);
+  }
+  EXPECT_EQ(total, static_cast<long long>(nx) * ny);
+}
+
+TEST_P(DecompParam, BlockSizesDifferByAtMostOne) {
+  auto [nx, ny, px, py] = GetParam();
+  ld::Decomposition d(nx, ny, px, py);
+  int min_nx = nx, max_nx = 0, min_ny = ny, max_ny = 0;
+  for (int r = 0; r < d.nranks(); ++r) {
+    ld::BlockExtent e = d.block(r);
+    min_nx = std::min(min_nx, e.nx());
+    max_nx = std::max(max_nx, e.nx());
+    min_ny = std::min(min_ny, e.ny());
+    max_ny = std::max(max_ny, e.ny());
+  }
+  EXPECT_LE(max_nx - min_nx, 1);
+  EXPECT_LE(max_ny - min_ny, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, DecompParam,
+                         ::testing::Values(std::make_tuple(36, 22, 1, 1),
+                                           std::make_tuple(36, 22, 4, 2),
+                                           std::make_tuple(37, 23, 3, 3),
+                                           std::make_tuple(100, 7, 10, 1),
+                                           std::make_tuple(13, 100, 1, 10),
+                                           std::make_tuple(360, 218, 8, 4)));
+
+TEST(Decomp, NeighborsWithPeriodicWrap) {
+  ld::Decomposition d(40, 20, 4, 2);
+  // Rank 0 is the SW corner block.
+  ld::Neighbors n0 = d.neighbors(0);
+  EXPECT_EQ(n0.west, 3);   // periodic wrap
+  EXPECT_EQ(n0.east, 1);
+  EXPECT_EQ(n0.south, -1); // closed southern boundary
+  EXPECT_EQ(n0.north, 4);
+  EXPECT_FALSE(n0.north_is_fold);
+}
+
+TEST(Decomp, TopRowNorthIsFold) {
+  ld::Decomposition d(40, 20, 4, 2);
+  for (int bx = 0; bx < 4; ++bx) {
+    ld::Neighbors n = d.neighbors(d.rank_of(bx, 1));
+    EXPECT_TRUE(n.north_is_fold);
+    // Fold partner owns the mirrored columns: block bx pairs with 3-bx.
+    EXPECT_EQ(n.north, d.rank_of(3 - bx, 1));
+  }
+}
+
+TEST(Decomp, FoldNeighborOfColumnMirrors) {
+  ld::Decomposition d(40, 20, 4, 2);
+  for (int i = 0; i < 40; ++i) {
+    int partner_rank = d.fold_neighbor_of_column(i);
+    ld::BlockExtent e = d.block(partner_rank);
+    EXPECT_TRUE(e.contains(19, 39 - i));
+  }
+}
+
+TEST(Decomp, NonPeriodicClosesEastWest) {
+  ld::Decomposition d(40, 20, 4, 2, /*periodic_x=*/false, /*tripolar=*/false);
+  EXPECT_EQ(d.neighbors(0).west, -1);
+  EXPECT_EQ(d.neighbors(3).east, -1);
+  EXPECT_EQ(d.neighbors(d.rank_of(0, 1)).north, -1);
+}
+
+TEST(Decomp, InvalidConstructionThrows) {
+  EXPECT_THROW(ld::Decomposition(4, 4, 8, 1), licomk::InvalidArgument);
+  EXPECT_THROW(ld::Decomposition(4, 4, 1, 8), licomk::InvalidArgument);
+}
+
+TEST(LoadBalance, AlreadyBalancedNeedsNoTransfers) {
+  auto plan = ld::balance_work({10, 10, 10, 10});
+  EXPECT_TRUE(plan.transfers.empty());
+  EXPECT_DOUBLE_EQ(plan.imbalance_before(), 1.0);
+  EXPECT_DOUBLE_EQ(plan.imbalance_after(), 1.0);
+}
+
+TEST(LoadBalance, EvensOutSeaLandImbalance) {
+  // Fig. 4 scenario: coastal ranks have few ocean columns, open-ocean ranks
+  // many.
+  std::vector<long long> census = {100, 0, 60, 20};
+  auto plan = ld::balance_work(census);
+  EXPECT_GT(plan.imbalance_before(), 2.0);
+  EXPECT_NEAR(plan.imbalance_after(), 1.0, 0.03);
+  // Conservation: transfers preserve total work.
+  long long total_after = std::accumulate(plan.after.begin(), plan.after.end(), 0LL);
+  EXPECT_EQ(total_after, 180);
+  // after = before - sent + received, per rank.
+  std::vector<long long> check = census;
+  for (const auto& t : plan.transfers) {
+    EXPECT_GT(t.count, 0);
+    EXPECT_NE(t.from, t.to);
+    check[static_cast<size_t>(t.from)] -= t.count;
+    check[static_cast<size_t>(t.to)] += t.count;
+  }
+  EXPECT_EQ(check, plan.after);
+}
+
+TEST(LoadBalance, TargetsDifferByAtMostOne) {
+  auto plan = ld::balance_work({7, 0, 0});
+  long long mn = *std::min_element(plan.after.begin(), plan.after.end());
+  long long mx = *std::max_element(plan.after.begin(), plan.after.end());
+  EXPECT_LE(mx - mn, 1);
+}
+
+TEST(LoadBalance, DeterministicTransferOrder) {
+  auto p1 = ld::balance_work({50, 1, 2, 40, 3});
+  auto p2 = ld::balance_work({50, 1, 2, 40, 3});
+  ASSERT_EQ(p1.transfers.size(), p2.transfers.size());
+  for (size_t i = 0; i < p1.transfers.size(); ++i) {
+    EXPECT_EQ(p1.transfers[i].from, p2.transfers[i].from);
+    EXPECT_EQ(p1.transfers[i].to, p2.transfers[i].to);
+    EXPECT_EQ(p1.transfers[i].count, p2.transfers[i].count);
+  }
+}
+
+TEST(LoadBalance, AllZeroCensus) {
+  auto plan = ld::balance_work({0, 0, 0});
+  EXPECT_TRUE(plan.transfers.empty());
+  EXPECT_DOUBLE_EQ(plan.imbalance_after(), 1.0);
+}
+
+TEST(LoadBalance, RejectsNegativeCensus) {
+  EXPECT_THROW(ld::balance_work({5, -1}), licomk::InvalidArgument);
+  EXPECT_THROW(ld::balance_work({}), licomk::InvalidArgument);
+}

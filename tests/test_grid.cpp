@@ -1,0 +1,259 @@
+// Tests for grid: vertical levels, horizontal metrics, synthetic bathymetry,
+// Table III/IV configuration specs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "grid/grid.hpp"
+#include "util/error.hpp"
+
+namespace lg = licomk::grid;
+
+TEST(Vertical, ThicknessesSumToMaxDepth) {
+  lg::VerticalGrid vg(30, 5500.0, 25.0);
+  double sum = 0.0;
+  for (int k = 0; k < vg.nz(); ++k) sum += vg.dz(k);
+  EXPECT_NEAR(sum, 5500.0, 1e-6);
+  EXPECT_NEAR(vg.interface_depth(30), 5500.0, 1e-6);
+  EXPECT_NEAR(vg.dz(0), 25.0, 25.0 * 0.01);  // surface layer ~ requested
+}
+
+TEST(Vertical, MonotonicallyStretching) {
+  lg::VerticalGrid vg(80, 5500.0, 6.0);
+  for (int k = 1; k < vg.nz(); ++k) {
+    EXPECT_GT(vg.dz(k), vg.dz(k - 1));
+    EXPECT_GT(vg.depth(k), vg.depth(k - 1));
+  }
+  EXPECT_GT(vg.depth(0), 0.0);
+}
+
+TEST(Vertical, LevelsForDepthInvertsInterfaces) {
+  lg::VerticalGrid vg(30, 5500.0, 25.0);
+  EXPECT_EQ(vg.levels_for_depth(0.0), 0);
+  EXPECT_EQ(vg.levels_for_depth(-5.0), 0);
+  EXPECT_EQ(vg.levels_for_depth(5500.0), 30);
+  // A column exactly as deep as interface k has k levels.
+  for (int k : {5, 15, 29}) {
+    EXPECT_EQ(vg.levels_for_depth(vg.interface_depth(k)), k);
+  }
+}
+
+TEST(Vertical, FullDepth244ResolvesChallengerDeep) {
+  lg::VerticalGrid vg = lg::levels_fulldepth244();
+  EXPECT_EQ(vg.nz(), 244);
+  EXPECT_NEAR(vg.max_depth(), 10905.0, 1e-6);  // Fig. 1f
+}
+
+TEST(Horizontal, MetricsShrinkTowardPoles) {
+  lg::HorizontalGrid h(72, 44);
+  int mid = 22;           // equatorial row
+  int polar = 42;         // near-fold row
+  EXPECT_GT(h.dx_t(mid, 0), h.dx_t(polar, 0));
+  EXPECT_GT(h.dx_t(mid, 0), 0.0);
+  // dy is latitude-independent on this mesh.
+  EXPECT_NEAR(h.dy_t(mid, 0), h.dy_t(polar, 0), 1e-9);
+}
+
+TEST(Horizontal, CoriolisSignAndMagnitude) {
+  lg::HorizontalGrid h(72, 44);
+  EXPECT_LT(h.coriolis_u(2, 0), 0.0);   // southern hemisphere
+  EXPECT_GT(h.coriolis_u(41, 0), 0.0);  // northern
+  // |f| <= 2*Omega
+  for (int j = 0; j < 44; ++j) EXPECT_LE(std::fabs(h.coriolis_u(j, 0)), 2.0 * lg::kOmega);
+}
+
+TEST(Horizontal, TotalAreaApproximatesLatBandArea) {
+  lg::HorizontalGrid h(180, 90, -78.0, 87.0, /*tripolar=*/false);
+  // Exact sphere band area between -78 and 87 degrees.
+  double exact = 2.0 * lg::kPi * lg::kEarthRadius * lg::kEarthRadius *
+                 (std::sin(87.0 * lg::kPi / 180.0) - std::sin(-78.0 * lg::kPi / 180.0));
+  EXPECT_NEAR(h.total_area() / exact, 1.0, 0.02);
+}
+
+TEST(Horizontal, FoldPartnerIsInvolution) {
+  lg::HorizontalGrid h(72, 44);
+  for (int i : {0, 10, 35, 71}) {
+    EXPECT_EQ(h.fold_partner(h.fold_partner(i)), i);
+    EXPECT_EQ(h.fold_partner(i), 71 - i);
+  }
+}
+
+TEST(Horizontal, TripolarConvergenceOnlyNorthOfJoin) {
+  lg::HorizontalGrid tri(72, 44, -78.0, 66.0, true);
+  lg::HorizontalGrid lat(72, 44, -78.0, 66.0, false);
+  // South of the join the two grids agree exactly.
+  EXPECT_DOUBLE_EQ(tri.dx_t(10, 5), lat.dx_t(10, 5));
+  // Near the fold the tripolar dx is compressed.
+  EXPECT_LT(tri.dx_t(43, 5), lat.dx_t(43, 5));
+}
+
+TEST(Horizontal, MinimumZonalSpacingBounded) {
+  // The tripolar fold keeps dx bounded away from a polar collapse: the CFL
+  // number of the barotropic sub-cycle at Table III time steps stays O(1).
+  lg::HorizontalGrid h(360, 218);  // the coarse-100km grid
+  double dx_min = 1e30;
+  for (int j = 0; j < 218; ++j)
+    for (int i = 0; i < 360; ++i) dx_min = std::min(dx_min, h.dx_u(j, i));
+  double c = std::sqrt(9.806 * 5500.0);  // external gravity-wave speed
+  double cfl = c * 2.0 * 120.0 / dx_min;  // leapfrog uses 2*dt_barotropic
+  EXPECT_LT(cfl, 4.0);  // within reach of the polar filter
+}
+
+TEST(Bathymetry, OceanFractionIsEarthLike) {
+  lg::HorizontalGrid h(72, 44);
+  lg::VerticalGrid v(30, 5500.0, 25.0);
+  lg::Bathymetry b(h, v);
+  EXPECT_GT(b.ocean_fraction(), 0.55);
+  EXPECT_LT(b.ocean_fraction(), 0.85);
+  EXPECT_EQ(b.ocean_points(),
+            static_cast<long long>(b.ocean_fraction() * 72 * 44 + 0.5));
+}
+
+TEST(Bathymetry, KmtConsistentWithDepth) {
+  lg::HorizontalGrid h(72, 44);
+  lg::VerticalGrid v(30, 5500.0, 25.0);
+  lg::Bathymetry b(h, v);
+  for (int j = 0; j < 44; ++j) {
+    for (int i = 0; i < 72; ++i) {
+      if (b.is_ocean(j, i)) {
+        EXPECT_GE(b.kmt(j, i), 2);
+        EXPECT_LE(b.kmt(j, i), 30);
+        EXPECT_GT(b.depth(j, i), 0.0);
+      } else {
+        EXPECT_EQ(b.kmt(j, i), 0);
+        EXPECT_DOUBLE_EQ(b.depth(j, i), 0.0);
+      }
+    }
+  }
+}
+
+TEST(Bathymetry, TrenchReachesFullDepthGrid) {
+  lg::HorizontalGrid h(180, 110);
+  lg::VerticalGrid v = lg::levels_fulldepth244();
+  lg::Bathymetry b(h, v);
+  // The Mariana-like trench carves close to the model maximum (Fig. 1f).
+  EXPECT_GT(b.max_depth(), 10000.0);
+  // Located in the western Pacific (lon ~142E, lat ~11N).
+  double lon = h.lon_t(b.max_depth_j(), b.max_depth_i());
+  double lat = h.lat_t(b.max_depth_j(), b.max_depth_i());
+  EXPECT_NEAR(lon, 142.2, 6.0);
+  EXPECT_NEAR(lat, 11.3, 6.0);
+}
+
+TEST(Bathymetry, DeterministicForFixedSeed) {
+  lg::HorizontalGrid h(36, 22);
+  lg::VerticalGrid v(12, 5500.0, 50.0);
+  lg::Bathymetry b1(h, v, 7);
+  lg::Bathymetry b2(h, v, 7);
+  lg::Bathymetry b3(h, v, 8);
+  int diff_same = 0;
+  int diff_other = 0;
+  for (int j = 0; j < 22; ++j) {
+    for (int i = 0; i < 36; ++i) {
+      if (b1.depth(j, i) != b2.depth(j, i)) ++diff_same;
+      if (b1.depth(j, i) != b3.depth(j, i)) ++diff_other;
+    }
+  }
+  EXPECT_EQ(diff_same, 0);
+  EXPECT_GT(diff_other, 0);  // seed changes the noise field
+}
+
+TEST(Bathymetry, ContinentsWhereExpected) {
+  // Eurasia center is land; mid-Pacific is ocean.
+  EXPECT_GE(lg::Bathymetry::continentality(60.0, 45.0), 0.5);
+  EXPECT_LT(lg::Bathymetry::continentality(180.0, 0.0), 0.5);
+  // Antarctica cap.
+  EXPECT_GE(lg::Bathymetry::continentality(100.0, -80.0), 0.5);
+}
+
+TEST(GridSpec, TableIIIConfigurationsVerbatim) {
+  auto coarse = lg::spec_coarse100km();
+  EXPECT_EQ(coarse.nx, 360);
+  EXPECT_EQ(coarse.ny, 218);
+  EXPECT_EQ(coarse.nz, 30);
+  EXPECT_DOUBLE_EQ(coarse.dt_barotropic, 120.0);
+  EXPECT_DOUBLE_EQ(coarse.dt_baroclinic, 1440.0);
+  EXPECT_EQ(coarse.barotropic_substeps(), 12);
+
+  auto eddy = lg::spec_eddy10km();
+  EXPECT_EQ(eddy.nx, 3600);
+  EXPECT_EQ(eddy.ny, 2302);
+  EXPECT_EQ(eddy.nz, 55);
+  EXPECT_EQ(eddy.barotropic_substeps(), 20);
+
+  auto km2 = lg::spec_km2_fulldepth();
+  EXPECT_EQ(km2.nz, 244);
+  EXPECT_TRUE(km2.full_depth);
+  EXPECT_EQ(km2.barotropic_substeps(), 10);
+
+  auto km1 = lg::spec_km1();
+  EXPECT_EQ(km1.nx, 36000);
+  EXPECT_EQ(km1.ny, 22018);
+  EXPECT_EQ(km1.nz, 80);
+  // > 63 billion grid points (§VII-C).
+  EXPECT_GT(km1.points(), 63'000'000'000LL);
+}
+
+TEST(GridSpec, TableIVWeakScalingSizes) {
+  auto specs = lg::weak_scaling_specs();
+  ASSERT_EQ(specs.size(), 6u);
+  EXPECT_EQ(specs[0].nx, 3600);
+  EXPECT_EQ(specs[5].nx, 36000);
+  for (const auto& s : specs) {
+    EXPECT_EQ(s.nz, 80);
+    EXPECT_DOUBLE_EQ(s.dt_barotropic, 2.0);
+    EXPECT_DOUBLE_EQ(s.dt_baroclinic, 20.0);
+  }
+  // ~95x scaling from first to last (paper §VII-D says "more than 95 times").
+  double ratio = static_cast<double>(specs[5].points()) / specs[0].points();
+  EXPECT_NEAR(ratio, 95.6, 1.0);
+}
+
+TEST(GridSpec, ShrinkPreservesTimeStepsAndLevels) {
+  auto s = lg::shrink(lg::spec_coarse100km(), 5);
+  EXPECT_EQ(s.nx, 72);
+  EXPECT_EQ(s.ny, 43);
+  EXPECT_EQ(s.nz, 30);
+  EXPECT_DOUBLE_EQ(s.dt_baroclinic, 1440.0);
+  EXPECT_THROW(lg::shrink(lg::spec_coarse100km(), 0), licomk::InvalidArgument);
+}
+
+TEST(GlobalGrid, AssemblesConsistently) {
+  auto spec = lg::shrink(lg::spec_coarse100km(), 5);
+  spec.nz = 12;
+  lg::GlobalGrid g(spec);
+  EXPECT_EQ(g.nx(), spec.nx);
+  EXPECT_EQ(g.ny(), spec.ny);
+  EXPECT_EQ(g.nz(), 12);
+  EXPECT_EQ(g.bathymetry().nx(), spec.nx);
+  EXPECT_GT(g.bathymetry().ocean_fraction(), 0.5);
+}
+
+TEST(Bathymetry, IdealizedChannelMode) {
+  lg::HorizontalGrid h(48, 20, -60.0, -20.0, /*tripolar=*/false);
+  lg::VerticalGrid v(10, 5500.0, 50.0);
+  lg::Bathymetry b(h, v, 1, lg::Bathymetry::Mode::IdealizedChannel);
+  for (int i = 0; i < 48; ++i) {
+    EXPECT_EQ(b.kmt(0, i), 0);   // south wall
+    EXPECT_EQ(b.kmt(19, i), 0);  // north wall
+  }
+  int interior_levels = b.kmt(10, 0);
+  EXPECT_GT(interior_levels, 2);
+  for (int j = 1; j < 19; ++j)
+    for (int i = 0; i < 48; ++i) {
+      EXPECT_EQ(b.kmt(j, i), interior_levels);  // perfectly flat
+      EXPECT_DOUBLE_EQ(b.depth(j, i), b.depth(10, 0));
+    }
+  EXPECT_NEAR(b.ocean_fraction(), 18.0 / 20.0, 1e-12);
+}
+
+TEST(GridSpec, IdealizedChannelSpec) {
+  auto s = lg::spec_idealized_channel(90, 40, 12);
+  EXPECT_TRUE(s.idealized_channel);
+  EXPECT_EQ(s.nx, 90);
+  lg::GlobalGrid g(s);
+  // Channel sits in the Southern Hemisphere westerly band.
+  EXPECT_LT(g.h().lat_t(g.ny() - 1, 0), -19.0);
+  EXPECT_GT(g.h().lat_t(0, 0), -61.0);
+  EXPECT_DOUBLE_EQ(g.bathymetry().depth(g.ny() / 2, 0), 4000.0);
+}

@@ -1,0 +1,202 @@
+// Tests for field output writers.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <algorithm>
+#include <sstream>
+
+#include "comm/runtime.hpp"
+#include "core/model.hpp"
+#include "io/dataset.hpp"
+#include "io/field_writer.hpp"
+#include "io/snapshot.hpp"
+#include "kxx/kxx.hpp"
+
+namespace lc = licomk::core;
+namespace lio = licomk::io;
+namespace kxx = licomk::kxx;
+
+namespace {
+struct TempPath {
+  std::string path;
+  explicit TempPath(const std::string& name) : path("/tmp/licomk_test_" + name) {}
+  ~TempPath() {
+    std::remove(path.c_str());
+    std::remove((path + ".hdr").c_str());
+  }
+};
+
+lc::LicomModel& shared_model() {
+  static bool init = [] {
+    kxx::initialize({kxx::Backend::Serial, 1, false});
+    return true;
+  }();
+  (void)init;
+  static lc::LicomModel model([] {
+    auto cfg = lc::ModelConfig::testing(10);
+    cfg.grid.nz = 6;
+    return cfg;
+  }());
+  return model;
+}
+
+int count_lines(const std::string& path) {
+  std::ifstream in(path);
+  int lines = 0;
+  std::string line;
+  while (std::getline(in, line)) ++lines;
+  return lines;
+}
+}  // namespace
+
+TEST(Io, Csv2DHasGridShape) {
+  auto& m = shared_model();
+  TempPath tp("field.csv");
+  lio::write_csv(tp.path, m.local_grid(), m.state().eta_cur);
+  EXPECT_EQ(count_lines(tp.path), m.local_grid().ny());
+  // First row has nx comma-separated values.
+  std::ifstream in(tp.path);
+  std::string row;
+  std::getline(in, row);
+  int commas = static_cast<int>(std::count(row.begin(), row.end(), ','));
+  EXPECT_EQ(commas, m.local_grid().nx() - 1);
+}
+
+TEST(Io, CsvLevelWritesChosenLevel) {
+  auto& m = shared_model();
+  TempPath tp("level.csv");
+  lio::write_csv_level(tp.path, m.local_grid(), m.state().t_cur, 0);
+  EXPECT_EQ(count_lines(tp.path), m.local_grid().ny());
+  // Parse one value back and compare.
+  std::ifstream in(tp.path);
+  std::string row;
+  std::getline(in, row);
+  std::istringstream first(row.substr(0, row.find(',')));
+  double v = 0.0;
+  first >> v;
+  EXPECT_DOUBLE_EQ(v, m.state().t_cur.at(0, licomk::decomp::kHaloWidth,
+                                         licomk::decomp::kHaloWidth));
+}
+
+TEST(Io, PgmHeaderAndSize) {
+  auto& m = shared_model();
+  TempPath tp("map.pgm");
+  lio::write_pgm(tp.path, m.local_grid(), m.state().eta_cur, -1.0, 1.0);
+  std::ifstream in(tp.path, std::ios::binary);
+  std::string magic;
+  int w = 0, h = 0, maxval = 0;
+  in >> magic >> w >> h >> maxval;
+  EXPECT_EQ(magic, "P5");
+  EXPECT_EQ(w, m.local_grid().nx());
+  EXPECT_EQ(h, m.local_grid().ny());
+  EXPECT_EQ(maxval, 255);
+  in.get();  // single whitespace after header
+  std::vector<char> pixels(static_cast<size_t>(w) * h);
+  in.read(pixels.data(), static_cast<std::streamsize>(pixels.size()));
+  EXPECT_EQ(in.gcount(), static_cast<std::streamsize>(pixels.size()));
+  // Land is black (0), ocean is >= 1.
+  int land = 0, ocean = 0;
+  for (char p : pixels) (p == 0 ? land : ocean) += 1;
+  EXPECT_GT(ocean, 0);
+  EXPECT_GT(land, 0);
+}
+
+TEST(Io, PgmRejectsEmptyRange) {
+  auto& m = shared_model();
+  EXPECT_THROW(lio::write_pgm("/tmp/licomk_bad.pgm", m.local_grid(), m.state().eta_cur, 1.0, 1.0),
+               licomk::Error);
+}
+
+TEST(Io, SectionCsvHasNzRows) {
+  auto& m = shared_model();
+  TempPath tp("section.csv");
+  lio::write_section_csv(tp.path, m.local_grid(), m.state().t_cur, m.local_grid().nx() / 2);
+  EXPECT_EQ(count_lines(tp.path), m.local_grid().nz());
+}
+
+TEST(Io, RawRoundTrip) {
+  auto& m = shared_model();
+  TempPath tp("field.raw");
+  lio::write_raw(tp.path, m.local_grid(), m.state().eta_cur);
+  std::ifstream hdr(tp.path + ".hdr");
+  int nx = 0, ny = 0;
+  hdr >> nx >> ny;
+  EXPECT_EQ(nx, m.local_grid().nx());
+  EXPECT_EQ(ny, m.local_grid().ny());
+  std::ifstream in(tp.path, std::ios::binary);
+  std::vector<double> data(static_cast<size_t>(nx) * ny);
+  in.read(reinterpret_cast<char*>(data.data()),
+          static_cast<std::streamsize>(data.size() * sizeof(double)));
+  EXPECT_EQ(in.gcount(), static_cast<std::streamsize>(data.size() * sizeof(double)));
+  EXPECT_DOUBLE_EQ(data[0], m.state().eta_cur.at(licomk::decomp::kHaloWidth,
+                                                 licomk::decomp::kHaloWidth));
+}
+
+TEST(Io, UnwritablePathThrows) {
+  auto& m = shared_model();
+  EXPECT_THROW(lio::write_csv("/nonexistent_dir/x.csv", m.local_grid(), m.state().eta_cur),
+               licomk::Error);
+}
+
+TEST(Dataset, RoundTripsAttributesAndVariables) {
+  lio::Dataset ds;
+  ds.set_attribute("title", "unit test");
+  ds.set_attribute("pi", "3.14159");
+  ds.add_2d("field", 3, 4, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11});
+  lio::Variable profile{"profile", {"z"}, {5}, {1.5, 2.5, 3.5, 4.5, 5.5}};
+  ds.add(profile);
+  TempPath tp("dataset.lsd");
+  ds.write(tp.path);
+
+  auto back = lio::Dataset::read(tp.path);
+  EXPECT_EQ(back.attribute("title"), "unit test");
+  EXPECT_EQ(back.attribute("pi"), "3.14159");
+  EXPECT_EQ(back.attribute("absent"), "");
+  ASSERT_TRUE(back.has("field"));
+  const auto& f = back.var("field");
+  ASSERT_EQ(f.extents.size(), 2u);
+  EXPECT_EQ(f.extents[0], 3u);
+  EXPECT_EQ(f.dim_names[1], "x");
+  EXPECT_DOUBLE_EQ(f.data[7], 7.0);
+  EXPECT_DOUBLE_EQ(back.var("profile").data[4], 5.5);
+  EXPECT_EQ(back.variable_names().size(), 2u);
+}
+
+TEST(Dataset, RejectsInconsistentAndDuplicateVariables) {
+  lio::Dataset ds;
+  lio::Variable bad{"bad", {"y", "x"}, {2, 2}, {1.0, 2.0, 3.0}};  // 3 != 4
+  EXPECT_THROW(ds.add(bad), licomk::Error);
+  ds.add_2d("twice", 1, 1, {1.0});
+  EXPECT_THROW(ds.add_2d("twice", 1, 1, {2.0}), licomk::Error);
+  EXPECT_THROW(ds.var("nope"), licomk::Error);
+}
+
+TEST(Dataset, RejectsGarbageFiles) {
+  TempPath tp("garbage.lsd");
+  {
+    std::ofstream out(tp.path);
+    out << "definitely not a dataset";
+  }
+  EXPECT_THROW(lio::Dataset::read(tp.path), licomk::Error);
+  EXPECT_THROW(lio::Dataset::read("/tmp/licomk_no_such_dataset.lsd"), licomk::Error);
+}
+
+TEST(Snapshot, CapturesModelStateSelfDescribingly) {
+  auto& m = shared_model();
+  TempPath tp("snap.lsd");
+  lio::write_snapshot(tp.path, m, /*include_3d=*/true);
+  auto ds = lio::Dataset::read(tp.path);
+  EXPECT_NE(ds.attribute("config").find("coarse-100km"), std::string::npos);
+  for (const char* name : {"sst", "sss", "eta", "kmt", "temperature", "salinity"}) {
+    EXPECT_TRUE(ds.has(name)) << name;
+  }
+  const auto& sst = ds.var("sst");
+  EXPECT_EQ(sst.extents[0], static_cast<std::uint64_t>(m.local_grid().ny()));
+  EXPECT_EQ(sst.extents[1], static_cast<std::uint64_t>(m.local_grid().nx()));
+  const int h = licomk::decomp::kHaloWidth;
+  EXPECT_DOUBLE_EQ(sst.data[0], m.state().t_cur.at(0, h, h));
+  const auto& t3 = ds.var("temperature");
+  EXPECT_EQ(t3.extents[0], static_cast<std::uint64_t>(m.local_grid().nz()));
+  EXPECT_EQ(ds.var("level_depth").size(), static_cast<std::uint64_t>(m.local_grid().nz()));
+}

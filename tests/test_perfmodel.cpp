@@ -1,0 +1,178 @@
+// Tests for the performance model: machine specs, workload inventory, and
+// the calibrated scaling predictions against the paper's Table V / Fig. 9.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "perfmodel/machine.hpp"
+#include "perfmodel/paper_data.hpp"
+#include "perfmodel/scaling_model.hpp"
+
+namespace lp = licomk::perf;
+namespace lg = licomk::grid;
+
+TEST(Machine, TableIIValues) {
+  auto orise = lp::spec_orise();
+  EXPECT_EQ(orise.devices_per_node, 4);
+  EXPECT_DOUBLE_EQ(orise.host_dev_bw, 16.0e9);  // 32-bit PCIe DMA
+  EXPECT_DOUBLE_EQ(orise.net_bw, 25.0e9);
+  auto sunway = lp::spec_new_sunway();
+  EXPECT_DOUBLE_EQ(sunway.device_mem_bw, 51.2e9);  // per CG
+  EXPECT_EQ(sunway.cores_per_device, 65);          // 1 MPE + 64 CPEs per rank
+  EXPECT_DOUBLE_EQ(sunway.host_dev_bw, 0.0);       // unified memory
+  auto v100 = lp::spec_v100_workstation();
+  EXPECT_DOUBLE_EQ(v100.device_mem_bw, 887.9e9);
+}
+
+TEST(Workload, InventoryScalesWithGrid) {
+  auto w1 = lp::WorkloadSpec::from_grid(lg::spec_coarse100km());
+  auto w2 = lp::WorkloadSpec::from_grid(lg::spec_km1());
+  EXPECT_GT(w1.bytes_per_point_3d, 0.0);
+  EXPECT_EQ(w1.bytes_per_point_3d, w2.bytes_per_point_3d);  // per-point cost fixed
+  EXPECT_GT(w1.halo3d_per_step, 0);
+}
+
+TEST(Scaling, MoreDevicesNeverSlower) {
+  lp::ScalingModel model(lp::spec_orise(), lp::WorkloadSpec::from_grid(lg::spec_km1()));
+  double prev = 0.0;
+  for (long long d : {1000, 2000, 4000, 8000, 16000}) {
+    auto e = model.estimate(d);
+    EXPECT_GT(e.sypd, prev) << d;
+    prev = e.sypd;
+  }
+}
+
+TEST(Scaling, EfficiencyDegradesWithScale) {
+  lp::ScalingModel model(lp::spec_orise(), lp::WorkloadSpec::from_grid(lg::spec_km1()));
+  auto base = model.estimate(4000);
+  auto big = model.estimate(16000);
+  double eff = lp::ScalingModel::strong_efficiency(base, big);
+  EXPECT_LT(eff, 1.0);
+  EXPECT_GT(eff, 0.2);
+}
+
+TEST(Scaling, CalibrationHitsTheAnchorExactly) {
+  lp::ScalingModel model(lp::spec_orise(), lp::WorkloadSpec::from_grid(lg::spec_km1()));
+  model.calibrate(4000, 0.765);  // Table V, ORISE 1 km base point
+  EXPECT_NEAR(model.estimate(4000).sypd, 0.765, 1e-9);
+}
+
+TEST(Scaling, ReproducesTableVShapes) {
+  // For every Table V row: calibrate on the first column, then predict the
+  // rest. The prediction must agree with the paper within a loose band —
+  // the *shape* claim of the reproduction (who wins, how efficiency falls).
+  for (const auto& row : lp::table5_rows()) {
+    lg::GridSpec spec = row.resolution_km == 10.0 ? lg::spec_eddy10km()
+                        : row.resolution_km == 2.0
+                            ? lg::spec_km2_fulldepth()
+                            : lg::spec_km1();
+    if (row.resolution_km == 2.0) {
+      spec = lg::weak_scaling_specs()[4];  // strong-scaling 2-km uses 80 levels? paper: 244
+      spec = lg::spec_km2_fulldepth();
+    }
+    lp::MachineSpec machine = row.sunway ? lp::spec_new_sunway() : lp::spec_orise();
+    lp::ScalingModel model(machine, lp::WorkloadSpec::from_grid(spec));
+    long long unit0 = row.units.front();
+    long long dev0 = row.sunway ? unit0 / 65 : unit0;
+    model.calibrate(dev0, row.sypd.front());
+    for (size_t p = 1; p < row.units.size(); ++p) {
+      long long dev = row.sunway ? row.units[p] / 65 : row.units[p];
+      auto e = model.estimate(dev);
+      double rel = e.sypd / row.sypd[p];
+      EXPECT_GT(rel, 0.55) << row.system << " " << row.resolution_km << "km @" << row.units[p];
+      EXPECT_LT(rel, 1.8) << row.system << " " << row.resolution_km << "km @" << row.units[p];
+    }
+    // End-of-row parallel efficiency within 25 percentage points of paper.
+    auto base = model.estimate(dev0);
+    long long dev_last = row.sunway ? row.units.back() / 65 : row.units.back();
+    auto last = model.estimate(dev_last);
+    double eff = lp::ScalingModel::strong_efficiency(base, last) * 100.0;
+    EXPECT_NEAR(eff, row.efficiency_pct.back(), 25.0)
+        << row.system << " " << row.resolution_km << "km";
+  }
+}
+
+TEST(Scaling, WeakScalingEfficienciesNearPaper) {
+  // Fig. 9: calibrate each machine on the 10-km point of Table IV, then walk
+  // the weak-scaling ladder with the SAME calibration constant. Paper end
+  // points: 85.6 % (ORISE, 15 360 GPUs), 91.2 % (Sunway, 38 366 250 cores).
+  auto points = lp::table4_points();
+  auto specs = lg::weak_scaling_specs();
+  for (bool sunway : {false, true}) {
+    lp::MachineSpec machine = sunway ? lp::spec_new_sunway() : lp::spec_orise();
+    lp::ScalingModel base_model(machine, lp::WorkloadSpec::from_grid(specs.front()));
+    long long base_dev = sunway ? points.front().sunway_cores / 65 : points.front().orise_gpus;
+    double c = base_model.calibrate(base_dev, sunway ? 0.35 : 1.0);
+    auto base = base_model.estimate(base_dev);
+
+    lp::ScalingModel big_model(machine, lp::WorkloadSpec::from_grid(specs.back()));
+    big_model.set_calibration(c);
+    long long big_dev = sunway ? points.back().sunway_cores / 65 : points.back().orise_gpus;
+    auto big = big_model.estimate(big_dev);
+
+    double eff = lp::ScalingModel::weak_efficiency(base, big);
+    double paper = sunway ? lp::kPaperWeakEffSunway : lp::kPaperWeakEffOrise;
+    EXPECT_NEAR(eff, paper, 0.25) << (sunway ? "Sunway" : "ORISE");
+  }
+}
+
+TEST(Scaling, SunwayCoreAccountingMatchesPaper) {
+  lp::ScalingModel model(lp::spec_new_sunway(), lp::WorkloadSpec::from_grid(lg::spec_km1()));
+  // 38 366 250 cores = 590 250 ranks x 65 cores (§VI-B).
+  EXPECT_EQ(lp::kPaperSunwayCores % 65, 0);
+  EXPECT_EQ(model.cores_for_devices(lp::kPaperSunwayCores / 65), lp::kPaperSunwayCores);
+}
+
+TEST(PaperData, TableVRowsConsistent) {
+  auto rows = lp::table5_rows();
+  ASSERT_EQ(rows.size(), 6u);
+  for (const auto& row : rows) {
+    ASSERT_EQ(row.nodes.size(), row.units.size());
+    ASSERT_EQ(row.sypd.size(), row.units.size());
+    ASSERT_EQ(row.efficiency_pct.size(), row.units.size());
+    EXPECT_DOUBLE_EQ(row.efficiency_pct.front(), 100.0);
+    // SYPD increases along each row; efficiency decreases.
+    for (size_t p = 1; p < row.sypd.size(); ++p) {
+      EXPECT_GT(row.sypd[p], row.sypd[p - 1]);
+      EXPECT_LE(row.efficiency_pct[p], row.efficiency_pct[p - 1]);
+    }
+  }
+  // Headline numbers.
+  EXPECT_DOUBLE_EQ(rows[4].sypd.back(), 1.701);  // ORISE 1 km
+  EXPECT_DOUBLE_EQ(rows[5].sypd.back(), 1.047);  // Sunway 1 km
+}
+
+TEST(PaperData, Fig7AndLandscape) {
+  auto f7 = lp::fig7_entries();
+  ASSERT_EQ(f7.size(), 4u);
+  EXPECT_DOUBLE_EQ(f7[0].licomkxx_sypd, 317.73);
+  EXPECT_DOUBLE_EQ(f7[2].speedup_vs_fortran, 11.45);
+  auto land = lp::fig2_landscape();
+  EXPECT_GE(land.size(), 8u);
+  // This work appears twice (two machines).
+  int ours = 0;
+  for (const auto& e : land)
+    if (e.model.find("LICOMK++") != std::string::npos) ++ours;
+  EXPECT_EQ(ours, 2);
+}
+
+TEST(Scaling, BreakdownTermsAllContribute) {
+  lp::ScalingModel model(lp::spec_orise(), lp::WorkloadSpec::from_grid(lg::spec_km1()));
+  auto e = model.estimate(8000);
+  EXPECT_GT(e.compute_s, 0.0);
+  EXPECT_GT(e.halo_s, 0.0);
+  EXPECT_GT(e.staging_s, 0.0);  // no GPU-aware MPI on ORISE
+  EXPECT_GT(e.fixed_s, 0.0);
+  EXPECT_GT(e.fold_s, 0.0);
+  EXPECT_NEAR(e.step_seconds, e.compute_s + e.halo_s + e.staging_s + e.fixed_s + e.fold_s,
+              1e-15);
+  // Sunway has unified memory: no staging.
+  lp::ScalingModel sw(lp::spec_new_sunway(), lp::WorkloadSpec::from_grid(lg::spec_km1()));
+  EXPECT_DOUBLE_EQ(sw.estimate(8000).staging_s, 0.0);
+}
+
+TEST(Scaling, InfeasibleCalibrationThrows) {
+  lp::ScalingModel model(lp::spec_orise(), lp::WorkloadSpec::from_grid(lg::spec_km1()));
+  // Absurdly high target: non-compute costs alone exceed the step budget.
+  EXPECT_THROW(model.calibrate(4000, 1e9), licomk::Error);
+}

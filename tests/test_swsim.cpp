@@ -1,0 +1,235 @@
+// Unit tests for the simulated Sunway core group and Athread runtime.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <vector>
+
+#include "swsim/athread.hpp"
+#include "swsim/processor.hpp"
+#include "swsim/simd.hpp"
+#include "util/error.hpp"
+
+namespace sw = licomk::swsim;
+
+TEST(Ldm, AllocatesAndFreesLifo) {
+  sw::LdmArena arena(4096);
+  void* a = arena.allocate(100);
+  void* b = arena.allocate(200);
+  EXPECT_EQ(arena.live_allocations(), 2);
+  arena.free(b);
+  arena.free(a);
+  EXPECT_EQ(arena.in_use(), 0u);
+  EXPECT_GE(arena.high_water(), 300u);
+}
+
+TEST(Ldm, OverflowThrowsResourceError) {
+  sw::LdmArena arena(1024);
+  EXPECT_THROW(arena.allocate(2048), licomk::ResourceError);
+  // Partial fills then overflow.
+  arena.allocate(512);
+  EXPECT_THROW(arena.allocate(512), licomk::ResourceError);
+}
+
+TEST(Ldm, OutOfOrderFreeThrows) {
+  sw::LdmArena arena(4096);
+  void* a = arena.allocate(64);
+  void* b = arena.allocate(64);
+  EXPECT_THROW(arena.free(a), licomk::InvalidArgument);
+  arena.free(b);
+  arena.free(a);
+}
+
+TEST(Ldm, CapacityMatchesSw26010Pro) {
+  sw::LdmArena arena;
+  EXPECT_EQ(arena.capacity(), 256u * 1024u);
+}
+
+TEST(Dma, TracksBytesAndModeledTime) {
+  sw::DmaEngine dma;
+  std::vector<double> main_mem(64, 3.0);
+  std::vector<double> ldm(64, 0.0);
+  dma.get(ldm.data(), main_mem.data(), 64 * sizeof(double));
+  EXPECT_EQ(ldm[63], 3.0);
+  ldm[0] = 7.0;
+  dma.put(main_mem.data(), ldm.data(), sizeof(double));
+  EXPECT_EQ(main_mem[0], 7.0);
+  EXPECT_EQ(dma.stats().sync_transfers, 2u);
+  EXPECT_EQ(dma.stats().sync_bytes, 64u * 8u + 8u);
+  EXPECT_GT(dma.stats().modeled_busy_s, 0.0);
+}
+
+TEST(Dma, AsyncRepliesAndWait) {
+  sw::DmaEngine dma;
+  double src[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  double dst[8] = {};
+  sw::DmaReply reply;
+  dma.iget(dst, src, sizeof(src), reply);
+  dma.iget(dst, src, sizeof(src), reply);
+  EXPECT_EQ(reply.completed, 2);
+  dma.wait(reply, 2);
+  EXPECT_EQ(dma.stats().async_transfers, 2u);
+  // Waiting for more replies than transfers is a lost-reply bug.
+  EXPECT_THROW(dma.wait(reply, 3), licomk::ResourceError);
+}
+
+namespace {
+struct KernelArg {
+  std::atomic<int> executions{0};
+  std::atomic<long long> id_sum{0};
+};
+
+void counting_kernel(void* argp) {
+  auto* arg = static_cast<KernelArg*>(argp);
+  arg->executions.fetch_add(1);
+  arg->id_sum.fetch_add(sw::athread_get_id());
+}
+
+void ldm_kernel(void* /*argp*/) {
+  void* p = sw::ldm_malloc(1024);
+  sw::ldm_free(p);
+}
+
+void leaking_kernel(void* /*argp*/) { sw::ldm_malloc(128); }
+
+struct DmaArg {
+  const double* src;
+  double* dst;  // 64 slots, one per CPE
+};
+
+void dma_kernel(void* argp) {
+  auto* arg = static_cast<DmaArg*>(argp);
+  int id = sw::athread_get_id();
+  auto* buf = static_cast<double*>(sw::ldm_malloc(sizeof(double)));
+  sw::athread_dma_get(buf, arg->src + id, sizeof(double));
+  *buf *= 2.0;
+  sw::athread_dma_put(arg->dst + id, buf, sizeof(double));
+  sw::ldm_free(buf);
+}
+}  // namespace
+
+TEST(Athread, SpawnRunsOn64Cpes) {
+  sw::reset_default_core_group();
+  sw::athread_init();
+  KernelArg arg;
+  sw::athread_spawn(&counting_kernel, &arg);
+  sw::athread_join();
+  EXPECT_EQ(arg.executions.load(), 64);
+  EXPECT_EQ(arg.id_sum.load(), 63 * 64 / 2);
+  EXPECT_EQ(sw::athread_get_max_threads(), 64);
+}
+
+TEST(Athread, SpawnJoinProtocolEnforced) {
+  sw::reset_default_core_group();
+  sw::athread_init();
+  EXPECT_THROW(sw::athread_join(), licomk::InvalidArgument);
+  KernelArg arg;
+  sw::athread_spawn(&counting_kernel, &arg);
+  EXPECT_THROW(sw::athread_spawn(&counting_kernel, &arg), licomk::ResourceError);
+  sw::athread_join();
+}
+
+TEST(Athread, CpeIntrinsicsOutsideKernelThrow) {
+  sw::athread_init();
+  EXPECT_THROW(sw::athread_get_id(), licomk::ResourceError);
+  EXPECT_THROW(sw::ldm_malloc(16), licomk::ResourceError);
+}
+
+TEST(Athread, LdmLeakAcrossKernelBoundaryDetected) {
+  sw::reset_default_core_group();
+  sw::athread_init();
+  EXPECT_THROW(sw::athread_spawn(&leaking_kernel, nullptr), licomk::ResourceError);
+  sw::reset_default_core_group();
+}
+
+TEST(Athread, DmaRoundTripPerCpe) {
+  sw::reset_default_core_group();
+  sw::athread_init();
+  std::vector<double> src(64);
+  std::vector<double> dst(64, 0.0);
+  for (int i = 0; i < 64; ++i) src[static_cast<size_t>(i)] = i + 1.0;
+  DmaArg arg{src.data(), dst.data()};
+  sw::athread_spawn(&dma_kernel, &arg);
+  sw::athread_join();
+  for (int i = 0; i < 64; ++i) EXPECT_DOUBLE_EQ(dst[static_cast<size_t>(i)], 2.0 * (i + 1.0));
+  auto stats = sw::default_core_group().stats();
+  EXPECT_EQ(stats.dma.sync_transfers, 128u);  // one get + one put per CPE
+  EXPECT_EQ(stats.dma.total_bytes(), 128u * 8u);
+  EXPECT_GT(stats.ldm_high_water, 0u);
+}
+
+TEST(Athread, LdmKernelBalancedAllocationsPass) {
+  sw::reset_default_core_group();
+  sw::athread_init();
+  EXPECT_NO_THROW({
+    sw::athread_spawn(&ldm_kernel, nullptr);
+    sw::athread_join();
+  });
+}
+
+TEST(Simd, AxpyMatchesScalarIncludingTail) {
+  // n = 21 exercises two full 8-lane chunks plus a 5-element tail.
+  std::vector<double> x(21), y(21), y_ref(21);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = 0.5 * static_cast<double>(i);
+    y[i] = 1.0 - static_cast<double>(i);
+    y_ref[i] = y[i] + 2.5 * x[i];
+  }
+  sw::simd_axpy(2.5, x.data(), y.data(), x.size());
+  for (size_t i = 0; i < x.size(); ++i) EXPECT_DOUBLE_EQ(y[i], y_ref[i]);
+}
+
+TEST(Simd, HorizontalSumAndFma) {
+  auto v = sw::DoubleV8::broadcast(1.5);
+  EXPECT_DOUBLE_EQ(v.horizontal_sum(), 12.0);
+  sw::DoubleV8 acc = sw::DoubleV8::broadcast(0.0);
+  acc.fma(sw::DoubleV8::broadcast(2.0), sw::DoubleV8::broadcast(3.0));
+  EXPECT_DOUBLE_EQ(acc.horizontal_sum(), 48.0);
+}
+
+namespace {
+struct GroupTag {
+  std::atomic<int>* counter;
+  int group;
+};
+void group_kernel(void* argp) {
+  auto* tag = static_cast<GroupTag*>(argp);
+  tag->counter[tag->group].fetch_add(1);
+}
+}  // namespace
+
+TEST(Processor, Sw26010ProHas390Cores) {
+  EXPECT_EQ(sw::Sw26010Pro::kTotalCores, 390);  // Table II / Fig. 3
+  EXPECT_EQ(sw::Sw26010Pro::kCoreGroups, 6);
+  EXPECT_EQ(sw::Sw26010Pro::kCpesPerGroup, 64);
+}
+
+TEST(Processor, SpawnAllFansOutToEveryCoreGroup) {
+  sw::Sw26010Pro proc;
+  std::atomic<int> counters[6] = {};
+  GroupTag tags[6];
+  std::array<void*, 6> args{};
+  for (int g = 0; g < 6; ++g) {
+    tags[g] = GroupTag{counters, g};
+    args[static_cast<size_t>(g)] = &tags[g];
+  }
+  proc.spawn_all(&group_kernel, args);
+  for (int g = 0; g < 6; ++g) EXPECT_EQ(counters[g].load(), 64) << g;
+  auto stats = proc.total_stats();
+  EXPECT_EQ(stats.spawns, 6u);
+  EXPECT_EQ(stats.cpe_executions, 6u * 64u);
+  proc.reset_stats();
+  EXPECT_EQ(proc.total_stats().spawns, 0u);
+}
+
+TEST(Processor, CoreGroupsAreIndependent) {
+  sw::Sw26010Pro proc;
+  EXPECT_THROW(proc.cg(6), licomk::InvalidArgument);
+  EXPECT_THROW(proc.cg(-1), licomk::InvalidArgument);
+  // Stats on one CG do not leak to another.
+  std::atomic<int> counter[1] = {};
+  GroupTag tag{counter, 0};
+  proc.cg(2).spawn(&group_kernel, &tag);
+  EXPECT_EQ(proc.cg(2).stats().cpe_executions, 64u);
+  EXPECT_EQ(proc.cg(3).stats().cpe_executions, 0u);
+}

@@ -1,0 +1,122 @@
+// Tests for kxx team-level dispatch with per-team scratch (LDM on AthreadSim).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <vector>
+
+#include "kxx/kxx.hpp"
+#include "swsim/athread.hpp"
+
+namespace kxx = licomk::kxx;
+
+namespace {
+
+struct CoverTeams {
+  double* out;  // one slot per team
+  void operator()(const kxx::TeamMember& t) const {
+    out[t.league_rank()] += 1.0 + 0.001 * t.league_size();
+  }
+};
+
+struct ScratchUser {
+  double* out;
+  int n;  // doubles of scratch used
+  void operator()(const kxx::TeamMember& t) const {
+    double* scratch = t.scratch_array<double>(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) scratch[i] = t.league_rank() + i;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) sum += scratch[i];
+    out[t.league_rank()] = sum;
+  }
+};
+
+struct HugeScratch {
+  void operator()(const kxx::TeamMember& t) const {
+    // Touch the scratch so the allocation is real.
+    std::memset(t.team_scratch(), 0, t.scratch_bytes());
+  }
+};
+
+}  // namespace
+
+KXX_REGISTER_TEAM(test_cover_teams, CoverTeams);
+KXX_REGISTER_TEAM(test_scratch_user, ScratchUser);
+KXX_REGISTER_TEAM(test_huge_scratch, HugeScratch);
+
+class TeamBackendTest : public ::testing::TestWithParam<kxx::Backend> {
+ protected:
+  void SetUp() override { kxx::initialize({GetParam(), 3, false}); }
+};
+
+TEST_P(TeamBackendTest, EveryTeamRunsExactlyOnce) {
+  const int league = 131;
+  std::vector<double> out(league, 0.0);
+  kxx::parallel_for("cover", kxx::TeamPolicy(league, 0), CoverTeams{out.data()});
+  for (int t = 0; t < league; ++t) {
+    ASSERT_DOUBLE_EQ(out[static_cast<size_t>(t)], 1.0 + 0.001 * league) << t;
+  }
+}
+
+TEST_P(TeamBackendTest, ScratchIsPrivatePerTeam) {
+  const int league = 40;
+  const int n = 64;
+  std::vector<double> out(league, 0.0);
+  kxx::parallel_for("scratch", kxx::TeamPolicy(league, n * sizeof(double)),
+                    ScratchUser{out.data(), n});
+  for (int t = 0; t < league; ++t) {
+    double expect = 0.0;
+    for (int i = 0; i < n; ++i) expect += t + i;
+    ASSERT_DOUBLE_EQ(out[static_cast<size_t>(t)], expect) << t;
+  }
+}
+
+TEST_P(TeamBackendTest, EmptyLeagueIsNoop) {
+  EXPECT_NO_THROW(
+      kxx::parallel_for("empty", kxx::TeamPolicy(0, 1024), CoverTeams{nullptr}));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, TeamBackendTest,
+                         ::testing::Values(kxx::Backend::Serial, kxx::Backend::Threads,
+                                           kxx::Backend::AthreadSim),
+                         [](const auto& info) { return kxx::backend_name(info.param); });
+
+TEST(Team, AthreadScratchComesFromLdm) {
+  licomk::swsim::reset_default_core_group();
+  kxx::initialize({kxx::Backend::AthreadSim, 1, true});
+  std::vector<double> out(8, 0.0);
+  kxx::parallel_for("scratch", kxx::TeamPolicy(8, 32 * sizeof(double)),
+                    ScratchUser{out.data(), 32});
+  auto stats = licomk::swsim::default_core_group().stats();
+  EXPECT_GE(stats.ldm_high_water, 32u * sizeof(double));
+  kxx::set_athread_strict(false);
+}
+
+TEST(Team, OversizedScratchOverflowsLdm) {
+  licomk::swsim::reset_default_core_group();
+  kxx::initialize({kxx::Backend::AthreadSim, 1, true});
+  // 1 MB per team cannot fit a 256 kB LDM: the same failure real hardware
+  // hits. Serial/Threads backends would happily heap-allocate it — the
+  // capacity model is a genuine Sunway constraint.
+  EXPECT_THROW(
+      kxx::parallel_for("huge", kxx::TeamPolicy(4, 1 << 20), HugeScratch{}),
+      licomk::ResourceError);
+  licomk::swsim::reset_default_core_group();
+  kxx::set_athread_strict(false);
+  kxx::initialize({kxx::Backend::Serial, 1, false});
+  EXPECT_NO_THROW(kxx::parallel_for("huge", kxx::TeamPolicy(4, 1 << 20), HugeScratch{}));
+}
+
+TEST(Team, UnregisteredTeamFunctorFallsBackOrThrows) {
+  struct Unregistered {
+    void operator()(const kxx::TeamMember&) const {}
+  };
+  kxx::initialize({kxx::Backend::AthreadSim, 1, true});
+  EXPECT_THROW(kxx::parallel_for("unreg", kxx::TeamPolicy(4, 0), Unregistered{}),
+               kxx::KernelNotRegistered);
+  kxx::set_athread_strict(false);
+  kxx::reset_athread_fallback_count();
+  EXPECT_NO_THROW(kxx::parallel_for("unreg", kxx::TeamPolicy(4, 0), Unregistered{}));
+  EXPECT_EQ(kxx::athread_fallback_count(), 1);
+  kxx::initialize({kxx::Backend::Serial, 1, false});
+}

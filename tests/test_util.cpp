@@ -1,0 +1,154 @@
+// Unit tests for util: config parsing, timers, statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+
+#include "util/config.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace lu = licomk::util;
+
+TEST(Config, ParsesKeysSectionsAndComments) {
+  auto cfg = lu::Config::from_string(R"(
+# comment line
+nx = 360
+[model]
+vmix = canuto   # trailing comment
+ratio = 2.5
+flag = true
+)");
+  EXPECT_EQ(cfg.get_int("nx"), 360);
+  EXPECT_EQ(cfg.get_string("model.vmix"), "canuto");
+  EXPECT_DOUBLE_EQ(cfg.get_double("model.ratio"), 2.5);
+  EXPECT_TRUE(cfg.get_bool("model.flag"));
+}
+
+TEST(Config, MissingKeyThrowsTypedError) {
+  lu::Config cfg;
+  EXPECT_THROW(cfg.get_string("absent"), licomk::ConfigError);
+  EXPECT_EQ(cfg.get_string_or("absent", "dflt"), "dflt");
+  EXPECT_EQ(cfg.get_int_or("absent", 7), 7);
+}
+
+TEST(Config, MalformedValuesThrow) {
+  auto cfg = lu::Config::from_string("a = 12x\nb = yes\nc = 3.5");
+  EXPECT_THROW(cfg.get_int("a"), licomk::ConfigError);
+  EXPECT_TRUE(cfg.get_bool("b"));
+  EXPECT_THROW(cfg.get_int("c"), licomk::ConfigError);
+}
+
+TEST(Config, MalformedLinesThrow) {
+  EXPECT_THROW(lu::Config::from_string("key_without_value"), licomk::ConfigError);
+  EXPECT_THROW(lu::Config::from_string("[unterminated"), licomk::ConfigError);
+  EXPECT_THROW(lu::Config::from_string("= novalue"), licomk::ConfigError);
+}
+
+TEST(Config, RoundTripsThroughToString) {
+  lu::Config cfg;
+  cfg.set_int("n", 42);
+  cfg.set_double("x", 1.5);
+  cfg.set_bool("b", false);
+  auto re = lu::Config::from_string(cfg.to_string());
+  EXPECT_EQ(re.get_int("n"), 42);
+  EXPECT_DOUBLE_EQ(re.get_double("x"), 1.5);
+  EXPECT_FALSE(re.get_bool("b"));
+}
+
+TEST(Timer, AccumulatesNestedTimers) {
+  lu::TimerRegistry reg;
+  reg.start("step");
+  reg.start("tracer");
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  reg.stop("tracer");
+  reg.stop("step");
+  reg.start("step");
+  reg.stop("step");
+  EXPECT_EQ(reg.stats("step").count, 2);
+  EXPECT_EQ(reg.stats("step/tracer").count, 1);
+  EXPECT_GT(reg.stats("step/tracer").total_s, 0.0);
+  EXPECT_GE(reg.stats("step").total_s, reg.stats("step/tracer").total_s);
+}
+
+TEST(Timer, MismatchedStopThrows) {
+  lu::TimerRegistry reg;
+  reg.start("a");
+  EXPECT_THROW(reg.stop("b"), licomk::InvalidArgument);
+  reg.stop("a");
+  EXPECT_THROW(reg.stop("a"), licomk::InvalidArgument);
+}
+
+TEST(Timer, ScopedTimerStopsOnDestruction) {
+  lu::TimerRegistry reg;
+  {
+    lu::ScopedTimer t(reg, "scope");
+  }
+  EXPECT_EQ(reg.stats("scope").count, 1);
+  EXPECT_FALSE(reg.active());
+}
+
+TEST(Timer, SypdDefinition) {
+  // Simulating exactly one year in exactly one day => 1 SYPD.
+  EXPECT_NEAR(lu::sypd(365.0 * 86400.0, 86400.0), 1.0, 1e-12);
+  // Twice as fast => 2 SYPD.
+  EXPECT_NEAR(lu::sypd(365.0 * 86400.0, 43200.0), 2.0, 1e-12);
+  EXPECT_THROW(lu::sypd(1.0, 0.0), licomk::InvalidArgument);
+}
+
+TEST(Timer, WallSecondsPerSimulatedDayInvertsSypd) {
+  double w = lu::wall_seconds_per_simulated_day(1.0);
+  // One simulated day at 1 SYPD: 86400 / 365 seconds.
+  EXPECT_NEAR(w, 86400.0 / 365.0, 1e-9);
+}
+
+TEST(Stats, RunningStatsMatchesDirectComputation) {
+  lu::RunningStats rs;
+  std::vector<double> xs = {1.0, 2.0, 4.0, 8.0, 16.0};
+  for (double x : xs) rs.add(x);
+  EXPECT_EQ(rs.count(), 5);
+  EXPECT_DOUBLE_EQ(rs.mean(), 6.2);
+  EXPECT_DOUBLE_EQ(rs.min(), 1.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 16.0);
+  double var = 0.0;
+  for (double x : xs) var += (x - 6.2) * (x - 6.2);
+  var /= 5.0;
+  EXPECT_NEAR(rs.variance(), var, 1e-12);
+}
+
+TEST(Stats, MergeEqualsSequential) {
+  lu::RunningStats a, b, all;
+  for (int i = 0; i < 10; ++i) {
+    double x = std::sin(i * 1.7) * 10.0;
+    (i < 4 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> xs = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(lu::percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(lu::percentile(xs, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(lu::percentile(xs, 50.0), 25.0);
+  EXPECT_THROW(lu::percentile({}, 50.0), licomk::InvalidArgument);
+}
+
+TEST(Stats, CeilDiv) {
+  EXPECT_EQ(lu::ceil_div(10, 3), 4);
+  EXPECT_EQ(lu::ceil_div(9, 3), 3);
+  EXPECT_EQ(lu::ceil_div(1, 64), 1);
+}
+
+TEST(Stats, RelDiffAndRms) {
+  EXPECT_NEAR(lu::rel_diff(1.0, 1.1), 0.1 / 1.1, 1e-12);
+  EXPECT_DOUBLE_EQ(lu::rel_diff(0.0, 0.0), 0.0);
+  std::vector<double> xs = {3.0, 4.0};
+  EXPECT_NEAR(lu::rms(xs), std::sqrt(12.5), 1e-12);
+}
