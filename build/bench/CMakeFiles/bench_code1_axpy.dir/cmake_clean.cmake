@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_code1_axpy.dir/bench_code1_axpy.cpp.o"
+  "CMakeFiles/bench_code1_axpy.dir/bench_code1_axpy.cpp.o.d"
+  "bench_code1_axpy"
+  "bench_code1_axpy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_code1_axpy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_code1_axpy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_code1_axpy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_sst.dir/bench_fig1_sst.cpp.o"
+  "CMakeFiles/bench_fig1_sst.dir/bench_fig1_sst.cpp.o.d"
+  "bench_fig1_sst"
+  "bench_fig1_sst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_sst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

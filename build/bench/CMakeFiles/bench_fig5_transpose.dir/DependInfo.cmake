@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig5_transpose.cpp" "bench/CMakeFiles/bench_fig5_transpose.dir/bench_fig5_transpose.cpp.o" "gcc" "bench/CMakeFiles/bench_fig5_transpose.dir/bench_fig5_transpose.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/licomk_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/swsim/CMakeFiles/licomk_swsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kxx/CMakeFiles/licomk_kxx.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/licomk_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/licomk_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/decomp/CMakeFiles/licomk_decomp.dir/DependInfo.cmake"
+  "/root/repo/build/src/halo/CMakeFiles/licomk_halo.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/licomk_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmodel/CMakeFiles/licomk_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/licomk_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

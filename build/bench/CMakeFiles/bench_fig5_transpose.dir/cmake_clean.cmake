@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_transpose.dir/bench_fig5_transpose.cpp.o"
+  "CMakeFiles/bench_fig5_transpose.dir/bench_fig5_transpose.cpp.o.d"
+  "bench_fig5_transpose"
+  "bench_fig5_transpose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_transpose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

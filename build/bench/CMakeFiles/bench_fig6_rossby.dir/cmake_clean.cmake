@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_rossby.dir/bench_fig6_rossby.cpp.o"
+  "CMakeFiles/bench_fig6_rossby.dir/bench_fig6_rossby.cpp.o.d"
+  "bench_fig6_rossby"
+  "bench_fig6_rossby.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_rossby.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

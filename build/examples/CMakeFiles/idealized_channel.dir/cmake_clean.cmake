@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idealized_channel.dir/idealized_channel.cpp.o"
+  "CMakeFiles/idealized_channel.dir/idealized_channel.cpp.o.d"
+  "idealized_channel"
+  "idealized_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idealized_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marianas_fulldepth.dir/marianas_fulldepth.cpp.o"
+  "CMakeFiles/marianas_fulldepth.dir/marianas_fulldepth.cpp.o.d"
+  "marianas_fulldepth"
+  "marianas_fulldepth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marianas_fulldepth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

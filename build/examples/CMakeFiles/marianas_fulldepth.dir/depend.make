@@ -1,0 +1,2 @@
+# Empty dependencies file for marianas_fulldepth.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/submesoscale_rossby.dir/submesoscale_rossby.cpp.o"
+  "CMakeFiles/submesoscale_rossby.dir/submesoscale_rossby.cpp.o.d"
+  "submesoscale_rossby"
+  "submesoscale_rossby.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/submesoscale_rossby.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for submesoscale_rossby.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/licomk_comm.dir/communicator.cpp.o"
+  "CMakeFiles/licomk_comm.dir/communicator.cpp.o.d"
+  "CMakeFiles/licomk_comm.dir/runtime.cpp.o"
+  "CMakeFiles/licomk_comm.dir/runtime.cpp.o.d"
+  "liblicomk_comm.a"
+  "liblicomk_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/licomk_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

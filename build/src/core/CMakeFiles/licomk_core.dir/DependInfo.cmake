@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/advection.cpp" "src/core/CMakeFiles/licomk_core.dir/advection.cpp.o" "gcc" "src/core/CMakeFiles/licomk_core.dir/advection.cpp.o.d"
+  "/root/repo/src/core/baseline.cpp" "src/core/CMakeFiles/licomk_core.dir/baseline.cpp.o" "gcc" "src/core/CMakeFiles/licomk_core.dir/baseline.cpp.o.d"
+  "/root/repo/src/core/diagnostics.cpp" "src/core/CMakeFiles/licomk_core.dir/diagnostics.cpp.o" "gcc" "src/core/CMakeFiles/licomk_core.dir/diagnostics.cpp.o.d"
+  "/root/repo/src/core/dynamics.cpp" "src/core/CMakeFiles/licomk_core.dir/dynamics.cpp.o" "gcc" "src/core/CMakeFiles/licomk_core.dir/dynamics.cpp.o.d"
+  "/root/repo/src/core/eos.cpp" "src/core/CMakeFiles/licomk_core.dir/eos.cpp.o" "gcc" "src/core/CMakeFiles/licomk_core.dir/eos.cpp.o.d"
+  "/root/repo/src/core/forcing.cpp" "src/core/CMakeFiles/licomk_core.dir/forcing.cpp.o" "gcc" "src/core/CMakeFiles/licomk_core.dir/forcing.cpp.o.d"
+  "/root/repo/src/core/local_grid.cpp" "src/core/CMakeFiles/licomk_core.dir/local_grid.cpp.o" "gcc" "src/core/CMakeFiles/licomk_core.dir/local_grid.cpp.o.d"
+  "/root/repo/src/core/model.cpp" "src/core/CMakeFiles/licomk_core.dir/model.cpp.o" "gcc" "src/core/CMakeFiles/licomk_core.dir/model.cpp.o.d"
+  "/root/repo/src/core/model_config.cpp" "src/core/CMakeFiles/licomk_core.dir/model_config.cpp.o" "gcc" "src/core/CMakeFiles/licomk_core.dir/model_config.cpp.o.d"
+  "/root/repo/src/core/polar_filter.cpp" "src/core/CMakeFiles/licomk_core.dir/polar_filter.cpp.o" "gcc" "src/core/CMakeFiles/licomk_core.dir/polar_filter.cpp.o.d"
+  "/root/repo/src/core/restart.cpp" "src/core/CMakeFiles/licomk_core.dir/restart.cpp.o" "gcc" "src/core/CMakeFiles/licomk_core.dir/restart.cpp.o.d"
+  "/root/repo/src/core/science_diagnostics.cpp" "src/core/CMakeFiles/licomk_core.dir/science_diagnostics.cpp.o" "gcc" "src/core/CMakeFiles/licomk_core.dir/science_diagnostics.cpp.o.d"
+  "/root/repo/src/core/state.cpp" "src/core/CMakeFiles/licomk_core.dir/state.cpp.o" "gcc" "src/core/CMakeFiles/licomk_core.dir/state.cpp.o.d"
+  "/root/repo/src/core/tracer.cpp" "src/core/CMakeFiles/licomk_core.dir/tracer.cpp.o" "gcc" "src/core/CMakeFiles/licomk_core.dir/tracer.cpp.o.d"
+  "/root/repo/src/core/vmix.cpp" "src/core/CMakeFiles/licomk_core.dir/vmix.cpp.o" "gcc" "src/core/CMakeFiles/licomk_core.dir/vmix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/licomk_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/kxx/CMakeFiles/licomk_kxx.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/licomk_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/licomk_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/decomp/CMakeFiles/licomk_decomp.dir/DependInfo.cmake"
+  "/root/repo/build/src/halo/CMakeFiles/licomk_halo.dir/DependInfo.cmake"
+  "/root/repo/build/src/swsim/CMakeFiles/licomk_swsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

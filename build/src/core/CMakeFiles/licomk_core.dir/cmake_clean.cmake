@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/licomk_core.dir/advection.cpp.o"
+  "CMakeFiles/licomk_core.dir/advection.cpp.o.d"
+  "CMakeFiles/licomk_core.dir/baseline.cpp.o"
+  "CMakeFiles/licomk_core.dir/baseline.cpp.o.d"
+  "CMakeFiles/licomk_core.dir/diagnostics.cpp.o"
+  "CMakeFiles/licomk_core.dir/diagnostics.cpp.o.d"
+  "CMakeFiles/licomk_core.dir/dynamics.cpp.o"
+  "CMakeFiles/licomk_core.dir/dynamics.cpp.o.d"
+  "CMakeFiles/licomk_core.dir/eos.cpp.o"
+  "CMakeFiles/licomk_core.dir/eos.cpp.o.d"
+  "CMakeFiles/licomk_core.dir/forcing.cpp.o"
+  "CMakeFiles/licomk_core.dir/forcing.cpp.o.d"
+  "CMakeFiles/licomk_core.dir/local_grid.cpp.o"
+  "CMakeFiles/licomk_core.dir/local_grid.cpp.o.d"
+  "CMakeFiles/licomk_core.dir/model.cpp.o"
+  "CMakeFiles/licomk_core.dir/model.cpp.o.d"
+  "CMakeFiles/licomk_core.dir/model_config.cpp.o"
+  "CMakeFiles/licomk_core.dir/model_config.cpp.o.d"
+  "CMakeFiles/licomk_core.dir/polar_filter.cpp.o"
+  "CMakeFiles/licomk_core.dir/polar_filter.cpp.o.d"
+  "CMakeFiles/licomk_core.dir/restart.cpp.o"
+  "CMakeFiles/licomk_core.dir/restart.cpp.o.d"
+  "CMakeFiles/licomk_core.dir/science_diagnostics.cpp.o"
+  "CMakeFiles/licomk_core.dir/science_diagnostics.cpp.o.d"
+  "CMakeFiles/licomk_core.dir/state.cpp.o"
+  "CMakeFiles/licomk_core.dir/state.cpp.o.d"
+  "CMakeFiles/licomk_core.dir/tracer.cpp.o"
+  "CMakeFiles/licomk_core.dir/tracer.cpp.o.d"
+  "CMakeFiles/licomk_core.dir/vmix.cpp.o"
+  "CMakeFiles/licomk_core.dir/vmix.cpp.o.d"
+  "liblicomk_core.a"
+  "liblicomk_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/licomk_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+src/core/CMakeFiles/licomk_core.dir/eos.cpp.o: \
+ /root/repo/src/core/eos.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/core/eos.hpp /root/repo/src/core/constants.hpp

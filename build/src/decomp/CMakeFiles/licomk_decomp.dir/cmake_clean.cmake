@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/licomk_decomp.dir/decomposition.cpp.o"
+  "CMakeFiles/licomk_decomp.dir/decomposition.cpp.o.d"
+  "CMakeFiles/licomk_decomp.dir/load_balance.cpp.o"
+  "CMakeFiles/licomk_decomp.dir/load_balance.cpp.o.d"
+  "liblicomk_decomp.a"
+  "liblicomk_decomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/licomk_decomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grid/bathymetry.cpp" "src/grid/CMakeFiles/licomk_grid.dir/bathymetry.cpp.o" "gcc" "src/grid/CMakeFiles/licomk_grid.dir/bathymetry.cpp.o.d"
+  "/root/repo/src/grid/grid.cpp" "src/grid/CMakeFiles/licomk_grid.dir/grid.cpp.o" "gcc" "src/grid/CMakeFiles/licomk_grid.dir/grid.cpp.o.d"
+  "/root/repo/src/grid/horizontal.cpp" "src/grid/CMakeFiles/licomk_grid.dir/horizontal.cpp.o" "gcc" "src/grid/CMakeFiles/licomk_grid.dir/horizontal.cpp.o.d"
+  "/root/repo/src/grid/vertical.cpp" "src/grid/CMakeFiles/licomk_grid.dir/vertical.cpp.o" "gcc" "src/grid/CMakeFiles/licomk_grid.dir/vertical.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/licomk_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/kxx/CMakeFiles/licomk_kxx.dir/DependInfo.cmake"
+  "/root/repo/build/src/swsim/CMakeFiles/licomk_swsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/licomk_grid.dir/bathymetry.cpp.o"
+  "CMakeFiles/licomk_grid.dir/bathymetry.cpp.o.d"
+  "CMakeFiles/licomk_grid.dir/grid.cpp.o"
+  "CMakeFiles/licomk_grid.dir/grid.cpp.o.d"
+  "CMakeFiles/licomk_grid.dir/horizontal.cpp.o"
+  "CMakeFiles/licomk_grid.dir/horizontal.cpp.o.d"
+  "CMakeFiles/licomk_grid.dir/vertical.cpp.o"
+  "CMakeFiles/licomk_grid.dir/vertical.cpp.o.d"
+  "liblicomk_grid.a"
+  "liblicomk_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/licomk_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

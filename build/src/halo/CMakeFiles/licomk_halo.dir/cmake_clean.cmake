@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/licomk_halo.dir/halo_exchange.cpp.o"
+  "CMakeFiles/licomk_halo.dir/halo_exchange.cpp.o.d"
+  "liblicomk_halo.a"
+  "liblicomk_halo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/licomk_halo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/licomk_io.dir/dataset.cpp.o"
+  "CMakeFiles/licomk_io.dir/dataset.cpp.o.d"
+  "CMakeFiles/licomk_io.dir/field_writer.cpp.o"
+  "CMakeFiles/licomk_io.dir/field_writer.cpp.o.d"
+  "CMakeFiles/licomk_io.dir/snapshot.cpp.o"
+  "CMakeFiles/licomk_io.dir/snapshot.cpp.o.d"
+  "liblicomk_io.a"
+  "liblicomk_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/licomk_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

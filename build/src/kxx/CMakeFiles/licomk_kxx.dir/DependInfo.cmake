@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kxx/backend.cpp" "src/kxx/CMakeFiles/licomk_kxx.dir/backend.cpp.o" "gcc" "src/kxx/CMakeFiles/licomk_kxx.dir/backend.cpp.o.d"
+  "/root/repo/src/kxx/registry.cpp" "src/kxx/CMakeFiles/licomk_kxx.dir/registry.cpp.o" "gcc" "src/kxx/CMakeFiles/licomk_kxx.dir/registry.cpp.o.d"
+  "/root/repo/src/kxx/thread_pool.cpp" "src/kxx/CMakeFiles/licomk_kxx.dir/thread_pool.cpp.o" "gcc" "src/kxx/CMakeFiles/licomk_kxx.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/licomk_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/swsim/CMakeFiles/licomk_swsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

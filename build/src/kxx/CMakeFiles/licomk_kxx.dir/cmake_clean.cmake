@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/licomk_kxx.dir/backend.cpp.o"
+  "CMakeFiles/licomk_kxx.dir/backend.cpp.o.d"
+  "CMakeFiles/licomk_kxx.dir/registry.cpp.o"
+  "CMakeFiles/licomk_kxx.dir/registry.cpp.o.d"
+  "CMakeFiles/licomk_kxx.dir/thread_pool.cpp.o"
+  "CMakeFiles/licomk_kxx.dir/thread_pool.cpp.o.d"
+  "liblicomk_kxx.a"
+  "liblicomk_kxx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/licomk_kxx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perfmodel/machine.cpp" "src/perfmodel/CMakeFiles/licomk_perfmodel.dir/machine.cpp.o" "gcc" "src/perfmodel/CMakeFiles/licomk_perfmodel.dir/machine.cpp.o.d"
+  "/root/repo/src/perfmodel/paper_data.cpp" "src/perfmodel/CMakeFiles/licomk_perfmodel.dir/paper_data.cpp.o" "gcc" "src/perfmodel/CMakeFiles/licomk_perfmodel.dir/paper_data.cpp.o.d"
+  "/root/repo/src/perfmodel/scaling_model.cpp" "src/perfmodel/CMakeFiles/licomk_perfmodel.dir/scaling_model.cpp.o" "gcc" "src/perfmodel/CMakeFiles/licomk_perfmodel.dir/scaling_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/licomk_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/grid/CMakeFiles/licomk_grid.dir/DependInfo.cmake"
+  "/root/repo/build/src/decomp/CMakeFiles/licomk_decomp.dir/DependInfo.cmake"
+  "/root/repo/build/src/kxx/CMakeFiles/licomk_kxx.dir/DependInfo.cmake"
+  "/root/repo/build/src/swsim/CMakeFiles/licomk_swsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/licomk_perfmodel.dir/machine.cpp.o"
+  "CMakeFiles/licomk_perfmodel.dir/machine.cpp.o.d"
+  "CMakeFiles/licomk_perfmodel.dir/paper_data.cpp.o"
+  "CMakeFiles/licomk_perfmodel.dir/paper_data.cpp.o.d"
+  "CMakeFiles/licomk_perfmodel.dir/scaling_model.cpp.o"
+  "CMakeFiles/licomk_perfmodel.dir/scaling_model.cpp.o.d"
+  "liblicomk_perfmodel.a"
+  "liblicomk_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/licomk_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/swsim/athread.cpp" "src/swsim/CMakeFiles/licomk_swsim.dir/athread.cpp.o" "gcc" "src/swsim/CMakeFiles/licomk_swsim.dir/athread.cpp.o.d"
+  "/root/repo/src/swsim/core_group.cpp" "src/swsim/CMakeFiles/licomk_swsim.dir/core_group.cpp.o" "gcc" "src/swsim/CMakeFiles/licomk_swsim.dir/core_group.cpp.o.d"
+  "/root/repo/src/swsim/dma.cpp" "src/swsim/CMakeFiles/licomk_swsim.dir/dma.cpp.o" "gcc" "src/swsim/CMakeFiles/licomk_swsim.dir/dma.cpp.o.d"
+  "/root/repo/src/swsim/ldm.cpp" "src/swsim/CMakeFiles/licomk_swsim.dir/ldm.cpp.o" "gcc" "src/swsim/CMakeFiles/licomk_swsim.dir/ldm.cpp.o.d"
+  "/root/repo/src/swsim/processor.cpp" "src/swsim/CMakeFiles/licomk_swsim.dir/processor.cpp.o" "gcc" "src/swsim/CMakeFiles/licomk_swsim.dir/processor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/licomk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

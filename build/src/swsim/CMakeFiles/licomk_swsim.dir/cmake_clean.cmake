@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/licomk_swsim.dir/athread.cpp.o"
+  "CMakeFiles/licomk_swsim.dir/athread.cpp.o.d"
+  "CMakeFiles/licomk_swsim.dir/core_group.cpp.o"
+  "CMakeFiles/licomk_swsim.dir/core_group.cpp.o.d"
+  "CMakeFiles/licomk_swsim.dir/dma.cpp.o"
+  "CMakeFiles/licomk_swsim.dir/dma.cpp.o.d"
+  "CMakeFiles/licomk_swsim.dir/ldm.cpp.o"
+  "CMakeFiles/licomk_swsim.dir/ldm.cpp.o.d"
+  "CMakeFiles/licomk_swsim.dir/processor.cpp.o"
+  "CMakeFiles/licomk_swsim.dir/processor.cpp.o.d"
+  "liblicomk_swsim.a"
+  "liblicomk_swsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/licomk_swsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

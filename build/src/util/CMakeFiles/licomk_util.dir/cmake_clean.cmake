@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/licomk_util.dir/config.cpp.o"
+  "CMakeFiles/licomk_util.dir/config.cpp.o.d"
+  "CMakeFiles/licomk_util.dir/log.cpp.o"
+  "CMakeFiles/licomk_util.dir/log.cpp.o.d"
+  "CMakeFiles/licomk_util.dir/stats.cpp.o"
+  "CMakeFiles/licomk_util.dir/stats.cpp.o.d"
+  "CMakeFiles/licomk_util.dir/timer.cpp.o"
+  "CMakeFiles/licomk_util.dir/timer.cpp.o.d"
+  "liblicomk_util.a"
+  "liblicomk_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/licomk_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_advection.dir/test_advection.cpp.o"
+  "CMakeFiles/test_advection.dir/test_advection.cpp.o.d"
+  "test_advection"
+  "test_advection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_advection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

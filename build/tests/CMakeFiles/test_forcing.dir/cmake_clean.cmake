@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_forcing.dir/test_forcing.cpp.o"
+  "CMakeFiles/test_forcing.dir/test_forcing.cpp.o.d"
+  "test_forcing"
+  "test_forcing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_forcing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kxx.dir/test_kxx.cpp.o"
+  "CMakeFiles/test_kxx.dir/test_kxx.cpp.o.d"
+  "test_kxx"
+  "test_kxx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kxx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

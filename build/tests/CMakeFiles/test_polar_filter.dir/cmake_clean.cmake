@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_polar_filter.dir/test_polar_filter.cpp.o"
+  "CMakeFiles/test_polar_filter.dir/test_polar_filter.cpp.o.d"
+  "test_polar_filter"
+  "test_polar_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_polar_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

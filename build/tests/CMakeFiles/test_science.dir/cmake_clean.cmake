@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_science.dir/test_science.cpp.o"
+  "CMakeFiles/test_science.dir/test_science.cpp.o.d"
+  "test_science"
+  "test_science.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_science.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_swsim.dir/test_swsim.cpp.o"
+  "CMakeFiles/test_swsim.dir/test_swsim.cpp.o.d"
+  "test_swsim"
+  "test_swsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_swsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

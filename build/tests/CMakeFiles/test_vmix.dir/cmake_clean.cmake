@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vmix.dir/test_vmix.cpp.o"
+  "CMakeFiles/test_vmix.dir/test_vmix.cpp.o.d"
+  "test_vmix"
+  "test_vmix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vmix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
