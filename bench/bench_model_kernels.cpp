@@ -5,7 +5,9 @@
 // dispersed across many kernels (§VII-D "hotspot dispersion").
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <memory>
+#include <string>
 
 #include "comm/runtime.hpp"
 #include "core/advection.hpp"
@@ -13,6 +15,7 @@
 #include "core/model.hpp"
 #include "core/tracer.hpp"
 #include "kxx/kxx.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace lc = licomk::core;
 namespace kxx = licomk::kxx;
@@ -85,4 +88,20 @@ static void BM_VerticalMixing(benchmark::State& state) {
 }
 BENCHMARK(BM_VerticalMixing)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+// Custom main so the CI perf-smoke job can collect telemetry alongside the
+// benchmark numbers: with LICOMK_TELEMETRY=1 the run exports metrics.json and
+// trace.json into $LICOMK_TELEMETRY_OUT (default: the working directory).
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  licomk::telemetry::initialize_from_env();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (licomk::telemetry::enabled()) {
+    const char* out = std::getenv("LICOMK_TELEMETRY_OUT");
+    std::string prefix = out != nullptr ? std::string(out) + "/" : std::string();
+    licomk::telemetry::write_metrics_json(prefix + "metrics.json");
+    licomk::telemetry::write_trace_json(prefix + "trace.json");
+  }
+  return 0;
+}

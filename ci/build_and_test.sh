@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Configure, build, and run the full test suite for one build type, then
+# sweep the backend-sensitive tests over every kxx backend via the
+# LICOMK_BACKEND environment hook (kxx::config_from_env).
+#
+# Usage: ci/build_and_test.sh [Release|Debug] [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_TYPE="${1:-Release}"
+BUILD_DIR="${2:-build-ci-$(echo "$BUILD_TYPE" | tr '[:upper:]' '[:lower:]')}"
+JOBS="$(nproc)"
+
+cmake -S . -B "$BUILD_DIR" -DCMAKE_BUILD_TYPE="$BUILD_TYPE"
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+# The kxx suite already parametrizes over backends internally; the model and
+# swsim suites honor LICOMK_BACKEND for their generic tests. Sweep all three
+# execution backends to catch backend-conditional regressions.
+for backend in serial threads athread; do
+  echo "=== backend sweep: LICOMK_BACKEND=$backend ==="
+  LICOMK_BACKEND="$backend" LICOMK_NUM_THREADS=2 \
+    ctest --test-dir "$BUILD_DIR" --output-on-failure -R 'test_kxx|test_swsim|test_model'
+done

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Perf gate: compare a Google Benchmark JSON run against a checked-in baseline.
+
+Fails (exit 1) when any benchmark present in the baseline regresses by more
+than --max-ratio in real_time, or is missing from the new run entirely.
+Benchmarks only present in the new run are reported but do not fail the gate
+(they have no baseline yet — regenerate with ci/update_baseline.sh).
+
+The smoke baseline is intentionally coarse (2x gate, ~0.05 s/benchmark): it
+catches order-of-magnitude regressions like an accidentally serialized kernel
+or a telemetry branch left enabled, not single-digit-percent drift.
+"""
+import argparse
+import json
+import sys
+
+# Normalize every timing to nanoseconds regardless of the reported time_unit.
+_TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_times(path):
+    with open(path) as f:
+        doc = json.load(f)
+    times = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue  # use raw iterations; aggregates only exist with repetitions
+        times[b["name"]] = b["real_time"] * _TO_NS[b.get("time_unit", "ns")]
+    return times
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--max-ratio", type=float, default=2.0,
+                    help="fail when current/baseline exceeds this (default 2.0)")
+    args = ap.parse_args()
+
+    baseline = load_times(args.baseline)
+    current = load_times(args.current)
+    if not baseline:
+        print(f"error: no benchmarks in baseline {args.baseline}", file=sys.stderr)
+        return 2
+
+    failures = []
+    print(f"{'benchmark':<40} {'baseline':>12} {'current':>12} {'ratio':>7}")
+    for name, base_ns in sorted(baseline.items()):
+        cur_ns = current.get(name)
+        if cur_ns is None:
+            failures.append(f"{name}: missing from current run")
+            print(f"{name:<40} {base_ns/1e6:>10.3f}ms {'MISSING':>12}")
+            continue
+        ratio = cur_ns / base_ns if base_ns > 0 else float("inf")
+        flag = " <-- FAIL" if ratio > args.max_ratio else ""
+        print(f"{name:<40} {base_ns/1e6:>10.3f}ms {cur_ns/1e6:>10.3f}ms {ratio:>6.2f}x{flag}")
+        if ratio > args.max_ratio:
+            failures.append(f"{name}: {ratio:.2f}x baseline (limit {args.max_ratio}x)")
+
+    for name in sorted(set(current) - set(baseline)):
+        print(f"{name:<40} {'(no baseline)':>12} {current[name]/1e6:>10.3f}ms")
+
+    if failures:
+        print("\nperf gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\nperf gate passed: {len(baseline)} benchmarks within "
+          f"{args.max_ratio}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

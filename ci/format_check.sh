@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Verify every tracked C++ source conforms to the repo's .clang-format.
+#
+# Usage: ci/format_check.sh   (set CLANG_FORMAT to pick a specific binary)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+  echo "error: $CLANG_FORMAT not found; install clang-format or set CLANG_FORMAT" >&2
+  exit 2
+fi
+
+git ls-files '*.cpp' '*.hpp' | xargs -r "$CLANG_FORMAT" --dry-run -Werror
+echo "format check passed"

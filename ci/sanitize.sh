@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Build with AddressSanitizer + UndefinedBehaviorSanitizer and run the tier-1
+# test suite (ROADMAP "Tier-1 verify"). Any sanitizer report fails the run.
+#
+# Usage: ci/sanitize.sh [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-asan}"
+JOBS="$(nproc)"
+
+cmake -S . -B "$BUILD_DIR" -DCMAKE_BUILD_TYPE=RelWithDebInfo -DLICOMK_SANITIZE=ON
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+# halt_on_error turns any UBSan diagnostic into a test failure instead of a
+# log line; leak checking stays on (ASan default) to catch real leaks.
+UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"

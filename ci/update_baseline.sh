@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Regenerate bench/baseline_smoke.json from the current build. Run on the
+# reference machine after an intentional performance change, then commit the
+# result.
+#
+# Usage: ci/update_baseline.sh [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+"$BUILD_DIR/bench/bench_model_kernels" \
+  --benchmark_min_time=0.05 \
+  --benchmark_out=bench/baseline_smoke.json \
+  --benchmark_out_format=json
+echo "wrote bench/baseline_smoke.json"

@@ -5,7 +5,12 @@
 // diagnostics and per-phase timers the paper's measurement methodology is
 // built on (SYPD from the step loop, §VI-C).
 //
-// Usage: quickstart [days=5] [shrink=6] [backend=serial|threads|athread]
+// Usage: quickstart [days=5] [shrink=6] [backend=serial|threads|athread] [telemetry=0|1]
+//
+// With telemetry on (arg 4 = 1, or LICOMK_TELEMETRY=1 in the environment) the
+// run additionally prints the unified telemetry report and writes
+// metrics.json + trace.json to the working directory; load trace.json in
+// chrome://tracing to see the span timeline.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -13,6 +18,7 @@
 
 #include "core/model.hpp"
 #include "kxx/kxx.hpp"
+#include "telemetry/telemetry.hpp"
 
 using namespace licomk;
 
@@ -25,6 +31,7 @@ int main(int argc, char** argv) {
   if (backend_name == "threads") backend = kxx::Backend::Threads;
   if (backend_name == "athread") backend = kxx::Backend::AthreadSim;
   kxx::initialize({backend, 0, false});
+  if (argc > 4) telemetry::set_enabled(std::atoi(argv[4]) != 0);  // arg wins over env
 
   core::ModelConfig cfg;
   cfg.grid = grid::shrink(grid::spec_coarse100km(), shrink);
@@ -59,5 +66,14 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(model.exchanger().stats().exchanges),
               static_cast<unsigned long long>(model.exchanger().stats().skipped),
               static_cast<double>(model.exchanger().stats().bytes) / 1.0e6);
+
+  if (telemetry::enabled()) {
+    telemetry::write_metrics_json("metrics.json");
+    telemetry::write_trace_json("trace.json");
+    std::printf("\n%s", telemetry::text_report().c_str());
+    std::printf(
+        "telemetry written: metrics.json (machine-readable), trace.json "
+        "(open in chrome://tracing)\n");
+  }
   return 0;
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "telemetry/telemetry.hpp"
+
 namespace licomk::comm {
 
 namespace {
@@ -65,6 +67,12 @@ void World::deliver(int source, int dest, int tag, const void* buf, std::size_t 
   box.cv.notify_all();
   message_count_.fetch_add(1, std::memory_order_relaxed);
   byte_count_.fetch_add(bytes, std::memory_order_relaxed);
+  if (telemetry::enabled()) {
+    static telemetry::Counter& messages = telemetry::counter("comm.messages");
+    static telemetry::Counter& total = telemetry::counter("comm.bytes");
+    messages.add(1);
+    total.add(bytes);
+  }
 }
 
 std::vector<std::byte> World::take_owned(int self, int source, int tag, Status* status_out) {

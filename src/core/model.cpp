@@ -5,11 +5,22 @@
 #include "core/dynamics.hpp"
 #include "core/restart.hpp"
 #include "core/tracer.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 
 namespace licomk::core {
 
 namespace {
+
+/// One model phase: a GPTL-style timer (kept — sypd() reads it) plus a
+/// telemetry span, so phases nest around the kernel spans dispatched inside.
+struct PhaseScope {
+  util::ScopedTimer timer;
+  telemetry::ScopedSpan span;
+  PhaseScope(util::TimerRegistry& registry, const char* name)
+      : timer(registry, name), span(name, "phase") {}
+};
+
 /// The single-rank world used by the convenience constructor. One static
 /// world is enough: single-rank communicators never exchange messages.
 comm::World& self_world() {
@@ -61,10 +72,10 @@ void LicomModel::step() {
                           ? halo::Halo3DMethod::TransposeVerticalMajor
                           : halo::Halo3DMethod::HorizontalMajor;
   const double day = day_of_year();
-  util::ScopedTimer step_timer(timers_, "step");
+  PhaseScope step_timer(timers_, "step");
 
   {
-    util::ScopedTimer t(timers_, "halo_in");
+    PhaseScope t(timers_, "halo_in");
     // With redundant-exchange elimination these are no-ops except on the
     // first step (the end-of-step exchanges keep versions current).
     exchanger_->update(state_->t_cur, halo::FoldSign::Symmetric, method);
@@ -75,33 +86,33 @@ void LicomModel::step() {
   }
 
   {
-    util::ScopedTimer t(timers_, "readyt");
+    PhaseScope t(timers_, "readyt");
     compute_density(*lgrid_, cfg_.linear_eos, state_->t_cur, state_->s_cur, state_->rho);
     compute_pressure(*lgrid_, state_->rho, state_->eta_cur, state_->pressure);
   }
 
   {
-    util::ScopedTimer t(timers_, "vmix");
+    PhaseScope t(timers_, "vmix");
     mixer_->compute(*state_);
     exchanger_->update(state_->kappa_m, halo::FoldSign::Symmetric, method);
     exchanger_->update(state_->kappa_t, halo::FoldSign::Symmetric, method);
   }
 
   {
-    util::ScopedTimer t(timers_, "readyc");
+    PhaseScope t(timers_, "readyc");
     compute_momentum_tendencies(*lgrid_, cfg_, *state_, day, state_->fu_tend, state_->fv_tend);
     vertical_mean(*lgrid_, state_->fu_tend, gu_bar_);
     vertical_mean(*lgrid_, state_->fv_tend, gv_bar_);
   }
 
   {
-    util::ScopedTimer t(timers_, "barotr");
+    PhaseScope t(timers_, "barotr");
     run_barotropic(*lgrid_, cfg_, *state_, *exchanger_, *polar_, gu_bar_, gv_bar_, ubar_avg_,
                    vbar_avg_);
   }
 
   {
-    util::ScopedTimer t(timers_, "bclinc");
+    PhaseScope t(timers_, "bclinc");
     baroclinic_update(*lgrid_, cfg_, *state_, ubar_avg_, vbar_avg_);
     state_->rotate_velocity();
     exchanger_->update(state_->u_cur, halo::FoldSign::Antisymmetric, method);
@@ -111,7 +122,7 @@ void LicomModel::step() {
   }
 
   {
-    util::ScopedTimer t(timers_, "tracer");
+    PhaseScope t(timers_, "tracer");
     tracer_step(*lgrid_, cfg_, *state_, *adv_ws_, *exchanger_, day);
     state_->rotate_tracers();
     exchanger_->update(state_->t_cur, halo::FoldSign::Symmetric, method);
@@ -129,7 +140,7 @@ void LicomModel::step() {
     // includes "the simulation and daily memory copies in heterogeneous
     // systems" (§VI-C). On the simulated unified-memory backends this is a
     // genuine copy into host staging buffers.
-    util::ScopedTimer t(timers_, "daily_copy");
+    PhaseScope t(timers_, "daily_copy");
     const int h = decomp::kHaloWidth;
     daily_sst_.resize(static_cast<size_t>(lgrid_->ny()) * lgrid_->nx());
     daily_eta_.resize(daily_sst_.size());
@@ -146,6 +157,12 @@ void LicomModel::step() {
 void LicomModel::run_days(double days) {
   long long nsteps = static_cast<long long>(std::llround(days * 86400.0 / cfg_.grid.dt_baroclinic));
   for (long long n = 0; n < nsteps; ++n) step();
+  if (telemetry::enabled()) {
+    telemetry::set_gauge("model.sypd", sypd());
+    telemetry::set_gauge("model.simulated_seconds", sim_seconds_);
+    telemetry::set_gauge("model.steps", static_cast<double>(steps_));
+    telemetry::set_gauge("model.step_wall_s", timers_.total_seconds("step"));
+  }
 }
 
 double LicomModel::sypd() const {
@@ -162,7 +179,7 @@ double LicomModel::sypd_global() const {
 }
 
 GlobalDiagnostics LicomModel::diagnostics() {
-  util::ScopedTimer t(timers_, "diagnostics");
+  PhaseScope t(timers_, "diagnostics");
   return compute_diagnostics(*lgrid_, *state_, comm_);
 }
 

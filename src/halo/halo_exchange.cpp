@@ -4,6 +4,7 @@
 
 #include "halo/box_copy.hpp"
 #include "kxx/kxx.hpp"
+#include "telemetry/telemetry.hpp"
 
 KXX_REGISTER_FOR_1D(halo_box_copy, licomk::halo::detail::BoxCopy);
 
@@ -29,6 +30,21 @@ BufStrides buffer_strides(Halo3DMethod method, long long nk, long long nj, long 
     return {nj * ni, ni, 1};  // k slowest, i fastest
   }
   return {1, ni * nk, nk};  // Fig. 5: k fastest ("vertical major")
+}
+
+/// Telemetry funnel for the per-site stats_ increments: mirrored process-wide
+/// so metrics.json aggregates traffic across every exchanger instance.
+void note_message(std::uint64_t bytes) {
+  if (telemetry::enabled()) {
+    static telemetry::Counter& messages = telemetry::counter("halo.messages");
+    static telemetry::Counter& total = telemetry::counter("halo.bytes");
+    messages.add(1);
+    total.add(bytes);
+  }
+}
+
+void note_counter(const char* name, std::uint64_t delta) {
+  if (telemetry::enabled()) telemetry::counter(name).add(delta);
 }
 
 }  // namespace
@@ -61,6 +77,7 @@ bool HaloExchanger::should_skip(const void* key, std::uint64_t version) {
   auto [it, inserted] = last_version_.try_emplace(key, 0);
   if (!inserted && it->second == version) {
     stats_.skipped += 1;
+    note_counter("halo.skipped", 1);
     return true;
   }
   it->second = version;
@@ -105,6 +122,8 @@ void HaloExchanger::send_box(double* base, int nz, Halo3DMethod method, int dest
   comm_.send(buf.data(), buf.size() * sizeof(double), dest, tag);
   stats_.messages += 1;
   stats_.bytes += buf.size() * sizeof(double);
+  note_counter("halo.packed_elements", buf.size());
+  note_message(buf.size() * sizeof(double));
 }
 
 void HaloExchanger::recv_box(double* base, int nz, Halo3DMethod method, int src, int tag,
@@ -129,6 +148,7 @@ void HaloExchanger::recv_box(double* base, int nz, Halo3DMethod method, int src,
   op.scale = scale;
   box_copy(op, nz);
   stats_.unpacked_elements += buf.size();
+  note_counter("halo.unpacked_elements", buf.size());
 }
 
 void HaloExchanger::zero_box(double* base, int nz, int j0, int nj, int i0, int ni) {
@@ -159,6 +179,7 @@ void HaloExchanger::send_phase1(double* base, int nz, Halo3DMethod method) {
       send_box(base, nz, method, p.rank, kTagFold, h + ny - h, h, i_loc,
                p.col_hi - p.col_lo);
       stats_.fold_messages += 1;
+      note_counter("halo.fold_messages", 1);
     }
   }
 }
@@ -220,7 +241,9 @@ void HaloExchanger::finish_phases(double* base, int nz, FoldSign sign, Halo3DMet
 }
 
 void HaloExchanger::do_update(double* base, int nz, FoldSign sign, Halo3DMethod method) {
+  telemetry::ScopedSpan span("halo_exchange", "halo", {}, nz);
   stats_.exchanges += 1;
+  note_counter("halo.exchanges", 1);
   send_phase1(base, nz, method);
   finish_phases(base, nz, sign, method);
 }
@@ -238,12 +261,17 @@ HaloExchanger::Pending HaloExchanger::begin_update(BlockField3D& field, FoldSign
   p.sign = sign;
   p.method = method;
   stats_.exchanges += 1;
-  send_phase1(p.base, p.nz, p.method);
+  note_counter("halo.exchanges", 1);
+  {
+    telemetry::ScopedSpan span("halo_begin", "halo", {}, p.nz);
+    send_phase1(p.base, p.nz, p.method);
+  }
   return p;
 }
 
 void HaloExchanger::finish_update(Pending& pending) {
   if (!pending.active) return;
+  telemetry::ScopedSpan span("halo_finish", "halo", {}, pending.nz);
   finish_phases(pending.base, pending.nz, pending.sign, pending.method);
   pending.active = false;
 }

@@ -1,10 +1,14 @@
 #include "kxx/backend.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <cctype>
+#include <cstdlib>
 #include <thread>
 
 #include "kxx/thread_pool.hpp"
 #include "swsim/athread.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 
 namespace licomk::kxx {
@@ -32,6 +36,11 @@ void initialize(const InitConfig& config) {
   s.threads = config.num_threads > 0 ? config.num_threads : (hw > 0 ? hw : 1);
   detail::global_thread_pool().resize(s.threads);
   swsim::athread_init();
+  telemetry::initialize_from_env();
+  if (telemetry::enabled()) {
+    telemetry::set_label("kxx.backend", backend_name(s.backend));
+    telemetry::set_label("kxx.num_threads", std::to_string(s.threads));
+  }
   s.initialized = true;
 }
 
@@ -65,12 +74,35 @@ std::string backend_name(Backend backend) {
   return "?";
 }
 
+Backend backend_from_name(const std::string& name) {
+  std::string n = name;
+  std::transform(n.begin(), n.end(), n.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (n == "serial") return Backend::Serial;
+  if (n == "threads") return Backend::Threads;
+  if (n == "athread" || n == "athreadsim") return Backend::AthreadSim;
+  throw InvalidArgument("unknown kxx backend '" + name +
+                        "' (expected serial|threads|athread)");
+}
+
+InitConfig config_from_env(InitConfig defaults) {
+  if (const char* b = std::getenv("LICOMK_BACKEND")) defaults.backend = backend_from_name(b);
+  if (const char* t = std::getenv("LICOMK_NUM_THREADS")) defaults.num_threads = std::atoi(t);
+  return defaults;
+}
+
 long long athread_fallback_count() { return state().fallbacks.load(); }
 
 void reset_athread_fallback_count() { state().fallbacks.store(0); }
 
 namespace detail {
-void note_athread_fallback() { state().fallbacks.fetch_add(1); }
+void note_athread_fallback() {
+  state().fallbacks.fetch_add(1);
+  if (telemetry::enabled()) {
+    static telemetry::Counter& c = telemetry::counter("kxx.athread_fallbacks");
+    c.add(1);
+  }
+}
 }  // namespace detail
 
 }  // namespace licomk::kxx

@@ -51,6 +51,15 @@ void fence();
 /// Human-readable backend name ("Serial", "Threads", "AthreadSim").
 std::string backend_name(Backend backend);
 
+/// Parse a backend name ("serial", "threads", "athread"/"athreadsim",
+/// case-insensitive); throws InvalidArgument on anything else.
+Backend backend_from_name(const std::string& name);
+
+/// CI hook: apply LICOMK_BACKEND / LICOMK_NUM_THREADS environment overrides
+/// to `defaults`, so a test binary compiled against one backend can be
+/// re-run across all of them from the workflow matrix without recompiling.
+InitConfig config_from_env(InitConfig defaults = {});
+
 /// Count of AthreadSim dispatches that fell back to MPE execution because the
 /// functor type was not registered (permissive mode only).
 long long athread_fallback_count();

@@ -20,6 +20,7 @@
 #include "kxx/registry.hpp"
 #include "kxx/thread_pool.hpp"
 #include "swsim/athread.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 
 namespace licomk::kxx {
@@ -76,12 +77,41 @@ void run_pool_exclusive(Job&& job) {
   global_thread_pool().run_chunks(std::forward<Job>(job));
 }
 
+/// Telemetry span around one kernel dispatch: records the label, the active
+/// backend, and the policy extent. Costs one branch when telemetry is off.
+class KernelSpan {
+ public:
+  KernelSpan(const std::string& label, long long items) {
+    if (telemetry::enabled()) {
+      active_ = true;
+      telemetry::span_begin(label, "kernel", backend_name(default_backend()), items);
+    }
+  }
+  ~KernelSpan() {
+    if (active_) telemetry::span_end();
+  }
+  KernelSpan(const KernelSpan&) = delete;
+  KernelSpan& operator=(const KernelSpan&) = delete;
+
+ private:
+  bool active_ = false;
+};
+
+inline long long extent_of(const RangePolicy& p) { return p.end - p.begin; }
+inline long long extent_of(const MDRangePolicy2& p) {
+  return (p.end[0] - p.begin[0]) * (p.end[1] - p.begin[1]);
+}
+inline long long extent_of(const MDRangePolicy3& p) {
+  return (p.end[0] - p.begin[0]) * (p.end[1] - p.begin[1]) * (p.end[2] - p.begin[2]);
+}
+
 }  // namespace detail
 
 /// --- parallel_for ---------------------------------------------------------
 
 template <typename F>
 void parallel_for(const std::string& label, const RangePolicy& p, const F& f) {
+  detail::KernelSpan span(label, detail::extent_of(p));
   switch (default_backend()) {
     case Backend::Serial:
       for (long long i = p.begin; i < p.end; ++i) f(i);
@@ -117,6 +147,7 @@ void parallel_for(const std::string& label, long long n, const F& f) {
 
 template <typename F>
 void parallel_for(const std::string& label, const MDRangePolicy2& p, const F& f) {
+  detail::KernelSpan span(label, detail::extent_of(p));
   switch (default_backend()) {
     case Backend::Serial:
       for (long long i = p.begin[0]; i < p.end[0]; ++i)
@@ -151,6 +182,7 @@ void parallel_for(const std::string& label, const MDRangePolicy2& p, const F& f)
 
 template <typename F>
 void parallel_for(const std::string& label, const MDRangePolicy3& p, const F& f) {
+  detail::KernelSpan span(label, detail::extent_of(p));
   switch (default_backend()) {
     case Backend::Serial:
       for (long long i = p.begin[0]; i < p.end[0]; ++i)
@@ -249,6 +281,7 @@ void reduce_dispatch(const std::string& label, KernelKind kind, CpeLaunch& d,
 template <typename F, typename Reducer>
 void parallel_reduce(const std::string& label, const RangePolicy& p, const F& f,
                      const Reducer& reducer) {
+  detail::KernelSpan span(label, detail::extent_of(p));
   detail::CpeLaunch d;
   d.functor = &f;
   d.num_dims = 1;
@@ -270,6 +303,7 @@ void parallel_reduce(const std::string& label, long long n, const F& f, const Re
 template <typename F, typename Reducer>
 void parallel_reduce(const std::string& label, const MDRangePolicy2& p, const F& f,
                      const Reducer& reducer) {
+  detail::KernelSpan span(label, detail::extent_of(p));
   detail::CpeLaunch d;
   d.functor = &f;
   d.num_dims = 2;
@@ -288,6 +322,7 @@ void parallel_reduce(const std::string& label, const MDRangePolicy2& p, const F&
 template <typename F, typename Reducer>
 void parallel_reduce(const std::string& label, const MDRangePolicy3& p, const F& f,
                      const Reducer& reducer) {
+  detail::KernelSpan span(label, detail::extent_of(p));
   detail::CpeLaunch d;
   d.functor = &f;
   d.num_dims = 3;
@@ -312,7 +347,8 @@ void parallel_reduce(const std::string& label, const MDRangePolicy3& p, const F&
 /// (final == true) observes the running prefix. Runs serially on every
 /// backend (scan is not on the model's hot path; documented limitation).
 template <typename F, typename T>
-void parallel_scan(const std::string& /*label*/, const RangePolicy& p, const F& f, T& total) {
+void parallel_scan(const std::string& label, const RangePolicy& p, const F& f, T& total) {
+  detail::KernelSpan span(label, detail::extent_of(p));
   T update = T{};
   for (long long i = p.begin; i < p.end; ++i) f(i, update, true);
   total = update;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -47,12 +48,26 @@ void FunctorRegistry::add(std::string name, std::type_index functor_type,
 
 const RegistryNode* FunctorRegistry::lookup(std::type_index functor_type, KernelKind kind) {
   lookups_.fetch_add(1, std::memory_order_relaxed);
+  const RegistryNode* found = nullptr;
+  std::uint64_t visited = 0;
   for (RegistryNode* n = head_; n != nullptr; n = n->next) {
-    nodes_visited_.fetch_add(1, std::memory_order_relaxed);
-    if (n->functor_type == functor_type && n->kind == kind) return n;
+    ++visited;
+    if (n->functor_type == functor_type && n->kind == kind) {
+      found = n;
+      break;
+    }
   }
-  misses_.fetch_add(1, std::memory_order_relaxed);
-  return nullptr;
+  nodes_visited_.fetch_add(visited, std::memory_order_relaxed);
+  if (found == nullptr) misses_.fetch_add(1, std::memory_order_relaxed);
+  if (telemetry::enabled()) {
+    static telemetry::Counter& lookups = telemetry::counter("kxx.registry.lookups");
+    static telemetry::Counter& nodes = telemetry::counter("kxx.registry.nodes_visited");
+    static telemetry::Counter& misses = telemetry::counter("kxx.registry.misses");
+    lookups.add(1);
+    nodes.add(visited);
+    if (found == nullptr) misses.add(1);
+  }
+  return found;
 }
 
 const RegistryNode* FunctorRegistry::lookup_hashed(std::type_index functor_type,

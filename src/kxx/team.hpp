@@ -88,6 +88,7 @@ struct TeamTag {};
 template <typename F>
 void parallel_for(const std::string& label, const TeamPolicy& p, const F& f) {
   if (p.league_size == 0) return;
+  detail::KernelSpan span(label, p.league_size);
   switch (default_backend()) {
     case Backend::Serial: {
       std::vector<std::byte> scratch(p.scratch_bytes);

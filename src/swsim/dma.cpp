@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 
 namespace licomk::swsim {
@@ -24,6 +25,13 @@ void DmaEngine::account(std::size_t bytes, bool async) {
     stats_.sync_bytes += bytes;
   }
   stats_.modeled_busy_s += static_cast<double>(bytes) / kCgBandwidthBytesPerSec;
+  if (telemetry::enabled()) {
+    static telemetry::Counter& sync_bytes = telemetry::counter("swsim.dma.sync_bytes");
+    static telemetry::Counter& async_bytes = telemetry::counter("swsim.dma.async_bytes");
+    static telemetry::Counter& transfers = telemetry::counter("swsim.dma.transfers");
+    (async ? async_bytes : sync_bytes).add(bytes);
+    transfers.add(1);
+  }
 }
 
 void DmaEngine::get(void* ldm_dst, const void* main_src, std::size_t bytes) {
@@ -50,6 +58,10 @@ void DmaEngine::iput(void* main_dst, const void* ldm_src, std::size_t bytes, Dma
 
 void DmaEngine::wait(DmaReply& reply, int target) {
   stats_.waits += 1;
+  if (telemetry::enabled()) {
+    static telemetry::Counter& waits = telemetry::counter("swsim.dma.waits");
+    waits.add(1);
+  }
   if (reply.completed < target) {
     throw ResourceError("DMA wait for " + std::to_string(target) + " replies but only " +
                         std::to_string(reply.completed) + " transfers completed");

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 
 namespace licomk::swsim {
@@ -34,6 +35,10 @@ void* LdmArena::allocate(std::size_t bytes) {
   offset_ += need;
   high_water_ = std::max(high_water_, offset_);
   live_ += 1;
+  if (telemetry::enabled()) {
+    static telemetry::Counter& hw = telemetry::counter("swsim.ldm.high_water");
+    hw.record_max(offset_);
+  }
   return base + kHeader;
 }
 

@@ -1,0 +1,457 @@
+#include "telemetry/telemetry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace licomk::telemetry {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point process_epoch() {
+  static const Clock::time_point epoch = Clock::now();
+  return epoch;
+}
+
+/// One completed span retained for the Chrome trace export.
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  int tid = 0;
+};
+
+/// Key of the flat (per-kernel) aggregation.
+struct FlatKey {
+  std::string name;
+  std::string category;
+  std::string backend;
+  bool operator==(const FlatKey&) const = default;
+};
+struct FlatKeyHash {
+  std::size_t operator()(const FlatKey& k) const {
+    std::size_t h = std::hash<std::string>{}(k.name);
+    h = h * 31 + std::hash<std::string>{}(k.category);
+    h = h * 31 + std::hash<std::string>{}(k.backend);
+    return h;
+  }
+};
+
+struct Accum {
+  long long count = 0;
+  double total_s = 0.0;
+  double min_s = 0.0;
+  double max_s = 0.0;
+  long long items = 0;
+
+  void add(double dur_s, long long it) {
+    if (count == 0) {
+      min_s = max_s = dur_s;
+    } else {
+      min_s = std::min(min_s, dur_s);
+      max_s = std::max(max_s, dur_s);
+    }
+    count += 1;
+    total_s += dur_s;
+    items += it;
+  }
+};
+
+/// Everything behind one mutex; span recording takes it once per span end,
+/// which is negligible next to the work a span brackets.
+struct Registry {
+  std::mutex mutex;
+  std::unordered_map<FlatKey, Accum, FlatKeyHash> flat;
+  /// Hierarchical path -> (aggregate, category/backend of first occurrence).
+  std::map<std::string, std::pair<Accum, std::pair<std::string, std::string>>> paths;
+  std::vector<TraceEvent> trace;
+  std::size_t trace_capacity = 1 << 18;
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, std::string> labels;
+  int next_tid = 0;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+/// Per-thread open-span stack.
+struct Frame {
+  std::string name;
+  std::string category;
+  std::string backend;
+  long long items = 0;
+  double begin_s = 0.0;
+  std::size_t path_len = 0;  ///< length of the thread path before this frame
+};
+
+struct ThreadState {
+  std::vector<Frame> stack;
+  std::string path;  ///< '/'-joined names of open spans
+  int tid = -1;
+};
+
+ThreadState& thread_state() {
+  thread_local ThreadState ts;
+  return ts;
+}
+
+int thread_tid_locked(Registry& r, ThreadState& ts) {
+  if (ts.tid < 0) ts.tid = r.next_tid++;
+  return ts.tid;
+}
+
+}  // namespace
+
+void set_enabled(bool on) { detail::g_enabled.store(on, std::memory_order_relaxed); }
+
+void initialize_from_env() {
+  const char* env = std::getenv("LICOMK_TELEMETRY");
+  if (env == nullptr) return;
+  std::string v(env);
+  if (v == "1" || v == "on" || v == "true") set_enabled(true);
+  if (v == "0" || v == "off" || v == "false") set_enabled(false);
+}
+
+Counter& counter(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  auto& slot = r.counters[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+void set_gauge(const std::string& name, double value) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.gauges[name] = value;
+}
+
+double gauge(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  auto it = r.gauges.find(name);
+  return it == r.gauges.end() ? 0.0 : it->second;
+}
+
+void set_label(const std::string& name, const std::string& value) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.labels[name] = value;
+}
+
+std::string label(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  auto it = r.labels.find(name);
+  return it == r.labels.end() ? std::string() : it->second;
+}
+
+double now_seconds() {
+  return std::chrono::duration<double>(Clock::now() - process_epoch()).count();
+}
+
+void span_begin(std::string_view name, std::string_view category, std::string_view backend,
+                long long items) {
+  ThreadState& ts = thread_state();
+  Frame f;
+  f.name.assign(name);
+  f.category.assign(category);
+  f.backend.assign(backend);
+  f.items = items;
+  f.path_len = ts.path.size();
+  if (!ts.path.empty()) ts.path += '/';
+  ts.path += f.name;
+  f.begin_s = now_seconds();  // last: exclude our own setup from the timing
+  ts.stack.push_back(std::move(f));
+}
+
+void span_end() {
+  const double end_s = now_seconds();  // first: exclude our own teardown
+  ThreadState& ts = thread_state();
+  if (ts.stack.empty()) throw InvalidArgument("telemetry::span_end with no open span");
+  Frame f = std::move(ts.stack.back());
+  ts.stack.pop_back();
+  const std::string full_path = ts.path;
+  ts.path.resize(f.path_len);
+  const double dur_s = end_s - f.begin_s;
+
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.flat[FlatKey{f.name, f.category, f.backend}].add(dur_s, f.items);
+  auto& slot = r.paths[full_path];
+  slot.first.add(dur_s, f.items);
+  if (slot.first.count == 1) slot.second = {f.category, f.backend};
+  if (r.trace.size() < r.trace_capacity) {
+    TraceEvent ev;
+    ev.name = std::move(f.name);
+    ev.category = std::move(f.category);
+    ev.ts_us = f.begin_s * 1e6;
+    ev.dur_us = dur_s * 1e6;
+    ev.tid = thread_tid_locked(r, ts);
+    r.trace.push_back(std::move(ev));
+  } else {
+    auto& dropped = r.counters["telemetry.trace_dropped"];
+    if (!dropped) dropped = std::make_unique<Counter>();
+    dropped->add(1);
+  }
+}
+
+namespace {
+
+SpanAggregate to_aggregate(std::string name, std::string category, std::string backend,
+                           const Accum& a) {
+  SpanAggregate out;
+  out.name = std::move(name);
+  out.category = std::move(category);
+  out.backend = std::move(backend);
+  out.count = a.count;
+  out.total_s = a.total_s;
+  out.min_s = a.min_s;
+  out.max_s = a.max_s;
+  out.items = a.items;
+  return out;
+}
+
+}  // namespace
+
+std::vector<SpanAggregate> span_aggregates() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  std::vector<SpanAggregate> out;
+  out.reserve(r.flat.size());
+  for (const auto& [key, acc] : r.flat)
+    out.push_back(to_aggregate(key.name, key.category, key.backend, acc));
+  std::sort(out.begin(), out.end(), [](const SpanAggregate& a, const SpanAggregate& b) {
+    if (a.total_s != b.total_s) return a.total_s > b.total_s;
+    return a.name < b.name;
+  });
+  return out;
+}
+
+std::vector<SpanAggregate> path_aggregates() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  std::vector<SpanAggregate> out;
+  out.reserve(r.paths.size());
+  for (const auto& [path, slot] : r.paths)
+    out.push_back(to_aggregate(path, slot.second.first, slot.second.second, slot.first));
+  return out;
+}
+
+std::map<std::string, std::uint64_t> counters() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, c] : r.counters) out[name] = c->value();
+  return out;
+}
+
+std::map<std::string, double> gauges() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  return r.gauges;
+}
+
+std::map<std::string, std::string> labels() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  return r.labels;
+}
+
+std::uint64_t counter_value(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  auto it = r.counters.find(name);
+  return it == r.counters.end() ? 0 : it->second->value();
+}
+
+std::size_t trace_event_count() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  return r.trace.size();
+}
+
+void set_trace_capacity(std::size_t max_events) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.trace_capacity = max_events;
+  if (r.trace.size() > max_events) r.trace.resize(max_events);
+}
+
+void reset() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.flat.clear();
+  r.paths.clear();
+  r.trace.clear();
+  r.gauges.clear();
+  r.labels.clear();
+  for (auto& [name, c] : r.counters) c->set(0);
+}
+
+std::string text_report() {
+  std::ostringstream os;
+  os << "telemetry report\n";
+  auto paths = path_aggregates();
+  if (!paths.empty()) {
+    os << " spans (hierarchical):\n";
+    for (const SpanAggregate& a : paths) {
+      int depth = static_cast<int>(std::count(a.name.begin(), a.name.end(), '/'));
+      std::size_t leaf_pos = a.name.find_last_of('/');
+      std::string leaf = leaf_pos == std::string::npos ? a.name : a.name.substr(leaf_pos + 1);
+      os << "  ";
+      for (int d = 0; d < depth; ++d) os << "  ";
+      char buf[160];
+      std::snprintf(buf, sizeof(buf), "%-32s count %8lld  total %10.4fs  avg %8.3fms",
+                    leaf.c_str(), a.count, a.total_s,
+                    a.count > 0 ? 1e3 * a.total_s / static_cast<double>(a.count) : 0.0);
+      os << buf;
+      if (!a.backend.empty()) os << "  [" << a.backend << "]";
+      os << "\n";
+    }
+  }
+  auto flat = span_aggregates();
+  if (!flat.empty()) {
+    os << " hotspots (flat, by total time):\n";
+    int shown = 0;
+    for (const SpanAggregate& a : flat) {
+      if (++shown > 20) break;
+      char buf[200];
+      std::snprintf(buf, sizeof(buf),
+                    "  %-32s %-8s count %8lld  total %10.4fs  items %12lld", a.name.c_str(),
+                    a.category.c_str(), a.count, a.total_s, a.items);
+      os << buf;
+      if (!a.backend.empty()) os << "  [" << a.backend << "]";
+      os << "\n";
+    }
+  }
+  auto cs = counters();
+  if (!cs.empty()) {
+    os << " counters:\n";
+    for (const auto& [name, v] : cs) os << "  " << name << " = " << v << "\n";
+  }
+  auto gs = gauges();
+  if (!gs.empty()) {
+    os << " gauges:\n";
+    for (const auto& [name, v] : gs) os << "  " << name << " = " << v << "\n";
+  }
+  auto ls = labels();
+  if (!ls.empty()) {
+    os << " labels:\n";
+    for (const auto& [name, v] : ls) os << "  " << name << " = " << v << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+void append_aggregates_json(std::ostringstream& os, const std::vector<SpanAggregate>& list) {
+  os << "[";
+  bool first = true;
+  for (const SpanAggregate& a : list) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n    {\"name\": \"" << util::json_escape(a.name) << "\", \"category\": \""
+       << util::json_escape(a.category) << "\", \"backend\": \"" << util::json_escape(a.backend)
+       << "\", \"count\": " << a.count << ", \"total_s\": " << util::json_number(a.total_s)
+       << ", \"min_s\": " << util::json_number(a.min_s)
+       << ", \"max_s\": " << util::json_number(a.max_s) << ", \"items\": " << a.items << "}";
+  }
+  os << "\n  ]";
+}
+
+}  // namespace
+
+std::string metrics_json() {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"schema\": \"licomk.telemetry.v1\",\n";
+  os << "  \"enabled\": " << (enabled() ? "true" : "false") << ",\n";
+  os << "  \"sypd\": " << util::json_number(gauge("model.sypd")) << ",\n";
+  os << "  \"labels\": {";
+  {
+    bool first = true;
+    for (const auto& [name, v] : labels()) {
+      if (!first) os << ",";
+      first = false;
+      os << "\n    \"" << util::json_escape(name) << "\": \"" << util::json_escape(v) << "\"";
+    }
+    os << "\n  },\n";
+  }
+  os << "  \"gauges\": {";
+  {
+    bool first = true;
+    for (const auto& [name, v] : gauges()) {
+      if (!first) os << ",";
+      first = false;
+      os << "\n    \"" << util::json_escape(name) << "\": " << util::json_number(v);
+    }
+    os << "\n  },\n";
+  }
+  os << "  \"counters\": {";
+  {
+    bool first = true;
+    for (const auto& [name, v] : counters()) {
+      if (!first) os << ",";
+      first = false;
+      os << "\n    \"" << util::json_escape(name) << "\": " << v;
+    }
+    os << "\n  },\n";
+  }
+  os << "  \"kernels\": ";
+  append_aggregates_json(os, span_aggregates());
+  os << ",\n  \"paths\": ";
+  append_aggregates_json(os, path_aggregates());
+  os << "\n}\n";
+  return os.str();
+}
+
+std::string trace_json() {
+  Registry& r = registry();
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  {
+    std::lock_guard<std::mutex> lock(r.mutex);
+    bool first = true;
+    for (const TraceEvent& ev : r.trace) {
+      if (!first) os << ",";
+      first = false;
+      os << "\n  {\"name\": \"" << util::json_escape(ev.name) << "\", \"cat\": \""
+         << util::json_escape(ev.category) << "\", \"ph\": \"X\", \"ts\": "
+         << util::json_number(ev.ts_us) << ", \"dur\": " << util::json_number(ev.dur_us)
+         << ", \"pid\": 0, \"tid\": " << ev.tid << "}";
+    }
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+namespace {
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw Error("telemetry: cannot open '" + path + "' for writing");
+  out << content;
+  if (!out) throw Error("telemetry: failed writing '" + path + "'");
+}
+}  // namespace
+
+void write_metrics_json(const std::string& path) { write_file(path, metrics_json()); }
+
+void write_trace_json(const std::string& path) { write_file(path, trace_json()); }
+
+}  // namespace licomk::telemetry

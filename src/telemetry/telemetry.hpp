@@ -1,0 +1,177 @@
+// telemetry.hpp — the process-wide runtime telemetry layer (ISSUE 1).
+//
+// Every layer of the model reports into one registry so that a run can be
+// analyzed the way the paper analyzes its hotspots (§V-C, §VII-D, Fig. 8):
+//   * spans — timed, nestable regions. kxx records one span per
+//     parallel_for/parallel_reduce dispatch (name, backend, policy extent);
+//     LicomModel records one per phase (step/readyt/.../tracer); the halo
+//     engine records its exchanges. Spans aggregate two ways: flat by
+//     (name, category, backend) for per-kernel totals, and by hierarchical
+//     path ("step/tracer/advect_tracer") for the GPTL-style report.
+//   * counters — monotonically increasing uint64 totals funnelled from the
+//     existing per-subsystem accounting: swsim DMA bytes/transfers, LDM
+//     high-water mark, halo messages/bytes, communicator traffic, Athread
+//     MPE-fallback count, registry walk lengths.
+//   * gauges / labels — point-in-time values (model SYPD, simulated seconds)
+//     and identifying strings (active backend).
+//
+// Exporters: text_report() (hierarchical, human-readable), metrics_json()
+// (stable machine-readable schema "licomk.telemetry.v1" — the CI perf gate
+// consumes this), and trace_json() (Chrome trace-event format; load the file
+// in chrome://tracing or https://ui.perfetto.dev).
+//
+// Cost discipline: everything is behind enabled(), a single relaxed atomic
+// load, so instrumented hot paths pay one predictable branch when telemetry
+// is off. Enable programmatically with set_enabled(true) or by exporting
+// LICOMK_TELEMETRY=1 before kxx::initialize().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace licomk::telemetry {
+
+namespace detail {
+/// The global on/off flag. Inline so enabled() compiles to one relaxed load
+/// at every instrumentation site.
+inline std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+/// Fast global toggle checked by every instrumentation site.
+inline bool enabled() { return detail::g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on);
+
+/// Apply the LICOMK_TELEMETRY environment variable ("1"/"on"/"true" enables,
+/// "0"/"off"/"false" disables, unset leaves the current state). Called by
+/// kxx::initialize(); idempotent and cheap.
+void initialize_from_env();
+
+/// A named monotonically accumulating counter. Handles returned by counter()
+/// are valid for the life of the process (reset() zeroes values but keeps
+/// addresses stable), so call sites cache them in a function-local static.
+class Counter {
+ public:
+  void add(std::uint64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  /// Raise the counter to at least `candidate` (used for high-water marks).
+  void record_max(std::uint64_t candidate) {
+    std::uint64_t cur = value_.load(std::memory_order_relaxed);
+    while (cur < candidate &&
+           !value_.compare_exchange_weak(cur, candidate, std::memory_order_relaxed)) {
+    }
+  }
+  void set(std::uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Create-or-get the counter registered under `name`.
+Counter& counter(const std::string& name);
+
+/// Point-in-time double value (e.g. "model.sypd"). Overwrites.
+void set_gauge(const std::string& name, double value);
+/// Last value set, or 0.0 when never set.
+double gauge(const std::string& name);
+
+/// Identifying string attached to the run (e.g. "kxx.backend" = "Threads").
+void set_label(const std::string& name, const std::string& value);
+std::string label(const std::string& name);
+
+/// --- spans ----------------------------------------------------------------
+
+/// Open a span on the calling thread. Spans nest per thread; the hierarchical
+/// path of a span is the '/'-joined names of its ancestors plus its own.
+/// Records unconditionally — call sites gate on enabled() (ScopedSpan does).
+void span_begin(std::string_view name, std::string_view category,
+                std::string_view backend = {}, long long items = 0);
+
+/// Close the innermost span on the calling thread and record it. Throws
+/// InvalidArgument when no span is open.
+void span_end();
+
+/// RAII span, fully elided (one branch) when telemetry is disabled.
+class ScopedSpan {
+ public:
+  ScopedSpan(std::string_view name, std::string_view category,
+             std::string_view backend = {}, long long items = 0) {
+    if (enabled()) {
+      active_ = true;
+      span_begin(name, category, backend, items);
+    }
+  }
+  ~ScopedSpan() {
+    if (active_) span_end();
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  bool active_ = false;
+};
+
+/// Accumulated statistics of one span key.
+struct SpanAggregate {
+  std::string name;      ///< Leaf name ("advect_tracer") or full path.
+  std::string category;  ///< "kernel", "phase", "halo", ...
+  std::string backend;   ///< Backend name for kernel spans; "" otherwise.
+  long long count = 0;
+  double total_s = 0.0;
+  double min_s = 0.0;
+  double max_s = 0.0;
+  long long items = 0;  ///< Summed policy extents (kernels) or 0.
+};
+
+/// Flat aggregation by (name, category, backend), sorted by descending
+/// total_s (the hotspot ordering the paper's Fig. 8 uses).
+std::vector<SpanAggregate> span_aggregates();
+
+/// Hierarchical aggregation by full path, sorted lexicographically so every
+/// parent precedes its children.
+std::vector<SpanAggregate> path_aggregates();
+
+/// Snapshot of all counters / gauges / labels (sorted by name).
+std::map<std::string, std::uint64_t> counters();
+std::map<std::string, double> gauges();
+std::map<std::string, std::string> labels();
+
+/// Value of one counter (0 when never touched).
+std::uint64_t counter_value(const std::string& name);
+
+/// Number of trace events currently buffered (completed spans retained for
+/// trace_json(); bounded by the trace capacity — overflow increments the
+/// "telemetry.trace_dropped" counter instead of growing).
+std::size_t trace_event_count();
+void set_trace_capacity(std::size_t max_events);
+
+/// --- exporters ------------------------------------------------------------
+
+/// Human-readable hierarchical report (supersedes util::TimerRegistry's).
+std::string text_report();
+
+/// Stable machine-readable metrics document, schema "licomk.telemetry.v1":
+/// {"schema", "enabled", "sypd", "labels", "gauges", "counters",
+///  "kernels": [flat aggregates], "paths": [hierarchical aggregates]}.
+std::string metrics_json();
+
+/// Chrome trace-event JSON: {"traceEvents": [{"name","cat","ph":"X","ts",
+/// "dur","pid","tid"}...], "displayTimeUnit": "ms"}.
+std::string trace_json();
+
+/// Write an exporter's output to a file; throws Error on I/O failure.
+void write_metrics_json(const std::string& path);
+void write_trace_json(const std::string& path);
+
+/// Drop all recorded spans, trace events, gauges and labels; zero all
+/// counters (handles stay valid). Does not change enabled().
+void reset();
+
+/// Seconds since the process-wide telemetry epoch (steady clock).
+double now_seconds();
+
+}  // namespace licomk::telemetry

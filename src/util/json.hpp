@@ -1,0 +1,56 @@
+// json.hpp — minimal JSON support for the telemetry exporters and tests.
+//
+// The telemetry layer writes metrics.json and Chrome trace.json without any
+// third-party dependency; this header provides the escaping used by those
+// writers plus a small recursive-descent parser so tests (and CI gates) can
+// round-trip-validate what the exporters emit. The parser accepts strict JSON
+// (RFC 8259) with the usual numeric and string forms; it is not streaming and
+// is sized for telemetry-scale documents, not bulk data.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace licomk::util {
+
+/// Escape a string for inclusion inside JSON double quotes (without the
+/// surrounding quotes): ", \, control characters.
+std::string json_escape(std::string_view s);
+
+/// Format a double the way the exporters do: finite values via %.17g (shortest
+/// round-trippable form is unnecessary for metrics), non-finite values as 0
+/// (JSON has no NaN/Inf).
+std::string json_number(double v);
+
+/// A parsed JSON document node.
+class JsonValue {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Type type = Type::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;  ///< insertion order
+
+  bool is_null() const { return type == Type::Null; }
+  bool is_object() const { return type == Type::Object; }
+  bool is_array() const { return type == Type::Array; }
+  bool is_string() const { return type == Type::String; }
+  bool is_number() const { return type == Type::Number; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(const std::string& key) const;
+
+  /// Object member access; throws InvalidArgument when absent.
+  const JsonValue& at(const std::string& key) const;
+};
+
+/// Parse a complete JSON document; throws InvalidArgument on any syntax error
+/// or trailing garbage.
+JsonValue json_parse(std::string_view text);
+
+}  // namespace licomk::util

@@ -37,7 +37,8 @@ struct Fixture {
 
 /// Deterministic pseudo-random in [-1, 1].
 double noise(int k, int j, int i, int salt) {
-  unsigned h = static_cast<unsigned>(k * 73856093 ^ j * 19349663 ^ i * 83492791 ^ salt * 2654435761u);
+  unsigned h = static_cast<unsigned>(k) * 73856093u ^ static_cast<unsigned>(j) * 19349663u ^
+               static_cast<unsigned>(i) * 83492791u ^ static_cast<unsigned>(salt) * 2654435761u;
   h ^= h >> 13;
   h *= 0x5bd1e995u;
   h ^= h >> 15;

@@ -22,7 +22,7 @@ lc::ModelConfig small_config() {
 }  // namespace
 
 TEST(Model, RunsTwoDaysStably) {
-  kxx::initialize({kxx::Backend::Serial, 1, false});
+  kxx::initialize(kxx::config_from_env({kxx::Backend::Serial, 1, false}));
   lc::LicomModel m(small_config());
   m.run_days(2.0);
   auto d = m.diagnostics();
@@ -37,7 +37,7 @@ TEST(Model, RunsTwoDaysStably) {
 }
 
 TEST(Model, TracerFieldsStayWithinPhysicalBounds) {
-  kxx::initialize({kxx::Backend::Serial, 1, false});
+  kxx::initialize(kxx::config_from_env({kxx::Backend::Serial, 1, false}));
   lc::LicomModel m(small_config());
   m.run_days(3.0);
   const auto& g = m.local_grid();
@@ -56,7 +56,7 @@ TEST(Model, TracerFieldsStayWithinPhysicalBounds) {
 }
 
 TEST(Model, NearConservationWithRestoringDisabled) {
-  kxx::initialize({kxx::Backend::Serial, 1, false});
+  kxx::initialize(kxx::config_from_env({kxx::Backend::Serial, 1, false}));
   auto cfg = small_config();
   cfg.restore_timescale_days = 1.0e9;  // effectively closed system
   lc::LicomModel m(cfg);
@@ -71,7 +71,7 @@ TEST(Model, NearConservationWithRestoringDisabled) {
 }
 
 TEST(Model, DeterministicAcrossRuns) {
-  kxx::initialize({kxx::Backend::Serial, 1, false});
+  kxx::initialize(kxx::config_from_env({kxx::Backend::Serial, 1, false}));
   lc::LicomModel a(small_config());
   lc::LicomModel b(small_config());
   a.run_days(1.0);
@@ -84,7 +84,7 @@ TEST(Model, DeterministicAcrossRuns) {
 }
 
 TEST(Model, MultiRankMatchesSingleRank) {
-  kxx::initialize({kxx::Backend::Serial, 1, false});
+  kxx::initialize(kxx::config_from_env({kxx::Backend::Serial, 1, false}));
   auto cfg = small_config();
   // Reference run on one rank.
   lc::LicomModel ref(cfg);
@@ -113,7 +113,7 @@ TEST(Model, BackendsAgreeOnPhysics) {
   // The same run on Serial vs AthreadSim backends: the registered kernels
   // execute through completely different dispatch paths but must produce the
   // same ocean.
-  kxx::initialize({kxx::Backend::Serial, 1, false});
+  kxx::initialize(kxx::config_from_env({kxx::Backend::Serial, 1, false}));
   lc::LicomModel serial(small_config());
   serial.run_days(0.5);
   auto ds = serial.diagnostics();
@@ -122,7 +122,7 @@ TEST(Model, BackendsAgreeOnPhysics) {
   lc::LicomModel athread(small_config());
   athread.run_days(0.5);
   auto da = athread.diagnostics();
-  kxx::initialize({kxx::Backend::Serial, 1, false});
+  kxx::initialize(kxx::config_from_env({kxx::Backend::Serial, 1, false}));
 
   EXPECT_DOUBLE_EQ(ds.mean_sst, da.mean_sst);
   EXPECT_DOUBLE_EQ(ds.kinetic_energy, da.kinetic_energy);
@@ -130,7 +130,7 @@ TEST(Model, BackendsAgreeOnPhysics) {
 }
 
 TEST(Model, HaloStrategiesAgree) {
-  kxx::initialize({kxx::Backend::Serial, 1, false});
+  kxx::initialize(kxx::config_from_env({kxx::Backend::Serial, 1, false}));
   auto cfg = small_config();
   cfg.halo_strategy = lc::HaloStrategy::TransposeVerticalMajor;
   lc::LicomModel transpose(cfg);
@@ -145,7 +145,7 @@ TEST(Model, HaloStrategiesAgree) {
 }
 
 TEST(Model, RedundantHaloEliminationIsTransparent) {
-  kxx::initialize({kxx::Backend::Serial, 1, false});
+  kxx::initialize(kxx::config_from_env({kxx::Backend::Serial, 1, false}));
   auto cfg = small_config();
   cfg.eliminate_redundant_halo = true;
   lc::LicomModel on(cfg);
@@ -161,7 +161,7 @@ TEST(Model, RedundantHaloEliminationIsTransparent) {
 }
 
 TEST(Model, TimersCoverTheStepPhases) {
-  kxx::initialize({kxx::Backend::Serial, 1, false});
+  kxx::initialize(kxx::config_from_env({kxx::Backend::Serial, 1, false}));
   lc::LicomModel m(small_config());
   m.run_days(0.25);
   auto& t = m.timers();
@@ -176,7 +176,7 @@ TEST(Model, TimersCoverTheStepPhases) {
 }
 
 TEST(Model, FullDepthConfigurationRuns) {
-  kxx::initialize({kxx::Backend::Serial, 1, false});
+  kxx::initialize(kxx::config_from_env({kxx::Backend::Serial, 1, false}));
   // A shrunken 2-km full-depth setup: 244-level physics on a tiny grid.
   auto cfg = lc::ModelConfig::km2_fulldepth();
   cfg.grid = licomk::grid::shrink(cfg.grid, 500);  // 36x23
@@ -191,7 +191,7 @@ TEST(Model, FullDepthConfigurationRuns) {
 }
 
 TEST(Model, RossbyNumberDiagnostics) {
-  kxx::initialize({kxx::Backend::Serial, 1, false});
+  kxx::initialize(kxx::config_from_env({kxx::Backend::Serial, 1, false}));
   lc::LicomModel m(small_config());
   m.run_days(2.0);
   licomk::halo::BlockField2D ro("ro", m.local_grid().extent());
@@ -206,7 +206,7 @@ TEST(Model, RossbyNumberDiagnostics) {
 }
 
 TEST(Model, IdealizedChannelSpinsUpEastwardJet) {
-  kxx::initialize({kxx::Backend::Serial, 1, false});
+  kxx::initialize(kxx::config_from_env({kxx::Backend::Serial, 1, false}));
   lc::ModelConfig cfg;
   cfg.grid = licomk::grid::spec_idealized_channel(48, 24, 8);
   lc::LicomModel m(cfg);
@@ -230,7 +230,7 @@ TEST(Model, IdealizedChannelSpinsUpEastwardJet) {
 }
 
 TEST(Model, DailyCopyAndGlobalSypd) {
-  kxx::initialize({kxx::Backend::Serial, 1, false});
+  kxx::initialize(kxx::config_from_env({kxx::Backend::Serial, 1, false}));
   lc::LicomModel m(small_config());
   EXPECT_TRUE(m.daily_sst().empty());
   m.run_days(1.0);
@@ -246,7 +246,7 @@ TEST(Model, DailyCopyAndGlobalSypd) {
 }
 
 TEST(Model, GlobalSypdIsRankMaximum) {
-  kxx::initialize({kxx::Backend::Serial, 1, false});
+  kxx::initialize(kxx::config_from_env({kxx::Backend::Serial, 1, false}));
   auto cfg = small_config();
   auto global = std::make_shared<licomk::grid::GlobalGrid>(cfg.grid, cfg.bathymetry_seed);
   lco::Runtime::run(2, [&](lco::Communicator& c) {
@@ -262,7 +262,7 @@ TEST(Model, GlobalSypdIsRankMaximum) {
 }
 
 TEST(Model, BiharmonicMixingRunsAndConserves) {
-  kxx::initialize({kxx::Backend::Serial, 1, false});
+  kxx::initialize(kxx::config_from_env({kxx::Backend::Serial, 1, false}));
   auto cfg = small_config();
   cfg.hmix = lc::HMixScheme::Biharmonic;
   cfg.restore_timescale_days = 1.0e9;
@@ -280,7 +280,7 @@ TEST(Model, BiharmonicIsMoreScaleSelectiveThanLaplacian) {
   // Seed grid-scale noise in the tracer field, take one step with each
   // operator, and compare how much large-scale signal survives: biharmonic
   // kills 2-grid noise while touching the broad gradient far less.
-  kxx::initialize({kxx::Backend::Serial, 1, false});
+  kxx::initialize(kxx::config_from_env({kxx::Backend::Serial, 1, false}));
   auto measure = [](lc::HMixScheme scheme) {
     auto cfg = small_config();
     cfg.hmix = scheme;
@@ -319,7 +319,7 @@ TEST(Model, BiharmonicIsMoreScaleSelectiveThanLaplacian) {
 }
 
 TEST(Model, SolarPenetrationWarmsSubsurfaceNotColumn) {
-  kxx::initialize({kxx::Backend::Serial, 1, false});
+  kxx::initialize(kxx::config_from_env({kxx::Backend::Serial, 1, false}));
   auto cfg = small_config();
   cfg.restore_timescale_days = 1.0e9;  // isolate the shortwave term
   cfg.solar_penetration = true;

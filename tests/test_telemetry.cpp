@@ -1,0 +1,356 @@
+// Tests for the unified runtime telemetry layer (ISSUE 1): span nesting and
+// aggregation across every kxx backend, the counter funnels from the swsim
+// DMA / halo / comm layers, exporter round-trips (metrics.json, Chrome
+// trace.json), and the guarantee that the disabled path records nothing.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/runtime.hpp"
+#include "halo/halo_exchange.hpp"
+#include "kxx/kxx.hpp"
+#include "swsim/dma.hpp"
+#include "swsim/ldm.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace tel = licomk::telemetry;
+namespace kxx = licomk::kxx;
+namespace sw = licomk::swsim;
+namespace lh = licomk::halo;
+namespace ld = licomk::decomp;
+namespace lc = licomk::comm;
+namespace util = licomk::util;
+
+namespace {
+
+/// Enables telemetry on a clean slate and restores the disabled state on
+/// exit, so tests never leak global telemetry state into each other.
+class TelemetryScope {
+ public:
+  explicit TelemetryScope(bool enabled = true) {
+    tel::reset();
+    tel::set_enabled(enabled);
+  }
+  ~TelemetryScope() {
+    tel::set_enabled(false);
+    tel::reset();
+  }
+};
+
+struct ScaleFunctor {
+  double* data;
+  double factor;
+  void operator()(long long i) const { data[i] *= factor; }
+};
+
+const tel::SpanAggregate* find_flat(const std::vector<tel::SpanAggregate>& list,
+                                   const std::string& name, const std::string& backend = {}) {
+  for (const auto& a : list)
+    if (a.name == name && (backend.empty() || a.backend == backend)) return &a;
+  return nullptr;
+}
+
+const tel::SpanAggregate* find_path(const std::vector<tel::SpanAggregate>& list,
+                                   const std::string& path) {
+  for (const auto& a : list)
+    if (a.name == path) return &a;
+  return nullptr;
+}
+
+}  // namespace
+
+TEST(Telemetry, SpansNestAndBuildHierarchicalPaths) {
+  TelemetryScope scope;
+  {
+    tel::ScopedSpan outer("outer", "phase");
+    {
+      tel::ScopedSpan inner("inner", "phase");
+    }
+    {
+      tel::ScopedSpan inner("inner", "phase");
+    }
+  }
+  {
+    tel::ScopedSpan inner("inner", "phase");  // top level this time
+  }
+
+  auto paths = tel::path_aggregates();
+  const auto* nested = find_path(paths, "outer/inner");
+  const auto* top_outer = find_path(paths, "outer");
+  const auto* top_inner = find_path(paths, "inner");
+  ASSERT_NE(nested, nullptr);
+  ASSERT_NE(top_outer, nullptr);
+  ASSERT_NE(top_inner, nullptr);
+  EXPECT_EQ(nested->count, 2);
+  EXPECT_EQ(top_outer->count, 1);
+  EXPECT_EQ(top_inner->count, 1);
+  // A parent's wall time covers its children.
+  EXPECT_GE(top_outer->total_s, nested->total_s);
+
+  // Flat aggregation merges the nested and top-level "inner" spans.
+  auto flat = tel::span_aggregates();
+  const auto* flat_inner = find_flat(flat, "inner");
+  ASSERT_NE(flat_inner, nullptr);
+  EXPECT_EQ(flat_inner->count, 3);
+}
+
+TEST(Telemetry, SpanEndWithoutBeginThrows) {
+  TelemetryScope scope;
+  EXPECT_THROW(tel::span_end(), licomk::InvalidArgument);
+}
+
+TEST(Telemetry, KernelSpansRecordBackendAndExtentAcrossBackends) {
+  TelemetryScope scope;
+  std::vector<double> data(128, 1.0);
+  for (kxx::Backend backend :
+       {kxx::Backend::Serial, kxx::Backend::Threads, kxx::Backend::AthreadSim}) {
+    kxx::initialize({backend, 2, false});
+    kxx::parallel_for("telemetry_scale", static_cast<long long>(data.size()),
+                      ScaleFunctor{data.data(), 2.0});
+  }
+  for (double v : data) ASSERT_DOUBLE_EQ(v, 8.0);
+
+  auto flat = tel::span_aggregates();
+  for (const char* backend : {"Serial", "Threads", "AthreadSim"}) {
+    const auto* a = find_flat(flat, "telemetry_scale", backend);
+    ASSERT_NE(a, nullptr) << backend;
+    EXPECT_EQ(a->count, 1) << backend;
+    EXPECT_EQ(a->items, 128) << backend;
+    EXPECT_EQ(a->category, "kernel") << backend;
+    EXPECT_GE(a->total_s, 0.0) << backend;
+  }
+  // The AthreadSim dispatch of this unregistered functor fell back to the MPE
+  // and the fallback was funnelled into a counter.
+  EXPECT_GE(tel::counter_value("kxx.athread_fallbacks"), 1u);
+  kxx::initialize({kxx::Backend::Serial, 1, false});
+}
+
+TEST(Telemetry, ReduceAndPhaseSpansAggregateUnderParent) {
+  TelemetryScope scope;
+  kxx::initialize({kxx::Backend::Serial, 1, false});
+  double sum = 0.0;
+  {
+    tel::ScopedSpan phase("fake_phase", "phase");
+    kxx::parallel_reduce("telemetry_sum", 100,
+                         [](long long i, double& acc) { acc += static_cast<double>(i); },
+                         kxx::Sum<double>(sum));
+  }
+  EXPECT_DOUBLE_EQ(sum, 4950.0);
+  auto paths = tel::path_aggregates();
+  ASSERT_NE(find_path(paths, "fake_phase/telemetry_sum"), nullptr);
+}
+
+TEST(Telemetry, DmaCountersMatchEngineStats) {
+  TelemetryScope scope;
+  sw::DmaEngine engine;
+  std::vector<double> main_buf(256, 3.0), ldm_buf(256, 0.0);
+  engine.get(ldm_buf.data(), main_buf.data(), 256 * sizeof(double));
+  engine.put(main_buf.data(), ldm_buf.data(), 128 * sizeof(double));
+  sw::DmaReply reply;
+  engine.iget(ldm_buf.data(), main_buf.data(), 64 * sizeof(double), reply);
+  engine.wait(reply, 1);
+
+  const sw::DmaStats& stats = engine.stats();
+  EXPECT_EQ(tel::counter_value("swsim.dma.sync_bytes"), stats.sync_bytes);
+  EXPECT_EQ(tel::counter_value("swsim.dma.async_bytes"), stats.async_bytes);
+  EXPECT_EQ(tel::counter_value("swsim.dma.transfers"),
+            stats.sync_transfers + stats.async_transfers);
+  EXPECT_EQ(tel::counter_value("swsim.dma.waits"), stats.waits);
+  EXPECT_EQ(stats.sync_bytes, (256 + 128) * sizeof(double));
+  EXPECT_EQ(stats.async_bytes, 64 * sizeof(double));
+}
+
+TEST(Telemetry, LdmHighWaterCounterTracksArena) {
+  TelemetryScope scope;
+  sw::LdmArena arena(16 * 1024);
+  void* a = arena.allocate(4096);
+  void* b = arena.allocate(2048);
+  std::uint64_t high_water = tel::counter_value("swsim.ldm.high_water");
+  EXPECT_EQ(high_water, arena.high_water());
+  EXPECT_GE(high_water, 4096u + 2048u);
+  arena.free(b);
+  arena.free(a);
+}
+
+TEST(Telemetry, HaloCountersMatchExchangerStats) {
+  TelemetryScope scope;
+  ld::Decomposition d(24, 16, 2, 2);
+  lc::Runtime::run(d.nranks(), [&](lc::Communicator& c) {
+    lh::HaloExchanger ex(d, c, c.rank());
+    lh::BlockField3D f("f", d.block(c.rank()), 4);
+    for (int k = 0; k < f.nz(); ++k)
+      for (int j = 0; j < f.ny_total(); ++j)
+        for (int i = 0; i < f.nx_total(); ++i) f.at(k, j, i) = 1.0;
+    f.mark_dirty();
+    ex.update(f);
+    ex.update(f);  // unchanged: skipped by redundancy elimination
+
+    // Per-rank stats must equal this rank's share of the process totals; with
+    // deterministic four-rank geometry just check one rank's invariants and
+    // the process-wide funnel below the barrier.
+    EXPECT_EQ(ex.stats().exchanges, 1u);
+    EXPECT_EQ(ex.stats().skipped, 1u);
+    c.barrier();
+    if (c.rank() == 0) {
+      EXPECT_EQ(tel::counter_value("halo.exchanges"), 4u);
+      EXPECT_EQ(tel::counter_value("halo.skipped"), 4u);
+      // Every halo byte flows through the in-process communicator, so the
+      // two independent funnels must agree exactly.
+      EXPECT_GT(tel::counter_value("halo.bytes"), 0u);
+      EXPECT_EQ(tel::counter_value("halo.bytes"), tel::counter_value("comm.bytes"));
+      EXPECT_EQ(tel::counter_value("halo.messages"), tel::counter_value("comm.messages"));
+    }
+    c.barrier();
+  });
+
+  // Spans from the exchanges were recorded under the "halo" category.
+  auto flat = tel::span_aggregates();
+  const auto* span = find_flat(flat, "halo_exchange");
+  ASSERT_NE(span, nullptr);
+  EXPECT_EQ(span->category, "halo");
+  EXPECT_EQ(span->count, 4);
+}
+
+TEST(Telemetry, MetricsJsonRoundTrips) {
+  TelemetryScope scope;
+  kxx::initialize({kxx::Backend::Serial, 1, false});
+  std::vector<double> data(32, 1.0);
+  {
+    tel::ScopedSpan phase("phase \"quoted\\name\"", "phase");
+    kxx::parallel_for("telemetry_json", static_cast<long long>(data.size()),
+                      ScaleFunctor{data.data(), 1.5});
+  }
+  tel::counter("test.counter").add(42);
+  tel::set_gauge("model.sypd", 12.5);
+  tel::set_label("kxx.backend", "Serial");
+
+  util::JsonValue doc = util::json_parse(tel::metrics_json());
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.at("schema").str, "licomk.telemetry.v1");
+  EXPECT_DOUBLE_EQ(doc.at("sypd").number, 12.5);
+  EXPECT_DOUBLE_EQ(doc.at("counters").at("test.counter").number, 42.0);
+  EXPECT_EQ(doc.at("labels").at("kxx.backend").str, "Serial");
+
+  const util::JsonValue& kernels = doc.at("kernels");
+  ASSERT_TRUE(kernels.is_array());
+  bool found_kernel = false;
+  for (const auto& k : kernels.array) {
+    if (k.at("name").str == "telemetry_json") {
+      found_kernel = true;
+      EXPECT_EQ(k.at("category").str, "kernel");
+      EXPECT_EQ(k.at("backend").str, "Serial");
+      EXPECT_DOUBLE_EQ(k.at("count").number, 1.0);
+      EXPECT_DOUBLE_EQ(k.at("items").number, 32.0);
+    }
+  }
+  EXPECT_TRUE(found_kernel);
+
+  // The escaped span name survives the round trip, including inside paths.
+  bool found_path = false;
+  for (const auto& p : doc.at("paths").array)
+    if (p.at("name").str == "phase \"quoted\\name\"/telemetry_json") found_path = true;
+  EXPECT_TRUE(found_path);
+}
+
+TEST(Telemetry, TraceJsonRoundTripsInChromeFormat) {
+  TelemetryScope scope;
+  {
+    tel::ScopedSpan outer("outer", "phase");
+    tel::ScopedSpan inner("inner", "kernel");
+  }
+  ASSERT_EQ(tel::trace_event_count(), 2u);
+
+  util::JsonValue doc = util::json_parse(tel::trace_json());
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.at("displayTimeUnit").str, "ms");
+  const util::JsonValue& events = doc.at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+  ASSERT_EQ(events.array.size(), 2u);
+  for (const auto& ev : events.array) {
+    EXPECT_EQ(ev.at("ph").str, "X");  // complete events
+    EXPECT_TRUE(ev.at("ts").is_number());
+    EXPECT_TRUE(ev.at("dur").is_number());
+    EXPECT_TRUE(ev.at("tid").is_number());
+    EXPECT_GE(ev.at("dur").number, 0.0);
+  }
+  // Spans close inner-first, so the inner kernel is recorded before the
+  // outer phase, and the outer event's interval contains the inner one.
+  EXPECT_EQ(events.array[0].at("name").str, "inner");
+  EXPECT_EQ(events.array[1].at("name").str, "outer");
+  EXPECT_LE(events.array[1].at("ts").number, events.array[0].at("ts").number);
+}
+
+TEST(Telemetry, TraceCapacityBoundsMemoryAndCountsDrops) {
+  TelemetryScope scope;
+  tel::set_trace_capacity(3);
+  for (int i = 0; i < 10; ++i) {
+    tel::ScopedSpan s("spin", "test");
+  }
+  EXPECT_EQ(tel::trace_event_count(), 3u);
+  EXPECT_EQ(tel::counter_value("telemetry.trace_dropped"), 7u);
+  // Aggregation is unaffected by the trace cap.
+  auto flat = tel::span_aggregates();
+  const auto* a = find_flat(flat, "spin");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->count, 10);
+  tel::set_trace_capacity(1 << 18);
+}
+
+TEST(Telemetry, DisabledPathRecordsNothing) {
+  TelemetryScope scope(/*enabled=*/false);
+  kxx::initialize({kxx::Backend::Serial, 1, false});
+  std::vector<double> data(64, 1.0);
+  {
+    tel::ScopedSpan s("should_not_appear", "phase");
+    kxx::parallel_for("disabled_kernel", static_cast<long long>(data.size()),
+                      ScaleFunctor{data.data(), 2.0});
+  }
+  sw::DmaEngine engine;
+  std::vector<double> buf(16, 0.0);
+  engine.get(buf.data(), data.data(), 16 * sizeof(double));
+
+  EXPECT_TRUE(tel::span_aggregates().empty());
+  EXPECT_TRUE(tel::path_aggregates().empty());
+  EXPECT_EQ(tel::trace_event_count(), 0u);
+  for (const auto& [name, value] : tel::counters()) {
+    EXPECT_EQ(value, 0u) << "counter " << name << " recorded while disabled";
+  }
+  // The kernel itself still ran.
+  for (double v : data) ASSERT_DOUBLE_EQ(v, 2.0);
+}
+
+TEST(Telemetry, ResetZeroesCountersButKeepsHandles) {
+  TelemetryScope scope;
+  tel::Counter& c = tel::counter("test.reset");
+  c.add(7);
+  EXPECT_EQ(tel::counter_value("test.reset"), 7u);
+  tel::reset();
+  EXPECT_EQ(tel::counter_value("test.reset"), 0u);
+  c.add(3);  // handle survives reset
+  EXPECT_EQ(tel::counter_value("test.reset"), 3u);
+}
+
+TEST(Telemetry, CounterRecordMaxIsMonotone) {
+  TelemetryScope scope;
+  tel::Counter& c = tel::counter("test.max");
+  c.record_max(10);
+  c.record_max(5);
+  EXPECT_EQ(c.value(), 10u);
+  c.record_max(20);
+  EXPECT_EQ(c.value(), 20u);
+}
+
+TEST(Telemetry, JsonParserRejectsMalformedDocuments) {
+  EXPECT_THROW(util::json_parse("{"), licomk::InvalidArgument);
+  EXPECT_THROW(util::json_parse("{\"a\": }"), licomk::InvalidArgument);
+  EXPECT_THROW(util::json_parse("[1, 2,]"), licomk::InvalidArgument);
+  EXPECT_THROW(util::json_parse("{} trailing"), licomk::InvalidArgument);
+  EXPECT_THROW(util::json_parse("nul"), licomk::InvalidArgument);
+  // And accepts the shapes the exporters emit.
+  util::JsonValue v = util::json_parse(R"({"a": [1, -2.5e3], "b": {"c": "x\n\"y\""}})");
+  EXPECT_DOUBLE_EQ(v.at("a").array[1].number, -2500.0);
+  EXPECT_EQ(v.at("b").at("c").str, "x\n\"y\"");
+}
