@@ -28,6 +28,7 @@
 #include "core/science_diagnostics.hpp"
 #include "io/field_writer.hpp"
 #include "kxx/kxx.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/config.hpp"
 
 using namespace licomk;
@@ -97,6 +98,8 @@ int main(int argc, char** argv) {
     std::printf("  restart                 : %s.rank0.lrs (resume with read_restart)\n",
                 prefix.c_str());
   }
-  std::printf("\nper-phase timers:\n%s", model.timers().report().c_str());
+  if (telemetry::enabled()) {
+    std::printf("\nper-phase telemetry:\n%s", telemetry::text_report().c_str());
+  }
   return 0;
 }

@@ -1,0 +1,211 @@
+// soak_run — deterministic fault-injection soak for the resilience subsystem.
+//
+// The drill the CI soak job runs (ci/resilience_soak.sh): derive a fault
+// schedule from a fixed seed with three faults — one communication message
+// drop, one DMA transfer error, one torn checkpoint — then let the run
+// supervisor ride them out and prove the recovered run is bit-for-bit
+// identical to a fault-free twin.
+//
+// Placement is deterministic by construction:
+//   * comm drop — a fault-free probe run first records the cumulative
+//     communicator-message count at every step boundary, so the drop lands
+//     (seed-jittered) in the middle of step 6 of attempt 1: after the
+//     generation-1 checkpoint, so recovery restores rather than cold-starts.
+//   * torn checkpoint — the restart.write hook is keyed on the generation
+//     id, so "generation 2" (written at step 8 of attempt 2) is targeted
+//     directly; the file is silently truncated after its atomic rename.
+//   * DMA error — the rank body stages a slab of the temperature field
+//     through a swsim::DmaEngine before every step (the LDM staging a real
+//     CPE pipeline performs), so DMA op N == "start of the Nth executed
+//     step" across attempts. The fault is placed at the start of a
+//     seed-chosen step in 9..11 of attempt 2: after the torn generation 2
+//     is the newest on disk, so recovery must CRC-reject it and fall back
+//     to generation 1.
+// Expected recovery sequence: 3 attempts, 2 restores (both from gen 1), one
+// dropped generation, and a final state identical to the fault-free run.
+//
+// Usage: soak_run [--seed N] [--steps N] [--out metrics.json] [--dir ckptdir]
+// Exit code 0 = recovered bit-identically; 1 = any expectation failed.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "core/model.hpp"
+#include "core/restart.hpp"
+#include "grid/grid.hpp"
+#include "kxx/kxx.hpp"
+#include "resilience/checkpoint.hpp"
+#include "resilience/fault_injector.hpp"
+#include "resilience/supervisor.hpp"
+#include "swsim/dma.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace lc = licomk::core;
+namespace lco = licomk::comm;
+namespace lr = licomk::resilience;
+namespace kxx = licomk::kxx;
+namespace tel = licomk::telemetry;
+
+namespace {
+
+lc::ModelConfig soak_config() {
+  auto cfg = lc::ModelConfig::testing(10);
+  cfg.grid.nz = 6;
+  return cfg;
+}
+
+/// Fault-free probe: reference diagnostics plus cumulative comm op counts.
+struct Probe {
+  std::vector<std::uint64_t> comm_after_step;  ///< world messages after step s (1-based s)
+  lc::GlobalDiagnostics reference{};
+};
+
+Probe probe_run(const lc::ModelConfig& cfg, long long target_steps) {
+  Probe p;
+  auto global = std::make_shared<licomk::grid::GlobalGrid>(cfg.grid, cfg.bathymetry_seed);
+  lco::World world(1);
+  auto c = world.communicator(0);
+  lc::LicomModel m(cfg, global, c);
+  for (long long s = 1; s <= target_steps; ++s) {
+    m.step();
+    p.comm_after_step.push_back(world.total_messages());
+  }
+  p.reference = m.diagnostics();
+  return p;
+}
+
+/// Seed-jittered op index inside the middle half of step `s` (1-based).
+std::uint64_t mid_step_op(const std::vector<std::uint64_t>& cum, long long s, lr::SplitMix64& rng) {
+  const std::uint64_t lo = cum[static_cast<size_t>(s) - 2];
+  const std::uint64_t hi = cum[static_cast<size_t>(s) - 1];
+  const std::uint64_t width = hi - lo;
+  return rng.range(lo + width / 4, lo + (3 * width) / 4);
+}
+
+struct Check {
+  bool ok = true;
+  void expect(bool cond, const std::string& what) {
+    if (!cond) {
+      ok = false;
+      std::fprintf(stderr, "SOAK FAIL: %s\n", what.c_str());
+    }
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t seed = 20260805;
+  long long target_steps = 24;
+  std::string out_path = "soak_metrics.json";
+  std::string ckpt_dir = "/tmp/licomk_soak_ckpt";
+  for (int a = 1; a < argc; ++a) {
+    auto next = [&](const char* flag) -> const char* {
+      if (a + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        std::exit(2);
+      }
+      return argv[++a];
+    };
+    if (!std::strcmp(argv[a], "--seed")) {
+      seed = std::strtoull(next("--seed"), nullptr, 10);
+    } else if (!std::strcmp(argv[a], "--steps")) {
+      target_steps = std::atoll(next("--steps"));
+    } else if (!std::strcmp(argv[a], "--out")) {
+      out_path = next("--out");
+    } else if (!std::strcmp(argv[a], "--dir")) {
+      ckpt_dir = next("--dir");
+    } else {
+      std::fprintf(stderr,
+                   "usage: soak_run [--seed N] [--steps N] [--out metrics.json] [--dir ckptdir]\n");
+      return 2;
+    }
+  }
+  const long long cadence = 4;
+  const long long drop_step = 6;  // attempt 1 dies here, after the gen-1 checkpoint
+  if (target_steps < 3 * cadence) {
+    std::fprintf(stderr, "--steps must be at least %lld\n", 3 * cadence);
+    return 2;
+  }
+
+  kxx::initialize({kxx::Backend::AthreadSim, 1, false});
+  tel::set_enabled(true);
+  const auto cfg = soak_config();
+
+  std::printf("soak: probing fault-free run (%lld steps, seed %llu)\n", target_steps,
+              static_cast<unsigned long long>(seed));
+  const Probe probe = probe_run(cfg, target_steps);
+
+  // The rank body below stages one DMA slab before every step, so the DMA op
+  // counter equals "executed steps so far + 1" at each step start. Attempt 1
+  // executes drop_step starts before dying; attempt 2 resumes at cadence+1.
+  lr::SplitMix64 rng(seed);
+  const long long dma_step = 9 + static_cast<long long>(rng.range(0, 2));  // model step 9..11
+  const std::uint64_t dma_op = static_cast<std::uint64_t>(drop_step + (dma_step - cadence));
+  lr::FaultSchedule schedule;
+  schedule.add({lr::FaultSite::CommDeliver, lr::FaultKind::DropMessage, -1,
+                mid_step_op(probe.comm_after_step, drop_step, rng), 0.0});
+  schedule.add({lr::FaultSite::RestartWrite, lr::FaultKind::TornWrite, -1, 2, 0.5});
+  schedule.add({lr::FaultSite::DmaTransfer, lr::FaultKind::DmaError, -1, dma_op, 0.0});
+  std::printf("soak: armed schedule (DMA fault at start of step %lld)\n%s", dma_step,
+              schedule.to_string().c_str());
+  lr::arm(schedule);
+
+  std::filesystem::remove_all(ckpt_dir);
+  lr::SupervisorOptions opts;
+  opts.nranks = 1;
+  opts.checkpoint_dir = ckpt_dir;
+  opts.checkpoint_every_steps = cadence;
+  opts.keep_generations = 8;
+  opts.max_retries = 4;
+  lr::Supervisor supervisor(opts);
+  lc::GlobalDiagnostics healed{};
+  std::vector<double> ldm_slab(256, 0.0);
+  const auto report = supervisor.run(cfg, [&](lc::LicomModel& m) {
+    licomk::swsim::DmaEngine dma;
+    while (m.steps_taken() < target_steps) {
+      // Stage a slab of the temperature field into "LDM" the way the CPE
+      // pipeline would; this is the hook site for the injected DMA error.
+      dma.get(ldm_slab.data(), m.state().t_cur.view().data(), ldm_slab.size() * sizeof(double));
+      m.step();
+    }
+    healed = m.diagnostics();
+  });
+  lr::disarm();
+
+  std::printf("soak: %d attempts, %d recoveries\n", report.attempts, report.recoveries);
+  for (const auto& f : report.failures) std::printf("soak: survived failure: %s\n", f.c_str());
+  for (const auto& f : lr::fired_log()) std::printf("soak: injected: %s\n", f.c_str());
+
+  Check check;
+  check.expect(lr::injected_count() == 3,
+               "expected exactly 3 injected faults, got " + std::to_string(lr::injected_count()));
+  check.expect(report.attempts == 3, "expected 3 attempts, got " + std::to_string(report.attempts));
+  check.expect(report.recoveries == 2,
+               "expected 2 checkpoint recoveries, got " + std::to_string(report.recoveries));
+  check.expect(report.last_restored_generation.has_value() && *report.last_restored_generation == 1,
+               "expected both restores to come from generation 1");
+  check.expect(tel::counter_value("resilience.dropped_generations") >= 1,
+               "expected the torn generation 2 to be dropped during discovery");
+  check.expect(tel::counter_value("resilience.retries") >= 2, "expected >= 2 relaunches");
+  check.expect(tel::counter_value("resilience.faults_detected") >= 1,
+               "expected the poisoned World to be detected");
+  check.expect(
+      healed.mean_sst == probe.reference.mean_sst &&
+          healed.kinetic_energy == probe.reference.kinetic_energy &&
+          healed.max_abs_eta == probe.reference.max_abs_eta,
+      "recovered run is NOT bit-identical to the fault-free twin");
+
+  tel::set_gauge("soak.attempts", static_cast<double>(report.attempts));
+  tel::set_gauge("soak.recoveries", static_cast<double>(report.recoveries));
+  tel::set_gauge("soak.bit_identical", check.ok ? 1.0 : 0.0);
+  tel::write_metrics_json(out_path);
+  std::printf("soak: wrote %s\n", out_path.c_str());
+  std::printf("soak: %s\n", check.ok ? "PASS (bit-identical recovery)" : "FAIL");
+  return check.ok ? 0 : 1;
+}

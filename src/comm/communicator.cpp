@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "resilience/fault_injector.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace licomk::comm {
@@ -53,7 +54,54 @@ World::Mailbox& World::mailbox(int rank) {
   return *mailboxes_[static_cast<size_t>(rank)];
 }
 
+void World::poison(const std::string& reason) {
+  {
+    std::lock_guard<std::mutex> lock(poison_mutex_);
+    if (poisoned_.load(std::memory_order_relaxed)) return;  // first failure wins
+    poison_reason_ = reason;
+  }
+  poisoned_.store(true, std::memory_order_release);
+  // Wake every blocked receiver and barrier waiter so they observe the flag.
+  for (auto& box : mailboxes_) {
+    std::lock_guard<std::mutex> lock(box->mutex);
+    box->cv.notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> lock(barrier_mutex_);
+    barrier_cv_.notify_all();
+  }
+  if (telemetry::enabled()) {
+    static telemetry::Counter& c = telemetry::counter("resilience.faults_detected");
+    c.add(1);
+  }
+}
+
+std::string World::poison_reason() const {
+  std::lock_guard<std::mutex> lock(poison_mutex_);
+  return poison_reason_;
+}
+
+void World::throw_poisoned() const {
+  throw CommError("world poisoned: " + poison_reason());
+}
+
 void World::deliver(int source, int dest, int tag, const void* buf, std::size_t bytes) {
+  if (poisoned()) throw_poisoned();
+  if (resilience::armed()) {
+    using resilience::fault_hooks::CommAction;
+    CommAction action = resilience::fault_hooks::on_comm_deliver(source);
+    if (action == CommAction::Crash) {
+      throw resilience::InjectedFault("injected crash of rank " + std::to_string(source) +
+                                      " during send to rank " + std::to_string(dest));
+    }
+    if (action == CommAction::Drop) {
+      // The message is lost. Poison the world so whoever is (or will be)
+      // blocked waiting for it fails fast instead of hanging forever.
+      poison("injected drop of message from rank " + std::to_string(source) + " to rank " +
+             std::to_string(dest) + " (tag " + std::to_string(tag) + ")");
+      return;
+    }
+  }
   Mailbox& box = mailbox(dest);
   Message msg;
   msg.source = source;
@@ -84,8 +132,9 @@ std::vector<std::byte> World::take_owned(int self, int source, int tag, Status* 
   std::deque<Message>::iterator it;
   box.cv.wait(lock, [&] {
     it = std::find_if(box.messages.begin(), box.messages.end(), matches);
-    return it != box.messages.end();
+    return it != box.messages.end() || poisoned();
   });
+  if (it == box.messages.end()) throw_poisoned();
   Message msg = std::move(*it);
   box.messages.erase(it);
   lock.unlock();
@@ -109,6 +158,7 @@ Status World::take(int self, void* buf, std::size_t capacity, int source, int ta
 }
 
 void World::barrier_wait() {
+  if (poisoned()) throw_poisoned();
   std::unique_lock<std::mutex> lock(barrier_mutex_);
   std::uint64_t my_generation = barrier_generation_;
   barrier_count_ += 1;
@@ -117,7 +167,8 @@ void World::barrier_wait() {
     barrier_generation_ += 1;
     barrier_cv_.notify_all();
   } else {
-    barrier_cv_.wait(lock, [&] { return barrier_generation_ != my_generation; });
+    barrier_cv_.wait(lock, [&] { return barrier_generation_ != my_generation || poisoned(); });
+    if (barrier_generation_ == my_generation) throw_poisoned();
   }
 }
 

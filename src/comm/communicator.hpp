@@ -146,6 +146,18 @@ class World {
   int size() const { return nranks_; }
   Communicator communicator(int rank);
 
+  /// Declare the world dead (a rank failed, or a fault was injected). Every
+  /// rank blocked in recv/wait/collectives wakes immediately and throws
+  /// CommError carrying `reason`; subsequent sends and collectives throw too.
+  /// This is the fix for the classic MPI failure mode where one rank dying
+  /// mid-collective leaves its peers blocked forever: the supervisor (or
+  /// Runtime) poisons the world and the whole run unwinds cleanly instead of
+  /// hanging. First call wins; later calls are no-ops. Thread-safe.
+  void poison(const std::string& reason);
+  bool poisoned() const { return poisoned_.load(std::memory_order_acquire); }
+  /// Reason passed to the first poison() call ("" when not poisoned).
+  std::string poison_reason() const;
+
   /// Total point-to-point traffic so far (for communication benches).
   std::uint64_t total_messages() const;
   std::uint64_t total_bytes() const;
@@ -176,8 +188,14 @@ class World {
   // rank-0-rooted reductions/broadcasts.
   void barrier_wait();
 
+  [[noreturn]] void throw_poisoned() const;
+
   int nranks_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+
+  std::atomic<bool> poisoned_{false};
+  mutable std::mutex poison_mutex_;
+  std::string poison_reason_;
 
   std::mutex barrier_mutex_;
   std::condition_variable barrier_cv_;

@@ -1,5 +1,6 @@
 #include "comm/runtime.hpp"
 
+#include <atomic>
 #include <exception>
 #include <thread>
 #include <vector>
@@ -10,22 +11,33 @@ void Runtime::run(int nranks, const std::function<void(Communicator&)>& fn) {
   LICOMK_REQUIRE(nranks >= 1, "need at least one rank");
   World world(nranks);
   std::vector<std::exception_ptr> errors(static_cast<size_t>(nranks));
+  // Index of the first rank to fail, in failure order (not rank order): the
+  // root cause is what the caller should see, the CommErrors that other ranks
+  // surface after the poison are just the cascade.
+  std::atomic<int> first_failure{-1};
   std::vector<std::thread> threads;
   threads.reserve(static_cast<size_t>(nranks));
   for (int r = 0; r < nranks; ++r) {
-    threads.emplace_back([&world, &fn, &errors, r] {
+    threads.emplace_back([&world, &fn, &errors, &first_failure, r] {
       Communicator c = world.communicator(r);
       try {
         fn(c);
+      } catch (const std::exception& e) {
+        errors[static_cast<size_t>(r)] = std::current_exception();
+        int expected = -1;
+        first_failure.compare_exchange_strong(expected, r);
+        world.poison("rank " + std::to_string(r) + " failed: " + e.what());
       } catch (...) {
         errors[static_cast<size_t>(r)] = std::current_exception();
+        int expected = -1;
+        first_failure.compare_exchange_strong(expected, r);
+        world.poison("rank " + std::to_string(r) + " failed: unknown exception");
       }
     });
   }
   for (auto& t : threads) t.join();
-  for (auto& e : errors) {
-    if (e) std::rethrow_exception(e);
-  }
+  int first = first_failure.load();
+  if (first >= 0) std::rethrow_exception(errors[static_cast<size_t>(first)]);
 }
 
 }  // namespace licomk::comm

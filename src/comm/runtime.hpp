@@ -1,9 +1,10 @@
 // runtime.hpp — launches a set of ranks (threads) over one World.
 //
 // Usage mirrors mpirun: Runtime::run(nranks, fn) executes fn(communicator)
-// once per rank on its own thread and joins them all. Exceptions thrown by
-// any rank are collected and the lowest-rank one is rethrown after all ranks
-// finish or abort — so a failing collective cannot deadlock the harness.
+// once per rank on its own thread and joins them all. A rank that throws
+// poisons the World immediately, so peers blocked in recv/wait/collectives
+// wake with CommError instead of deadlocking; after every rank finishes the
+// first (chronologically) failure is rethrown to the caller.
 #pragma once
 
 #include <functional>
@@ -15,15 +16,10 @@ namespace licomk::comm {
 class Runtime {
  public:
   /// Run `fn` on `nranks` ranks. Blocks until all complete. If any rank
-  /// throws, the remaining ranks are allowed to finish (or fail) and the
-  /// lowest-rank exception is rethrown to the caller.
-  ///
-  /// NOTE on failure semantics: a rank that throws mid-collective leaves its
-  /// peers blocked, as real MPI would; to avoid hanging the process, ranks
-  /// stuck in a collective after a sibling failure are unblocked by World
-  /// destruction only if they already returned — so rank functions should
-  /// catch their own recoverable errors. Tests use this via expect-throw on
-  /// single-rank errors or on errors thrown before any collective.
+  /// throws, the World is poisoned (waking any peer blocked in a recv/wait/
+  /// collective with CommError), the remaining ranks unwind, and the first
+  /// failure — the root cause, not the CommError cascade it triggered — is
+  /// rethrown to the caller. The process never hangs on a dead rank.
   static void run(int nranks, const std::function<void(Communicator&)>& fn);
 };
 

@@ -1,5 +1,6 @@
 #include "core/model.hpp"
 
+#include <chrono>
 #include <cmath>
 
 #include "core/dynamics.hpp"
@@ -7,19 +8,16 @@
 #include "core/tracer.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
+#include "util/sypd.hpp"
 
 namespace licomk::core {
 
 namespace {
 
-/// One model phase: a GPTL-style timer (kept — sypd() reads it) plus a
-/// telemetry span, so phases nest around the kernel spans dispatched inside.
-struct PhaseScope {
-  util::ScopedTimer timer;
-  telemetry::ScopedSpan span;
-  PhaseScope(util::TimerRegistry& registry, const char* name)
-      : timer(registry, name), span(name, "phase") {}
-};
+/// One model phase: a telemetry span (category "phase") so phases nest
+/// around the kernel spans dispatched inside. Cheap no-op when telemetry is
+/// disabled; step wall time for sypd() is accumulated separately in step().
+using PhaseScope = telemetry::ScopedSpan;
 
 /// The single-rank world used by the convenience constructor. One static
 /// world is enough: single-rank communicators never exchange messages.
@@ -67,15 +65,22 @@ void LicomModel::initial_exchange() {
 
 double LicomModel::day_of_year() const { return std::fmod(sim_seconds_ / 86400.0, 365.0); }
 
+void LicomModel::set_checkpoint_cadence(long long every_steps, StepHook hook) {
+  LICOMK_REQUIRE(every_steps >= 0, "checkpoint cadence must be >= 0");
+  checkpoint_every_steps_ = every_steps;
+  checkpoint_hook_ = std::move(hook);
+}
+
 void LicomModel::step() {
   const auto method = cfg_.halo_strategy == HaloStrategy::TransposeVerticalMajor
                           ? halo::Halo3DMethod::TransposeVerticalMajor
                           : halo::Halo3DMethod::HorizontalMajor;
   const double day = day_of_year();
-  PhaseScope step_timer(timers_, "step");
+  const auto wall_start = std::chrono::steady_clock::now();
+  PhaseScope step_span("step", "phase");
 
   {
-    PhaseScope t(timers_, "halo_in");
+    PhaseScope t("halo_in", "phase");
     // With redundant-exchange elimination these are no-ops except on the
     // first step (the end-of-step exchanges keep versions current).
     exchanger_->update(state_->t_cur, halo::FoldSign::Symmetric, method);
@@ -86,33 +91,33 @@ void LicomModel::step() {
   }
 
   {
-    PhaseScope t(timers_, "readyt");
+    PhaseScope t("readyt", "phase");
     compute_density(*lgrid_, cfg_.linear_eos, state_->t_cur, state_->s_cur, state_->rho);
     compute_pressure(*lgrid_, state_->rho, state_->eta_cur, state_->pressure);
   }
 
   {
-    PhaseScope t(timers_, "vmix");
+    PhaseScope t("vmix", "phase");
     mixer_->compute(*state_);
     exchanger_->update(state_->kappa_m, halo::FoldSign::Symmetric, method);
     exchanger_->update(state_->kappa_t, halo::FoldSign::Symmetric, method);
   }
 
   {
-    PhaseScope t(timers_, "readyc");
+    PhaseScope t("readyc", "phase");
     compute_momentum_tendencies(*lgrid_, cfg_, *state_, day, state_->fu_tend, state_->fv_tend);
     vertical_mean(*lgrid_, state_->fu_tend, gu_bar_);
     vertical_mean(*lgrid_, state_->fv_tend, gv_bar_);
   }
 
   {
-    PhaseScope t(timers_, "barotr");
+    PhaseScope t("barotr", "phase");
     run_barotropic(*lgrid_, cfg_, *state_, *exchanger_, *polar_, gu_bar_, gv_bar_, ubar_avg_,
                    vbar_avg_);
   }
 
   {
-    PhaseScope t(timers_, "bclinc");
+    PhaseScope t("bclinc", "phase");
     baroclinic_update(*lgrid_, cfg_, *state_, ubar_avg_, vbar_avg_);
     state_->rotate_velocity();
     exchanger_->update(state_->u_cur, halo::FoldSign::Antisymmetric, method);
@@ -122,7 +127,7 @@ void LicomModel::step() {
   }
 
   {
-    PhaseScope t(timers_, "tracer");
+    PhaseScope t("tracer", "phase");
     tracer_step(*lgrid_, cfg_, *state_, *adv_ws_, *exchanger_, day);
     state_->rotate_tracers();
     exchanger_->update(state_->t_cur, halo::FoldSign::Symmetric, method);
@@ -140,7 +145,7 @@ void LicomModel::step() {
     // includes "the simulation and daily memory copies in heterogeneous
     // systems" (§VI-C). On the simulated unified-memory backends this is a
     // genuine copy into host staging buffers.
-    PhaseScope t(timers_, "daily_copy");
+    PhaseScope t("daily_copy", "phase");
     const int h = decomp::kHaloWidth;
     daily_sst_.resize(static_cast<size_t>(lgrid_->ny()) * lgrid_->nx());
     daily_eta_.resize(daily_sst_.size());
@@ -152,6 +157,16 @@ void LicomModel::step() {
       }
     }
   }
+
+  step_wall_s_ +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+
+  // Checkpoint cadence, outside the timed step path: checkpoint I/O is
+  // resilience overhead, not simulation throughput.
+  if (checkpoint_every_steps_ > 0 && checkpoint_hook_ &&
+      steps_ % checkpoint_every_steps_ == 0) {
+    checkpoint_hook_(*this);
+  }
 }
 
 void LicomModel::run_days(double days) {
@@ -161,31 +176,29 @@ void LicomModel::run_days(double days) {
     telemetry::set_gauge("model.sypd", sypd());
     telemetry::set_gauge("model.simulated_seconds", sim_seconds_);
     telemetry::set_gauge("model.steps", static_cast<double>(steps_));
-    telemetry::set_gauge("model.step_wall_s", timers_.total_seconds("step"));
+    telemetry::set_gauge("model.step_wall_s", step_wall_s_);
   }
 }
 
 double LicomModel::sypd() const {
-  double wall = timers_.total_seconds("step");
-  if (wall <= 0.0 || sim_seconds_ <= 0.0) return 0.0;
-  return util::sypd(sim_seconds_, wall);
+  if (step_wall_s_ <= 0.0 || sim_seconds_ <= 0.0) return 0.0;
+  return util::sypd(sim_seconds_, step_wall_s_);
 }
 
 double LicomModel::sypd_global() const {
-  double wall = timers_.total_seconds("step");
-  wall = comm_.allreduce_scalar(wall, comm::ReduceOp::Max);
+  double wall = comm_.allreduce_scalar(step_wall_s_, comm::ReduceOp::Max);
   if (wall <= 0.0 || sim_seconds_ <= 0.0) return 0.0;
   return util::sypd(sim_seconds_, wall);
 }
 
 GlobalDiagnostics LicomModel::diagnostics() {
-  PhaseScope t(timers_, "diagnostics");
+  PhaseScope t("diagnostics", "phase");
   return compute_diagnostics(*lgrid_, *state_, comm_);
 }
 
-void LicomModel::write_restart(const std::string& prefix) const {
+void LicomModel::write_restart(const std::string& prefix, std::uint64_t write_op) const {
   core::write_restart(restart_rank_path(prefix, comm_.rank()), *lgrid_, *state_,
-                      RestartInfo{sim_seconds_, steps_});
+                      RestartInfo{sim_seconds_, steps_}, comm_.rank(), write_op);
 }
 
 void LicomModel::read_restart(const std::string& prefix) {

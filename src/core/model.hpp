@@ -3,10 +3,13 @@
 // One LicomModel instance per rank; construct inside comm::Runtime::run for
 // multi-rank execution or with a default single-rank communicator for serial
 // use. Each step() executes the LICOM sequence (readyt → vmix → readyc →
-// barotr → bclinc → tracer) with GPTL-style timers around every phase — the
-// measurement mechanism behind the paper's SYPD numbers (§VI-C).
+// barotr → bclinc → tracer) with a telemetry span around every phase — the
+// measurement mechanism behind the paper's SYPD numbers (§VI-C); step wall
+// time itself is accumulated rank-locally so sypd() works with telemetry off.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -19,7 +22,6 @@
 #include "core/state.hpp"
 #include "core/vmix.hpp"
 #include "halo/halo_exchange.hpp"
-#include "util/timer.hpp"
 
 namespace licomk::core {
 
@@ -39,12 +41,16 @@ class LicomModel {
   /// Advance `days` of simulated time (rounded to whole steps).
   void run_days(double days);
 
+  /// Wall seconds this rank has spent inside step() (checkpoint hooks
+  /// excluded) — the denominator of sypd().
+  double step_wall_seconds() const { return step_wall_s_; }
+
   /// Simulated-years-per-day from accumulated step wall time (excludes
   /// initialization, like the paper's metric).
   double sypd() const;
 
   /// The paper's exact measurement (§VI-C): elapsed wall time is the MAXIMUM
-  /// across ranks of the top-level loop timer, including the daily memory
+  /// across ranks of the step-loop wall time, including the daily memory
   /// copies. Collective.
   double sypd_global() const;
 
@@ -60,11 +66,19 @@ class LicomModel {
   GlobalDiagnostics diagnostics();
 
   /// Checkpoint this rank's prognostic state ("<prefix>.rank<r>.lrs").
-  void write_restart(const std::string& prefix) const;
+  /// `write_op` is only meaningful under fault injection: it is forwarded to
+  /// the restart.write hook so schedules can target a specific generation.
+  void write_restart(const std::string& prefix, std::uint64_t write_op = 0) const;
 
   /// Resume from a checkpoint written with the same configuration and
   /// decomposition; restores simulated time and step count.
   void read_restart(const std::string& prefix);
+
+  /// Invoke `hook(*this)` after every `every_steps` completed steps (the
+  /// checkpoint cadence — resilience::CheckpointManager installs itself
+  /// here). Pass 0 to disable. Hook time is excluded from step_wall_seconds.
+  using StepHook = std::function<void(LicomModel&)>;
+  void set_checkpoint_cadence(long long every_steps, StepHook hook);
 
   const ModelConfig& config() const { return cfg_; }
   const LocalGrid& local_grid() const { return *lgrid_; }
@@ -74,7 +88,6 @@ class LicomModel {
   const OceanState& state() const { return *state_; }
   halo::HaloExchanger& exchanger() { return *exchanger_; }
   VerticalMixer& mixer() { return *mixer_; }
-  util::TimerRegistry& timers() { return timers_; }
   comm::Communicator communicator() const { return comm_; }
 
  private:
@@ -91,11 +104,13 @@ class LicomModel {
   std::unique_ptr<PolarFilter> polar_;
   std::unique_ptr<AdvectionWorkspace> adv_ws_;
   halo::BlockField2D ubar_avg_, vbar_avg_, gu_bar_, gv_bar_;
-  util::TimerRegistry timers_;
   std::vector<double> daily_sst_;
   std::vector<double> daily_eta_;
   double sim_seconds_ = 0.0;
   long long steps_ = 0;
+  double step_wall_s_ = 0.0;
+  long long checkpoint_every_steps_ = 0;
+  StepHook checkpoint_hook_;
 };
 
 }  // namespace licomk::core

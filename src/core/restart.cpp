@@ -1,16 +1,22 @@
 #include "core/restart.hpp"
 
+#include <unistd.h>
+
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <vector>
 
+#include "resilience/fault_injector.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/crc64.hpp"
 #include "util/error.hpp"
 
 namespace licomk::core {
 
 namespace {
 constexpr char kMagic[8] = {'L', 'I', 'C', 'O', 'M', 'K', 'R', 'S'};
-constexpr std::int32_t kVersion = 1;
+constexpr std::int32_t kVersion = 2;  // v2 = v1 + payload CRC-64/XZ in the header
 
 struct Header {
   char magic[8];
@@ -20,6 +26,7 @@ struct Header {
   std::int32_t field_count;
   double sim_seconds;
   long long steps;
+  std::uint64_t payload_crc;        // CRC-64/XZ over every byte after the header
 };
 
 std::vector<const halo::BlockField3D*> fields3(const OceanState& s) {
@@ -28,6 +35,13 @@ std::vector<const halo::BlockField3D*> fields3(const OceanState& s) {
 std::vector<const halo::BlockField2D*> fields2(const OceanState& s) {
   return {&s.eta_old, &s.eta_cur, &s.ubar_old, &s.ubar_cur, &s.vbar_old, &s.vbar_cur};
 }
+
+void note_crc_failure() {
+  if (telemetry::enabled()) {
+    static telemetry::Counter& c = telemetry::counter("resilience.crc_failures");
+    c.add(1);
+  }
+}
 }  // namespace
 
 std::string restart_rank_path(const std::string& prefix, int rank) {
@@ -35,9 +49,10 @@ std::string restart_rank_path(const std::string& prefix, int rank) {
 }
 
 void write_restart(const std::string& path, const LocalGrid& grid, const OceanState& state,
-                   const RestartInfo& info) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw Error("cannot open restart file for writing: " + path);
+                   const RestartInfo& info, int rank, std::uint64_t write_op) {
+  util::Crc64 crc;
+  for (const auto* f : fields3(state)) crc.update(f->view().data(), f->view().size() * sizeof(double));
+  for (const auto* f : fields2(state)) crc.update(f->view().data(), f->view().size() * sizeof(double));
 
   Header h{};
   std::memcpy(h.magic, kMagic, sizeof(kMagic));
@@ -50,17 +65,48 @@ void write_restart(const std::string& path, const LocalGrid& grid, const OceanSt
   h.field_count = static_cast<std::int32_t>(fields3(state).size() + fields2(state).size());
   h.sim_seconds = info.sim_seconds;
   h.steps = info.steps;
-  out.write(reinterpret_cast<const char*>(&h), sizeof(h));
+  h.payload_crc = crc.value();
 
-  for (const auto* f : fields3(state)) {
-    out.write(reinterpret_cast<const char*>(f->view().data()),
-              static_cast<std::streamsize>(f->view().size() * sizeof(double)));
+  // Stage to "<path>.tmp" so a crash anywhere before the rename leaves the
+  // final path untouched (either absent or still holding the previous good
+  // checkpoint). fsync before rename: the data must be durable before the
+  // name points at it.
+  const std::string tmp = path + ".tmp";
+  std::FILE* out = std::fopen(tmp.c_str(), "wb");
+  if (out == nullptr) throw Error("cannot open restart file for writing: " + tmp);
+  auto put = [&](const void* data, std::size_t bytes) {
+    if (std::fwrite(data, 1, bytes, out) != bytes) {
+      std::fclose(out);
+      throw Error("short write to restart file: " + tmp);
+    }
+  };
+  put(&h, sizeof(h));
+  for (const auto* f : fields3(state)) put(f->view().data(), f->view().size() * sizeof(double));
+  for (const auto* f : fields2(state)) put(f->view().data(), f->view().size() * sizeof(double));
+  if (std::fflush(out) != 0) {
+    std::fclose(out);
+    throw Error("flush failed for restart file: " + tmp);
   }
-  for (const auto* f : fields2(state)) {
-    out.write(reinterpret_cast<const char*>(f->view().data()),
-              static_cast<std::streamsize>(f->view().size() * sizeof(double)));
+  ::fsync(::fileno(out));
+  std::fclose(out);
+
+  std::optional<resilience::FaultEvent> injected;
+  if (resilience::armed()) {
+    injected =
+        resilience::fault_hooks::on_file_write(resilience::FaultSite::RestartWrite, rank, write_op);
+    if (injected && injected->kind == resilience::FaultKind::CrashWrite) {
+      // Crash between staging and publish: only the ".tmp" remains.
+      throw resilience::InjectedFault("injected crash before restart rename: " + path);
+    }
   }
-  if (!out) throw Error("short write to restart file: " + path);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw Error("cannot rename " + tmp + " -> " + path);
+  }
+  if (injected && injected->kind == resilience::FaultKind::TornWrite) {
+    // Post-rename media loss: the published file is silently truncated. The
+    // payload CRC is what lets verify_restart catch this.
+    resilience::tear_file(path, injected->param);
+  }
 }
 
 RestartInfo read_restart(const std::string& path, const LocalGrid& grid, OceanState& state) {
@@ -82,9 +128,11 @@ RestartInfo read_restart(const std::string& path, const LocalGrid& grid, OceanSt
                 " (was the decomposition or grid changed?)");
   }
 
+  util::Crc64 crc;
   auto read_block = [&](double* dst, std::size_t count) {
     in.read(reinterpret_cast<char*>(dst), static_cast<std::streamsize>(count * sizeof(double)));
     if (!in) throw Error("truncated restart file: " + path);
+    crc.update(dst, count * sizeof(double));
   };
   for (const auto* f : fields3(state)) {
     read_block(const_cast<double*>(f->view().data()), f->view().size());
@@ -93,6 +141,33 @@ RestartInfo read_restart(const std::string& path, const LocalGrid& grid, OceanSt
   for (const auto* f : fields2(state)) {
     read_block(const_cast<double*>(f->view().data()), f->view().size());
     const_cast<halo::BlockField2D*>(f)->mark_dirty();
+  }
+  if (crc.value() != h.payload_crc) {
+    note_crc_failure();
+    throw Error("restart payload CRC mismatch in " + path + " (corrupt checkpoint)");
+  }
+  return RestartInfo{h.sim_seconds, h.steps};
+}
+
+std::optional<RestartInfo> verify_restart(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+
+  Header h{};
+  in.read(reinterpret_cast<char*>(&h), sizeof(h));
+  if (!in || std::memcmp(h.magic, kMagic, sizeof(kMagic)) != 0) return std::nullopt;
+  if (h.version != kVersion) return std::nullopt;
+
+  util::Crc64 crc;
+  std::vector<char> buf(1 << 16);
+  while (in) {
+    in.read(buf.data(), static_cast<std::streamsize>(buf.size()));
+    std::streamsize got = in.gcount();
+    if (got > 0) crc.update(buf.data(), static_cast<std::size_t>(got));
+  }
+  if (crc.value() != h.payload_crc) {
+    note_crc_failure();
+    return std::nullopt;
   }
   return RestartInfo{h.sim_seconds, h.steps};
 }

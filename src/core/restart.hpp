@@ -1,16 +1,22 @@
-// restart.hpp — checkpoint/restart of the model state.
+// restart.hpp — self-checking checkpoint/restart of the model state.
 //
 // Production OGCM runs span months of wall time; LICOM runs are driven by
 // restart chains. This module writes/reads a self-describing binary snapshot
 // of one rank's prognostic state (both leapfrog time levels, so a restarted
 // run continues bit-identically — verified in test_model).
 //
-// Format: a fixed header (magic, version, grid shape, extent, sim time)
-// followed by the prognostic fields' full halo-inclusive storage. Multi-rank
-// runs write one file per rank (`<prefix>.rankN.lrs`), the standard
-// file-per-process pattern.
+// Format v2: a fixed header (magic, version, grid shape, extent, sim time,
+// CRC-64/XZ of the payload) followed by the prognostic fields' full
+// halo-inclusive storage. Writes are atomic — data is staged to
+// "<path>.tmp", fsync'd, then renamed into place — so a crash mid-write can
+// never leave a half-written file at the final path, and the payload CRC
+// lets readers detect any corruption that happens after the rename.
+// Multi-rank runs write one file per rank (`<prefix>.rankN.lrs`), the
+// standard file-per-process pattern.
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <string>
 
 #include "core/local_grid.hpp"
@@ -23,14 +29,23 @@ struct RestartInfo {
   long long steps = 0;
 };
 
-/// Write a checkpoint for this rank. Throws licomk::Error on I/O failure.
+/// Write a checkpoint for this rank, atomically (stage + fsync + rename).
+/// Throws licomk::Error on I/O failure. `rank` and `write_op` only matter
+/// under fault injection: they are forwarded to the restart.write hook so a
+/// schedule can target "generation G on rank R" (see resilience/).
 void write_restart(const std::string& path, const LocalGrid& grid, const OceanState& state,
-                   const RestartInfo& info);
+                   const RestartInfo& info, int rank = -1, std::uint64_t write_op = 0);
 
 /// Read a checkpoint written by write_restart into an allocated state of the
-/// same configuration. Validates magic/version/shape and throws
-/// licomk::Error on any mismatch. Returns the stored time info.
+/// same configuration. Validates magic/version/shape and the payload CRC and
+/// throws licomk::Error on any mismatch. Returns the stored time info.
 RestartInfo read_restart(const std::string& path, const LocalGrid& grid, OceanState& state);
+
+/// Cheap integrity check: validate magic/version and recompute the payload
+/// CRC without touching any model state. Returns the stored time info when
+/// the file verifies, std::nullopt when it is missing, foreign, truncated,
+/// or corrupt (CRC mismatch bumps the "resilience.crc_failures" counter).
+std::optional<RestartInfo> verify_restart(const std::string& path);
 
 /// Per-rank restart path: "<prefix>.rank<r>.lrs".
 std::string restart_rank_path(const std::string& prefix, int rank);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <fstream>
 
+#include "resilience/fault_injector.hpp"
 #include "util/error.hpp"
 
 namespace licomk::io {
@@ -91,6 +92,13 @@ void Dataset::add_3d(const std::string& name, std::uint64_t nz, std::uint64_t ny
 }
 
 void Dataset::write(const std::string& path) const {
+  std::optional<resilience::FaultEvent> injected;
+  if (resilience::armed()) {
+    injected = resilience::fault_hooks::on_file_write(resilience::FaultSite::IoWrite, -1);
+    if (injected && injected->kind == resilience::FaultKind::CrashWrite) {
+      throw resilience::InjectedFault("injected crash before dataset write: " + path);
+    }
+  }
   std::ofstream out(path, std::ios::binary);
   if (!out) throw Error("cannot open dataset for writing: " + path);
   out.write(kMagic, sizeof(kMagic));
@@ -111,6 +119,10 @@ void Dataset::write(const std::string& path) const {
               static_cast<std::streamsize>(v.data.size() * sizeof(double)));
   }
   if (!out) throw Error("short write to dataset: " + path);
+  out.close();
+  if (injected && injected->kind == resilience::FaultKind::TornWrite) {
+    resilience::tear_file(path, injected->param);
+  }
 }
 
 Dataset Dataset::read(const std::string& path) {

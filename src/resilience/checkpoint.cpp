@@ -1,0 +1,116 @@
+#include "resilience/checkpoint.hpp"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "core/restart.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/error.hpp"
+
+namespace licomk::resilience {
+
+namespace fs = std::filesystem;
+
+namespace {
+constexpr const char* kStem = "ckpt.gen";
+
+void bump(const char* name, std::uint64_t n = 1) {
+  if (n > 0 && telemetry::enabled()) telemetry::counter(name).add(n);
+}
+}  // namespace
+
+CheckpointManager::CheckpointManager(std::string dir, int keep_generations)
+    : dir_(std::move(dir)), keep_(keep_generations) {
+  LICOMK_REQUIRE(!dir_.empty(), "checkpoint dir must be non-empty");
+  LICOMK_REQUIRE(keep_ >= 1, "must keep at least one checkpoint generation");
+  fs::create_directories(dir_);
+}
+
+std::string CheckpointManager::generation_prefix(std::uint64_t gen) const {
+  return (fs::path(dir_) / (kStem + std::to_string(gen))).string();
+}
+
+void CheckpointManager::write(const core::LicomModel& model, std::uint64_t gen) {
+  {
+    telemetry::ScopedSpan span("checkpoint_write", "resilience");
+    model.write_restart(generation_prefix(gen), /*write_op=*/gen);
+  }
+  bump("resilience.checkpoints_written");
+
+  // GC this rank's files only — each rank owns its own ".rank<r>.lrs" series,
+  // so concurrent rank threads never race on the same path.
+  const int rank = model.communicator().rank();
+  std::vector<std::uint64_t> gens = generations_on_disk();
+  if (gens.size() <= static_cast<std::size_t>(keep_)) return;
+  std::uint64_t removed = 0;
+  for (std::size_t n = 0; n + static_cast<std::size_t>(keep_) < gens.size(); ++n) {
+    fs::path victim = core::restart_rank_path(generation_prefix(gens[n]), rank);
+    std::error_code ec;
+    if (fs::remove(victim, ec)) removed += 1;
+  }
+  bump("resilience.checkpoints_gc", removed);
+}
+
+void CheckpointManager::install(core::LicomModel& model, long long every_steps) {
+  LICOMK_REQUIRE(every_steps > 0, "checkpoint cadence must be positive");
+  model.set_checkpoint_cadence(every_steps, [this, every_steps](core::LicomModel& m) {
+    write(m, static_cast<std::uint64_t>(m.steps_taken() / every_steps));
+  });
+}
+
+std::vector<std::uint64_t> CheckpointManager::generations_on_disk() const {
+  std::vector<std::uint64_t> gens;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    // "ckpt.gen<g>.rank<r>.lrs" — parse <g>, skip staging/foreign files.
+    if (name.rfind(kStem, 0) != 0 || name.size() < std::char_traits<char>::length(kStem) + 1) {
+      continue;
+    }
+    if (name.size() < 4 || name.substr(name.size() - 4) != ".lrs") continue;
+    std::size_t pos = std::char_traits<char>::length(kStem);
+    std::size_t end = name.find('.', pos);
+    if (end == std::string::npos || end == pos) continue;
+    std::uint64_t gen = 0;
+    bool numeric = true;
+    for (std::size_t i = pos; i < end; ++i) {
+      if (name[i] < '0' || name[i] > '9') {
+        numeric = false;
+        break;
+      }
+      gen = gen * 10 + static_cast<std::uint64_t>(name[i] - '0');
+    }
+    if (numeric && std::find(gens.begin(), gens.end(), gen) == gens.end()) gens.push_back(gen);
+  }
+  std::sort(gens.begin(), gens.end());
+  return gens;
+}
+
+std::optional<std::uint64_t> CheckpointManager::newest_verified_generation(int nranks) const {
+  telemetry::ScopedSpan span("checkpoint_verify", "resilience");
+  std::vector<std::uint64_t> gens = generations_on_disk();
+  std::uint64_t dropped = 0;
+  for (auto it = gens.rbegin(); it != gens.rend(); ++it) {
+    bool ok = true;
+    for (int r = 0; r < nranks; ++r) {
+      if (!core::verify_restart(core::restart_rank_path(generation_prefix(*it), r))) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      bump("resilience.dropped_generations", dropped);
+      return *it;
+    }
+    dropped += 1;
+  }
+  bump("resilience.dropped_generations", dropped);
+  return std::nullopt;
+}
+
+void CheckpointManager::restore(core::LicomModel& model, std::uint64_t gen) const {
+  telemetry::ScopedSpan span("checkpoint_restore", "resilience");
+  model.read_restart(generation_prefix(gen));
+}
+
+}  // namespace licomk::resilience

@@ -1,0 +1,63 @@
+// checkpoint.hpp — generation-based, self-verifying checkpoint management.
+//
+// A production restart chain is only as good as its newest *intact*
+// checkpoint. CheckpointManager keeps the last K generations of `.lrs`
+// snapshots per rank under one directory, writes each generation atomically
+// (core::write_restart stages + renames), and never trusts a file it has not
+// CRC-verified: restore-point discovery walks generations newest-first and
+// returns the first one whose files verify on EVERY rank, counting the
+// generations it had to skip ("resilience.dropped_generations").
+//
+// Generation ids are derived from the step count (steps / cadence), so every
+// rank computes the same id without communication and a re-run reproduces
+// the same ids deterministically.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+
+namespace licomk::resilience {
+
+class CheckpointManager {
+ public:
+  /// Keep the newest `keep_generations` checkpoint generations in `dir`
+  /// (older ones are garbage-collected after each successful write).
+  explicit CheckpointManager(std::string dir, int keep_generations = 3);
+
+  const std::string& dir() const { return dir_; }
+  int keep_generations() const { return keep_; }
+
+  /// Restart-path prefix of generation `gen`; rank files are
+  /// "<dir>/ckpt.gen<gen>.rank<r>.lrs".
+  std::string generation_prefix(std::uint64_t gen) const;
+
+  /// Write `model`'s rank state as generation `gen` and GC this rank's files
+  /// beyond the keep window. The generation id is forwarded to the
+  /// restart.write fault hook, so schedules can target "generation G".
+  void write(const core::LicomModel& model, std::uint64_t gen);
+
+  /// Install a periodic checkpoint hook on `model`: every `every_steps`
+  /// steps, write generation steps/every_steps.
+  void install(core::LicomModel& model, long long every_steps);
+
+  /// All generation ids with at least one rank file on disk, ascending.
+  std::vector<std::uint64_t> generations_on_disk() const;
+
+  /// Newest generation whose files CRC-verify on all of ranks 0..nranks-1;
+  /// std::nullopt when no generation survives. Skipped (corrupt/incomplete)
+  /// generations bump "resilience.dropped_generations".
+  std::optional<std::uint64_t> newest_verified_generation(int nranks) const;
+
+  /// Load generation `gen` into `model` (restores sim time + step count).
+  void restore(core::LicomModel& model, std::uint64_t gen) const;
+
+ private:
+  std::string dir_;
+  int keep_;
+};
+
+}  // namespace licomk::resilience

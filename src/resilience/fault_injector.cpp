@@ -1,0 +1,263 @@
+#include "resilience/fault_injector.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "telemetry/telemetry.hpp"
+
+namespace licomk::resilience {
+
+namespace {
+
+const char* site_name(FaultSite site) {
+  switch (site) {
+    case FaultSite::CommDeliver: return "comm.deliver";
+    case FaultSite::DmaTransfer: return "dma";
+    case FaultSite::RestartWrite: return "restart.write";
+    case FaultSite::IoWrite: return "io.write";
+  }
+  return "?";
+}
+
+const char* kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::DropMessage: return "drop";
+    case FaultKind::DelayMessage: return "delay";
+    case FaultKind::CrashRank: return "crash";
+    case FaultKind::DmaError: return "error";
+    case FaultKind::TornWrite: return "torn";
+    case FaultKind::CrashWrite: return "crash-write";
+  }
+  return "?";
+}
+
+FaultSite site_from_name(const std::string& name) {
+  if (name == "comm.deliver") return FaultSite::CommDeliver;
+  if (name == "dma") return FaultSite::DmaTransfer;
+  if (name == "restart.write") return FaultSite::RestartWrite;
+  if (name == "io.write") return FaultSite::IoWrite;
+  throw InvalidArgument("unknown fault site '" + name + "'");
+}
+
+FaultKind kind_from_name(const std::string& name) {
+  if (name == "drop") return FaultKind::DropMessage;
+  if (name == "delay") return FaultKind::DelayMessage;
+  if (name == "crash") return FaultKind::CrashRank;
+  if (name == "error") return FaultKind::DmaError;
+  if (name == "torn") return FaultKind::TornWrite;
+  if (name == "crash-write") return FaultKind::CrashWrite;
+  throw InvalidArgument("unknown fault kind '" + name + "'");
+}
+
+/// Armed schedule plus per-(site, rank) op counters and fired flags. One
+/// mutex guards everything; hook sites bail on a relaxed atomic before ever
+/// touching it, so the disarmed cost is a single branch.
+struct Injector {
+  std::mutex mutex;
+  std::vector<FaultEvent> events;
+  std::vector<bool> fired;
+  std::map<std::pair<int, int>, std::uint64_t> op_counts;  ///< (site, rank) -> count
+  std::vector<std::string> log;
+  std::atomic<std::uint64_t> injected{0};
+};
+
+Injector& injector() {
+  static Injector inj;
+  return inj;
+}
+
+std::atomic<bool> g_armed{false};
+
+void note_injected(Injector& inj, const FaultEvent& e, std::uint64_t op) {
+  inj.injected.fetch_add(1, std::memory_order_relaxed);
+  std::ostringstream os;
+  os << site_name(e.site) << " rank=" << e.rank << " op=" << op << " " << kind_name(e.kind);
+  inj.log.push_back(os.str());
+  if (telemetry::enabled()) {
+    static telemetry::Counter& c = telemetry::counter("resilience.faults_injected");
+    c.add(1);
+  }
+}
+
+/// Count the op and return the event that fires at it, if any. `rank` is the
+/// acting rank (-1 when the site has no rank identity); rank filters match
+/// when either side is -1 or they are equal.
+std::optional<FaultEvent> match(FaultSite site, int rank, std::uint64_t forced_op) {
+  Injector& inj = injector();
+  std::lock_guard<std::mutex> lock(inj.mutex);
+  std::uint64_t op = forced_op;
+  if (op == 0) op = ++inj.op_counts[{static_cast<int>(site), rank}];
+  for (std::size_t n = 0; n < inj.events.size(); ++n) {
+    if (inj.fired[n]) continue;
+    const FaultEvent& e = inj.events[n];
+    if (e.site != site) continue;
+    if (e.rank != -1 && rank != -1 && e.rank != rank) continue;
+    if (e.at_op != op) continue;
+    inj.fired[n] = true;
+    note_injected(inj, e, op);
+    return e;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+FaultSchedule& FaultSchedule::add(const FaultEvent& event) {
+  events_.push_back(event);
+  return *this;
+}
+
+FaultSchedule FaultSchedule::parse(const std::string& text) {
+  FaultSchedule schedule;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream fields(line);
+    std::string site, rank, kind;
+    std::uint64_t op = 0;
+    if (!(fields >> site)) continue;  // blank/comment line
+    if (!(fields >> rank >> op >> kind)) {
+      throw InvalidArgument("fault schedule line needs '<site> <rank|*> <op> <kind>': " + line);
+    }
+    FaultEvent e;
+    e.site = site_from_name(site);
+    e.rank = rank == "*" ? -1 : std::stoi(rank);
+    e.at_op = op;
+    e.kind = kind_from_name(kind);
+    fields >> e.param;  // optional
+    schedule.add(e);
+  }
+  return schedule;
+}
+
+std::string FaultSchedule::to_string() const {
+  std::ostringstream os;
+  for (const FaultEvent& e : events_) {
+    os << site_name(e.site) << " ";
+    if (e.rank < 0) {
+      os << "*";
+    } else {
+      os << e.rank;
+    }
+    os << " " << e.at_op << " " << kind_name(e.kind);
+    if (e.param != 0.0) os << " " << e.param;
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::uint64_t SplitMix64::next() {
+  std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t SplitMix64::range(std::uint64_t lo, std::uint64_t hi) {
+  LICOMK_REQUIRE(lo <= hi, "SplitMix64::range needs lo <= hi");
+  return lo + next() % (hi - lo + 1);
+}
+
+void arm(const FaultSchedule& schedule) {
+  Injector& inj = injector();
+  std::lock_guard<std::mutex> lock(inj.mutex);
+  inj.events = schedule.events();
+  inj.fired.assign(inj.events.size(), false);
+  inj.op_counts.clear();
+  inj.log.clear();
+  inj.injected.store(0, std::memory_order_relaxed);
+  g_armed.store(!inj.events.empty(), std::memory_order_relaxed);
+}
+
+void disarm() {
+  Injector& inj = injector();
+  std::lock_guard<std::mutex> lock(inj.mutex);
+  g_armed.store(false, std::memory_order_relaxed);
+  inj.events.clear();
+  inj.fired.clear();
+  inj.op_counts.clear();
+}
+
+bool armed() { return g_armed.load(std::memory_order_relaxed); }
+
+std::uint64_t injected_count() { return injector().injected.load(std::memory_order_relaxed); }
+
+std::vector<std::string> fired_log() {
+  Injector& inj = injector();
+  std::lock_guard<std::mutex> lock(inj.mutex);
+  return inj.log;
+}
+
+namespace fault_hooks {
+
+CommAction on_comm_deliver(int source_rank) {
+  if (!armed()) return CommAction::None;
+  auto event = match(FaultSite::CommDeliver, source_rank, 0);
+  if (!event) return CommAction::None;
+  switch (event->kind) {
+    case FaultKind::DropMessage:
+      return CommAction::Drop;
+    case FaultKind::DelayMessage:
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(std::max(0.0, event->param)));
+      return CommAction::None;
+    case FaultKind::CrashRank:
+      return CommAction::Crash;
+    default:
+      return CommAction::None;
+  }
+}
+
+bool on_dma_transfer() {
+  if (!armed()) return false;
+  auto event = match(FaultSite::DmaTransfer, -1, 0);
+  return event && event->kind == FaultKind::DmaError;
+}
+
+std::optional<FaultEvent> on_file_write(FaultSite site, int rank, std::uint64_t op) {
+  if (!armed()) return std::nullopt;
+  auto event = match(site, rank, op);
+  if (event && (event->kind == FaultKind::TornWrite || event->kind == FaultKind::CrashWrite)) {
+    return event;
+  }
+  return std::nullopt;
+}
+
+}  // namespace fault_hooks
+
+void tear_file(const std::string& path, double fraction) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) throw Error("tear_file: cannot open " + path);
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fclose(f);
+  if (size < 0) throw Error("tear_file: cannot size " + path);
+  double frac = std::clamp(fraction, 0.0, 1.0);
+  auto keep = static_cast<std::size_t>(static_cast<double>(size) * frac);
+  std::vector<char> head(keep);
+  if (keep > 0) {
+    f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr || std::fread(head.data(), 1, keep, f) != keep) {
+      if (f != nullptr) std::fclose(f);
+      throw Error("tear_file: short read of " + path);
+    }
+    std::fclose(f);
+  }
+  f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) throw Error("tear_file: cannot truncate " + path);
+  if (keep > 0 && std::fwrite(head.data(), 1, keep, f) != keep) {
+    std::fclose(f);
+    throw Error("tear_file: short rewrite of " + path);
+  }
+  std::fclose(f);
+}
+
+}  // namespace licomk::resilience

@@ -1,0 +1,154 @@
+// fault_injector.hpp — deterministic, schedule-driven fault injection.
+//
+// Kilometer-scale production runs spend days on tens of thousands of nodes;
+// the only way to trust the recovery machinery (World poisoning, CRC'd
+// checkpoints, the run supervisor) is to rehearse failures on demand. This
+// module is the rehearsal stage: a process-wide injector with hook points in
+//   * comm::World::deliver — message drop, message delay, simulated rank
+//     crash (the sending rank throws InjectedFault mid-exchange);
+//   * swsim::DmaEngine     — transient get/put failures (ResourceError from
+//     inside a CPE kernel, propagating through the kxx dispatch);
+//   * core/restart + io    — torn writes (file truncated after the atomic
+//     rename, as if the node died before data blocks hit disk) and crashes
+//     mid-write (only the ".tmp" staging file is left behind).
+//
+// Determinism: every hook site keeps a monotonically increasing operation
+// counter (per acting rank where one is known); a FaultEvent fires when its
+// site's counter reaches `at_op`. A schedule therefore replays the *exact*
+// failure sequence on every run of a deterministic program — tests assert
+// bit-identical recovery against a fault-free twin. Schedules are built
+// explicitly, parsed from a small text format (see FaultSchedule::parse), or
+// derived from a seed.
+//
+// Layering: this header depends only on util + telemetry so the low-level
+// subsystems (comm, swsim, io) can link it without cycles; the checkpoint
+// manager and supervisor live in the sibling licomk_resilience library.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace licomk::resilience {
+
+/// Thrown at a hook site to simulate the failure of the executing rank.
+class InjectedFault : public Error {
+ public:
+  explicit InjectedFault(const std::string& what) : Error(what) {}
+};
+
+/// Hook sites. Op counters are kept per (site, rank); rank -1 buckets sites
+/// that do not know an acting rank (DMA engines, bare file writers).
+enum class FaultSite {
+  CommDeliver,   ///< comm::World::deliver, counted per source rank
+  DmaTransfer,   ///< swsim::DmaEngine get/put/iget/iput, global count
+  RestartWrite,  ///< core::write_restart, counted per *checkpoint op* (see
+                 ///< fault_hooks::on_file_write callers); CheckpointManager
+                 ///< passes the generation id so schedules target "gen G"
+  IoWrite,       ///< io::Dataset::write, global count
+};
+
+enum class FaultKind {
+  DropMessage,   ///< message silently discarded; the World is poisoned so
+                 ///< blocked peers surface CommError instead of hanging
+  DelayMessage,  ///< delivery delayed by `param` milliseconds (results must
+                 ///< stay bit-identical — asserted for the split-phase halo)
+  CrashRank,     ///< InjectedFault thrown at the hook site
+  DmaError,      ///< ResourceError from the DMA engine
+  TornWrite,     ///< file truncated to `param` fraction after it was placed
+                 ///< at its final path (simulated post-rename media loss)
+  CrashWrite,    ///< InjectedFault before the atomic rename: only ".tmp"
+                 ///< staging data exists, the final path is never touched
+};
+
+struct FaultEvent {
+  FaultSite site = FaultSite::CommDeliver;
+  FaultKind kind = FaultKind::CrashRank;
+  int rank = -1;            ///< acting rank filter; -1 matches any rank
+  std::uint64_t at_op = 1;  ///< fires when the site op counter reaches this (1-based)
+  double param = 0.0;       ///< delay ms (DelayMessage) or kept fraction (TornWrite/CrashWrite)
+};
+
+/// An ordered set of fault events. Each event fires at most once.
+class FaultSchedule {
+ public:
+  FaultSchedule& add(const FaultEvent& event);
+  const std::vector<FaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+
+  /// One event per line: `<site> <rank|*> <op> <kind> [param]`, '#' comments.
+  ///   comm.deliver * 120 drop
+  ///   comm.deliver 1 64 crash
+  ///   comm.deliver * 10 delay 2.5
+  ///   dma * 4096 error
+  ///   restart.write * 3 torn 0.5
+  ///   restart.write * 2 crash-write 0.5
+  ///   io.write * 1 torn 0.25
+  static FaultSchedule parse(const std::string& text);
+  std::string to_string() const;
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+/// SplitMix64 — the deterministic generator used to derive seeded schedules.
+/// Exposed so drivers (soak_run) can derive op indices from a user seed.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next();
+  /// Uniform draw in [lo, hi] (inclusive); requires lo <= hi.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi);
+
+ private:
+  std::uint64_t state_;
+};
+
+/// --- the process-wide injector ---------------------------------------------
+
+/// Arm the injector with a schedule. Counters and fired flags are reset, so
+/// arming twice with the same schedule replays the same sequence.
+void arm(const FaultSchedule& schedule);
+
+/// Disarm and clear all counters. Hook sites become single-branch no-ops.
+void disarm();
+
+/// Fast check used by every hook site (relaxed atomic load).
+bool armed();
+
+/// Events fired so far (mirrors the "resilience.faults_injected" counter).
+std::uint64_t injected_count();
+
+/// Human-readable log of fired events, in firing order.
+std::vector<std::string> fired_log();
+
+namespace fault_hooks {
+
+/// Outcome of the comm::World::deliver hook.
+enum class CommAction { None, Drop, Crash };
+
+/// Called by World::deliver with the sending rank. Counts the op; sleeps
+/// in-place for DelayMessage events; returns Drop/Crash for the caller to
+/// enact (throwing or poisoning is the caller's business — the injector
+/// stays mechanism-free).
+CommAction on_comm_deliver(int source_rank);
+
+/// Called by DmaEngine transfers. Returns true when a DmaError fires; the
+/// engine throws ResourceError.
+bool on_dma_transfer();
+
+/// Called by write paths with the site and a caller-chosen op id (generation
+/// id for checkpoints, running count when `op` is 0). Returns the event to
+/// enact (TornWrite / CrashWrite), if any fired.
+std::optional<FaultEvent> on_file_write(FaultSite site, int rank, std::uint64_t op = 0);
+
+}  // namespace fault_hooks
+
+/// Truncate `path` to `fraction` of its current size (TornWrite helper shared
+/// by the restart and dataset writers). Throws Error on I/O failure.
+void tear_file(const std::string& path, double fraction);
+
+}  // namespace licomk::resilience

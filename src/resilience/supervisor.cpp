@@ -1,0 +1,61 @@
+#include "resilience/supervisor.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "comm/runtime.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace licomk::resilience {
+
+Supervisor::Supervisor(SupervisorOptions options)
+    : options_(std::move(options)),
+      checkpoints_(options_.checkpoint_dir, options_.keep_generations) {
+  LICOMK_REQUIRE(options_.nranks >= 1, "supervisor needs at least one rank");
+  LICOMK_REQUIRE(options_.max_retries >= 0, "max_retries must be >= 0");
+}
+
+SupervisorReport Supervisor::run(const core::ModelConfig& config, const RankBody& body) {
+  auto global = std::make_shared<grid::GlobalGrid>(config.grid, config.bathymetry_seed);
+  SupervisorReport report;
+  double backoff_s = options_.backoff_initial_s;
+
+  for (int attempt = 0;; ++attempt) {
+    // Restore point: newest generation that verifies on EVERY rank. Decided
+    // before launch so all ranks resume from the same generation.
+    std::optional<std::uint64_t> gen = checkpoints_.newest_verified_generation(options_.nranks);
+    report.attempts += 1;
+    if (attempt > 0 && gen) {
+      report.recoveries += 1;
+      report.last_restored_generation = gen;
+    }
+    try {
+      comm::Runtime::run(options_.nranks, [&](comm::Communicator& c) {
+        core::LicomModel model(config, global, c);
+        if (options_.checkpoint_every_steps > 0) {
+          checkpoints_.install(model, options_.checkpoint_every_steps);
+        }
+        if (gen) checkpoints_.restore(model, *gen);
+        body(model);
+      });
+      return report;
+    } catch (const std::exception& e) {
+      report.failures.emplace_back(e.what());
+      if (attempt >= options_.max_retries) throw;
+      if (telemetry::enabled()) {
+        static telemetry::Counter& retries = telemetry::counter("resilience.retries");
+        retries.add(1);
+      }
+      LICOMK_LOG_WARN("resilience") << "attempt " << (attempt + 1) << " failed: " << e.what()
+                                    << "; relaunching";
+      if (backoff_s > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(backoff_s));
+        backoff_s *= options_.backoff_factor;
+      }
+    }
+  }
+}
+
+}  // namespace licomk::resilience

@@ -1,0 +1,64 @@
+// supervisor.hpp — auto-recovering run supervisor over comm::Runtime.
+//
+// The recovery loop of a production restart chain, in-process: launch the
+// ranks, and when any of them fails (injected fault, CommError from a
+// poisoned World, real bug) relaunch from the newest checkpoint generation
+// that CRC-verifies on ALL ranks. Retries are bounded and exponentially
+// backed off; every attempt's failure reason is kept in the report so a soak
+// run can assert the exact recovery sequence.
+//
+// The rank body must be resumable: it receives a model whose step count and
+// simulated time reflect the restored checkpoint (or a cold start) and
+// should step until its own completion criterion — e.g. "while
+// (model.steps_taken() < target) model.step()" — not a fixed iteration
+// count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+#include "resilience/checkpoint.hpp"
+
+namespace licomk::resilience {
+
+struct SupervisorOptions {
+  int nranks = 1;
+  std::string checkpoint_dir;          ///< required; CheckpointManager storage
+  long long checkpoint_every_steps = 0;  ///< 0 = no periodic checkpoints
+  int keep_generations = 3;
+  int max_retries = 3;          ///< relaunches after the initial attempt
+  double backoff_initial_s = 0.0;  ///< sleep before the first relaunch
+  double backoff_factor = 2.0;     ///< multiplier per further relaunch
+};
+
+struct SupervisorReport {
+  int attempts = 0;    ///< runs launched (1 = clean first run)
+  int recoveries = 0;  ///< attempts that resumed from a verified checkpoint
+  std::vector<std::string> failures;  ///< what() per failed attempt, in order
+  std::optional<std::uint64_t> last_restored_generation;
+};
+
+class Supervisor {
+ public:
+  explicit Supervisor(SupervisorOptions options);
+
+  /// Run `body` once per rank until one attempt finishes with no rank
+  /// failing, restoring from the newest fully-verified checkpoint generation
+  /// before each relaunch. Throws the final attempt's error when
+  /// max_retries is exhausted. Telemetry: "resilience.retries" counts
+  /// relaunches; checkpoint spans/counters come from CheckpointManager.
+  using RankBody = std::function<void(core::LicomModel&)>;
+  SupervisorReport run(const core::ModelConfig& config, const RankBody& body);
+
+  CheckpointManager& checkpoints() { return checkpoints_; }
+
+ private:
+  SupervisorOptions options_;
+  CheckpointManager checkpoints_;
+};
+
+}  // namespace licomk::resilience

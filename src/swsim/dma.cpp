@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "resilience/fault_injector.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 
@@ -17,6 +18,10 @@ void DmaStats::merge(const DmaStats& o) {
 }
 
 void DmaEngine::account(std::size_t bytes, bool async) {
+  if (resilience::armed() && resilience::fault_hooks::on_dma_transfer()) {
+    throw ResourceError("injected DMA " + std::string(async ? "async" : "sync") +
+                        " transfer failure (" + std::to_string(bytes) + " bytes)");
+  }
   if (async) {
     stats_.async_transfers += 1;
     stats_.async_bytes += bytes;

@@ -151,7 +151,7 @@ void set_trace_capacity(std::size_t max_events);
 
 /// --- exporters ------------------------------------------------------------
 
-/// Human-readable hierarchical report (supersedes util::TimerRegistry's).
+/// Human-readable hierarchical report (the GPTL-style per-phase view).
 std::string text_report();
 
 /// Stable machine-readable metrics document, schema "licomk.telemetry.v1":

@@ -1,0 +1,43 @@
+#include "util/crc64.hpp"
+
+#include <array>
+
+namespace licomk::util {
+
+namespace {
+
+/// Reflected ECMA-182 polynomial (CRC-64/XZ).
+constexpr std::uint64_t kPoly = 0xC96C5795D7870F42ull;
+
+std::array<std::uint64_t, 256> make_table() {
+  std::array<std::uint64_t, 256> table{};
+  for (std::uint64_t n = 0; n < 256; ++n) {
+    std::uint64_t c = n;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? (kPoly ^ (c >> 1)) : (c >> 1);
+    table[static_cast<std::size_t>(n)] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint64_t, 256>& table() {
+  static const std::array<std::uint64_t, 256> t = make_table();
+  return t;
+}
+
+}  // namespace
+
+void Crc64::update(const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  const auto& t = table();
+  std::uint64_t c = state_;
+  for (std::size_t i = 0; i < bytes; ++i) c = t[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+  state_ = c;
+}
+
+std::uint64_t crc64(const void* data, std::size_t bytes) {
+  Crc64 c;
+  c.update(data, bytes);
+  return c.value();
+}
+
+}  // namespace licomk::util

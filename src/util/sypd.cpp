@@ -1,0 +1,22 @@
+#include "util/sypd.hpp"
+
+#include "util/error.hpp"
+
+namespace licomk::util {
+
+namespace {
+constexpr double kSecondsPerDay = 86400.0;
+constexpr double kSecondsPerYear = 365.0 * kSecondsPerDay;
+}  // namespace
+
+double sypd(double simulated_seconds, double wall_seconds) {
+  LICOMK_REQUIRE(wall_seconds > 0.0, "wall time must be positive");
+  return (simulated_seconds / kSecondsPerYear) / (wall_seconds / kSecondsPerDay);
+}
+
+double wall_seconds_per_simulated_day(double sypd_value) {
+  LICOMK_REQUIRE(sypd_value > 0.0, "SYPD must be positive");
+  return kSecondsPerDay / (sypd_value * 365.0);
+}
+
+}  // namespace licomk::util

@@ -1,0 +1,19 @@
+// sypd.hpp — simulated-years-per-day conversions.
+//
+// The paper reports throughput as SYPD measured from the top-level daily
+// loop (§VI-C). LicomModel accumulates step wall time itself and per-phase
+// timing lives in telemetry spans (see telemetry/); these helpers are the
+// shared unit conversions.
+#pragma once
+
+namespace licomk::util {
+
+/// Simulated-years-per-day: `simulated_seconds` of model time computed in
+/// `wall_seconds` of real time. SYPD = (sim_seconds / year) / (wall / day).
+double sypd(double simulated_seconds, double wall_seconds);
+
+/// Inverse helper used by the performance model: wall seconds needed for one
+/// simulated day at a given SYPD.
+double wall_seconds_per_simulated_day(double sypd_value);
+
+}  // namespace licomk::util

@@ -193,6 +193,56 @@ TEST(Comm, RankExceptionPropagatesToCaller) {
                licomk::Error);
 }
 
+TEST(Comm, RankFailurePoisonsWorldAndUnblocksPeers) {
+  // The classic MPI hang: rank 1 dies while rank 0 blocks in a recv that
+  // will never be satisfied. Poisoning must wake rank 0 with CommError, and
+  // the runtime must rethrow the ROOT CAUSE (rank 1's error), not the
+  // CommError cascade it triggered.
+  std::atomic<bool> rank0_unblocked{false};
+  try {
+    lc::Runtime::run(2, [&](lc::Communicator& c) {
+      if (c.rank() == 0) {
+        double buf = 0.0;
+        try {
+          c.recv(&buf, sizeof(buf), 1, 1);  // never sent
+        } catch (const licomk::CommError&) {
+          rank0_unblocked = true;
+          throw;
+        }
+      } else {
+        throw licomk::ResourceError("rank 1 died");
+      }
+    });
+    FAIL() << "expected the rank failure to propagate";
+  } catch (const licomk::ResourceError& e) {
+    EXPECT_NE(std::string(e.what()).find("rank 1 died"), std::string::npos);
+  }
+  EXPECT_TRUE(rank0_unblocked.load());
+}
+
+TEST(Comm, RankFailureUnblocksBarrierWaiters) {
+  // Two ranks park in the barrier while the third dies before joining it.
+  EXPECT_THROW(lc::Runtime::run(3,
+                                [](lc::Communicator& c) {
+                                  if (c.rank() == 2) throw licomk::Error("boom");
+                                  c.barrier();  // would deadlock without poisoning
+                                }),
+               licomk::Error);
+}
+
+TEST(Comm, PoisonKeepsFirstReasonAndRejectsTraffic) {
+  lc::World world(2);
+  EXPECT_FALSE(world.poisoned());
+  world.poison("first failure");
+  world.poison("second failure");  // first call wins
+  EXPECT_TRUE(world.poisoned());
+  EXPECT_EQ(world.poison_reason(), "first failure");
+  auto c = world.communicator(0);
+  double x = 0.0;
+  EXPECT_THROW(c.send(&x, sizeof(x), 1, 1), licomk::CommError);
+  EXPECT_THROW(c.barrier(), licomk::CommError);
+}
+
 TEST(Comm, SelfSendIsDeliverable) {
   lc::Runtime::run(1, [](lc::Communicator& c) {
     int v = 7;

@@ -11,6 +11,7 @@
 #include "halo/halo_exchange.hpp"
 #include "halo/transpose.hpp"
 #include "kxx/kxx.hpp"
+#include "resilience/fault_injector.hpp"
 
 namespace lh = licomk::halo;
 namespace ld = licomk::decomp;
@@ -284,6 +285,36 @@ TEST(Halo, SplitPhaseMatchesMonolithicUpdate) {
         for (int li = 0; li < a.nx_total(); ++li)
           ASSERT_DOUBLE_EQ(b.at(k, lj, li), a.at(k, lj, li));
   });
+}
+
+TEST(Halo, SplitPhaseBitIdenticalUnderInjectedMessageDelays) {
+  // A delayed message must change only timing, never data: the split-phase
+  // exchange under injected delivery delays has to match the blocking
+  // update() bit for bit.
+  ld::Decomposition d(16, 10, 2, 2);
+  licomk::resilience::FaultSchedule schedule;
+  for (std::uint64_t op : {1ull, 3ull, 5ull, 9ull}) {
+    schedule.add({licomk::resilience::FaultSite::CommDeliver,
+                  licomk::resilience::FaultKind::DelayMessage, /*rank=*/-1, op, /*param=*/2.0});
+  }
+  licomk::resilience::arm(schedule);
+  lc::Runtime::run(4, [&](lc::Communicator& c) {
+    lh::HaloExchanger ex_a(d, c, c.rank());
+    lh::HaloExchanger ex_b(d, c, c.rank());
+    lh::BlockField3D a("a", d.block(c.rank()), 6);
+    lh::BlockField3D b("b", d.block(c.rank()), 6);
+    fill_interior_3d(a);
+    fill_interior_3d(b);
+    ex_a.update(a, lh::FoldSign::Antisymmetric);
+    auto pending = ex_b.begin_update(b, lh::FoldSign::Antisymmetric);
+    ex_b.finish_update(pending);
+    for (int k = 0; k < 6; ++k)
+      for (int lj = 0; lj < a.ny_total(); ++lj)
+        for (int li = 0; li < a.nx_total(); ++li)
+          ASSERT_DOUBLE_EQ(b.at(k, lj, li), a.at(k, lj, li));
+  });
+  EXPECT_GE(licomk::resilience::injected_count(), 1u);
+  licomk::resilience::disarm();
 }
 
 TEST(Halo, SplitPhaseHonorsRedundancyElimination) {

@@ -1,0 +1,307 @@
+// Tests for the resilience subsystem: deterministic fault injection,
+// self-checking checkpoint generations, and the auto-recovering supervisor.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "comm/runtime.hpp"
+#include "core/model.hpp"
+#include "core/restart.hpp"
+#include "kxx/kxx.hpp"
+#include "resilience/checkpoint.hpp"
+#include "resilience/fault_injector.hpp"
+#include "resilience/supervisor.hpp"
+#include "swsim/dma.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace lc = licomk::core;
+namespace lco = licomk::comm;
+namespace lr = licomk::resilience;
+namespace kxx = licomk::kxx;
+namespace fs = std::filesystem;
+
+namespace {
+
+lc::ModelConfig small_config() {
+  auto cfg = lc::ModelConfig::testing(10);
+  cfg.grid.nz = 6;
+  return cfg;
+}
+
+struct TempDir {
+  std::string path;
+  explicit TempDir(const char* name) : path(std::string("/tmp/licomk_resilience_") + name) {
+    fs::remove_all(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+};
+
+struct Disarmed {
+  ~Disarmed() { lr::disarm(); }
+};
+
+}  // namespace
+
+TEST(FaultSchedule, ParsesAndRoundTrips) {
+  auto s = lr::FaultSchedule::parse(R"(
+# a comment
+comm.deliver * 120 drop
+comm.deliver 1 64 crash
+comm.deliver * 10 delay 2.5
+dma * 4096 error
+restart.write * 3 torn 0.5
+restart.write 0 2 crash-write
+io.write * 1 torn 0.25
+)");
+  ASSERT_EQ(s.events().size(), 7u);
+  EXPECT_EQ(s.events()[0].kind, lr::FaultKind::DropMessage);
+  EXPECT_EQ(s.events()[0].rank, -1);
+  EXPECT_EQ(s.events()[0].at_op, 120u);
+  EXPECT_EQ(s.events()[1].rank, 1);
+  EXPECT_DOUBLE_EQ(s.events()[2].param, 2.5);
+  EXPECT_EQ(s.events()[3].site, lr::FaultSite::DmaTransfer);
+  EXPECT_EQ(s.events()[5].kind, lr::FaultKind::CrashWrite);
+  // to_string -> parse is the identity on the event list.
+  auto re = lr::FaultSchedule::parse(s.to_string());
+  ASSERT_EQ(re.events().size(), s.events().size());
+  for (size_t n = 0; n < s.events().size(); ++n) {
+    EXPECT_EQ(re.events()[n].site, s.events()[n].site) << n;
+    EXPECT_EQ(re.events()[n].kind, s.events()[n].kind) << n;
+    EXPECT_EQ(re.events()[n].rank, s.events()[n].rank) << n;
+    EXPECT_EQ(re.events()[n].at_op, s.events()[n].at_op) << n;
+    EXPECT_DOUBLE_EQ(re.events()[n].param, s.events()[n].param) << n;
+  }
+  EXPECT_THROW(lr::FaultSchedule::parse("comm.deliver *"), licomk::InvalidArgument);
+  EXPECT_THROW(lr::FaultSchedule::parse("warp.core 0 1 breach"), licomk::InvalidArgument);
+}
+
+TEST(FaultSchedule, SplitMix64IsDeterministic) {
+  lr::SplitMix64 a(42), b(42);
+  for (int n = 0; n < 100; ++n) EXPECT_EQ(a.next(), b.next());
+  lr::SplitMix64 c(42);
+  for (int n = 0; n < 1000; ++n) {
+    auto v = c.range(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(FaultInjector, FiresEachEventExactlyOnceAtItsOp) {
+  Disarmed guard;
+  lr::FaultSchedule s;
+  s.add({lr::FaultSite::DmaTransfer, lr::FaultKind::DmaError, -1, 3, 0.0});
+  lr::arm(s);
+  licomk::swsim::DmaEngine dma;
+  double host[4] = {1, 2, 3, 4}, ldm[4] = {};
+  dma.get(ldm, host, sizeof(host));  // op 1
+  dma.put(host, ldm, sizeof(host));  // op 2
+  EXPECT_THROW(dma.get(ldm, host, sizeof(host)), licomk::ResourceError);  // op 3
+  EXPECT_NO_THROW(dma.get(ldm, host, sizeof(host)));  // op 4: fired already
+  EXPECT_EQ(lr::injected_count(), 1u);
+  ASSERT_EQ(lr::fired_log().size(), 1u);
+  EXPECT_NE(lr::fired_log()[0].find("dma"), std::string::npos);
+  // Re-arming replays the same sequence from scratch.
+  lr::arm(s);
+  dma.get(ldm, host, sizeof(host));
+  dma.get(ldm, host, sizeof(host));
+  EXPECT_THROW(dma.get(ldm, host, sizeof(host)), licomk::ResourceError);
+}
+
+TEST(FaultInjector, DroppedMessagePoisonsTheWorld) {
+  Disarmed guard;
+  lr::FaultSchedule s;
+  s.add({lr::FaultSite::CommDeliver, lr::FaultKind::DropMessage, -1, 1, 0.0});
+  lr::arm(s);
+  lco::World world(2);
+  auto c0 = world.communicator(0);
+  auto c1 = world.communicator(1);
+  double x = 7.0;
+  c0.send(&x, sizeof(x), 1, 1);  // swallowed by the injector
+  EXPECT_TRUE(world.poisoned());
+  double got = 0.0;
+  EXPECT_THROW(c1.recv(&got, sizeof(got), 0, 1), licomk::CommError);
+  EXPECT_EQ(lr::injected_count(), 1u);
+}
+
+TEST(FaultInjector, CrashWriteLeavesOnlyStagingFile) {
+  Disarmed guard;
+  kxx::initialize({kxx::Backend::Serial, 1, false});
+  TempDir dir("crashwrite");
+  lr::CheckpointManager ckpt(dir.path, 3);
+  lc::LicomModel m(small_config());
+  m.step();
+  lr::FaultSchedule s;
+  s.add({lr::FaultSite::RestartWrite, lr::FaultKind::CrashWrite, -1, /*at_op=*/2, 0.0});
+  lr::arm(s);
+  ckpt.write(m, 1);  // survives: schedule targets generation 2
+  EXPECT_THROW(ckpt.write(m, 2), lr::InjectedFault);
+  std::string final_path = lc::restart_rank_path(ckpt.generation_prefix(2), 0);
+  EXPECT_FALSE(fs::exists(final_path));
+  EXPECT_TRUE(fs::exists(final_path + ".tmp"));
+  // Discovery ignores the staging file and the missing generation.
+  auto newest = ckpt.newest_verified_generation(1);
+  ASSERT_TRUE(newest.has_value());
+  EXPECT_EQ(*newest, 1u);
+}
+
+TEST(Checkpoint, KeepsLastKGenerationsAndVerifiesNewest) {
+  kxx::initialize({kxx::Backend::Serial, 1, false});
+  TempDir dir("lastk");
+  lr::CheckpointManager ckpt(dir.path, 2);
+  lc::LicomModel m(small_config());
+  for (std::uint64_t gen = 1; gen <= 5; ++gen) {
+    m.step();
+    ckpt.write(m, gen);
+  }
+  auto gens = ckpt.generations_on_disk();
+  ASSERT_EQ(gens.size(), 2u);  // GC keeps the newest K
+  EXPECT_EQ(gens[0], 4u);
+  EXPECT_EQ(gens[1], 5u);
+  auto newest = ckpt.newest_verified_generation(1);
+  ASSERT_TRUE(newest.has_value());
+  EXPECT_EQ(*newest, 5u);
+}
+
+TEST(Checkpoint, FallsBackPastCorruptGeneration) {
+  kxx::initialize({kxx::Backend::Serial, 1, false});
+  licomk::telemetry::reset();
+  licomk::telemetry::set_enabled(true);
+  TempDir dir("fallback");
+  lr::CheckpointManager ckpt(dir.path, 3);
+  lc::LicomModel m(small_config());
+  for (std::uint64_t gen = 1; gen <= 3; ++gen) {
+    m.step();
+    ckpt.write(m, gen);
+  }
+  // Tear the newest generation's file: CRC must reject it and discovery must
+  // fall back to generation 2.
+  lr::tear_file(lc::restart_rank_path(ckpt.generation_prefix(3), 0), 0.5);
+  auto newest = ckpt.newest_verified_generation(1);
+  ASSERT_TRUE(newest.has_value());
+  EXPECT_EQ(*newest, 2u);
+  EXPECT_GE(licomk::telemetry::counter_value("resilience.crc_failures"), 1u);
+  EXPECT_GE(licomk::telemetry::counter_value("resilience.dropped_generations"), 1u);
+  // Restoring the fallback generation works and restores its step count.
+  lc::LicomModel fresh(small_config());
+  ckpt.restore(fresh, *newest);
+  EXPECT_EQ(fresh.steps_taken(), 2);
+  licomk::telemetry::set_enabled(false);
+  licomk::telemetry::reset();
+}
+
+TEST(Checkpoint, InstallWritesOnCadence) {
+  kxx::initialize({kxx::Backend::Serial, 1, false});
+  TempDir dir("cadence");
+  lr::CheckpointManager ckpt(dir.path, 10);
+  lc::LicomModel m(small_config());
+  ckpt.install(m, 3);
+  for (int n = 0; n < 7; ++n) m.step();
+  auto gens = ckpt.generations_on_disk();
+  ASSERT_EQ(gens.size(), 2u);  // after steps 3 and 6
+  EXPECT_EQ(gens[0], 1u);
+  EXPECT_EQ(gens[1], 2u);
+}
+
+TEST(Supervisor, RecoversFromInjectedCrashBitIdentically) {
+  Disarmed guard;
+  kxx::initialize({kxx::Backend::Serial, 1, false});
+  licomk::telemetry::reset();
+  licomk::telemetry::set_enabled(true);
+  const long long target_steps = 12;
+  auto body = [target_steps](lc::LicomModel& m) {
+    while (m.steps_taken() < target_steps) m.step();
+  };
+
+  // Fault-free twin for the bit-identical comparison.
+  TempDir ref_dir("sup_ref");
+  lr::SupervisorOptions ref_opts;
+  ref_opts.nranks = 1;
+  ref_opts.checkpoint_dir = ref_dir.path;
+  ref_opts.checkpoint_every_steps = 4;
+  lr::Supervisor ref_sup(ref_opts);
+  auto ref_report = ref_sup.run(small_config(), body);
+  EXPECT_EQ(ref_report.attempts, 1);
+  EXPECT_EQ(ref_report.recoveries, 0);
+
+  // Measure deliveries per step so the crash can be placed mid-run: a
+  // single-rank model exchanges with itself through World::deliver (periodic
+  // wrap + tripolar fold), so comm ops advance deterministically.
+  std::uint64_t construction_ops = 0, per_step_ops = 0;
+  {
+    lco::World probe(1);
+    auto c = probe.communicator(0);
+    auto global = std::make_shared<licomk::grid::GlobalGrid>(small_config().grid,
+                                                             small_config().bathymetry_seed);
+    lc::LicomModel m(small_config(), global, c);
+    construction_ops = probe.total_messages();
+    m.step();
+    per_step_ops = probe.total_messages() - construction_ops;
+  }
+  ASSERT_GT(per_step_ops, 0u);
+
+  // Crash in the middle of step 7 of the first attempt: after the step-4
+  // checkpoint (generation 1), before the step-8 one.
+  lr::FaultSchedule s;
+  s.add({lr::FaultSite::CommDeliver, lr::FaultKind::CrashRank, -1,
+         construction_ops + per_step_ops * 6 + per_step_ops / 2, 0.0});
+  lr::arm(s);
+
+  TempDir dir("sup_crash");
+  lr::SupervisorOptions opts;
+  opts.nranks = 1;
+  opts.checkpoint_dir = dir.path;
+  opts.checkpoint_every_steps = 4;
+  opts.max_retries = 3;
+  lr::Supervisor sup(opts);
+  lc::GlobalDiagnostics healed;
+  auto report = sup.run(small_config(), [&](lc::LicomModel& m) {
+    body(m);
+    healed = m.diagnostics();
+  });
+  EXPECT_EQ(report.attempts, 2);
+  EXPECT_EQ(report.recoveries, 1);
+  ASSERT_TRUE(report.last_restored_generation.has_value());
+  EXPECT_EQ(*report.last_restored_generation, 1u);
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_NE(report.failures[0].find("injected crash"), std::string::npos);
+  EXPECT_EQ(lr::injected_count(), 1u);
+  EXPECT_GE(licomk::telemetry::counter_value("resilience.retries"), 1u);
+  EXPECT_GE(licomk::telemetry::counter_value("resilience.faults_injected"), 1u);
+
+  // The recovered run ends bit-identical to the fault-free twin.
+  lc::GlobalDiagnostics reference;
+  lr::disarm();
+  lco::Runtime::run(1, [&](lco::Communicator& c) {
+    auto cfg = small_config();
+    auto global = std::make_shared<licomk::grid::GlobalGrid>(cfg.grid, cfg.bathymetry_seed);
+    lc::LicomModel m(cfg, global, c);
+    body(m);
+    reference = m.diagnostics();
+  });
+  EXPECT_DOUBLE_EQ(healed.mean_sst, reference.mean_sst);
+  EXPECT_DOUBLE_EQ(healed.kinetic_energy, reference.kinetic_energy);
+  EXPECT_DOUBLE_EQ(healed.max_abs_eta, reference.max_abs_eta);
+  licomk::telemetry::set_enabled(false);
+  licomk::telemetry::reset();
+}
+
+TEST(Supervisor, ExhaustedRetriesRethrowTheLastError) {
+  kxx::initialize({kxx::Backend::Serial, 1, false});
+  TempDir dir("sup_exhaust");
+  lr::SupervisorOptions opts;
+  opts.nranks = 1;
+  opts.checkpoint_dir = dir.path;
+  opts.max_retries = 2;
+  lr::Supervisor sup(opts);
+  int calls = 0;
+  EXPECT_THROW(sup.run(small_config(),
+                       [&](lc::LicomModel&) {
+                         ++calls;
+                         throw licomk::ResourceError("always fails");
+                       }),
+               licomk::ResourceError);
+  EXPECT_EQ(calls, 3);  // initial attempt + 2 retries
+}

@@ -3,12 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <memory>
 
 #include "comm/runtime.hpp"
 #include "core/model.hpp"
 #include "core/restart.hpp"
 #include "kxx/kxx.hpp"
+#include "resilience/fault_injector.hpp"
 
 namespace lc = licomk::core;
 namespace lco = licomk::comm;
@@ -128,4 +130,53 @@ TEST(Restart, MissingFileThrows) {
   kxx::initialize({kxx::Backend::Serial, 1, false});
   lc::LicomModel m(small_config());
   EXPECT_THROW(m.read_restart("/tmp/licomk_rs_does_not_exist"), licomk::Error);
+}
+
+TEST(Restart, WriteIsAtomicAndLeavesNoStagingFile) {
+  kxx::initialize({kxx::Backend::Serial, 1, false});
+  TempPrefix tp("atomic", 1);
+  lc::LicomModel m(small_config());
+  m.step();
+  m.write_restart(tp.prefix);
+  std::string path = lc::restart_rank_path(tp.prefix, 0);
+  // The data was published via rename: no ".tmp" staging file survives.
+  std::ifstream tmp(path + ".tmp", std::ios::binary);
+  EXPECT_FALSE(tmp.good());
+  EXPECT_TRUE(lc::verify_restart(path).has_value());
+}
+
+TEST(Restart, CrcDetectsBitFlipAndTruncation) {
+  kxx::initialize({kxx::Backend::Serial, 1, false});
+  TempPrefix tp("crc", 1);
+  lc::LicomModel m(small_config());
+  m.run_days(0.25);
+  m.write_restart(tp.prefix);
+  std::string path = lc::restart_rank_path(tp.prefix, 0);
+
+  auto info = lc::verify_restart(path);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->steps, m.steps_taken());
+
+  // Flip one payload bit in place.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(0, std::ios::end);
+    auto size = static_cast<long long>(f.tellg());
+    f.seekp(size / 2);
+    char byte = 0;
+    f.seekg(size / 2);
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x01);
+    f.seekp(size / 2);
+    f.write(&byte, 1);
+  }
+  EXPECT_FALSE(lc::verify_restart(path).has_value());
+  lc::LicomModel victim(small_config());
+  EXPECT_THROW(victim.read_restart(tp.prefix), licomk::Error);
+
+  // Rewrite cleanly, then truncate: verify must fail again.
+  m.write_restart(tp.prefix);
+  ASSERT_TRUE(lc::verify_restart(path).has_value());
+  licomk::resilience::tear_file(path, 0.6);
+  EXPECT_FALSE(lc::verify_restart(path).has_value());
 }

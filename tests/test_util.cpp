@@ -1,13 +1,15 @@
-// Unit tests for util: config parsing, timers, statistics.
+// Unit tests for util: config parsing, SYPD conversion, CRC64, statistics.
 #include <gtest/gtest.h>
 
 #include <cmath>
-#include <thread>
+#include <cstring>
+#include <vector>
 
 #include "util/config.hpp"
+#include "util/crc64.hpp"
 #include "util/error.hpp"
 #include "util/stats.hpp"
-#include "util/timer.hpp"
+#include "util/sypd.hpp"
 
 namespace lu = licomk::util;
 
@@ -57,39 +59,7 @@ TEST(Config, RoundTripsThroughToString) {
   EXPECT_FALSE(re.get_bool("b"));
 }
 
-TEST(Timer, AccumulatesNestedTimers) {
-  lu::TimerRegistry reg;
-  reg.start("step");
-  reg.start("tracer");
-  std::this_thread::sleep_for(std::chrono::milliseconds(2));
-  reg.stop("tracer");
-  reg.stop("step");
-  reg.start("step");
-  reg.stop("step");
-  EXPECT_EQ(reg.stats("step").count, 2);
-  EXPECT_EQ(reg.stats("step/tracer").count, 1);
-  EXPECT_GT(reg.stats("step/tracer").total_s, 0.0);
-  EXPECT_GE(reg.stats("step").total_s, reg.stats("step/tracer").total_s);
-}
-
-TEST(Timer, MismatchedStopThrows) {
-  lu::TimerRegistry reg;
-  reg.start("a");
-  EXPECT_THROW(reg.stop("b"), licomk::InvalidArgument);
-  reg.stop("a");
-  EXPECT_THROW(reg.stop("a"), licomk::InvalidArgument);
-}
-
-TEST(Timer, ScopedTimerStopsOnDestruction) {
-  lu::TimerRegistry reg;
-  {
-    lu::ScopedTimer t(reg, "scope");
-  }
-  EXPECT_EQ(reg.stats("scope").count, 1);
-  EXPECT_FALSE(reg.active());
-}
-
-TEST(Timer, SypdDefinition) {
+TEST(Sypd, Definition) {
   // Simulating exactly one year in exactly one day => 1 SYPD.
   EXPECT_NEAR(lu::sypd(365.0 * 86400.0, 86400.0), 1.0, 1e-12);
   // Twice as fast => 2 SYPD.
@@ -97,10 +67,41 @@ TEST(Timer, SypdDefinition) {
   EXPECT_THROW(lu::sypd(1.0, 0.0), licomk::InvalidArgument);
 }
 
-TEST(Timer, WallSecondsPerSimulatedDayInvertsSypd) {
+TEST(Sypd, WallSecondsPerSimulatedDayInvertsSypd) {
   double w = lu::wall_seconds_per_simulated_day(1.0);
   // One simulated day at 1 SYPD: 86400 / 365 seconds.
   EXPECT_NEAR(w, 86400.0 / 365.0, 1e-9);
+}
+
+TEST(Crc64, MatchesPinnedCheckValue) {
+  // The CRC-64/XZ check value: crc of the ASCII digits "123456789".
+  const char digits[] = "123456789";
+  EXPECT_EQ(lu::crc64(digits, 9), 0x995DC9BBDF1939FAull);
+  EXPECT_EQ(lu::crc64(nullptr, 0), 0ull);
+}
+
+TEST(Crc64, StreamingEqualsOneShot) {
+  std::vector<double> payload(1000);
+  for (size_t i = 0; i < payload.size(); ++i) payload[i] = std::sin(static_cast<double>(i));
+  const auto* bytes = reinterpret_cast<const unsigned char*>(payload.data());
+  const size_t n = payload.size() * sizeof(double);
+  lu::Crc64 streaming;
+  size_t cut1 = 37, cut2 = 4099;
+  streaming.update(bytes, cut1);
+  streaming.update(bytes + cut1, cut2 - cut1);
+  streaming.update(bytes + cut2, n - cut2);
+  EXPECT_EQ(streaming.value(), lu::crc64(bytes, n));
+}
+
+TEST(Crc64, DetectsSingleBitFlipAndTruncation) {
+  std::vector<unsigned char> buf(512);
+  for (size_t i = 0; i < buf.size(); ++i) buf[i] = static_cast<unsigned char>(i * 31 + 7);
+  const std::uint64_t good = lu::crc64(buf.data(), buf.size());
+  buf[200] ^= 0x10;
+  EXPECT_NE(lu::crc64(buf.data(), buf.size()), good);
+  buf[200] ^= 0x10;
+  EXPECT_NE(lu::crc64(buf.data(), buf.size() - 1), good);
+  EXPECT_EQ(lu::crc64(buf.data(), buf.size()), good);
 }
 
 TEST(Stats, RunningStatsMatchesDirectComputation) {
