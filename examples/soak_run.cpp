@@ -1,11 +1,11 @@
 // soak_run — deterministic fault-injection soak for the resilience subsystem.
 //
-// The drill the CI soak job runs (ci/resilience_soak.sh): derive a fault
-// schedule from a fixed seed with three faults — one communication message
-// drop, one DMA transfer error, one torn checkpoint — then let the run
-// supervisor ride them out and prove the recovered run is bit-for-bit
-// identical to a fault-free twin.
+// Three drills, selected with --scenario (ci/resilience_soak.sh runs all):
 //
+// default — the ISSUE-2 drill: derive a fault schedule from a fixed seed with
+// three TRANSIENT faults — one communication message drop, one DMA transfer
+// error, one torn checkpoint — then let the run supervisor ride them out and
+// prove the recovered run is bit-for-bit identical to a fault-free twin.
 // Placement is deterministic by construction:
 //   * comm drop — a fault-free probe run first records the cumulative
 //     communicator-message count at every step boundary, so the drop lands
@@ -21,27 +21,51 @@
 //     seed-chosen step in 9..11 of attempt 2: after the torn generation 2
 //     is the newest on disk, so recovery must CRC-reject it and fall back
 //     to generation 1.
-// Expected recovery sequence: 3 attempts, 2 restores (both from gen 1), one
-// dropped generation, and a final state identical to the fault-free run.
+// Expected: 3 attempts, 2 restores (both from gen 1), one dropped
+// generation, and a final state identical to the fault-free run.
 //
-// Usage: soak_run [--seed N] [--steps N] [--out metrics.json] [--dir ckptdir]
-// Exit code 0 = recovered bit-identically; 1 = any expectation failed.
+// rankloss — the elastic-shrink drill: a PERSISTENT crash (the '+' schedule
+// form) kills rank 1 of a 2-rank run on every delivery past the generation-1
+// checkpoint — the model of a permanently dead node that dies again on every
+// relaunch. With the same-size retry budget exhausted, the supervisor must
+// shrink to 1 rank, re-slice generation 1 onto the new decomposition
+// (per-field global CRC-64 equality enforced end-to-end), resume from the
+// redistributed state and finish. The final state's per-field global CRCs
+// are exported to metrics.json as counters "soak.final_crc.<field>".
+//
+// detect — the silent-corruption drill on 1 rank with halo CRC verification
+// on (model.verify_halo_crc): a comm.payload bit-flip corrupts the very
+// first halo message (detected as CommError by the receiver's CRC check,
+// counted in resilience.halo_crc_failures), and an ldm inflate blows up a
+// CPE's LDM arena mid-run (typed LdmOverflowError through athread_spawn,
+// counted in resilience.ldm_overflows). Both must be detected loudly,
+// recovered by the supervisor, and the final state must be bit-identical to
+// the fault-free twin — never a hang, never silent corruption.
+//
+// Usage: soak_run [--scenario default|rankloss|detect] [--seed N] [--steps N]
+//                 [--out metrics.json] [--dir ckptdir]
+// Exit code 0 = all expectations held; 1 = any failed.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "comm/communicator.hpp"
+#include "comm/runtime.hpp"
 #include "core/model.hpp"
 #include "core/restart.hpp"
+#include "core/state.hpp"
 #include "grid/grid.hpp"
 #include "kxx/kxx.hpp"
 #include "resilience/checkpoint.hpp"
 #include "resilience/fault_injector.hpp"
+#include "resilience/redistribute.hpp"
 #include "resilience/supervisor.hpp"
+#include "swsim/athread.hpp"
 #include "swsim/dma.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -49,6 +73,7 @@ namespace lc = licomk::core;
 namespace lco = licomk::comm;
 namespace lr = licomk::resilience;
 namespace kxx = licomk::kxx;
+namespace sw = licomk::swsim;
 namespace tel = licomk::telemetry;
 
 namespace {
@@ -97,44 +122,29 @@ struct Check {
   }
 };
 
-}  // namespace
+void ldm_stage_kernel(void* /*argp*/) {
+  void* p = sw::ldm_malloc(2048);
+  sw::ldm_free(p);
+}
 
-int main(int argc, char** argv) {
-  std::uint64_t seed = 20260805;
-  long long target_steps = 24;
-  std::string out_path = "soak_metrics.json";
-  std::string ckpt_dir = "/tmp/licomk_soak_ckpt";
-  for (int a = 1; a < argc; ++a) {
-    auto next = [&](const char* flag) -> const char* {
-      if (a + 1 >= argc) {
-        std::fprintf(stderr, "missing value for %s\n", flag);
-        std::exit(2);
-      }
-      return argv[++a];
-    };
-    if (!std::strcmp(argv[a], "--seed")) {
-      seed = std::strtoull(next("--seed"), nullptr, 10);
-    } else if (!std::strcmp(argv[a], "--steps")) {
-      target_steps = std::atoll(next("--steps"));
-    } else if (!std::strcmp(argv[a], "--out")) {
-      out_path = next("--out");
-    } else if (!std::strcmp(argv[a], "--dir")) {
-      ckpt_dir = next("--dir");
-    } else {
-      std::fprintf(stderr,
-                   "usage: soak_run [--seed N] [--steps N] [--out metrics.json] [--dir ckptdir]\n");
-      return 2;
-    }
-  }
+int finish(Check& check, const std::string& out_path) {
+  tel::set_gauge("soak.bit_identical", check.ok ? 1.0 : 0.0);
+  tel::write_metrics_json(out_path);
+  std::printf("soak: wrote %s\n", out_path.c_str());
+  std::printf("soak: %s\n", check.ok ? "PASS" : "FAIL");
+  return check.ok ? 0 : 1;
+}
+
+// --- default: three transient faults, bit-identical recovery ---------------
+
+int run_default(std::uint64_t seed, long long target_steps, const std::string& out_path,
+                const std::string& ckpt_dir) {
   const long long cadence = 4;
   const long long drop_step = 6;  // attempt 1 dies here, after the gen-1 checkpoint
   if (target_steps < 3 * cadence) {
     std::fprintf(stderr, "--steps must be at least %lld\n", 3 * cadence);
     return 2;
   }
-
-  kxx::initialize({kxx::Backend::AthreadSim, 1, false});
-  tel::set_enabled(true);
   const auto cfg = soak_config();
 
   std::printf("soak: probing fault-free run (%lld steps, seed %llu)\n", target_steps,
@@ -190,6 +200,7 @@ int main(int argc, char** argv) {
                "expected 2 checkpoint recoveries, got " + std::to_string(report.recoveries));
   check.expect(report.last_restored_generation.has_value() && *report.last_restored_generation == 1,
                "expected both restores to come from generation 1");
+  check.expect(report.shrinks == 0, "transient faults must never trigger a shrink");
   check.expect(tel::counter_value("resilience.dropped_generations") >= 1,
                "expected the torn generation 2 to be dropped during discovery");
   check.expect(tel::counter_value("resilience.retries") >= 2, "expected >= 2 relaunches");
@@ -203,9 +214,249 @@ int main(int argc, char** argv) {
 
   tel::set_gauge("soak.attempts", static_cast<double>(report.attempts));
   tel::set_gauge("soak.recoveries", static_cast<double>(report.recoveries));
-  tel::set_gauge("soak.bit_identical", check.ok ? 1.0 : 0.0);
-  tel::write_metrics_json(out_path);
-  std::printf("soak: wrote %s\n", out_path.c_str());
-  std::printf("soak: %s\n", check.ok ? "PASS (bit-identical recovery)" : "FAIL");
-  return check.ok ? 0 : 1;
+  return finish(check, out_path);
+}
+
+// --- rankloss: permanent rank death -> shrink-to-survive --------------------
+
+int run_rankloss(std::uint64_t seed, long long target_steps, const std::string& out_path,
+                 const std::string& ckpt_dir) {
+  (void)seed;
+  const long long cadence = 4;
+  if (target_steps < 2 * cadence) {
+    std::fprintf(stderr, "--steps must be at least %lld\n", 2 * cadence);
+    return 2;
+  }
+  const auto cfg = soak_config();
+
+  // Probe: 2-rank fault-free run armed with a never-firing sentinel so the
+  // injector's per-rank op counters tick. Rank 1 samples its own delivery
+  // count right after the generation-1 checkpoint (end of step `cadence`);
+  // the permanent crash is placed one delivery later, so generation 1 is
+  // always on disk before rank 1 starts dying.
+  lr::FaultSchedule sentinel;
+  sentinel.add({lr::FaultSite::CommDeliver, lr::FaultKind::CrashRank, 0,
+                std::numeric_limits<std::uint64_t>::max(), 0.0});
+  lr::arm(sentinel);
+  std::uint64_t ops_at_gen1 = 0;
+  {
+    auto global = std::make_shared<licomk::grid::GlobalGrid>(cfg.grid, cfg.bathymetry_seed);
+    lco::Runtime::run(2, [&](lco::Communicator& c) {
+      lc::LicomModel m(cfg, global, c);
+      while (m.steps_taken() < cadence) m.step();
+      if (c.rank() == 1) ops_at_gen1 = lr::op_count(lr::FaultSite::CommDeliver, 1);
+    });
+  }
+  std::printf("soak: rank 1 delivery count at generation-1 checkpoint: %llu\n",
+              static_cast<unsigned long long>(ops_at_gen1));
+
+  lr::FaultSchedule schedule;
+  schedule.add({lr::FaultSite::CommDeliver, lr::FaultKind::CrashRank, /*rank=*/1,
+                ops_at_gen1 + 1, 0.0, /*persistent=*/true});
+  std::printf("soak: armed schedule (permanent rank-1 loss)\n%s", schedule.to_string().c_str());
+  lr::arm(schedule);
+
+  std::filesystem::remove_all(ckpt_dir);
+  lr::SupervisorOptions opts;
+  opts.nranks = 2;
+  opts.checkpoint_dir = ckpt_dir;
+  opts.checkpoint_every_steps = cadence;
+  opts.keep_generations = 8;
+  opts.max_retries = 1;
+  opts.max_shrinks = 1;
+  lr::Supervisor supervisor(opts);
+  lc::GlobalDiagnostics healed{};
+  long long final_steps = 0;
+  const std::string final_prefix = ckpt_dir + std::string("/final");
+  const auto report = supervisor.run(cfg, [&](lc::LicomModel& m) {
+    while (m.steps_taken() < target_steps) m.step();
+    m.write_restart(final_prefix);
+    auto d = m.diagnostics();
+    if (m.communicator().rank() == 0) {
+      healed = d;
+      final_steps = m.steps_taken();
+    }
+  });
+  lr::disarm();
+
+  std::printf("soak: %d attempts, %d recoveries, %d shrinks, final nranks %d\n", report.attempts,
+              report.recoveries, report.shrinks, report.final_nranks);
+  for (const auto& f : report.failures) std::printf("soak: survived failure: %s\n", f.c_str());
+
+  Check check;
+  check.expect(report.attempts == 3,
+               "expected 3 attempts (2 at 2 ranks, 1 shrunk), got " +
+                   std::to_string(report.attempts));
+  check.expect(report.shrinks == 1, "expected exactly 1 shrink, got " +
+                                        std::to_string(report.shrinks));
+  check.expect(report.final_nranks == 1,
+               "expected the survivor to run on 1 rank, got " +
+                   std::to_string(report.final_nranks));
+  check.expect(report.recoveries == 2, "expected 2 restores (same-size + redistributed), got " +
+                                           std::to_string(report.recoveries));
+  check.expect(final_steps == target_steps,
+               "shrunk run did not reach the target step count");
+  check.expect(report.redistributions.size() == 1, "expected exactly 1 redistribution");
+  bool redist_ok = !report.redistributions.empty() && report.redistributions[0].crcs_match();
+  check.expect(redist_ok, "redistribution did not preserve per-field global CRCs");
+  check.expect(tel::counter_value("resilience.shrinks") == 1,
+               "resilience.shrinks counter must be exactly 1");
+  check.expect(tel::counter_value("resilience.redistributed_bytes") > 0,
+               "resilience.redistributed_bytes counter must be > 0");
+  check.expect(healed.kinetic_energy > 0.0, "final state looks unevolved (KE == 0)");
+
+  // Export the final state's per-field global CRC-64 so the CI gate pins the
+  // exact end state of the shrink-and-resume chain.
+  try {
+    auto final_dec = lc::LicomModel::plan_decomposition(cfg, report.final_nranks);
+    auto final_state = lr::assemble_global_state(final_prefix, final_dec);
+    const auto& names = lc::prognostic_field_names();
+    for (size_t f = 0; f < names.size(); ++f) {
+      tel::counter("soak.final_crc." + names[f]).set(final_state.field_crcs[f]);
+      check.expect(final_state.field_crcs[f] != 0, "final CRC of " + names[f] + " is zero");
+    }
+    check.expect(final_state.info.steps == target_steps,
+                 "final checkpoint step count mismatch");
+  } catch (const std::exception& e) {
+    check.expect(false, std::string("failed to assemble final state: ") + e.what());
+  }
+
+  tel::set_gauge("soak.attempts", static_cast<double>(report.attempts));
+  tel::set_gauge("soak.recoveries", static_cast<double>(report.recoveries));
+  tel::set_gauge("soak.shrinks", static_cast<double>(report.shrinks));
+  tel::set_gauge("soak.final_nranks", static_cast<double>(report.final_nranks));
+  tel::set_gauge("soak.redistribution_crc_match", redist_ok ? 1.0 : 0.0);
+  return finish(check, out_path);
+}
+
+// --- detect: silent corruption made loud ------------------------------------
+
+int run_detect(std::uint64_t seed, long long target_steps, const std::string& out_path,
+               const std::string& ckpt_dir) {
+  (void)seed;
+  const long long cadence = 4;
+  if (target_steps < 2 * cadence) {
+    std::fprintf(stderr, "--steps must be at least %lld\n", 2 * cadence);
+    return 2;
+  }
+  auto cfg = soak_config();
+  cfg.verify_halo_crc = true;  // opt-in per-message halo CRC append/verify
+
+  std::printf("soak: probing fault-free run (%lld steps)\n", target_steps);
+  const Probe probe = probe_run(cfg, target_steps);
+
+  sw::reset_default_core_group();
+  sw::athread_init();
+
+  // Fault 1: flip 3 bits in the very first user-tagged (halo) message —
+  // attempt 1 dies inside model construction with a CRC-detected CommError.
+  // Fault 2: inflate CPE 0's ldm_malloc during the staging spawn before step
+  // cadence+1 of attempt 2 (the body spawns once per executed step, so the
+  // per-CPE op counter equals executed steps + 1) — after the generation-1
+  // checkpoint, so attempt 3 restores instead of cold-starting.
+  lr::FaultSchedule schedule;
+  schedule.add({lr::FaultSite::CommPayload, lr::FaultKind::FlipBits, -1, 1, 3.0});
+  schedule.add({lr::FaultSite::LdmMalloc, lr::FaultKind::InflateAlloc, /*rank=*/0,
+                static_cast<std::uint64_t>(cadence + 1), 0.0});
+  std::printf("soak: armed schedule (halo bit-flip + LDM overflow)\n%s",
+              schedule.to_string().c_str());
+  lr::arm(schedule);
+
+  std::filesystem::remove_all(ckpt_dir);
+  lr::SupervisorOptions opts;
+  opts.nranks = 1;
+  opts.checkpoint_dir = ckpt_dir;
+  opts.checkpoint_every_steps = cadence;
+  opts.keep_generations = 8;
+  opts.max_retries = 3;
+  lr::Supervisor supervisor(opts);
+  lc::GlobalDiagnostics healed{};
+  const auto report = supervisor.run(cfg, [&](lc::LicomModel& m) {
+    while (m.steps_taken() < target_steps) {
+      // Stage scratch through every CPE's LDM the way a kernel launch would;
+      // this is the hook site for the injected allocation inflation.
+      sw::athread_spawn(&ldm_stage_kernel, nullptr);
+      sw::athread_join();
+      m.step();
+    }
+    healed = m.diagnostics();
+  });
+  lr::disarm();
+
+  std::printf("soak: %d attempts, %d recoveries\n", report.attempts, report.recoveries);
+  for (const auto& f : report.failures) std::printf("soak: survived failure: %s\n", f.c_str());
+  for (const auto& f : lr::fired_log()) std::printf("soak: injected: %s\n", f.c_str());
+
+  Check check;
+  check.expect(lr::injected_count() == 2,
+               "expected exactly 2 injected faults, got " + std::to_string(lr::injected_count()));
+  check.expect(report.attempts == 3, "expected 3 attempts, got " + std::to_string(report.attempts));
+  check.expect(report.recoveries == 1,
+               "expected 1 restore (cold start after ctor kill, then gen-1), got " +
+                   std::to_string(report.recoveries));
+  check.expect(report.last_restored_generation.has_value() && *report.last_restored_generation == 1,
+               "expected the restore to come from generation 1");
+  check.expect(tel::counter_value("resilience.halo_crc_failures") >= 1,
+               "halo corruption was not detected by the message CRC");
+  check.expect(tel::counter_value("resilience.ldm_overflows") >= 1,
+               "LDM inflation did not surface as a typed overflow");
+  check.expect(report.failures.size() >= 2 &&
+                   report.failures[0].find("CRC") != std::string::npos,
+               "attempt 1 should have died on a halo CRC mismatch");
+  check.expect(report.failures.size() >= 2 &&
+                   report.failures[1].find("LDM overflow") != std::string::npos,
+               "attempt 2 should have died on an LDM overflow");
+  check.expect(
+      healed.mean_sst == probe.reference.mean_sst &&
+          healed.kinetic_energy == probe.reference.kinetic_energy &&
+          healed.max_abs_eta == probe.reference.max_abs_eta,
+      "recovered run is NOT bit-identical to the fault-free twin");
+
+  tel::set_gauge("soak.attempts", static_cast<double>(report.attempts));
+  tel::set_gauge("soak.recoveries", static_cast<double>(report.recoveries));
+  return finish(check, out_path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t seed = 20260805;
+  long long target_steps = 24;
+  std::string out_path = "soak_metrics.json";
+  std::string ckpt_dir = "/tmp/licomk_soak_ckpt";
+  std::string scenario = "default";
+  for (int a = 1; a < argc; ++a) {
+    auto next = [&](const char* flag) -> const char* {
+      if (a + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        std::exit(2);
+      }
+      return argv[++a];
+    };
+    if (!std::strcmp(argv[a], "--seed")) {
+      seed = std::strtoull(next("--seed"), nullptr, 10);
+    } else if (!std::strcmp(argv[a], "--steps")) {
+      target_steps = std::atoll(next("--steps"));
+    } else if (!std::strcmp(argv[a], "--out")) {
+      out_path = next("--out");
+    } else if (!std::strcmp(argv[a], "--dir")) {
+      ckpt_dir = next("--dir");
+    } else if (!std::strcmp(argv[a], "--scenario")) {
+      scenario = next("--scenario");
+    } else {
+      std::fprintf(stderr,
+                   "usage: soak_run [--scenario default|rankloss|detect] [--seed N] [--steps N] "
+                   "[--out metrics.json] [--dir ckptdir]\n");
+      return 2;
+    }
+  }
+
+  kxx::initialize({kxx::Backend::AthreadSim, 1, false});
+  tel::set_enabled(true);
+
+  if (scenario == "default") return run_default(seed, target_steps, out_path, ckpt_dir);
+  if (scenario == "rankloss") return run_rankloss(seed, target_steps, out_path, ckpt_dir);
+  if (scenario == "detect") return run_detect(seed, target_steps, out_path, ckpt_dir);
+  std::fprintf(stderr, "unknown scenario '%s' (default|rankloss|detect)\n", scenario.c_str());
+  return 2;
 }

@@ -108,6 +108,13 @@ void World::deliver(int source, int dest, int tag, const void* buf, std::size_t 
   msg.tag = tag;
   msg.payload.resize(bytes);
   if (bytes > 0) std::memcpy(msg.payload.data(), buf, bytes);
+  if (resilience::armed() && tag >= 0) {
+    // In-flight payload corruption (bit flips on the wire). Only the queued
+    // copy is touched — the sender's buffer stays intact, like real network
+    // corruption. Counted over user-tagged messages only, so schedule op
+    // indices are stable against internal collective traffic.
+    resilience::fault_hooks::on_comm_payload(source, msg.payload.data(), msg.payload.size());
+  }
   {
     std::lock_guard<std::mutex> lock(box.mutex);
     box.messages.push_back(std::move(msg));

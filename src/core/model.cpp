@@ -31,17 +31,21 @@ LicomModel::LicomModel(const ModelConfig& cfg)
     : LicomModel(cfg, std::make_shared<grid::GlobalGrid>(cfg.grid, cfg.bathymetry_seed),
                  self_world().communicator(0)) {}
 
+decomp::Decomposition LicomModel::plan_decomposition(const ModelConfig& cfg, int nranks) {
+  auto [px, py] = decomp::choose_layout(nranks, cfg.grid.nx, cfg.grid.ny);
+  return decomp::Decomposition(cfg.grid.nx, cfg.grid.ny, px, py,
+                               /*periodic_x=*/true, /*tripolar=*/!cfg.grid.idealized_channel);
+}
+
 LicomModel::LicomModel(const ModelConfig& cfg, std::shared_ptr<const grid::GlobalGrid> global,
                        comm::Communicator comm)
     : cfg_(cfg), global_(std::move(global)), comm_(comm) {
   LICOMK_REQUIRE(global_ != nullptr, "null global grid");
-  auto [px, py] = decomp::choose_layout(comm_.size(), cfg_.grid.nx, cfg_.grid.ny);
-  decomp_ = std::make_unique<decomp::Decomposition>(
-      cfg_.grid.nx, cfg_.grid.ny, px, py,
-      /*periodic_x=*/true, /*tripolar=*/!cfg_.grid.idealized_channel);
+  decomp_ = std::make_unique<decomp::Decomposition>(plan_decomposition(cfg_, comm_.size()));
   lgrid_ = std::make_unique<LocalGrid>(*global_, *decomp_, comm_.rank());
   exchanger_ = std::make_unique<halo::HaloExchanger>(*decomp_, comm_, comm_.rank());
   exchanger_->set_eliminate_redundant(cfg_.eliminate_redundant_halo);
+  exchanger_->set_verify_crc(cfg_.verify_halo_crc);
   state_ = std::make_unique<OceanState>(*lgrid_);
   mixer_ = std::make_unique<VerticalMixer>(*lgrid_, comm_, cfg_.vmix, cfg_.canuto_load_balance);
   polar_ = std::make_unique<PolarFilter>(*lgrid_);
@@ -198,7 +202,7 @@ GlobalDiagnostics LicomModel::diagnostics() {
 
 void LicomModel::write_restart(const std::string& prefix, std::uint64_t write_op) const {
   core::write_restart(restart_rank_path(prefix, comm_.rank()), *lgrid_, *state_,
-                      RestartInfo{sim_seconds_, steps_}, comm_.rank(), write_op);
+                      RestartInfo{sim_seconds_, steps_, step_wall_s_}, comm_.rank(), write_op);
 }
 
 void LicomModel::read_restart(const std::string& prefix) {
@@ -206,13 +210,28 @@ void LicomModel::read_restart(const std::string& prefix) {
       core::read_restart(restart_rank_path(prefix, comm_.rank()), *lgrid_, *state_);
   sim_seconds_ = info.sim_seconds;
   steps_ = info.steps;
+  // Roll accumulated step wall time back to the snapshot too, so a restored
+  // run's sypd() numerator and denominator stay consistent: supervisor
+  // backoff sleeps and the attempts lost between checkpoints never count,
+  // the same way checkpoint hooks are excluded from the live accumulation.
+  step_wall_s_ = info.step_wall_s;
   // Restored fields are marked dirty; refresh every halo before stepping.
+  // EVERY prognostic field is exchanged, both time levels: a redistributed
+  // checkpoint (resilience/redistribute) stores exact interiors but zeroed
+  // halos, so nothing may rely on file-carried ghost values. For a same-shape
+  // restore this is value-neutral — the stored halos were themselves
+  // exchange-consistent at checkpoint time.
   initial_exchange();
   exchanger_->update(state_->u_cur, halo::FoldSign::Antisymmetric);
   exchanger_->update(state_->v_cur, halo::FoldSign::Antisymmetric);
+  exchanger_->update(state_->u_old, halo::FoldSign::Antisymmetric);
+  exchanger_->update(state_->v_old, halo::FoldSign::Antisymmetric);
   exchanger_->update(state_->eta_cur);
+  exchanger_->update(state_->eta_old);
   exchanger_->update(state_->ubar_cur, halo::FoldSign::Antisymmetric);
   exchanger_->update(state_->vbar_cur, halo::FoldSign::Antisymmetric);
+  exchanger_->update(state_->ubar_old, halo::FoldSign::Antisymmetric);
+  exchanger_->update(state_->vbar_old, halo::FoldSign::Antisymmetric);
 }
 
 }  // namespace licomk::core

@@ -35,6 +35,11 @@ class LicomModel {
   LicomModel(const ModelConfig& cfg, std::shared_ptr<const grid::GlobalGrid> global,
              comm::Communicator comm);
 
+  /// The decomposition a model built for `cfg` on `nranks` ranks uses —
+  /// the single source of truth shared with the resilience layer, which must
+  /// re-plan the identical layout when it shrinks a run onto fewer ranks.
+  static decomp::Decomposition plan_decomposition(const ModelConfig& cfg, int nranks);
+
   /// Advance one baroclinic time step.
   void step();
 

@@ -47,6 +47,11 @@ struct ModelConfig {
   // --- numerics/engineering ---
   HaloStrategy halo_strategy = HaloStrategy::TransposeVerticalMajor;
   bool eliminate_redundant_halo = true;
+  /// Append a CRC-64 to every halo message and verify it on unpack, so
+  /// in-flight corruption (bit flips on the network) surfaces as a CommError
+  /// the run supervisor can recover from, instead of silently polluting the
+  /// state. Off by default: one extra word per message plus two CRC passes.
+  bool verify_halo_crc = false;
   /// Run the barotropic sub-cycle's arithmetic in single precision (the
   /// paper's §VIII outlook: "mixed precision ... to improve the speed").
   /// State and communication stay double; only the substep kernels' math

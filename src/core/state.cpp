@@ -74,4 +74,27 @@ void OceanState::rotate_barotropic() {
   vbar_cur.mark_dirty();
 }
 
+std::vector<const halo::BlockField3D*> prognostic_fields3(const OceanState& s) {
+  return {&s.u_old, &s.u_cur, &s.v_old, &s.v_cur, &s.t_old, &s.t_cur, &s.s_old, &s.s_cur};
+}
+
+std::vector<halo::BlockField3D*> prognostic_fields3(OceanState& s) {
+  return {&s.u_old, &s.u_cur, &s.v_old, &s.v_cur, &s.t_old, &s.t_cur, &s.s_old, &s.s_cur};
+}
+
+std::vector<const halo::BlockField2D*> prognostic_fields2(const OceanState& s) {
+  return {&s.eta_old, &s.eta_cur, &s.ubar_old, &s.ubar_cur, &s.vbar_old, &s.vbar_cur};
+}
+
+std::vector<halo::BlockField2D*> prognostic_fields2(OceanState& s) {
+  return {&s.eta_old, &s.eta_cur, &s.ubar_old, &s.ubar_cur, &s.vbar_old, &s.vbar_cur};
+}
+
+const std::vector<std::string>& prognostic_field_names() {
+  static const std::vector<std::string> names = {
+      "u_old", "u_cur", "v_old",   "v_cur",   "t_old",    "t_cur",    "s_old",
+      "s_cur", "eta_old", "eta_cur", "ubar_old", "ubar_cur", "vbar_old", "vbar_cur"};
+  return names;
+}
+
 }  // namespace licomk::core

@@ -6,6 +6,9 @@
 // fields are (ny+2h, nx+2h).
 #pragma once
 
+#include <string>
+#include <vector>
+
 #include "core/local_grid.hpp"
 #include "halo/block_field.hpp"
 
@@ -46,5 +49,19 @@ struct OceanState {
   void rotate_tracers();
   void rotate_barotropic();
 };
+
+/// --- the canonical checkpointed field set -----------------------------------
+/// One ordering shared by the restart writer/reader, the checkpoint
+/// redistributor, and the per-field CRC table of the .lrs v3 format: both
+/// leapfrog levels of every prognostic variable, 3-D fields first.
+/// Scratch (*_new) and diagnostic fields are recomputed, never checkpointed.
+
+std::vector<const halo::BlockField3D*> prognostic_fields3(const OceanState& s);
+std::vector<halo::BlockField3D*> prognostic_fields3(OceanState& s);
+std::vector<const halo::BlockField2D*> prognostic_fields2(const OceanState& s);
+std::vector<halo::BlockField2D*> prognostic_fields2(OceanState& s);
+
+/// Field names in checkpoint order (8 3-D then 6 2-D entries).
+const std::vector<std::string>& prognostic_field_names();
 
 }  // namespace licomk::core

@@ -1,10 +1,12 @@
 #include "halo/halo_exchange.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "halo/box_copy.hpp"
 #include "kxx/kxx.hpp"
 #include "telemetry/telemetry.hpp"
+#include "util/crc64.hpp"
 
 KXX_REGISTER_FOR_1D(halo_box_copy, licomk::halo::detail::BoxCopy);
 
@@ -104,7 +106,10 @@ void HaloExchanger::send_box(double* base, int nz, Halo3DMethod method, int dest
                              int j0, int nj, int i0, int ni) {
   const long long nxt = extent_.nx() + 2 * decomp::kHaloWidth;
   const long long nyt = extent_.ny() + 2 * decomp::kHaloWidth;
-  std::vector<double> buf(static_cast<size_t>(nz) * nj * ni);
+  const size_t payload = static_cast<size_t>(nz) * nj * ni;
+  // With CRC verification on, the message carries one trailing word holding
+  // the CRC-64 of the packed payload.
+  std::vector<double> buf(payload + (verify_crc_ ? 1 : 0));
   BufStrides bs = buffer_strides(method, nz, nj, ni);
   BoxCopy op;
   op.src = base + static_cast<long long>(j0) * nxt + i0;
@@ -118,11 +123,17 @@ void HaloExchanger::send_box(double* base, int nz, Halo3DMethod method, int dest
   op.ds1 = bs.s1;
   op.ds2 = bs.s2;
   box_copy(op, nz);
-  stats_.packed_elements += buf.size();
+  if (verify_crc_) {
+    util::Crc64 crc;
+    crc.update(buf.data(), payload * sizeof(double));
+    std::uint64_t value = crc.value();
+    std::memcpy(&buf[payload], &value, sizeof(value));
+  }
+  stats_.packed_elements += payload;
   comm_.send(buf.data(), buf.size() * sizeof(double), dest, tag);
   stats_.messages += 1;
   stats_.bytes += buf.size() * sizeof(double);
-  note_counter("halo.packed_elements", buf.size());
+  note_counter("halo.packed_elements", payload);
   note_message(buf.size() * sizeof(double));
 }
 
@@ -131,8 +142,21 @@ void HaloExchanger::recv_box(double* base, int nz, Halo3DMethod method, int src,
                              double scale) {
   const long long nxt = extent_.nx() + 2 * decomp::kHaloWidth;
   const long long nyt = extent_.ny() + 2 * decomp::kHaloWidth;
-  std::vector<double> buf(static_cast<size_t>(nz) * nj * ni);
+  const size_t payload = static_cast<size_t>(nz) * nj * ni;
+  std::vector<double> buf(payload + (verify_crc_ ? 1 : 0));
   comm_.recv(buf.data(), buf.size() * sizeof(double), src, tag);
+  if (verify_crc_) {
+    util::Crc64 crc;
+    crc.update(buf.data(), payload * sizeof(double));
+    std::uint64_t stored = 0;
+    std::memcpy(&stored, &buf[payload], sizeof(stored));
+    if (crc.value() != stored) {
+      note_counter("resilience.halo_crc_failures", 1);
+      throw CommError("halo message CRC mismatch on rank " + std::to_string(rank_) +
+                            " (from rank " + std::to_string(src) + ", tag " +
+                            std::to_string(tag) + "): in-flight corruption detected");
+    }
+  }
   BufStrides bs = buffer_strides(method, nz, nj, ni);
   BoxCopy op;
   op.src = buf.data();
@@ -147,8 +171,8 @@ void HaloExchanger::recv_box(double* base, int nz, Halo3DMethod method, int src,
   op.ds2 = dst_si;
   op.scale = scale;
   box_copy(op, nz);
-  stats_.unpacked_elements += buf.size();
-  note_counter("halo.unpacked_elements", buf.size());
+  stats_.unpacked_elements += payload;
+  note_counter("halo.unpacked_elements", payload);
 }
 
 void HaloExchanger::zero_box(double* base, int nz, int j0, int nj, int i0, int ni) {

@@ -78,6 +78,16 @@ class HaloExchanger {
   /// Enable/disable redundant-exchange elimination (default on).
   void set_eliminate_redundant(bool on) { eliminate_redundant_ = on; }
 
+  /// Opt-in per-message integrity: pack appends a CRC-64/XZ of the message
+  /// payload as one trailing word; unpack recomputes and verifies it before
+  /// scattering into the field. A mismatch (e.g. an injected in-flight bit
+  /// flip) bumps "resilience.halo_crc_failures" and throws comm::CommError,
+  /// which poisons the World so the run supervisor recovers instead of
+  /// silently integrating corrupted ghost cells. All ranks of a run must
+  /// agree on this flag (the message layout changes).
+  void set_verify_crc(bool on) { verify_crc_ = on; }
+  bool verify_crc() const { return verify_crc_; }
+
   const HaloStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
 
@@ -110,6 +120,7 @@ class HaloExchanger {
   std::vector<FoldPartner> fold_partners_;
 
   bool eliminate_redundant_ = true;
+  bool verify_crc_ = false;
   std::unordered_map<const void*, std::uint64_t> last_version_;
   HaloStats stats_;
 };

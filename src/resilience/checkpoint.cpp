@@ -108,6 +108,36 @@ std::optional<std::uint64_t> CheckpointManager::newest_verified_generation(int n
   return std::nullopt;
 }
 
+std::optional<std::uint64_t> CheckpointManager::newest_verified_generation(
+    const decomp::Decomposition& dec) const {
+  telemetry::ScopedSpan span("checkpoint_verify", "resilience");
+  std::vector<std::uint64_t> gens = generations_on_disk();
+  std::uint64_t dropped = 0;
+  for (auto it = gens.rbegin(); it != gens.rend(); ++it) {
+    bool ok = true;
+    for (int r = 0; r < dec.nranks(); ++r) {
+      auto info = core::inspect_restart(core::restart_rank_path(generation_prefix(*it), r));
+      if (!info) {
+        ok = false;
+        break;
+      }
+      const decomp::BlockExtent be = dec.block(r);
+      if (info->nx != be.nx() || info->ny != be.ny() || info->i0 != be.i0 ||
+          info->j0 != be.j0) {
+        ok = false;  // intact file, wrong decomposition — unusable here
+        break;
+      }
+    }
+    if (ok) {
+      bump("resilience.dropped_generations", dropped);
+      return *it;
+    }
+    dropped += 1;
+  }
+  bump("resilience.dropped_generations", dropped);
+  return std::nullopt;
+}
+
 void CheckpointManager::restore(core::LicomModel& model, std::uint64_t gen) const {
   telemetry::ScopedSpan span("checkpoint_restore", "resilience");
   model.read_restart(generation_prefix(gen));

@@ -52,6 +52,14 @@ class CheckpointManager {
   /// generations bump "resilience.dropped_generations".
   std::optional<std::uint64_t> newest_verified_generation(int nranks) const;
 
+  /// Shape-aware variant: additionally require each rank file's block extent
+  /// (nx, ny, i0, j0) to match `dec.block(r)`. After an elastic shrink the
+  /// directory holds generations written under several decompositions; this
+  /// is how the supervisor finds the newest one usable by the CURRENT layout
+  /// instead of tripping over files shaped for a dead rank count.
+  std::optional<std::uint64_t> newest_verified_generation(
+      const decomp::Decomposition& dec) const;
+
   /// Load generation `gen` into `model` (restores sim time + step count).
   void restore(core::LicomModel& model, std::uint64_t gen) const;
 

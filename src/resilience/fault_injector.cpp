@@ -18,7 +18,9 @@ namespace {
 const char* site_name(FaultSite site) {
   switch (site) {
     case FaultSite::CommDeliver: return "comm.deliver";
+    case FaultSite::CommPayload: return "comm.payload";
     case FaultSite::DmaTransfer: return "dma";
+    case FaultSite::LdmMalloc: return "ldm";
     case FaultSite::RestartWrite: return "restart.write";
     case FaultSite::IoWrite: return "io.write";
   }
@@ -33,13 +35,17 @@ const char* kind_name(FaultKind kind) {
     case FaultKind::DmaError: return "error";
     case FaultKind::TornWrite: return "torn";
     case FaultKind::CrashWrite: return "crash-write";
+    case FaultKind::FlipBits: return "flip";
+    case FaultKind::InflateAlloc: return "inflate";
   }
   return "?";
 }
 
 FaultSite site_from_name(const std::string& name) {
   if (name == "comm.deliver") return FaultSite::CommDeliver;
+  if (name == "comm.payload") return FaultSite::CommPayload;
   if (name == "dma") return FaultSite::DmaTransfer;
+  if (name == "ldm") return FaultSite::LdmMalloc;
   if (name == "restart.write") return FaultSite::RestartWrite;
   if (name == "io.write") return FaultSite::IoWrite;
   throw InvalidArgument("unknown fault site '" + name + "'");
@@ -52,6 +58,8 @@ FaultKind kind_from_name(const std::string& name) {
   if (name == "error") return FaultKind::DmaError;
   if (name == "torn") return FaultKind::TornWrite;
   if (name == "crash-write") return FaultKind::CrashWrite;
+  if (name == "flip") return FaultKind::FlipBits;
+  if (name == "inflate") return FaultKind::InflateAlloc;
   throw InvalidArgument("unknown fault kind '" + name + "'");
 }
 
@@ -98,8 +106,11 @@ std::optional<FaultEvent> match(FaultSite site, int rank, std::uint64_t forced_o
     const FaultEvent& e = inj.events[n];
     if (e.site != site) continue;
     if (e.rank != -1 && rank != -1 && e.rank != rank) continue;
-    if (e.at_op != op) continue;
-    inj.fired[n] = true;
+    // One-shot events fire exactly at their op; persistent events fire on
+    // every op from at_op on and are never retired (a permanently dead rank
+    // dies again on every relaunch).
+    if (e.persistent ? op < e.at_op : e.at_op != op) continue;
+    if (!e.persistent) inj.fired[n] = true;
     note_injected(inj, e, op);
     return e;
   }
@@ -131,6 +142,10 @@ FaultSchedule FaultSchedule::parse(const std::string& text) {
     e.site = site_from_name(site);
     e.rank = rank == "*" ? -1 : std::stoi(rank);
     e.at_op = op;
+    if (!kind.empty() && kind.back() == '+') {
+      e.persistent = true;
+      kind.pop_back();
+    }
     e.kind = kind_from_name(kind);
     fields >> e.param;  // optional
     schedule.add(e);
@@ -148,6 +163,7 @@ std::string FaultSchedule::to_string() const {
       os << e.rank;
     }
     os << " " << e.at_op << " " << kind_name(e.kind);
+    if (e.persistent) os << "+";
     if (e.param != 0.0) os << " " << e.param;
     os << "\n";
   }
@@ -196,6 +212,13 @@ std::vector<std::string> fired_log() {
   return inj.log;
 }
 
+std::uint64_t op_count(FaultSite site, int rank) {
+  Injector& inj = injector();
+  std::lock_guard<std::mutex> lock(inj.mutex);
+  auto it = inj.op_counts.find({static_cast<int>(site), rank});
+  return it == inj.op_counts.end() ? 0 : it->second;
+}
+
 namespace fault_hooks {
 
 CommAction on_comm_deliver(int source_rank) {
@@ -220,6 +243,34 @@ bool on_dma_transfer() {
   if (!armed()) return false;
   auto event = match(FaultSite::DmaTransfer, -1, 0);
   return event && event->kind == FaultKind::DmaError;
+}
+
+bool on_comm_payload(int source_rank, void* data, std::size_t bytes) {
+  if (!armed() || bytes == 0) return false;
+  auto event = match(FaultSite::CommPayload, source_rank, 0);
+  if (!event || event->kind != FaultKind::FlipBits) return false;
+  // Deterministic bit positions: seeded by the event's op threshold so a
+  // replay of the schedule corrupts exactly the same bits.
+  auto* bytes_ptr = static_cast<unsigned char*>(data);
+  SplitMix64 rng(0x5ca1ab1eULL ^ event->at_op);
+  const int nbits = std::max(1, static_cast<int>(event->param));
+  for (int n = 0; n < nbits; ++n) {
+    std::uint64_t bit = rng.range(0, bytes * 8 - 1);
+    bytes_ptr[bit / 8] ^= static_cast<unsigned char>(1u << (bit % 8));
+  }
+  return true;
+}
+
+std::size_t on_ldm_malloc(int cpe_id, std::size_t bytes) {
+  if (!armed()) return bytes;
+  auto event = match(FaultSite::LdmMalloc, cpe_id, 0);
+  if (!event || event->kind != FaultKind::InflateAlloc) return bytes;
+  if (event->param > 1.0) {
+    return static_cast<std::size_t>(static_cast<double>(bytes) * event->param);
+  }
+  // param <= 1: add a whole LDM's worth, overflowing any arena regardless of
+  // the request size.
+  return bytes + 256 * 1024 + 1;
 }
 
 std::optional<FaultEvent> on_file_write(FaultSite site, int rank, std::uint64_t op) {

@@ -44,7 +44,12 @@ class InjectedFault : public Error {
 /// that do not know an acting rank (DMA engines, bare file writers).
 enum class FaultSite {
   CommDeliver,   ///< comm::World::deliver, counted per source rank
+  CommPayload,   ///< comm::World::deliver payload corruption, counted per
+                 ///< source rank over USER-tagged (tag >= 0) deliveries only,
+                 ///< so op indices land on application messages (halo,
+                 ///< load-balance) and never on internal collective traffic
   DmaTransfer,   ///< swsim::DmaEngine get/put/iget/iput, global count
+  LdmMalloc,     ///< swsim ldm_malloc, global count (one op per CPE call)
   RestartWrite,  ///< core::write_restart, counted per *checkpoint op* (see
                  ///< fault_hooks::on_file_write callers); CheckpointManager
                  ///< passes the generation id so schedules target "gen G"
@@ -62,6 +67,11 @@ enum class FaultKind {
                  ///< at its final path (simulated post-rename media loss)
   CrashWrite,    ///< InjectedFault before the atomic rename: only ".tmp"
                  ///< staging data exists, the final path is never touched
+  FlipBits,      ///< flip max(1, param) deterministic bits in a delivered
+                 ///< message payload (CommPayload site): silent in-flight
+                 ///< corruption for the halo CRC machinery to catch
+  InflateAlloc,  ///< multiply an ldm_malloc request by `param` (param <= 1
+                 ///< adds a full LDM capacity instead), forcing an overflow
 };
 
 struct FaultEvent {
@@ -70,6 +80,12 @@ struct FaultEvent {
   int rank = -1;            ///< acting rank filter; -1 matches any rank
   std::uint64_t at_op = 1;  ///< fires when the site op counter reaches this (1-based)
   double param = 0.0;       ///< delay ms (DelayMessage) or kept fraction (TornWrite/CrashWrite)
+  /// One-shot events fire exactly once, when the counter equals at_op.
+  /// Persistent events ('+' suffix in the text format) fire on EVERY op with
+  /// counter >= at_op and are never retired — the model of a permanently
+  /// dead rank: however often the supervisor relaunches, the same rank dies
+  /// again, until the decomposition no longer includes it.
+  bool persistent = false;
 };
 
 /// An ordered set of fault events. Each event fires at most once.
@@ -79,11 +95,15 @@ class FaultSchedule {
   const std::vector<FaultEvent>& events() const { return events_; }
   bool empty() const { return events_.empty(); }
 
-  /// One event per line: `<site> <rank|*> <op> <kind> [param]`, '#' comments.
+  /// One event per line: `<site> <rank|*> <op> <kind>[+] [param]`, '#'
+  /// comments; a '+' suffix on the kind marks the event persistent.
   ///   comm.deliver * 120 drop
   ///   comm.deliver 1 64 crash
+  ///   comm.deliver 1 64 crash+        # permanent rank loss: refires forever
   ///   comm.deliver * 10 delay 2.5
+  ///   comm.payload * 7 flip 3
   ///   dma * 4096 error
+  ///   ldm * 65 inflate 0
   ///   restart.write * 3 torn 0.5
   ///   restart.write * 2 crash-write 0.5
   ///   io.write * 1 torn 0.25
@@ -125,6 +145,12 @@ std::uint64_t injected_count();
 /// Human-readable log of fired events, in firing order.
 std::vector<std::string> fired_log();
 
+/// Current op counter of (site, rank): how many ops that site has counted so
+/// far for that acting rank (-1 for rankless sites). Probe runs armed with a
+/// never-firing sentinel schedule read this to place later events exactly —
+/// e.g. "rank 1's first delivery after its step-N checkpoint".
+std::uint64_t op_count(FaultSite site, int rank);
+
 namespace fault_hooks {
 
 /// Outcome of the comm::World::deliver hook.
@@ -139,6 +165,19 @@ CommAction on_comm_deliver(int source_rank);
 /// Called by DmaEngine transfers. Returns true when a DmaError fires; the
 /// engine throws ResourceError.
 bool on_dma_transfer();
+
+/// Called by World::deliver for user-tagged (tag >= 0) messages only, with
+/// the sending rank and the payload about to be enqueued. Flips bits in the
+/// payload in place when a FlipBits event fires; returns true when the
+/// payload was corrupted. The bit positions are derived deterministically
+/// from the op index, so a replay corrupts the same bits.
+bool on_comm_payload(int source_rank, void* data, std::size_t bytes);
+
+/// Called by swsim ldm_malloc with the requesting CPE id and byte count.
+/// Returns the (possibly inflated) byte count to actually allocate: an
+/// InflateAlloc event multiplies by param, or adds a full LDM capacity when
+/// param <= 1, guaranteeing an LdmOverflowError from the arena.
+std::size_t on_ldm_malloc(int cpe_id, std::size_t bytes);
 
 /// Called by write paths with the site and a caller-chosen op id (generation
 /// id for checkpoints, running count when `op` is 0). Returns the event to

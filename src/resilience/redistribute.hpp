@@ -1,0 +1,77 @@
+// redistribute.hpp — re-slice a checkpoint generation onto a new decomposition.
+//
+// Elastic rank replacement (shrink-to-survive): when a rank is permanently
+// lost, the supervisor re-plans the domain decomposition over the surviving
+// rank count and resumes from the newest verified checkpoint — but that
+// checkpoint was written as one file per *old* rank. This module bridges the
+// two decompositions entirely on disk: it assembles the global prognostic
+// state from the source generation's per-rank files (each global cell is
+// owned by exactly one source block, so assembly is copy, not arithmetic),
+// then slices it back out as one file per destination rank. Destination
+// halos are zeroed — LicomModel::read_restart refreshes every prognostic
+// halo, so ghost values never survive a re-slice.
+//
+// Integrity is proven end-to-end, not assumed: the report carries the global
+// per-field CRC-64 of the assembled source state and the same CRCs computed
+// by re-reading the files it just wrote. crcs_match() is the contract the
+// supervisor (and the soak CI gate) checks before trusting a shrink.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/restart.hpp"
+#include "decomp/decomposition.hpp"
+
+namespace licomk::resilience {
+
+/// The global interior prognostic state of one checkpoint generation,
+/// assembled from its per-rank files. Buffers are (k, j, i) row-major over
+/// the full nx × ny grid with no halos; field order and names follow
+/// core::prognostic_field_names().
+struct GlobalAssembly {
+  core::RestartInfo info;  ///< sim time / steps; step_wall_s = max over ranks
+  int nx = 0, ny = 0, nz = 0;
+  std::vector<std::vector<double>> fields3;  ///< 8 buffers, nz*ny*nx each
+  std::vector<std::vector<double>> fields2;  ///< 6 buffers, ny*nx each
+  std::vector<std::uint64_t> field_crcs;     ///< CRC-64/XZ per global buffer
+};
+
+/// Read every rank file "<prefix>.rank<r>.lrs" of `src` and assemble the
+/// global interior state. Throws licomk::Error when a file is missing,
+/// corrupt, or shaped for a different decomposition than `src`.
+GlobalAssembly assemble_global_state(const std::string& prefix,
+                                     const decomp::Decomposition& src);
+
+struct RedistributeReport {
+  std::uint64_t generation = 0;
+  int src_nranks = 0, src_px = 0, src_py = 0;
+  int dst_nranks = 0, dst_px = 0, dst_py = 0;
+  core::RestartInfo info;                  ///< time info carried across
+  std::vector<std::string> field_names;    ///< canonical order, 14 entries
+  std::vector<std::uint64_t> src_crcs;     ///< global CRC per field, source
+  std::vector<std::uint64_t> dst_crcs;     ///< same, re-read from written files
+  std::uint64_t bytes_written = 0;         ///< field payload bytes on disk
+  /// Interior-cell census imbalance (max/mean) of each layout, via
+  /// decomp::LoadBalancePlan::imbalance — how even the shrink target is.
+  double imbalance_src = 0.0, imbalance_dst = 0.0;
+
+  /// The end-to-end integrity contract: every global field CRC survived the
+  /// re-slice and the round trip through the new files.
+  bool crcs_match() const;
+};
+
+/// Re-slice generation files "<src_prefix>.rank<r>.lrs" written under `src`
+/// into "<dst_prefix>.rank<r>.lrs" under `dst` (parent directories are
+/// created). Every global cell is copied exactly once; destination halos are
+/// zeroed. Telemetry: span "redistribute", counter
+/// "resilience.redistributed_bytes". Throws licomk::Error on any read,
+/// shape, write, or CRC verification failure.
+RedistributeReport redistribute_checkpoint(const std::string& src_prefix,
+                                           const decomp::Decomposition& src,
+                                           const std::string& dst_prefix,
+                                           const decomp::Decomposition& dst,
+                                           std::uint64_t generation = 0);
+
+}  // namespace licomk::resilience

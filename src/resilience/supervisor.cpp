@@ -1,6 +1,7 @@
 #include "resilience/supervisor.hpp"
 
 #include <chrono>
+#include <filesystem>
 #include <thread>
 
 #include "comm/runtime.hpp"
@@ -10,47 +11,130 @@
 
 namespace licomk::resilience {
 
+namespace {
+
+/// A layout is runnable only when every block is at least one halo wide in
+/// both directions — the halo exchange contract.
+bool layout_feasible(const decomp::Decomposition& dec) {
+  for (int r = 0; r < dec.nranks(); ++r) {
+    const decomp::BlockExtent be = dec.block(r);
+    if (be.nx() < decomp::kHaloWidth || be.ny() < decomp::kHaloWidth) return false;
+  }
+  return true;
+}
+
+void bump(const char* name) {
+  if (telemetry::enabled()) telemetry::counter(name).add(1);
+}
+
+}  // namespace
+
 Supervisor::Supervisor(SupervisorOptions options)
     : options_(std::move(options)),
       checkpoints_(options_.checkpoint_dir, options_.keep_generations) {
   LICOMK_REQUIRE(options_.nranks >= 1, "supervisor needs at least one rank");
   LICOMK_REQUIRE(options_.max_retries >= 0, "max_retries must be >= 0");
+  LICOMK_REQUIRE(options_.max_shrinks >= 0, "max_shrinks must be >= 0");
+  LICOMK_REQUIRE(options_.min_ranks >= 1, "min_ranks must be >= 1");
 }
 
 SupervisorReport Supervisor::run(const core::ModelConfig& config, const RankBody& body) {
+  namespace fs = std::filesystem;
   auto global = std::make_shared<grid::GlobalGrid>(config.grid, config.bathymetry_seed);
   SupervisorReport report;
   double backoff_s = options_.backoff_initial_s;
 
-  for (int attempt = 0;; ++attempt) {
-    // Restore point: newest generation that verifies on EVERY rank. Decided
-    // before launch so all ranks resume from the same generation.
-    std::optional<std::uint64_t> gen = checkpoints_.newest_verified_generation(options_.nranks);
+  int nranks = options_.nranks;
+  decomp::Decomposition dec = core::LicomModel::plan_decomposition(config, nranks);
+  int retries_this_size = 0;
+  // Redistributed restore point, set by a shrink. Its files live under
+  // "<dir>/shrink<k>/" so they can never collide with the source
+  // generation's same-id files in the main directory (which are shaped for
+  // the old rank count and invisible to shape-aware discovery anyway).
+  std::optional<std::pair<std::string, std::uint64_t>> redistributed;  // prefix, gen
+
+  // Restore-point arbitration under the current decomposition: the newest
+  // shape-verified generation in the main directory wins whenever it is at
+  // least as new as the redistributed one — post-shrink checkpoints written
+  // at the new size supersede the carried-over state.
+  auto pick_restore = [&]() -> std::optional<std::pair<std::string, std::uint64_t>> {
+    std::optional<std::uint64_t> found = checkpoints_.newest_verified_generation(dec);
+    if (found && (!redistributed || *found >= redistributed->second)) {
+      return std::make_pair(checkpoints_.generation_prefix(*found), *found);
+    }
+    return redistributed;
+  };
+
+  for (;;) {
+    std::optional<std::pair<std::string, std::uint64_t>> restore = pick_restore();
     report.attempts += 1;
-    if (attempt > 0 && gen) {
+    report.attempt_nranks.push_back(nranks);
+    report.final_nranks = nranks;
+    if (report.attempts > 1 && restore) {
       report.recoveries += 1;
-      report.last_restored_generation = gen;
+      report.last_restored_generation = restore->second;
     }
     try {
-      comm::Runtime::run(options_.nranks, [&](comm::Communicator& c) {
+      comm::Runtime::run(nranks, [&](comm::Communicator& c) {
         core::LicomModel model(config, global, c);
         if (options_.checkpoint_every_steps > 0) {
           checkpoints_.install(model, options_.checkpoint_every_steps);
         }
-        if (gen) checkpoints_.restore(model, *gen);
+        if (restore) model.read_restart(restore->first);
         body(model);
       });
       return report;
     } catch (const std::exception& e) {
       report.failures.emplace_back(e.what());
-      if (attempt >= options_.max_retries) throw;
-      if (telemetry::enabled()) {
-        static telemetry::Counter& retries = telemetry::counter("resilience.retries");
-        retries.add(1);
+      retries_this_size += 1;
+      if (retries_this_size > options_.max_retries) {
+        // Retries at this size are exhausted — the failure refires on every
+        // relaunch, so treat it as permanent and shrink to survive.
+        if (report.shrinks >= options_.max_shrinks) throw;
+        std::optional<decomp::Decomposition> smaller;
+        int new_nranks = 0;
+        for (int n = nranks - 1; n >= options_.min_ranks; --n) {
+          decomp::Decomposition cand = core::LicomModel::plan_decomposition(config, n);
+          if (layout_feasible(cand)) {
+            smaller = cand;
+            new_nranks = n;
+            break;
+          }
+        }
+        if (!smaller) throw;  // nowhere left to shrink to
+
+        report.shrinks += 1;
+        bump("resilience.shrinks");
+        std::optional<std::pair<std::string, std::uint64_t>> source = pick_restore();
+        if (source) {
+          // Re-slice the newest verified state onto the smaller layout; the
+          // redistributor enforces per-field global CRC equality end-to-end.
+          std::string dst_prefix =
+              (fs::path(checkpoints_.dir()) / ("shrink" + std::to_string(report.shrinks)) /
+               ("ckpt.gen" + std::to_string(source->second)))
+                  .string();
+          report.redistributions.push_back(redistribute_checkpoint(
+              source->first, dec, dst_prefix, *smaller, source->second));
+          redistributed = std::make_pair(dst_prefix, source->second);
+        } else {
+          redistributed.reset();  // no usable state: cold-start at the new size
+        }
+        LICOMK_LOG_WARN("resilience")
+            << "retries exhausted at " << nranks << " ranks; shrinking to " << new_nranks
+            << (source ? " and resuming from redistributed generation " +
+                             std::to_string(source->second)
+                       : " with a cold start");
+        nranks = new_nranks;
+        dec = *smaller;
+        retries_this_size = 0;
+        backoff_s = options_.backoff_initial_s;
+      } else {
+        bump("resilience.retries");
+        LICOMK_LOG_WARN("resilience") << "attempt " << report.attempts << " failed: " << e.what()
+                                      << "; relaunching at " << nranks << " ranks";
       }
-      LICOMK_LOG_WARN("resilience") << "attempt " << (attempt + 1) << " failed: " << e.what()
-                                    << "; relaunching";
       if (backoff_s > 0.0) {
+        report.backoff_wall_s += backoff_s;
         std::this_thread::sleep_for(std::chrono::duration<double>(backoff_s));
         backoff_s *= options_.backoff_factor;
       }

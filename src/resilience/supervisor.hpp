@@ -7,11 +7,22 @@
 // backed off; every attempt's failure reason is kept in the report so a soak
 // run can assert the exact recovery sequence.
 //
+// Escalation (elastic rank replacement): when max_retries relaunches at the
+// same size all fail — the signature of a PERMANENTLY dead rank, not a
+// transient — the supervisor shrinks to survive. It re-plans the domain
+// decomposition over a smaller rank count (LicomModel::plan_decomposition,
+// the same planner a fresh run uses), re-slices the newest verified
+// checkpoint onto the new layout (resilience/redistribute, with per-field
+// global CRC-64 equality enforced end-to-end), and resumes from the
+// redistributed state. Retry budget refills after each shrink; up to
+// max_shrinks shrinks are attempted before the supervisor gives up.
+//
 // The rank body must be resumable: it receives a model whose step count and
 // simulated time reflect the restored checkpoint (or a cold start) and
 // should step until its own completion criterion — e.g. "while
 // (model.steps_taken() < target) model.step()" — not a fixed iteration
-// count.
+// count. Under escalation it must also be rank-count agnostic: it may run
+// under fewer ranks than the first attempt.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +33,7 @@
 
 #include "core/model.hpp"
 #include "resilience/checkpoint.hpp"
+#include "resilience/redistribute.hpp"
 
 namespace licomk::resilience {
 
@@ -30,7 +42,9 @@ struct SupervisorOptions {
   std::string checkpoint_dir;          ///< required; CheckpointManager storage
   long long checkpoint_every_steps = 0;  ///< 0 = no periodic checkpoints
   int keep_generations = 3;
-  int max_retries = 3;          ///< relaunches after the initial attempt
+  int max_retries = 3;          ///< same-size relaunches per decomposition size
+  int max_shrinks = 0;          ///< rank-count reductions after retries exhaust
+  int min_ranks = 1;            ///< never shrink below this many ranks
   double backoff_initial_s = 0.0;  ///< sleep before the first relaunch
   double backoff_factor = 2.0;     ///< multiplier per further relaunch
 };
@@ -38,8 +52,17 @@ struct SupervisorOptions {
 struct SupervisorReport {
   int attempts = 0;    ///< runs launched (1 = clean first run)
   int recoveries = 0;  ///< attempts that resumed from a verified checkpoint
+  int shrinks = 0;     ///< decomposition reductions performed
+  int final_nranks = 0;  ///< rank count of the last attempt
+  std::vector<int> attempt_nranks;    ///< rank count per attempt, in order
   std::vector<std::string> failures;  ///< what() per failed attempt, in order
   std::optional<std::uint64_t> last_restored_generation;
+  /// One report per shrink that had a checkpoint to carry over; crcs_match()
+  /// was already enforced (redistribute_checkpoint throws otherwise).
+  std::vector<RedistributeReport> redistributions;
+  /// Wall seconds spent in backoff sleeps — excluded from every model's
+  /// sypd() accounting (step_wall_s is checkpointed and restored).
+  double backoff_wall_s = 0.0;
 };
 
 class Supervisor {
@@ -48,9 +71,13 @@ class Supervisor {
 
   /// Run `body` once per rank until one attempt finishes with no rank
   /// failing, restoring from the newest fully-verified checkpoint generation
-  /// before each relaunch. Throws the final attempt's error when
-  /// max_retries is exhausted. Telemetry: "resilience.retries" counts
-  /// relaunches; checkpoint spans/counters come from CheckpointManager.
+  /// (shape-matched to the current decomposition) before each relaunch and
+  /// shrinking per the escalation policy above. Throws the final attempt's
+  /// error when retries and shrinks are both exhausted. Telemetry:
+  /// "resilience.retries" counts relaunches, "resilience.shrinks" counts
+  /// reductions; checkpoint spans/counters come from CheckpointManager;
+  /// "resilience.redistributed_bytes" and span "redistribute" come from the
+  /// re-slicer.
   using RankBody = std::function<void(core::LicomModel&)>;
   SupervisorReport run(const core::ModelConfig& config, const RankBody& body);
 

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "resilience/fault_injector.hpp"
 #include "util/error.hpp"
 
 namespace licomk::swsim {
@@ -43,7 +44,14 @@ int athread_spawn(CpeKernel kernel, void* arg) {
     throw ResourceError("athread_spawn while a previous spawn is unjoined");
   }
   rt.spawn_pending = true;
-  rt.cg->spawn(kernel, arg);
+  try {
+    rt.cg->spawn(kernel, arg);
+  } catch (...) {
+    // A failed spawn must leave the runtime joinable-free, or every later
+    // spawn would be rejected as "unjoined" long after the fault was handled.
+    rt.spawn_pending = false;
+    throw;
+  }
   return 0;
 }
 
@@ -78,7 +86,13 @@ void reset_default_core_group(std::size_t ldm_capacity) {
 
 int athread_get_id() { return require_cpe("athread_get_id").id(); }
 
-void* ldm_malloc(std::size_t bytes) { return require_cpe("ldm_malloc").ldm().allocate(bytes); }
+void* ldm_malloc(std::size_t bytes) {
+  CpeContext& ctx = require_cpe("ldm_malloc");
+  if (resilience::armed()) {
+    bytes = resilience::fault_hooks::on_ldm_malloc(ctx.id(), bytes);
+  }
+  return ctx.ldm().allocate(bytes);
+}
 
 void ldm_free(void* ptr) { require_cpe("ldm_free").ldm().free(ptr); }
 

@@ -10,7 +10,7 @@ namespace {
 thread_local CpeContext* g_current_cpe = nullptr;
 }  // namespace
 
-CpeContext::CpeContext(int id, std::size_t ldm_capacity) : id_(id), ldm_(ldm_capacity) {}
+CpeContext::CpeContext(int id, std::size_t ldm_capacity) : id_(id), ldm_(ldm_capacity, id) {}
 
 CoreGroup::CoreGroup(std::size_t ldm_capacity) {
   cpes_.reserve(kNumCpes);
@@ -22,7 +22,15 @@ void CoreGroup::spawn(CpeKernel kernel, void* arg) {
   spawns_ += 1;
   for (auto& ctx : cpes_) {
     detail::CurrentCpeGuard guard(&ctx);
-    kernel(arg);
+    try {
+      kernel(arg);
+    } catch (...) {
+      // A kernel that died mid-flight (LDM overflow, injected DMA error)
+      // abandons its LDM allocations; reset so the core group stays usable
+      // after the failure is caught and handled above us.
+      ctx.ldm().reset();
+      throw;
+    }
     executions_ += 1;
     if (ctx.ldm().live_allocations() != 0) {
       throw ResourceError("CPE " + std::to_string(ctx.id()) + " leaked " +

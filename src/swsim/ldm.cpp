@@ -15,8 +15,20 @@ constexpr std::size_t kHeader = kAlign;  // stores the previous offset
 std::size_t align_up(std::size_t n) { return (n + kAlign - 1) / kAlign * kAlign; }
 }  // namespace
 
-LdmArena::LdmArena(std::size_t capacity)
-    : capacity_(capacity), storage_(std::make_unique<std::byte[]>(capacity)) {
+LdmOverflowError::LdmOverflowError(int cpe_id, std::size_t requested, std::size_t available,
+                                   std::size_t capacity)
+    : ResourceError("LDM overflow" +
+                    (cpe_id >= 0 ? " on CPE " + std::to_string(cpe_id) : std::string()) +
+                    ": requested " + std::to_string(requested) + " bytes with " +
+                    std::to_string(available) + " of " + std::to_string(capacity) + " free"),
+      cpe_id_(cpe_id),
+      requested_(requested),
+      available_(available),
+      capacity_(capacity) {}
+
+LdmArena::LdmArena(std::size_t capacity, int owner_cpe)
+    : capacity_(capacity), owner_cpe_(owner_cpe),
+      storage_(std::make_unique<std::byte[]>(capacity)) {
   LICOMK_REQUIRE(capacity >= kAlign, "LDM capacity too small");
 }
 
@@ -24,9 +36,11 @@ void* LdmArena::allocate(std::size_t bytes) {
   std::size_t payload = align_up(std::max<std::size_t>(bytes, 1));
   std::size_t need = kHeader + payload;
   if (offset_ + need > capacity_) {
-    throw ResourceError("LDM overflow: requested " + std::to_string(bytes) + " bytes with " +
-                        std::to_string(capacity_ - offset_) + " of " +
-                        std::to_string(capacity_) + " free");
+    if (telemetry::enabled()) {
+      static telemetry::Counter& c = telemetry::counter("resilience.ldm_overflows");
+      c.add(1);
+    }
+    throw LdmOverflowError(owner_cpe_, bytes, capacity_ - offset_, capacity_);
   }
   std::byte* base = storage_.get() + offset_;
   // The header records the previous top-of-stack so free() can pop.

@@ -11,7 +11,29 @@
 #include <cstdint>
 #include <memory>
 
+#include "util/error.hpp"
+
 namespace licomk::swsim {
+
+/// Thrown when a CPE's LDM arena would overflow. Derives from ResourceError
+/// (existing overflow handling keeps working) but carries the structured
+/// context recovery code needs: which CPE, how much was asked for, how much
+/// was free. Surfaces through athread_spawn as a catchable failure, so a run
+/// supervisor treats an LDM blow-up like any other recoverable rank fault.
+class LdmOverflowError : public ResourceError {
+ public:
+  LdmOverflowError(int cpe_id, std::size_t requested, std::size_t available,
+                   std::size_t capacity);
+
+  int cpe_id() const { return cpe_id_; }            ///< -1 for a free-standing arena
+  std::size_t requested() const { return requested_; }
+  std::size_t available() const { return available_; }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  int cpe_id_;
+  std::size_t requested_, available_, capacity_;
+};
 
 /// Per-CPE scratch arena with LIFO alloc/free discipline.
 class LdmArena {
@@ -19,11 +41,12 @@ class LdmArena {
   /// 256 kB, matching the SW26010 Pro CPE local memory.
   static constexpr std::size_t kDefaultCapacity = 256 * 1024;
 
-  explicit LdmArena(std::size_t capacity = kDefaultCapacity);
+  /// `owner_cpe` only labels overflow errors (-1 = not owned by a CPE).
+  explicit LdmArena(std::size_t capacity = kDefaultCapacity, int owner_cpe = -1);
 
-  /// Allocate `bytes` (16-byte aligned). Throws ResourceError when the arena
-  /// would overflow — the same failure an oversized working set hits on real
-  /// hardware at link/run time.
+  /// Allocate `bytes` (16-byte aligned). Throws LdmOverflowError when the
+  /// arena would overflow — the same failure an oversized working set hits on
+  /// real hardware at link/run time — and bumps "resilience.ldm_overflows".
   void* allocate(std::size_t bytes);
 
   /// Free the most recent live allocation; `ptr` must match it (LIFO), the
@@ -42,6 +65,7 @@ class LdmArena {
   static constexpr std::size_t kNoTop = static_cast<std::size_t>(-1);
 
   std::size_t capacity_;
+  int owner_cpe_ = -1;
   std::unique_ptr<std::byte[]> storage_;
   std::size_t offset_ = 0;
   std::size_t top_ = kNoTop;  ///< header offset of the most recent live block

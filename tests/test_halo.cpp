@@ -12,6 +12,8 @@
 #include "halo/transpose.hpp"
 #include "kxx/kxx.hpp"
 #include "resilience/fault_injector.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/error.hpp"
 
 namespace lh = licomk::halo;
 namespace ld = licomk::decomp;
@@ -331,4 +333,54 @@ TEST(Halo, SplitPhaseHonorsRedundancyElimination) {
     EXPECT_NO_THROW(ex.finish_update(p2));
     EXPECT_EQ(ex.stats().skipped, 1u);
   });
+}
+
+TEST(Halo, CrcVerificationIsTransparentWhenClean) {
+  // With no corruption in flight, per-message CRC append/verify must change
+  // nothing: ghosts identical to a plain exchange, correct values everywhere.
+  ld::Decomposition d(16, 10, 2, 2);
+  lc::Runtime::run(4, [&](lc::Communicator& c) {
+    lh::HaloExchanger plain(d, c, c.rank());
+    lh::HaloExchanger checked(d, c, c.rank());
+    checked.set_verify_crc(true);
+    EXPECT_TRUE(checked.verify_crc());
+    lh::BlockField3D a("a", d.block(c.rank()), 4);
+    lh::BlockField3D b("b", d.block(c.rank()), 4);
+    fill_interior_3d(a);
+    fill_interior_3d(b);
+    plain.update(a, lh::FoldSign::Antisymmetric);
+    checked.update(b, lh::FoldSign::Antisymmetric);
+    for (int k = 0; k < 4; ++k)
+      for (int lj = 0; lj < a.ny_total(); ++lj)
+        for (int li = 0; li < a.nx_total(); ++li)
+          ASSERT_DOUBLE_EQ(b.at(k, lj, li), a.at(k, lj, li));
+    check_all_cells_3d(d, b, -1.0, c.rank());
+  });
+}
+
+TEST(Halo, CrcDetectsInjectedPayloadCorruption) {
+  // Flip bits in the first user-tagged (halo) message: the receiver's CRC
+  // check must surface CommError — loud failure, never silent corruption —
+  // and count the detection.
+  licomk::telemetry::reset();
+  licomk::telemetry::set_enabled(true);
+  licomk::resilience::FaultSchedule s;
+  s.add({licomk::resilience::FaultSite::CommPayload, licomk::resilience::FaultKind::FlipBits,
+         /*rank=*/-1, /*at_op=*/1, /*param=*/3.0});
+  licomk::resilience::arm(s);
+  ld::Decomposition d(16, 10, 1, 1);
+  EXPECT_THROW(lc::Runtime::run(1,
+                                [&](lc::Communicator& c) {
+                                  lh::HaloExchanger ex(d, c, 0);
+                                  ex.set_verify_crc(true);
+                                  lh::BlockField3D f("f", d.block(0), 3);
+                                  fill_interior_3d(f);
+                                  ex.update(f);
+                                }),
+               licomk::CommError);
+  EXPECT_GE(licomk::resilience::injected_count(), 1u);
+  EXPECT_GE(licomk::telemetry::counter_value("resilience.halo_crc_failures"), 1u);
+  licomk::resilience::disarm();
+  licomk::telemetry::set_enabled(false);
+  licomk::telemetry::reset();
 }

@@ -5,9 +5,11 @@
 #include <cstring>
 #include <vector>
 
+#include "resilience/fault_injector.hpp"
 #include "swsim/athread.hpp"
 #include "swsim/processor.hpp"
 #include "swsim/simd.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 
 namespace sw = licomk::swsim;
@@ -44,6 +46,23 @@ TEST(Ldm, CapacityMatchesSw26010Pro) {
   sw::LdmArena arena;
   EXPECT_EQ(arena.capacity(), 256u * 1024u);
 }
+
+TEST(Ldm, OverflowCarriesTypedContext) {
+  sw::LdmArena arena(1024, /*owner_cpe=*/7);
+  try {
+    arena.allocate(4096);
+    FAIL() << "expected LdmOverflowError";
+  } catch (const sw::LdmOverflowError& e) {
+    EXPECT_EQ(e.cpe_id(), 7);
+    EXPECT_EQ(e.requested(), 4096u);
+    EXPECT_EQ(e.capacity(), 1024u);
+    EXPECT_LE(e.available(), 1024u);
+    EXPECT_NE(std::string(e.what()).find("CPE 7"), std::string::npos);
+  }
+  // The typed error still satisfies legacy ResourceError handlers.
+  EXPECT_THROW(arena.allocate(4096), licomk::ResourceError);
+}
+
 
 TEST(Dma, TracksBytesAndModeledTime) {
   sw::DmaEngine dma;
@@ -165,6 +184,38 @@ TEST(Athread, LdmKernelBalancedAllocationsPass) {
     sw::athread_spawn(&ldm_kernel, nullptr);
     sw::athread_join();
   });
+}
+
+TEST(Athread, InjectedLdmInflateOverflowsAndIsCaughtThroughSpawn) {
+  namespace lr = licomk::resilience;
+  licomk::telemetry::reset();
+  licomk::telemetry::set_enabled(true);
+  sw::reset_default_core_group();
+  sw::athread_init();
+  // Inflate CPE 3's first ldm_malloc by a full LDM capacity: the arena must
+  // overflow no matter how small the request was.
+  lr::FaultSchedule s;
+  s.add({lr::FaultSite::LdmMalloc, lr::FaultKind::InflateAlloc, /*rank=*/3, /*at_op=*/1, 0.0});
+  lr::arm(s);
+  bool caught = false;
+  try {
+    sw::athread_spawn(&ldm_kernel, nullptr);
+  } catch (const sw::LdmOverflowError& e) {
+    caught = true;
+    EXPECT_EQ(e.cpe_id(), 3);
+    EXPECT_GT(e.requested(), sw::LdmArena::kDefaultCapacity);
+  }
+  lr::disarm();
+  EXPECT_TRUE(caught);
+  EXPECT_GE(licomk::telemetry::counter_value("resilience.ldm_overflows"), 1u);
+  // The failed spawn left the runtime joinable-free and the CPE's arena
+  // reset: the next spawn/join cycle runs clean.
+  EXPECT_NO_THROW({
+    sw::athread_spawn(&ldm_kernel, nullptr);
+    sw::athread_join();
+  });
+  licomk::telemetry::set_enabled(false);
+  licomk::telemetry::reset();
 }
 
 TEST(Simd, AxpyMatchesScalarIncludingTail) {
