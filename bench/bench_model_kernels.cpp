@@ -94,10 +94,23 @@ BENCHMARK(BM_VerticalMixing)->Unit(benchmark::kMillisecond);
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  // Record how LICOMK itself was compiled (the library_build_type the
+  // benchmark library reports describes the system libbenchmark, not us).
+  // ci/check_perf.py refuses debug-built baselines and candidates.
+#ifdef NDEBUG
+  benchmark::AddCustomContext("licomk_build_type", "release");
+#else
+  benchmark::AddCustomContext("licomk_build_type", "debug");
+#endif
   licomk::telemetry::initialize_from_env();
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   if (licomk::telemetry::enabled()) {
+    // Export the authoritative MPE-fallback count so the staging gate can
+    // assert the model ran CPE-resident (the telemetry counter only
+    // self-registers on the first fallback).
+    licomk::telemetry::counter("kxx.athread_fallbacks")
+        .record_max(static_cast<std::uint64_t>(kxx::athread_fallback_count()));
     const char* out = std::getenv("LICOMK_TELEMETRY_OUT");
     std::string prefix = out != nullptr ? std::string(out) + "/" : std::string();
     licomk::telemetry::write_metrics_json(prefix + "metrics.json");

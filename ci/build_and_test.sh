@@ -23,3 +23,10 @@ for backend in serial threads athread; do
   LICOMK_BACKEND="$backend" LICOMK_NUM_THREADS=2 \
     ctest --test-dir "$BUILD_DIR" --output-on-failure -R 'test_kxx|test_swsim|test_model'
 done
+
+# Strict leg: on AthreadSim every dispatched functor must be registered and
+# run CPE-resident — an MPE fallback throws instead of silently degrading.
+# Exercises the LDM staging path end to end (DoubleBuffered is the default).
+echo "=== backend sweep: LICOMK_BACKEND=athread (strict, no MPE fallback) ==="
+LICOMK_BACKEND=athread LICOMK_ATHREAD_STRICT=1 \
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -R 'test_kxx|test_swsim|test_model|test_ldm_stage'

@@ -29,6 +29,27 @@ def load_times(path):
     return times
 
 
+def check_build_type(path, role):
+    """Refuse timings from a debug build of LICOMK.
+
+    The bench binary records its own compile mode as `licomk_build_type` in
+    the benchmark context (the stock `library_build_type` field describes the
+    system libbenchmark package, which Debian ships without NDEBUG).
+    Comparing a debug baseline against a release candidate (or vice versa)
+    renders the ratio gate meaningless, so both sides must be release.
+    Returns an error string, or None when the run is acceptable.
+    """
+    with open(path) as f:
+        context = json.load(f).get("context", {})
+    build_type = context.get("licomk_build_type")
+    if build_type is None:
+        return (f"{role} {path}: no licomk_build_type in context "
+                "(regenerate with ci/update_baseline.sh from a Release build)")
+    if build_type != "release":
+        return f"{role} {path}: built in {build_type}; perf gating needs a Release build"
+    return None
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("baseline")
@@ -36,6 +57,14 @@ def main():
     ap.add_argument("--max-ratio", type=float, default=2.0,
                     help="fail when current/baseline exceeds this (default 2.0)")
     args = ap.parse_args()
+
+    build_errors = [e for e in (check_build_type(args.baseline, "baseline"),
+                                check_build_type(args.current, "current"))
+                    if e is not None]
+    if build_errors:
+        for e in build_errors:
+            print(f"error: {e}", file=sys.stderr)
+        return 2
 
     baseline = load_times(args.baseline)
     current = load_times(args.current)

@@ -31,3 +31,7 @@ EOF
 
 python3 ci/check_perf.py bench/baseline_smoke.json "$OUT_DIR/bench_smoke.json" \
   --max-ratio 2.0
+
+# The LDM staging pipeline must have engaged on the converted kernels:
+# batched DMA, transfer/compute overlap, no MPE or staging fallbacks.
+python3 ci/check_ldm_staging.py "$OUT_DIR/metrics.json"

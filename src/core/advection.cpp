@@ -25,6 +25,12 @@ struct FluxEast {
   Geo g;
   CF3 u;
   F3 fe;
+  /// LDM staging footprint: u is read with a j-1 stencil; fe is written at
+  /// every dispatched index. Geometry (2-D masks/metrics) stays unstaged.
+  void kxx_access(kxx::AccessSpec& a) const {
+    a.in(u).halo(1, 1, 0);
+    a.out(fe);
+  }
   void operator()(long long k, long long j, long long i) const {
     double flux = 0.0;
     if (g.active(k, j, i) && g.active(k, j, i + 1)) {
@@ -41,6 +47,12 @@ struct FluxNorth {
   Geo g;
   CF3 v;
   F3 fn;
+  /// LDM staging footprint: v is read with an i-1 stencil; fn is written at
+  /// every dispatched index.
+  void kxx_access(kxx::AccessSpec& a) const {
+    a.in(v).halo(2, 1, 0);
+    a.out(fn);
+  }
   void operator()(long long k, long long j, long long i) const {
     double flux = 0.0;
     if (j != g.seam_j && g.active(k, j, i) && g.active(k, j + 1, i)) {
@@ -351,11 +363,13 @@ void compute_volume_fluxes(const LocalGrid& g, const halo::BlockField3D& u,
   const int nxt = g.nx_total();
 
   adv::FluxEast fe{geo, cref(u), mref(ws.flux_e)};
+  // Single-plane tiles: small LDM slabs and > 64 tiles even on test grids,
+  // so the AthreadSim double-buffered prefetch has a next tile to fetch.
   kxx::parallel_for("adv_flux_east",
-                    kxx::MDRangePolicy3({0, 1, 0}, {g.nz(), nyt, nxt - 1}), fe);
+                    kxx::MDRangePolicy3({0, 1, 0}, {g.nz(), nyt, nxt - 1}, {1, 4, 64}), fe);
   adv::FluxNorth fn{geo, cref(v), mref(ws.flux_n)};
   kxx::parallel_for("adv_flux_north",
-                    kxx::MDRangePolicy3({0, 0, 1}, {g.nz(), nyt - 1, nxt}), fn);
+                    kxx::MDRangePolicy3({0, 0, 1}, {g.nz(), nyt - 1, nxt}, {1, 4, 64}), fn);
 
   if (gm_kappa > 0.0 && rho != nullptr) {
     adv::GmBolus ge{geo, cref(*rho), mref(ws.flux_e), cref(g.dyu_view()),

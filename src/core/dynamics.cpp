@@ -63,6 +63,17 @@ struct TendencyK {
   double day_of_year = 0.0;
   double bottom_drag = 5.0e-4;  ///< linear drag velocity, m/s
 
+  /// LDM staging footprint: u/v carry the full ±1 horizontal stencil, p is
+  /// read at (j..j+1, i..i+1); fu/fv are written at every dispatched index
+  /// (0.0 below the column bottom). 2-D metrics/masks stay unstaged.
+  void kxx_access(kxx::AccessSpec& a) const {
+    a.in(u).halo(1, 1, 1).halo(2, 1, 1);
+    a.in(v).halo(1, 1, 1).halo(2, 1, 1);
+    a.in(p).halo(1, 0, 1).halo(2, 0, 1);
+    a.out(fu);
+    a.out(fv);
+  }
+
   void operator()(long long k, long long j, long long i) const {
     if (k >= kmu(j, i)) {
       fu(k, j, i) = 0.0;
@@ -321,8 +332,10 @@ kxx::MDRangePolicy2 interior2(const LocalGrid& g) {
 }
 
 kxx::MDRangePolicy3 interior3(const LocalGrid& g) {
+  // Single-plane tiles keep the LDM slab footprint small and yield > 64 tiles
+  // on test-sized grids, so every CPE's double-buffered prefetch engages.
   const int h = decomp::kHaloWidth;
-  return kxx::MDRangePolicy3({0, h, h}, {g.nz(), h + g.ny(), h + g.nx()});
+  return kxx::MDRangePolicy3({0, h, h}, {g.nz(), h + g.ny(), h + g.nx()}, {1, 4, 64});
 }
 
 }  // namespace

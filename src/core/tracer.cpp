@@ -22,6 +22,14 @@ struct HDiffK {
   double dt_ah = 0.0;  ///< dt * A_h
   long long seam_j = -2;  ///< closed fold seam (see LocalGrid::seam_row)
 
+  /// LDM staging footprint: q carries the ±1 horizontal diffusion stencil.
+  /// q_acc is read-modify-write (below-bottom cells are skipped, so inout —
+  /// not out — preserves their values through the round trip).
+  void kxx_access(kxx::AccessSpec& a) const {
+    a.in(q).halo(1, 1, 1).halo(2, 1, 1);
+    a.inout(q_acc);
+  }
+
   void operator()(long long k, long long j, long long i) const {
     if (k >= kmt(j, i)) return;
     auto cond_e = [&](long long jj, long long ii) {
@@ -149,7 +157,8 @@ void tracer_step(const LocalGrid& g, const ModelConfig& cfg, OceanState& state,
   advect_tracer_fct(g, dt, state.t_cur, ws, exchanger, state.t_new);
   advect_tracer_fct(g, dt, state.s_cur, ws, exchanger, state.s_new);
 
-  kxx::MDRangePolicy3 interior3({0, h, h}, {g.nz(), h + g.ny(), h + g.nx()});
+  // Single-plane tiles for the staged trc_hdiff dispatches (see dynamics.cpp).
+  kxx::MDRangePolicy3 interior3({0, h, h}, {g.nz(), h + g.ny(), h + g.nx()}, {1, 4, 64});
   kxx::MDRangePolicy2 interior2({h, h}, {h + g.ny(), h + g.nx()});
 
   const long long seam = g.seam_row() >= 0 ? g.seam_row() : -2;

@@ -1,0 +1,135 @@
+// access.hpp — the view access-descriptor API for LDM tile staging.
+//
+// The paper's LDM optimization (§V-C) needs to know, per kernel, which views
+// each tile reads and writes and with what stencil halo. A functor opts in by
+// implementing
+//
+//   void kxx_access(kxx::AccessSpec& a) const {
+//     a.in(u).halo(1, 1, 1).halo(2, 1, 1);  // read, ±1 stencil in dims 1,2
+//     a.out(fu);                            // written at every tile index
+//     a.inout(acc);                         // read-modify-write
+//   }
+//
+// The CPE entry calls kxx_access on a private copy of the functor; the spec
+// records, for each declared view, the address of the copy's pointer/stride
+// members so the staging engine can re-point them at packed LDM slabs (with
+// slab strides) and run the unmodified operator() against LDM. Views the
+// functor does not declare (2-D geometry, masks) keep reading main memory.
+//
+// Contracts:
+//   * halo() is only legal on in() views — staged outputs cover exactly the
+//     tile, so an out() kernel must write every tile index it is dispatched
+//     on (use inout() when some indices are skipped, e.g. below-bottom masks);
+//   * declared views must be distinct non-overlapping allocations;
+//   * the view's allocation must cover the dispatched range plus declared
+//     halo (the same requirement direct execution already imposes).
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <type_traits>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace licomk::kxx {
+
+enum class AccessMode : int { In, Out, InOut };
+
+/// One staged view: where the functor copy keeps its pointer/strides, the
+/// original (main-memory) values, and the declared halo.
+struct StagedView {
+  AccessMode mode = AccessMode::In;
+  void* p_slot = nullptr;          ///< address of the copy's `p` member
+  long long* plane_slot = nullptr; ///< address of the copy's `plane` member
+  long long* row_slot = nullptr;   ///< address of the copy's `row` member
+  const double* base = nullptr;    ///< original pointer (main memory)
+  long long plane = 0;             ///< original strides
+  long long row = 0;
+  int halo_lo[3] = {0, 0, 0};
+  int halo_hi[3] = {0, 0, 0};
+
+  /// Re-point the functor copy's members (types erased: `p` may be
+  /// double* or const double*, identical representation).
+  void patch(const double* ptr, long long new_plane, long long new_row) const {
+    std::memcpy(p_slot, &ptr, sizeof(ptr));
+    *plane_slot = new_plane;
+    *row_slot = new_row;
+  }
+  void restore() const { patch(base, plane, row); }
+};
+
+/// Fluent halo declaration returned by AccessSpec::in.
+class HaloDecl {
+ public:
+  explicit HaloDecl(StagedView& v) : view_(v) {}
+  /// Declare that reads extend `lo` below and `hi` above the tile in `dim`.
+  HaloDecl& halo(int dim, int lo, int hi) {
+    LICOMK_REQUIRE(dim >= 0 && dim < 3, "AccessSpec halo dim out of range");
+    LICOMK_REQUIRE(lo >= 0 && hi >= 0, "AccessSpec halo must be non-negative");
+    view_.halo_lo[dim] = lo;
+    view_.halo_hi[dim] = hi;
+    return *this;
+  }
+
+ private:
+  StagedView& view_;
+};
+
+/// Collects the staged views a functor declares. Fixed-size storage — it is
+/// built on the CPE side where heap allocation is off the table.
+class AccessSpec {
+ public:
+  static constexpr int kMaxViews = 8;
+
+  /// Declare a read-only view (CF3-shaped: members p/plane/row).
+  template <typename View>
+  HaloDecl in(const View& v) {
+    return HaloDecl(add(AccessMode::In, v));
+  }
+  /// Declare a write-only view; the kernel must write every tile index.
+  template <typename View>
+  void out(const View& v) {
+    add(AccessMode::Out, v);
+  }
+  /// Declare a read-modify-write view (staged in and back out, no halo).
+  template <typename View>
+  void inout(const View& v) {
+    add(AccessMode::InOut, v);
+  }
+
+  int size() const { return count_; }
+  const StagedView& view(int i) const { return views_[i]; }
+  StagedView& view(int i) { return views_[i]; }
+
+ private:
+  template <typename View>
+  StagedView& add(AccessMode mode, const View& v) {
+    LICOMK_REQUIRE(count_ < kMaxViews, "AccessSpec: too many staged views");
+    StagedView& s = views_[count_++];
+    s.mode = mode;
+    // The spec is built against the entry's own functor copy, so shedding
+    // constness to record writable slots is sound.
+    s.p_slot = const_cast<void*>(static_cast<const void*>(&v.p));
+    s.plane_slot = const_cast<long long*>(&v.plane);
+    s.row_slot = const_cast<long long*>(&v.row);
+    s.base = v.p;
+    s.plane = v.plane;
+    s.row = v.row;
+    return s;
+  }
+
+  StagedView views_[kMaxViews];
+  int count_ = 0;
+};
+
+namespace detail {
+/// True when F declares an LDM access footprint via kxx_access.
+template <typename F, typename = void>
+struct has_ldm_access : std::false_type {};
+template <typename F>
+struct has_ldm_access<F, std::void_t<decltype(std::declval<const F&>().kxx_access(
+                             std::declval<AccessSpec&>()))>> : std::true_type {};
+}  // namespace detail
+
+}  // namespace licomk::kxx

@@ -19,6 +19,7 @@ struct RuntimeState {
   Backend backend = Backend::Serial;
   bool strict = false;
   int threads = 1;
+  LdmStagingMode ldm_staging = LdmStagingMode::DoubleBuffered;
   std::atomic<long long> fallbacks{0};
 };
 
@@ -32,6 +33,7 @@ void initialize(const InitConfig& config) {
   RuntimeState& s = state();
   s.backend = config.backend;
   s.strict = config.athread_strict;
+  s.ldm_staging = config.ldm_staging;
   int hw = static_cast<int>(std::thread::hardware_concurrency());
   s.threads = config.num_threads > 0 ? config.num_threads : (hw > 0 ? hw : 1);
   detail::global_thread_pool().resize(s.threads);
@@ -63,7 +65,32 @@ void set_athread_strict(bool strict) { state().strict = strict; }
 
 int num_threads() { return state().threads; }
 
-void fence() {}
+LdmStagingMode ldm_staging_mode() { return state().ldm_staging; }
+
+void set_ldm_staging_mode(LdmStagingMode mode) { state().ldm_staging = mode; }
+
+std::string ldm_staging_mode_name(LdmStagingMode mode) {
+  switch (mode) {
+    case LdmStagingMode::Direct: return "direct";
+    case LdmStagingMode::Staged: return "staged";
+    case LdmStagingMode::DoubleBuffered: return "double";
+  }
+  return "?";
+}
+
+LdmStagingMode ldm_staging_mode_from_name(const std::string& name) {
+  std::string n = name;
+  std::transform(n.begin(), n.end(), n.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (n == "direct") return LdmStagingMode::Direct;
+  if (n == "staged") return LdmStagingMode::Staged;
+  if (n == "double" || n == "doublebuffered" || n == "double_buffered")
+    return LdmStagingMode::DoubleBuffered;
+  throw InvalidArgument("unknown LDM staging mode '" + name +
+                        "' (expected direct|staged|double)");
+}
+
+void fence() { swsim::default_core_group().drain_dma(); }
 
 std::string backend_name(Backend backend) {
   switch (backend) {
@@ -88,6 +115,12 @@ Backend backend_from_name(const std::string& name) {
 InitConfig config_from_env(InitConfig defaults) {
   if (const char* b = std::getenv("LICOMK_BACKEND")) defaults.backend = backend_from_name(b);
   if (const char* t = std::getenv("LICOMK_NUM_THREADS")) defaults.num_threads = std::atoi(t);
+  if (const char* s = std::getenv("LICOMK_ATHREAD_STRICT")) {
+    defaults.athread_strict = std::string(s) == "1" || std::string(s) == "on";
+  }
+  if (const char* m = std::getenv("LICOMK_LDM_STAGING")) {
+    defaults.ldm_staging = ldm_staging_mode_from_name(m);
+  }
   return defaults;
 }
 

@@ -17,12 +17,25 @@ namespace licomk::kxx {
 
 enum class Backend { Serial, Threads, AthreadSim };
 
+/// How the AthreadSim backend moves functor data for kernels that declare an
+/// LDM access footprint (kxx_access):
+///   Direct         — dereference main memory element-by-element (the
+///                    unoptimized baseline of the paper's Fig. 8);
+///   Staged         — stage tile slabs into LDM via DMA, compute on the LDM
+///                    copies, write back; transfers are synchronous with
+///                    respect to compute;
+///   DoubleBuffered — Staged plus async prefetch of tile t+1 while tile t
+///                    computes (the paper's §V-C double buffering).
+/// Kernels without a footprint always run Direct.
+enum class LdmStagingMode { Direct, Staged, DoubleBuffered };
+
 /// Runtime configuration for initialize().
 struct InitConfig {
   Backend backend = Backend::Serial;
   int num_threads = 0;          ///< Threads backend pool size; 0 = hardware.
   bool athread_strict = false;  ///< Throw instead of MPE fallback for
                                 ///< unregistered functors on AthreadSim.
+  LdmStagingMode ldm_staging = LdmStagingMode::DoubleBuffered;
 };
 
 /// Initialize the runtime (idempotent per process; reconfigures on repeat
@@ -44,8 +57,17 @@ void set_athread_strict(bool strict);
 /// Number of workers the Threads backend uses.
 int num_threads();
 
-/// No-op barrier kept for Kokkos API fidelity (all simulated backends are
-/// synchronous).
+/// Active LDM staging mode for descriptor-carrying kernels on AthreadSim.
+LdmStagingMode ldm_staging_mode();
+void set_ldm_staging_mode(LdmStagingMode mode);
+
+/// Name ("direct", "staged", "double") / parse of a staging mode.
+std::string ldm_staging_mode_name(LdmStagingMode mode);
+LdmStagingMode ldm_staging_mode_from_name(const std::string& name);
+
+/// Device barrier: retires any async DMA still in flight on the simulated
+/// core group (compute itself is synchronous; the DMA reply counters are the
+/// one piece of device state that can outlive a dispatch).
 void fence();
 
 /// Human-readable backend name ("Serial", "Threads", "AthreadSim").
@@ -55,9 +77,11 @@ std::string backend_name(Backend backend);
 /// case-insensitive); throws InvalidArgument on anything else.
 Backend backend_from_name(const std::string& name);
 
-/// CI hook: apply LICOMK_BACKEND / LICOMK_NUM_THREADS environment overrides
-/// to `defaults`, so a test binary compiled against one backend can be
-/// re-run across all of them from the workflow matrix without recompiling.
+/// CI hook: apply LICOMK_BACKEND / LICOMK_NUM_THREADS / LICOMK_ATHREAD_STRICT
+/// / LICOMK_LDM_STAGING environment overrides to `defaults`, so a test binary
+/// compiled against one backend can be re-run across all of them (and both
+/// strict modes and all staging modes) from the workflow matrix without
+/// recompiling.
 InitConfig config_from_env(InitConfig defaults = {});
 
 /// Count of AthreadSim dispatches that fell back to MPE execution because the

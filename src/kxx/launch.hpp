@@ -1,0 +1,78 @@
+// launch.hpp — the POD launch descriptor and CPE tile distribution.
+//
+// Split out of registry.hpp so the LDM staging engine (ldm_stage.hpp) can
+// consume the descriptor without pulling in the functor registry. Everything
+// here crosses the C-ABI kernel launch, so it stays trivially copyable.
+#pragma once
+
+#include <algorithm>
+
+#include "swsim/core_group.hpp"
+
+namespace licomk::kxx::detail {
+
+/// POD launch descriptor passed through the C-ABI spawn to the preset
+/// function. One structure serves all kinds; unused dimensions are length 1.
+struct CpeLaunch {
+  const void* functor = nullptr;
+  int num_dims = 1;
+  long long begin[3] = {0, 0, 0};
+  long long end[3] = {0, 0, 0};
+  long long tile[3] = {1, 1, 1};
+  /// Reduce kernels write per-CPE partials here (array of 64 value_type,
+  /// allocated by the MPE-side dispatcher which knows the concrete type).
+  void* partials = nullptr;
+  /// Team kernels: per-team scratch bytes (taken from LDM on the CPEs).
+  long long scratch_bytes = 0;
+  /// LDM staging mode for functors with an access descriptor:
+  /// 0 = direct, 1 = staged, 2 = staged + double-buffered
+  /// (mirrors kxx::LdmStagingMode; an int here because the descriptor is POD).
+  int staging = 0;
+};
+
+/// Tile assignment per the paper's Eq. (1)/(2): total tiles across all loop
+/// dimensions, dealt to CPEs in contiguous chunks of ceil(total/num_cpe).
+struct TileAssignment {
+  long long first_tile = 0;
+  long long last_tile = 0;  ///< half-open
+  long long total_tiles = 0;
+  long long tiles_per_dim[3] = {1, 1, 1};
+};
+
+TileAssignment assign_tiles(const CpeLaunch& d, int cpe_id, int num_cpe);
+
+/// Index bounds of tile `t` (row-major over the tile grid); unused dims get
+/// [begin, begin+1) semantics via lo=0, hi=1.
+inline void tile_bounds(const CpeLaunch& d, const TileAssignment& a, long long t, long long lo[3],
+                        long long hi[3]) {
+  long long rem = t;
+  long long tile_coord[3] = {0, 0, 0};
+  for (int dim = d.num_dims - 1; dim >= 0; --dim) {
+    tile_coord[dim] = rem % a.tiles_per_dim[dim];
+    rem /= a.tiles_per_dim[dim];
+  }
+  for (int dim = 0; dim < 3; ++dim) {
+    if (dim < d.num_dims) {
+      lo[dim] = d.begin[dim] + tile_coord[dim] * d.tile[dim];
+      hi[dim] = std::min(lo[dim] + d.tile[dim], d.end[dim]);
+    } else {
+      lo[dim] = 0;
+      hi[dim] = 1;
+    }
+  }
+}
+
+/// Iterate every index of tile `t` (row-major over the tile grid), invoking
+/// `body(i0, i1, i2)`; unused dims pass their begin value.
+template <typename Body>
+void for_each_index_in_tile(const CpeLaunch& d, const TileAssignment& a, long long t,
+                            Body&& body) {
+  long long lo[3];
+  long long hi[3];
+  tile_bounds(d, a, t, lo, hi);
+  for (long long i0 = lo[0]; i0 < hi[0]; ++i0)
+    for (long long i1 = lo[1]; i1 < hi[1]; ++i1)
+      for (long long i2 = lo[2]; i2 < hi[2]; ++i2) body(i0, i1, i2);
+}
+
+}  // namespace licomk::kxx::detail

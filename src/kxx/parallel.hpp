@@ -208,6 +208,7 @@ void parallel_for(const std::string& label, const MDRangePolicy3& p, const F& f)
         d.end[dim] = p.end[dim];
         d.tile[dim] = p.tile[dim];
       }
+      d.staging = static_cast<int>(ldm_staging_mode());
       if (!detail::maybe_athread_for<F>(label, KernelKind::For3D, d)) {
         for (long long i = p.begin[0]; i < p.end[0]; ++i)
           for (long long j = p.begin[1]; j < p.end[1]; ++j)

@@ -25,6 +25,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "kxx/access.hpp"
+#include "kxx/launch.hpp"
+#include "kxx/ldm_stage.hpp"
 #include "swsim/core_group.hpp"
 #include "util/stats.hpp"
 
@@ -35,21 +38,6 @@ enum class KernelKind : int { For1D, For2D, For3D, Reduce1D, Reduce2D, Reduce3D,
 const char* kernel_kind_name(KernelKind kind);
 
 namespace detail {
-
-/// POD launch descriptor passed through the C-ABI spawn to the preset
-/// function. One structure serves all kinds; unused dimensions are length 1.
-struct CpeLaunch {
-  const void* functor = nullptr;
-  int num_dims = 1;
-  long long begin[3] = {0, 0, 0};
-  long long end[3] = {0, 0, 0};
-  long long tile[3] = {1, 1, 1};
-  /// Reduce kernels write per-CPE partials here (array of 64 value_type,
-  /// allocated by the MPE-side dispatcher which knows the concrete type).
-  void* partials = nullptr;
-  /// Team kernels: per-team scratch bytes (taken from LDM on the CPEs).
-  long long scratch_bytes = 0;
-};
 
 /// One registered kernel.
 struct RegistryNode {
@@ -120,45 +108,10 @@ class FunctorRegistry {
   std::unordered_map<Key, RegistryNode*, KeyHash> hashed_;
 };
 
-/// Tile assignment per the paper's Eq. (1)/(2): total tiles across all loop
-/// dimensions, dealt to CPEs in contiguous chunks of ceil(total/num_cpe).
-struct TileAssignment {
-  long long first_tile = 0;
-  long long last_tile = 0;  ///< half-open
-  long long total_tiles = 0;
-  long long tiles_per_dim[3] = {1, 1, 1};
-};
-
-TileAssignment assign_tiles(const CpeLaunch& d, int cpe_id, int num_cpe);
-
-/// Iterate every index of tile `t` (row-major over the tile grid), invoking
-/// `body(i0, i1, i2)`; unused dims pass their begin value.
-template <typename Body>
-void for_each_index_in_tile(const CpeLaunch& d, const TileAssignment& a, long long t,
-                            Body&& body) {
-  long long rem = t;
-  long long tile_coord[3] = {0, 0, 0};
-  for (int dim = d.num_dims - 1; dim >= 0; --dim) {
-    tile_coord[dim] = rem % a.tiles_per_dim[dim];
-    rem /= a.tiles_per_dim[dim];
-  }
-  long long lo[3];
-  long long hi[3];
-  for (int dim = 0; dim < 3; ++dim) {
-    if (dim < d.num_dims) {
-      lo[dim] = d.begin[dim] + tile_coord[dim] * d.tile[dim];
-      hi[dim] = std::min(lo[dim] + d.tile[dim], d.end[dim]);
-    } else {
-      lo[dim] = 0;
-      hi[dim] = 1;
-    }
-  }
-  for (long long i0 = lo[0]; i0 < hi[0]; ++i0)
-    for (long long i1 = lo[1]; i1 < hi[1]; ++i1)
-      for (long long i2 = lo[2]; i2 < hi[2]; ++i2) body(i0, i1, i2);
-}
-
 /// --- Preset functions (instantiated per functor at registration) ---------
+/// (CpeLaunch, TileAssignment, assign_tiles and for_each_index_in_tile live
+/// in launch.hpp; the LDM staging engine the 3-D entry dispatches to lives in
+/// ldm_stage.hpp.)
 
 template <typename Functor>
 void cpe_entry_for_1d(void* argp) {
@@ -185,12 +138,20 @@ void cpe_entry_for_2d(void* argp) {
 template <typename Functor>
 void cpe_entry_for_3d(void* argp) {
   const auto* d = static_cast<const CpeLaunch*>(argp);
-  const auto& f = *static_cast<const Functor*>(d->functor);
-  const int cpe = swsim::this_cpe()->id();
-  TileAssignment a = assign_tiles(*d, cpe, swsim::CoreGroup::kNumCpes);
-  for (long long t = a.first_tile; t < a.last_tile; ++t) {
-    for_each_index_in_tile(*d, a, t,
-                           [&](long long i0, long long i1, long long i2) { f(i0, i1, i2); });
+  if constexpr (has_ldm_access<Functor>::value) {
+    // Descriptor-carrying functor: route through the LDM staging engine
+    // (which itself falls back to direct indexing when staging is off or the
+    // footprint does not fit).
+    staged_entry_for_3d<Functor>(*d);
+    return;
+  } else {
+    const auto& f = *static_cast<const Functor*>(d->functor);
+    const int cpe = swsim::this_cpe()->id();
+    TileAssignment a = assign_tiles(*d, cpe, swsim::CoreGroup::kNumCpes);
+    for (long long t = a.first_tile; t < a.last_tile; ++t) {
+      for_each_index_in_tile(*d, a, t,
+                             [&](long long i0, long long i1, long long i2) { f(i0, i1, i2); });
+    }
   }
 }
 

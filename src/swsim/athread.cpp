@@ -112,6 +112,20 @@ void athread_dma_iput(void* main_dst, const void* ldm_src, std::size_t bytes, Dm
   require_cpe("athread_dma_iput").dma().iput(main_dst, ldm_src, bytes, reply);
 }
 
+void athread_dma_iget_stride(void* ldm_dst, const void* main_src, std::size_t block_bytes,
+                             std::size_t nblocks, std::size_t stride_bytes, DmaReply& reply) {
+  require_cpe("athread_dma_iget_stride")
+      .dma()
+      .iget_strided(ldm_dst, main_src, block_bytes, nblocks, stride_bytes, reply);
+}
+
+void athread_dma_iput_stride(void* main_dst, const void* ldm_src, std::size_t block_bytes,
+                             std::size_t nblocks, std::size_t stride_bytes, DmaReply& reply) {
+  require_cpe("athread_dma_iput_stride")
+      .dma()
+      .iput_strided(main_dst, ldm_src, block_bytes, nblocks, stride_bytes, reply);
+}
+
 void athread_dma_wait(DmaReply& reply, int target) {
   require_cpe("athread_dma_wait").dma().wait(reply, target);
 }

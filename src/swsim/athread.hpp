@@ -57,6 +57,14 @@ void athread_dma_get(void* ldm_dst, const void* main_src, std::size_t bytes);
 void athread_dma_put(void* main_dst, const void* ldm_src, std::size_t bytes);
 void athread_dma_iget(void* ldm_dst, const void* main_src, std::size_t bytes, DmaReply& reply);
 void athread_dma_iput(void* main_dst, const void* ldm_src, std::size_t bytes, DmaReply& reply);
+
+/// Strided (stepped) async DMA, the dma_set_stepsize mode real slab staging
+/// uses: nblocks blocks of block_bytes, stride_bytes apart on the main-memory
+/// side, contiguous in LDM. Counts as one transfer.
+void athread_dma_iget_stride(void* ldm_dst, const void* main_src, std::size_t block_bytes,
+                             std::size_t nblocks, std::size_t stride_bytes, DmaReply& reply);
+void athread_dma_iput_stride(void* main_dst, const void* ldm_src, std::size_t block_bytes,
+                             std::size_t nblocks, std::size_t stride_bytes, DmaReply& reply);
 void athread_dma_wait(DmaReply& reply, int target);
 
 }  // namespace licomk::swsim

@@ -26,9 +26,10 @@ void CoreGroup::spawn(CpeKernel kernel, void* arg) {
       kernel(arg);
     } catch (...) {
       // A kernel that died mid-flight (LDM overflow, injected DMA error)
-      // abandons its LDM allocations; reset so the core group stays usable
-      // after the failure is caught and handled above us.
+      // abandons its LDM allocations and in-flight transfers; reset so the
+      // core group stays usable after the failure is caught above us.
       ctx.ldm().reset();
+      ctx.dma().drain();
       throw;
     }
     executions_ += 1;
@@ -37,7 +38,18 @@ void CoreGroup::spawn(CpeKernel kernel, void* arg) {
                           std::to_string(ctx.ldm().live_allocations()) +
                           " LDM allocation(s) across a kernel boundary");
     }
+    if (ctx.dma().pending_async() != 0) {
+      std::uint64_t n = ctx.dma().drain();
+      throw ResourceError("CPE " + std::to_string(ctx.id()) + " exited a kernel with " +
+                          std::to_string(n) + " async DMA transfer(s) still pending");
+    }
   }
+}
+
+std::uint64_t CoreGroup::drain_dma() {
+  std::uint64_t n = 0;
+  for (auto& ctx : cpes_) n += ctx.dma().drain();
+  return n;
 }
 
 CpeContext& CoreGroup::cpe(int id) {

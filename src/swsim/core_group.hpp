@@ -60,8 +60,14 @@ class CoreGroup {
   /// Launch `kernel(arg)` on every CPE. Blocking (the matching athread_join is
   /// a no-op recorded for API fidelity). CPEs run in id order, so functional
   /// results are deterministic. Any LDM left allocated by a kernel is a leak
-  /// and throws ResourceError.
+  /// and throws ResourceError; so is an async DMA transfer left un-waited —
+  /// on real hardware that transfer could still be mutating LDM after the
+  /// buffer is reused by the next kernel.
   void spawn(CpeKernel kernel, void* arg);
+
+  /// Retire any pending async DMA on every CPE (the kxx::fence contract).
+  /// Returns the number of transfers that were still outstanding.
+  std::uint64_t drain_dma();
 
   /// Context of CPE `id` (for post-run inspection in tests).
   CpeContext& cpe(int id);

@@ -1,5 +1,6 @@
 #include "swsim/dma.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "resilience/fault_injector.hpp"
@@ -14,6 +15,7 @@ void DmaStats::merge(const DmaStats& o) {
   sync_bytes += o.sync_bytes;
   async_bytes += o.async_bytes;
   waits += o.waits;
+  async_in_flight_max = std::max(async_in_flight_max, o.async_in_flight_max);
   modeled_busy_s += o.modeled_busy_s;
 }
 
@@ -36,6 +38,8 @@ void DmaEngine::account(std::size_t bytes, bool async) {
     static telemetry::Counter& transfers = telemetry::counter("swsim.dma.transfers");
     (async ? async_bytes : sync_bytes).add(bytes);
     transfers.add(1);
+    telemetry::span_counter_add("dma.bytes", bytes);
+    telemetry::span_counter_add("dma.transfers", 1);
   }
 }
 
@@ -52,12 +56,42 @@ void DmaEngine::put(void* main_dst, const void* ldm_src, std::size_t bytes) {
 void DmaEngine::iget(void* ldm_dst, const void* main_src, std::size_t bytes, DmaReply& reply) {
   std::memcpy(ldm_dst, main_src, bytes);
   account(bytes, /*async=*/true);
+  pending_async_ += 1;
   reply.completed += 1;
 }
 
 void DmaEngine::iput(void* main_dst, const void* ldm_src, std::size_t bytes, DmaReply& reply) {
   std::memcpy(main_dst, ldm_src, bytes);
   account(bytes, /*async=*/true);
+  pending_async_ += 1;
+  reply.completed += 1;
+}
+
+void DmaEngine::iget_strided(void* ldm_dst, const void* main_src, std::size_t block_bytes,
+                             std::size_t nblocks, std::size_t stride_bytes, DmaReply& reply) {
+  LICOMK_REQUIRE(stride_bytes >= block_bytes || nblocks <= 1,
+                 "strided DMA get with overlapping source blocks");
+  auto* dst = static_cast<unsigned char*>(ldm_dst);
+  const auto* src = static_cast<const unsigned char*>(main_src);
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    std::memcpy(dst + b * block_bytes, src + b * stride_bytes, block_bytes);
+  }
+  account(block_bytes * nblocks, /*async=*/true);
+  pending_async_ += 1;
+  reply.completed += 1;
+}
+
+void DmaEngine::iput_strided(void* main_dst, const void* ldm_src, std::size_t block_bytes,
+                             std::size_t nblocks, std::size_t stride_bytes, DmaReply& reply) {
+  LICOMK_REQUIRE(stride_bytes >= block_bytes || nblocks <= 1,
+                 "strided DMA put with overlapping destination blocks");
+  auto* dst = static_cast<unsigned char*>(main_dst);
+  const auto* src = static_cast<const unsigned char*>(ldm_src);
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    std::memcpy(dst + b * stride_bytes, src + b * block_bytes, block_bytes);
+  }
+  account(block_bytes * nblocks, /*async=*/true);
+  pending_async_ += 1;
   reply.completed += 1;
 }
 
@@ -67,10 +101,27 @@ void DmaEngine::wait(DmaReply& reply, int target) {
     static telemetry::Counter& waits = telemetry::counter("swsim.dma.waits");
     waits.add(1);
   }
+  // Retire transfers this wait actually covers, even on the error path: the
+  // copies landed, only the extra replies are missing.
+  int newly = std::min(target, reply.completed) - reply.acknowledged;
+  if (newly > 0) {
+    reply.acknowledged += newly;
+    pending_async_ -= std::min<std::uint64_t>(pending_async_, static_cast<std::uint64_t>(newly));
+  }
   if (reply.completed < target) {
     throw ResourceError("DMA wait for " + std::to_string(target) + " replies but only " +
                         std::to_string(reply.completed) + " transfers completed");
   }
+}
+
+void DmaEngine::record_overlap() {
+  stats_.async_in_flight_max = std::max(stats_.async_in_flight_max, pending_async_);
+}
+
+std::uint64_t DmaEngine::drain() {
+  std::uint64_t n = pending_async_;
+  pending_async_ = 0;
+  return n;
 }
 
 }  // namespace licomk::swsim

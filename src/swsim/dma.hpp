@@ -3,9 +3,10 @@
 // Real Athread codes move data with dma_get/dma_put (synchronous) and
 // dma_iget/dma_iput (asynchronous with a reply counter). The simulator
 // performs the copies immediately but keeps full accounting — bytes moved,
-// transfer counts, sync vs async split, and a modeled transfer time from the
-// CG memory bandwidth — so double-buffering ablations can quantify how much
-// traffic the asynchronous path could overlap with compute.
+// transfer counts, sync vs async split, in-flight depth, and a modeled
+// transfer time from the CG memory bandwidth — so double-buffering ablations
+// can quantify how much traffic the asynchronous path could overlap with
+// compute.
 #pragma once
 
 #include <cstddef>
@@ -16,8 +17,11 @@ namespace licomk::swsim {
 /// Reply counter for asynchronous DMA, mirroring Athread's `dma_desc` reply
 /// semantics: each completed async transfer increments the counter;
 /// `DmaEngine::wait` blocks (logically) until it reaches a target.
+/// `acknowledged` tracks how many completions a wait has already consumed, so
+/// the engine can retire in-flight transfers exactly once per reply.
 struct DmaReply {
   int completed = 0;
+  int acknowledged = 0;
 };
 
 /// Aggregate DMA statistics for one CPE (or summed over a core group).
@@ -27,6 +31,10 @@ struct DmaStats {
   std::uint64_t sync_bytes = 0;
   std::uint64_t async_bytes = 0;
   std::uint64_t waits = 0;
+  /// Deepest observed overlap: async transfers still un-waited at the moment
+  /// a kernel sampled `record_overlap()` (i.e. at compute start). Zero means
+  /// every transfer was drained before compute — no overlap achieved.
+  std::uint64_t async_in_flight_max = 0;
   /// Modeled seconds the memory system was busy (bytes / CG bandwidth).
   double modeled_busy_s = 0.0;
 
@@ -53,10 +61,35 @@ class DmaEngine {
   void iget(void* ldm_dst, const void* main_src, std::size_t bytes, DmaReply& reply);
   void iput(void* main_dst, const void* ldm_src, std::size_t bytes, DmaReply& reply);
 
+  /// Strided async transfers, mirroring Athread's stepped DMA mode
+  /// (dma_set_stepsize): `nblocks` blocks of `block_bytes` each, separated by
+  /// `stride_bytes` on the main-memory side, packed contiguously on the LDM
+  /// side. One hardware command — accounted as ONE transfer — which is what
+  /// makes slab staging beat element-wise access on transfer count.
+  void iget_strided(void* ldm_dst, const void* main_src, std::size_t block_bytes,
+                    std::size_t nblocks, std::size_t stride_bytes, DmaReply& reply);
+  void iput_strided(void* main_dst, const void* ldm_src, std::size_t block_bytes,
+                    std::size_t nblocks, std::size_t stride_bytes, DmaReply& reply);
+
   /// Wait until `reply.completed >= target`. Throws ResourceError if that can
   /// never happen (more waits than issued transfers) — a lost-reply bug that
-  /// hangs real hardware.
+  /// hangs real hardware. Retires the newly acknowledged transfers from the
+  /// in-flight count.
   void wait(DmaReply& reply, int target);
+
+  /// Async transfers issued but not yet consumed by a wait. On real hardware
+  /// these are the transfers a kernel may overlap with compute.
+  std::uint64_t pending_async() const { return pending_async_; }
+
+  /// Record the current in-flight depth into `stats().async_in_flight_max`.
+  /// Kernels call this at compute start so the statistic captures genuine
+  /// transfer/compute overlap, not transient issue-time depth.
+  void record_overlap();
+
+  /// Forcibly retire all pending async transfers (copies already landed in
+  /// this functional simulation). Returns how many were outstanding. Used by
+  /// fence() and by failure paths that abandon a kernel mid-flight.
+  std::uint64_t drain();
 
   const DmaStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
@@ -64,6 +97,7 @@ class DmaEngine {
  private:
   void account(std::size_t bytes, bool async);
   DmaStats stats_;
+  std::uint64_t pending_async_ = 0;
 };
 
 }  // namespace licomk::swsim

@@ -74,6 +74,8 @@ struct Accum {
 struct Registry {
   std::mutex mutex;
   std::unordered_map<FlatKey, Accum, FlatKeyHash> flat;
+  /// Counters attributed to the innermost open span (span_counter_add).
+  std::unordered_map<FlatKey, std::map<std::string, std::uint64_t>, FlatKeyHash> flat_counters;
   /// Hierarchical path -> (aggregate, category/backend of first occurrence).
   std::map<std::string, std::pair<Accum, std::pair<std::string, std::string>>> paths;
   std::vector<TraceEvent> trace;
@@ -211,6 +213,27 @@ void span_end() {
   }
 }
 
+void span_counter_add(const std::string& name, std::uint64_t delta) {
+  ThreadState& ts = thread_state();
+  if (ts.stack.empty()) return;  // MPE-side traffic outside any span: global counters only
+  const Frame& f = ts.stack.back();
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.flat_counters[FlatKey{f.name, f.category, f.backend}][name] += delta;
+}
+
+std::uint64_t span_counter_value(const std::string& span_name, const std::string& counter_name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  std::uint64_t total = 0;
+  for (const auto& [key, counters] : r.flat_counters) {
+    if (key.name != span_name) continue;
+    auto it = counters.find(counter_name);
+    if (it != counters.end()) total += it->second;
+  }
+  return total;
+}
+
 namespace {
 
 SpanAggregate to_aggregate(std::string name, std::string category, std::string backend,
@@ -234,8 +257,11 @@ std::vector<SpanAggregate> span_aggregates() {
   std::lock_guard<std::mutex> lock(r.mutex);
   std::vector<SpanAggregate> out;
   out.reserve(r.flat.size());
-  for (const auto& [key, acc] : r.flat)
+  for (const auto& [key, acc] : r.flat) {
     out.push_back(to_aggregate(key.name, key.category, key.backend, acc));
+    auto it = r.flat_counters.find(key);
+    if (it != r.flat_counters.end()) out.back().counters = it->second;
+  }
   std::sort(out.begin(), out.end(), [](const SpanAggregate& a, const SpanAggregate& b) {
     if (a.total_s != b.total_s) return a.total_s > b.total_s;
     return a.name < b.name;
@@ -297,6 +323,7 @@ void reset() {
   Registry& r = registry();
   std::lock_guard<std::mutex> lock(r.mutex);
   r.flat.clear();
+  r.flat_counters.clear();
   r.paths.clear();
   r.trace.clear();
   r.gauges.clear();
@@ -337,6 +364,12 @@ std::string text_report() {
                     a.category.c_str(), a.count, a.total_s, a.items);
       os << buf;
       if (!a.backend.empty()) os << "  [" << a.backend << "]";
+      auto dma_b = a.counters.find("dma.bytes");
+      auto dma_t = a.counters.find("dma.transfers");
+      if (dma_b != a.counters.end() || dma_t != a.counters.end()) {
+        os << "  dma " << (dma_b == a.counters.end() ? 0 : dma_b->second) << "B/"
+           << (dma_t == a.counters.end() ? 0 : dma_t->second) << "xf";
+      }
       os << "\n";
     }
   }
@@ -370,7 +403,18 @@ void append_aggregates_json(std::ostringstream& os, const std::vector<SpanAggreg
        << util::json_escape(a.category) << "\", \"backend\": \"" << util::json_escape(a.backend)
        << "\", \"count\": " << a.count << ", \"total_s\": " << util::json_number(a.total_s)
        << ", \"min_s\": " << util::json_number(a.min_s)
-       << ", \"max_s\": " << util::json_number(a.max_s) << ", \"items\": " << a.items << "}";
+       << ", \"max_s\": " << util::json_number(a.max_s) << ", \"items\": " << a.items;
+    if (!a.counters.empty()) {
+      os << ", \"counters\": {";
+      bool cfirst = true;
+      for (const auto& [cname, cval] : a.counters) {
+        if (!cfirst) os << ", ";
+        cfirst = false;
+        os << "\"" << util::json_escape(cname) << "\": " << cval;
+      }
+      os << "}";
+    }
+    os << "}";
   }
   os << "\n  ]";
 }

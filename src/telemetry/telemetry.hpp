@@ -115,6 +115,16 @@ class ScopedSpan {
   bool active_ = false;
 };
 
+/// Add `delta` to the counter `name` attributed to the innermost span open on
+/// the calling thread (flat key). No-op when no span is open — the caller
+/// does not need to know whether it runs inside a kernel. This is how DMA
+/// bytes/transfers become per-kernel columns in text_report()/metrics_json().
+void span_counter_add(const std::string& name, std::uint64_t delta);
+
+/// Summed value of a span-attributed counter across every flat key with the
+/// given span name (all categories/backends). 0 when never touched.
+std::uint64_t span_counter_value(const std::string& span_name, const std::string& counter_name);
+
 /// Accumulated statistics of one span key.
 struct SpanAggregate {
   std::string name;      ///< Leaf name ("advect_tracer") or full path.
@@ -125,6 +135,9 @@ struct SpanAggregate {
   double min_s = 0.0;
   double max_s = 0.0;
   long long items = 0;  ///< Summed policy extents (kernels) or 0.
+  /// Counters attributed to this span via span_counter_add (flat aggregation
+  /// only; empty for path aggregates).
+  std::map<std::string, std::uint64_t> counters;
 };
 
 /// Flat aggregation by (name, category, backend), sorted by descending

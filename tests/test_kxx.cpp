@@ -278,6 +278,77 @@ TEST(KxxAthread, TileAssignmentMatchesPaperEquations) {
   EXPECT_EQ(covered, 52);
 }
 
+TEST(KxxAthread, TileAssignmentEmptyRangeGivesNoTiles) {
+  kxx::detail::CpeLaunch d;
+  d.num_dims = 3;
+  d.begin[0] = 0; d.end[0] = 5; d.tile[0] = 2;
+  d.begin[1] = 3; d.end[1] = 3; d.tile[1] = 4;  // empty middle dimension
+  d.begin[2] = 0; d.end[2] = 7; d.tile[2] = 3;
+  for (int cpe = 0; cpe < 64; ++cpe) {
+    auto a = kxx::detail::assign_tiles(d, cpe, 64);
+    EXPECT_EQ(a.total_tiles, 0);
+    EXPECT_EQ(a.first_tile, a.last_tile);
+  }
+}
+
+TEST(KxxAthread, FewerTilesThanCpesLeavesTrailingCpesIdle) {
+  kxx::detail::CpeLaunch d;
+  d.num_dims = 1;
+  d.begin[0] = 0; d.end[0] = 10; d.tile[0] = 4;  // 3 tiles for 64 CPEs
+  long long covered = 0;
+  for (int cpe = 0; cpe < 64; ++cpe) {
+    auto a = kxx::detail::assign_tiles(d, cpe, 64);
+    EXPECT_EQ(a.total_tiles, 3);
+    long long owned = a.last_tile - a.first_tile;
+    if (cpe < 3) {
+      EXPECT_EQ(owned, 1) << "cpe " << cpe;
+    } else {
+      EXPECT_EQ(owned, 0) << "cpe " << cpe;
+    }
+    covered += owned;
+  }
+  EXPECT_EQ(covered, 3);
+}
+
+TEST(KxxAthread, RemainderTileIsClampedToRangeEnd) {
+  kxx::detail::CpeLaunch d;
+  d.num_dims = 3;
+  d.begin[0] = 0; d.end[0] = 5;  d.tile[0] = 2;  // 3 tiles, last has extent 1
+  d.begin[1] = 2; d.end[1] = 9;  d.tile[1] = 3;  // 3 tiles, last has extent 1
+  d.begin[2] = 1; d.end[2] = 12; d.tile[2] = 4;  // 3 tiles, last has extent 3
+  auto a = kxx::detail::assign_tiles(d, 0, 1);
+  ASSERT_EQ(a.total_tiles, 27);
+  long long lo[3];
+  long long hi[3];
+  kxx::detail::tile_bounds(d, a, a.total_tiles - 1, lo, hi);  // corner tile
+  EXPECT_EQ(lo[0], 4); EXPECT_EQ(hi[0], 5);
+  EXPECT_EQ(lo[1], 8); EXPECT_EQ(hi[1], 9);
+  EXPECT_EQ(lo[2], 9); EXPECT_EQ(hi[2], 12);
+}
+
+TEST(KxxAthread, TileIterationCoversEveryIndexExactlyOnce) {
+  // Non-dividing tiles in every dimension, offset begins: the union of all
+  // CPEs' tile iterations must visit each index of the box exactly once.
+  kxx::detail::CpeLaunch d;
+  d.num_dims = 3;
+  d.begin[0] = 1; d.end[0] = 6;  d.tile[0] = 2;
+  d.begin[1] = 0; d.end[1] = 11; d.tile[1] = 4;
+  d.begin[2] = 3; d.end[2] = 20; d.tile[2] = 5;
+  const long long n0 = 5, n1 = 11, n2 = 17;
+  std::vector<int> visits(static_cast<size_t>(n0 * n1 * n2), 0);
+  for (int cpe = 0; cpe < 64; ++cpe) {
+    auto a = kxx::detail::assign_tiles(d, cpe, 64);
+    for (long long t = a.first_tile; t < a.last_tile; ++t) {
+      kxx::detail::for_each_index_in_tile(
+          d, a, t, [&](long long i0, long long i1, long long i2) {
+            ASSERT_TRUE(i0 >= 1 && i0 < 6 && i1 >= 0 && i1 < 11 && i2 >= 3 && i2 < 20);
+            ++visits[static_cast<size_t>((i0 - 1) * n1 * n2 + i1 * n2 + (i2 - 3))];
+          });
+    }
+  }
+  for (int v : visits) ASSERT_EQ(v, 1);
+}
+
 TEST(KxxAthread, ReduceOpMismatchRejected) {
   kxx::initialize({kxx::Backend::AthreadSim, 1, /*athread_strict=*/true});
   double out = 0.0;

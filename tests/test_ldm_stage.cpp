@@ -1,0 +1,254 @@
+// Tests for the LDM tile-staging pipeline (paper §V-C): the access-descriptor
+// API, bit-identity of direct / staged / double-buffered execution against the
+// Serial backend, DMA transfer batching and overlap accounting, the
+// too-small-LDM fallback, and the fence/kernel-exit DMA contracts.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "kxx/kxx.hpp"
+#include "swsim/athread.hpp"
+#include "swsim/core_group.hpp"
+#include "swsim/dma.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/error.hpp"
+
+namespace kxx = licomk::kxx;
+namespace sw = licomk::swsim;
+namespace tel = licomk::telemetry;
+
+namespace {
+
+/// Minimal CF3/F3-shaped views (members p/plane/row) over caller-owned
+/// storage — the duck-typed shape AccessSpec stages.
+struct CView3 {
+  const double* p = nullptr;
+  long long plane = 0;
+  long long row = 0;
+  double operator()(long long k, long long j, long long i) const {
+    return p[k * plane + j * row + i];
+  }
+};
+
+struct MView3 {
+  double* p = nullptr;
+  long long plane = 0;
+  long long row = 0;
+  double& operator()(long long k, long long j, long long i) const {
+    return p[k * plane + j * row + i];
+  }
+};
+
+/// 5-point horizontal stencil with a declared ±1 halo in dims 1 and 2.
+struct StageStencil {
+  CView3 in;
+  MView3 out;
+  void kxx_access(kxx::AccessSpec& a) const {
+    a.in(in).halo(1, 1, 1).halo(2, 1, 1);
+    a.out(out);
+  }
+  void operator()(long long k, long long j, long long i) const {
+    out(k, j, i) = in(k, j, i) +
+                   0.25 * (in(k, j - 1, i) + in(k, j + 1, i) + in(k, j, i - 1) + in(k, j, i + 1)) +
+                   static_cast<double>(k);
+  }
+};
+
+/// Read-modify-write with skipped indices: the inout contract must carry the
+/// untouched values through the LDM round trip unchanged.
+struct MaskedAccum {
+  CView3 q;
+  MView3 acc;
+  void kxx_access(kxx::AccessSpec& a) const {
+    a.in(q);
+    a.inout(acc);
+  }
+  void operator()(long long k, long long j, long long i) const {
+    if ((k + j + i) % 3 == 0) return;  // below-bottom-style mask
+    acc(k, j, i) += 2.0 * q(k, j, i);
+  }
+};
+
+struct Grid {
+  long long nz, ny, nx;      ///< dispatched interior
+  long long ny_tot, nx_tot;  ///< allocation with one halo ring in dims 1, 2
+  std::vector<double> data(double scale) const {
+    std::vector<double> v(static_cast<std::size_t>(nz * ny_tot * nx_tot));
+    for (std::size_t n = 0; n < v.size(); ++n) {
+      v[n] = scale * static_cast<double>((n * 37) % 1013) - 3.0;
+    }
+    return v;
+  }
+  CView3 cview(const std::vector<double>& v) const {
+    return CView3{v.data(), ny_tot * nx_tot, nx_tot};
+  }
+  MView3 mview(std::vector<double>& v) const {
+    return MView3{v.data(), ny_tot * nx_tot, nx_tot};
+  }
+  kxx::MDRangePolicy3 interior(std::array<long long, 3> tile) const {
+    return kxx::MDRangePolicy3({0, 1, 1}, {nz, 1 + ny, 1 + nx}, tile);
+  }
+};
+
+constexpr Grid kGrid{7, 13, 21, 15, 23};
+// {1,4,8} gives 7*4*3 = 84 tiles: more than 64 CPEs, so most CPEs own two
+// tiles and the double-buffered prefetch has something to overlap.
+constexpr std::array<long long, 3> kTile{1, 4, 8};
+
+std::vector<double> run_stencil(kxx::Backend backend, kxx::LdmStagingMode mode) {
+  kxx::initialize({backend, 2, false, mode});
+  auto in = kGrid.data(0.01);
+  auto out = kGrid.data(0.5);  // nonzero so unwritten halo entries are visible
+  kxx::parallel_for("stage_stencil", kGrid.interior(kTile),
+                    StageStencil{kGrid.cview(in), kGrid.mview(out)});
+  return out;
+}
+
+std::vector<double> run_masked(kxx::Backend backend, kxx::LdmStagingMode mode) {
+  kxx::initialize({backend, 2, false, mode});
+  auto q = kGrid.data(0.02);
+  auto acc = kGrid.data(-0.3);
+  kxx::parallel_for("stage_masked", kGrid.interior(kTile),
+                    MaskedAccum{kGrid.cview(q), kGrid.mview(acc)});
+  return acc;
+}
+
+}  // namespace
+
+KXX_REGISTER_FOR_3D(ldm_stage_stencil, StageStencil);
+KXX_REGISTER_FOR_3D(ldm_stage_masked, MaskedAccum);
+
+TEST(LdmStage, StagedModesBitIdenticalToSerial) {
+  sw::reset_default_core_group();
+  auto reference = run_stencil(kxx::Backend::Serial, kxx::LdmStagingMode::Direct);
+  for (auto mode : {kxx::LdmStagingMode::Direct, kxx::LdmStagingMode::Staged,
+                    kxx::LdmStagingMode::DoubleBuffered}) {
+    auto got = run_stencil(kxx::Backend::AthreadSim, mode);
+    EXPECT_EQ(got, reference) << "mode " << kxx::ldm_staging_mode_name(mode);
+  }
+  kxx::initialize({kxx::Backend::Serial, 1, false});
+}
+
+TEST(LdmStage, InOutPreservesSkippedIndices) {
+  sw::reset_default_core_group();
+  auto reference = run_masked(kxx::Backend::Serial, kxx::LdmStagingMode::Direct);
+  for (auto mode : {kxx::LdmStagingMode::Staged, kxx::LdmStagingMode::DoubleBuffered}) {
+    auto got = run_masked(kxx::Backend::AthreadSim, mode);
+    EXPECT_EQ(got, reference) << "mode " << kxx::ldm_staging_mode_name(mode);
+  }
+  kxx::initialize({kxx::Backend::Serial, 1, false});
+}
+
+TEST(LdmStage, StagedTransfersAreBatchedTenfold) {
+  sw::reset_default_core_group();
+  run_stencil(kxx::Backend::AthreadSim, kxx::LdmStagingMode::Staged);
+  auto stats = sw::default_core_group().stats();
+  const std::uint64_t elements = kGrid.nz * kGrid.ny * kGrid.nx;
+  ASSERT_GT(stats.dma.async_transfers, 0u);
+  // The acceptance bar: strided slab staging must issue at least 10x fewer
+  // DMA commands than elements touched (element-wise access would be ~1:1).
+  EXPECT_LE(stats.dma.async_transfers * 10, elements);
+  // Synchronous single-buffered staging never overlaps transfers and compute.
+  EXPECT_EQ(stats.dma.async_in_flight_max, 0u);
+  kxx::initialize({kxx::Backend::Serial, 1, false});
+}
+
+TEST(LdmStage, DoubleBufferingOverlapsTransfersWithCompute) {
+  sw::reset_default_core_group();
+  run_stencil(kxx::Backend::AthreadSim, kxx::LdmStagingMode::DoubleBuffered);
+  auto stats = sw::default_core_group().stats();
+  // The tile t+1 prefetch must be in flight while tile t computes.
+  EXPECT_GE(stats.dma.async_in_flight_max, 1u);
+  kxx::initialize({kxx::Backend::Serial, 1, false});
+}
+
+TEST(LdmStage, TelemetryAttributesDmaToKernelSpanAndCountsStagedBytes) {
+  sw::reset_default_core_group();
+  tel::set_enabled(true);
+  tel::reset();
+  run_stencil(kxx::Backend::AthreadSim, kxx::LdmStagingMode::DoubleBuffered);
+  const std::uint64_t elements = kGrid.nz * kGrid.ny * kGrid.nx;
+  // Per-kernel attribution (how the CI perf gate checks converted kernels).
+  EXPECT_GT(tel::span_counter_value("stage_stencil", "dma.bytes"), 0u);
+  std::uint64_t transfers = tel::span_counter_value("stage_stencil", "dma.transfers");
+  ASSERT_GT(transfers, 0u);
+  EXPECT_LE(transfers * 10, elements);
+  // Global staging counters.
+  EXPECT_GT(tel::counter_value("ldm.staged_bytes"), 0u);
+  EXPECT_GE(tel::counter_value("dma.async_in_flight_max"), 1u);
+  EXPECT_EQ(tel::counter_value("kxx.ldm_stage_fallbacks"), 0u);
+  tel::reset();
+  tel::set_enabled(false);
+  kxx::initialize({kxx::Backend::Serial, 1, false});
+}
+
+TEST(LdmStage, FallsBackToDirectWhenLdmTooSmall) {
+  // 512 B cannot hold even one double-buffered slab set for kTile.
+  sw::reset_default_core_group(512);
+  tel::set_enabled(true);
+  tel::reset();
+  auto reference = run_stencil(kxx::Backend::Serial, kxx::LdmStagingMode::Direct);
+  auto got = run_stencil(kxx::Backend::AthreadSim, kxx::LdmStagingMode::DoubleBuffered);
+  EXPECT_EQ(got, reference);
+  auto stats = sw::default_core_group().stats();
+  EXPECT_EQ(stats.dma.async_transfers, 0u);  // nothing was staged
+  EXPECT_GT(tel::counter_value("kxx.ldm_stage_fallbacks"), 0u);
+  EXPECT_GT(tel::counter_value("ldm.direct_bytes"), 0u);
+  EXPECT_EQ(tel::counter_value("ldm.staged_bytes"), 0u);
+  tel::reset();
+  tel::set_enabled(false);
+  sw::reset_default_core_group();
+  kxx::initialize({kxx::Backend::Serial, 1, false});
+}
+
+namespace {
+/// A buggy kernel: issues an async get and exits without waiting.
+void unwaited_dma_kernel(void*) {
+  static double src[4] = {1.0, 2.0, 3.0, 4.0};
+  void* dst = sw::ldm_malloc(sizeof(src));
+  sw::DmaReply reply;
+  sw::athread_dma_iget(dst, src, sizeof(src), reply);
+  sw::ldm_free(dst);
+}
+}  // namespace
+
+TEST(LdmStage, KernelExitWithPendingDmaThrows) {
+  sw::reset_default_core_group();
+  sw::athread_init();
+  EXPECT_THROW(sw::athread_spawn(&unwaited_dma_kernel, nullptr), licomk::ResourceError);
+  // The failed spawn drained the engine; the group is reusable afterwards.
+  EXPECT_EQ(sw::default_core_group().drain_dma(), 0u);
+  sw::reset_default_core_group();
+}
+
+TEST(LdmStage, FenceDrainsPendingAsyncDma) {
+  sw::reset_default_core_group();
+  auto& dma = sw::default_core_group().cpe(0).dma();
+  double src = 7.0;
+  double dst = 0.0;
+  sw::DmaReply reply;
+  dma.iget(&dst, &src, sizeof(double), reply);
+  EXPECT_EQ(dma.pending_async(), 1u);
+  kxx::fence();
+  EXPECT_EQ(dma.pending_async(), 0u);
+  EXPECT_DOUBLE_EQ(dst, 7.0);  // the copy itself landed eagerly
+  sw::reset_default_core_group();
+}
+
+TEST(LdmStage, StagingModeNamesRoundTrip) {
+  using M = kxx::LdmStagingMode;
+  for (auto m : {M::Direct, M::Staged, M::DoubleBuffered}) {
+    EXPECT_EQ(kxx::ldm_staging_mode_from_name(kxx::ldm_staging_mode_name(m)), m);
+  }
+  EXPECT_EQ(kxx::ldm_staging_mode_from_name("double_buffered"), M::DoubleBuffered);
+  EXPECT_THROW(kxx::ldm_staging_mode_from_name("bogus"), licomk::Error);
+}
+
+TEST(LdmStage, SetModeTakesEffectWithoutReinitialize) {
+  kxx::initialize({kxx::Backend::AthreadSim, 1, false, kxx::LdmStagingMode::Direct});
+  EXPECT_EQ(kxx::ldm_staging_mode(), kxx::LdmStagingMode::Direct);
+  kxx::set_ldm_staging_mode(kxx::LdmStagingMode::Staged);
+  EXPECT_EQ(kxx::ldm_staging_mode(), kxx::LdmStagingMode::Staged);
+  kxx::initialize({kxx::Backend::Serial, 1, false});
+}
