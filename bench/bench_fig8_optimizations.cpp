@@ -30,6 +30,9 @@ struct RunResult {
   double ms_per_step;
   double exchanges_per_step;
   double skipped_per_step;
+  double messages_per_step;
+  double kb_per_message;
+  double batches_per_step;
 };
 
 /// One leg of the LDM staging ablation (§V-C): the same model on the
@@ -92,7 +95,10 @@ RunResult run_variant(const core::ModelConfig& cfg, int steps) {
   const auto& st = model.exchanger().stats();
   return RunResult{1e3 * secs / steps,
                    static_cast<double>(st.exchanges) / model.steps_taken(),
-                   static_cast<double>(st.skipped) / model.steps_taken()};
+                   static_cast<double>(st.skipped) / model.steps_taken(),
+                   static_cast<double>(st.messages) / model.steps_taken(),
+                   st.messages > 0 ? 1e-3 * static_cast<double>(st.bytes) / st.messages : 0.0,
+                   static_cast<double>(st.batches) / model.steps_taken()};
 }
 }  // namespace
 
@@ -131,6 +137,29 @@ int main() {
       " has no physical network to express; the counters above show the\n"
       " eliminated exchanges that produce them at scale — see bench_table5_strong\n"
       " for the machine-model view of those terms)\n");
+
+  // --- halo aggregation ablation (§V-D): per-field vs batched messages ----
+  {
+    core::ModelConfig perfield = optimized;
+    perfield.batch_halo_exchange = false;
+    core::ModelConfig batched = optimized;
+    batched.batch_halo_exchange = true;
+    auto r_pf = run_variant(perfield, steps);
+    auto r_bt = run_variant(batched, steps);
+    std::printf("\nhalo aggregation ablation — per-field vs batched exchange (%d steps)\n\n",
+                steps);
+    std::printf("%-12s %10s %12s %12s %12s\n", "variant", "ms/step", "msgs/step", "KB/msg",
+                "batches/step");
+    std::printf("%-12s %10.2f %12.1f %12.2f %12.1f\n", "per-field", r_pf.ms_per_step,
+                r_pf.messages_per_step, r_pf.kb_per_message, r_pf.batches_per_step);
+    std::printf("%-12s %10.2f %12.1f %12.2f %12.1f\n", "batched", r_bt.ms_per_step,
+                r_bt.messages_per_step, r_bt.kb_per_message, r_bt.batches_per_step);
+    std::printf(
+        "\nmessage-count reduction: %.2fx (>= 3x gated in CI via\n"
+        " ci/check_halo_batching.py; at scale each message carries the network\n"
+        " latency the aggregated exchange amortizes across the whole batch)\n",
+        r_pf.messages_per_step / r_bt.messages_per_step);
+  }
 
   // --- LDM staging ablation (§V-C) on the AthreadSim backend --------------
   const int ldm_steps = 10;

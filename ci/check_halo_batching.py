@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Halo batching gate: assert the aggregated multi-field exchange actually
+engaged and actually cut the message count, from the two halo_batching_smoke
+telemetry dumps (batched and per-field modes, same model, same steps).
+
+Checks on the batched run:
+  * halo_smoke.messages > 0 and halo_smoke.batches > 0 — batching engaged;
+  * halo_smoke.equiv_messages / halo_smoke.messages >= 3x — the batch's own
+    accounting of the per-field-equivalent work it carried;
+  * batched messages <= per-field measured messages / 3 — the MEASURED
+    cross-run reduction, not just self-reported accounting.
+Checks on the per-field run:
+  * halo_smoke.batches == 0 — the ablation really ran per-field.
+Checks on both runs:
+  * resilience.halo_crc_failures == 0 — every message (aggregated payloads
+    included) passed CRC verification; aggregation must not corrupt data.
+"""
+import argparse
+import json
+import sys
+
+MIN_RATIO = 3.0
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    assert doc.get("schema") == "licomk.telemetry.v1", doc.get("schema")
+    return doc
+
+
+def gauge(doc, name):
+    return doc.get("gauges", {}).get(name, 0.0)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("batched", help="metrics.json from halo_batching_smoke batched")
+    ap.add_argument("perfield", help="metrics.json from halo_batching_smoke perfield")
+    args = ap.parse_args()
+
+    bat = load(args.batched)
+    per = load(args.perfield)
+
+    failures = []
+    bat_msgs = gauge(bat, "halo_smoke.messages")
+    bat_equiv = gauge(bat, "halo_smoke.equiv_messages")
+    bat_batches = gauge(bat, "halo_smoke.batches")
+    per_msgs = gauge(per, "halo_smoke.messages")
+    per_batches = gauge(per, "halo_smoke.batches")
+
+    print(f"{'mode':<10} {'messages':>10} {'equiv':>10} {'batches':>8}")
+    print(f"{'batched':<10} {bat_msgs:>10.0f} {bat_equiv:>10.0f} {bat_batches:>8.0f}")
+    print(f"{'perfield':<10} {per_msgs:>10.0f} {gauge(per, 'halo_smoke.equiv_messages'):>10.0f} "
+          f"{per_batches:>8.0f}")
+
+    if bat_msgs <= 0:
+        failures.append("batched run sent no messages")
+    if bat_batches <= 0:
+        failures.append("batched run recorded no batches (aggregation never engaged)")
+    if per_batches != 0:
+        failures.append(f"per-field run recorded {per_batches:.0f} batches (ablation "
+                        "did not run per-field)")
+
+    if bat_msgs > 0:
+        self_ratio = bat_equiv / bat_msgs
+        print(f"\nself-reported reduction   {self_ratio:.2f}x (>= {MIN_RATIO}x required)")
+        if self_ratio < MIN_RATIO:
+            failures.append(f"equiv/actual = {self_ratio:.2f}x < {MIN_RATIO}x")
+
+    if bat_msgs > 0 and per_msgs > 0:
+        measured = per_msgs / bat_msgs
+        print(f"measured reduction        {measured:.2f}x (>= {MIN_RATIO}x required)")
+        if measured < MIN_RATIO:
+            failures.append(f"perfield/batched messages = {measured:.2f}x < {MIN_RATIO}x")
+
+    for label, doc in (("batched", bat), ("perfield", per)):
+        crc = doc.get("counters", {}).get("resilience.halo_crc_failures", 0)
+        print(f"crc failures ({label:<8})  {crc}")
+        if crc != 0:
+            failures.append(f"{label}: resilience.halo_crc_failures = {crc} (must be 0)")
+
+    if failures:
+        print("\nhalo batching gate FAILED:", file=sys.stderr)
+        for f_ in failures:
+            print(f"  {f_}", file=sys.stderr)
+        return 1
+    print("\nhalo batching gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

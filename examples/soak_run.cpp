@@ -451,7 +451,12 @@ int main(int argc, char** argv) {
     }
   }
 
-  kxx::initialize({kxx::Backend::AthreadSim, 1, false});
+  // LDM staging stays off: the default/detect schedules calibrate DmaTransfer
+  // and per-CPE LdmMalloc op counters against the rank bodies' explicit hook
+  // sites (one DMA slab per step, one staging spawn per step). Kernel-issued
+  // staging traffic would tick the same counters and fire the faults at
+  // uncalibrated points (before the generation-1 checkpoint exists).
+  kxx::initialize({kxx::Backend::AthreadSim, 1, false, kxx::LdmStagingMode::Direct});
   tel::set_enabled(true);
 
   if (scenario == "default") return run_default(seed, target_steps, out_path, ckpt_dir);

@@ -157,8 +157,8 @@ Status World::take(int self, void* buf, std::size_t capacity, int source, int ta
   Message msg{st.source, st.tag, std::move(payload)};
   if (msg.payload.size() > capacity) {
     throw CommError("message truncation: " + std::to_string(msg.payload.size()) +
-                    " bytes into a " + std::to_string(capacity) + "-byte buffer (tag " +
-                    std::to_string(msg.tag) + ")");
+                    " bytes into a " + std::to_string(capacity) + "-byte buffer (from rank " +
+                    std::to_string(msg.source) + ", tag " + std::to_string(msg.tag) + ")");
   }
   if (!msg.payload.empty()) std::memcpy(buf, msg.payload.data(), msg.payload.size());
   return Status{msg.source, msg.tag, msg.payload.size()};

@@ -71,10 +71,18 @@ class Communicator {
   void send(const void* buf, std::size_t bytes, int dest, int tag) const;
 
   /// Blocking receive; `bytes` is the buffer capacity and the incoming
-  /// message must fit (truncation throws CommError, like MPI_ERR_TRUNCATE).
+  /// message must fit (truncation throws CommError, like MPI_ERR_TRUNCATE;
+  /// the error names the offending source rank and tag). The message is
+  /// consumed from the queue either way, so a caller that catches the error
+  /// cannot re-receive it with a larger buffer — size the buffer correctly
+  /// or use a size-agnostic collective. A shorter-than-capacity message is
+  /// NOT an error; check Status::bytes.
   Status recv(void* buf, std::size_t bytes, int source, int tag) const;
 
   Request isend(const void* buf, std::size_t bytes, int dest, int tag) const;
+  /// Nonblocking receive. The capacity contract matches recv(): truncation is
+  /// detected when the request completes, so wait()/wait_all() throw the
+  /// CommError, not irecv() itself.
   Request irecv(void* buf, std::size_t bytes, int source, int tag,
                 Status* status_out = nullptr) const;
   void wait(Request& request) const;

@@ -55,4 +55,23 @@ void advect_tracer_fct(const LocalGrid& g, double dt, const halo::BlockField3D& 
                        AdvectionWorkspace& ws, halo::HaloExchanger& exchanger,
                        halo::BlockField3D& q_out);
 
+/// Second set of per-tracer scratch fields so advect_tracer_pair can carry
+/// two tracers through the FCT stages at once (the volume fluxes in
+/// AdvectionWorkspace are shared read-only). Allocate once per rank.
+struct TracerAdvScratch {
+  halo::BlockField3D q_td, a_e, a_n, a_t, r_plus, r_minus;
+
+  explicit TracerAdvScratch(const LocalGrid& g);
+};
+
+/// Advect two tracers through the same fluxes, batching the two provisional
+/// q_td halo updates into ONE aggregated exchange (halo::ExchangeGroup) that
+/// overlaps both tracers' anti-diffusive flux kernels. Bit-identical to two
+/// sequential advect_tracer_fct calls (asserted in test_advection); tracer
+/// `qa` uses the workspace scratch, `qb` the TracerAdvScratch.
+void advect_tracer_pair(const LocalGrid& g, double dt, const halo::BlockField3D& qa,
+                        const halo::BlockField3D& qb, AdvectionWorkspace& ws,
+                        TracerAdvScratch& scratch, halo::HaloExchanger& exchanger,
+                        halo::BlockField3D& qa_out, halo::BlockField3D& qb_out);
+
 }  // namespace licomk::core

@@ -7,6 +7,7 @@
 #include "core/eos.hpp"
 #include "core/field_ref.hpp"
 #include "core/forcing.hpp"
+#include "halo/exchange_group.hpp"
 #include "kxx/kxx.hpp"
 
 namespace licomk::core {
@@ -430,6 +431,20 @@ void run_barotropic(const LocalGrid& g, const ModelConfig& cfg, OceanState& stat
   kxx::fill(vbar_avg.view(), 0.0);
   const double weight = 1.0 / nsub;
 
+  // The three prognostic 2-D fields travel as ONE aggregated message per
+  // neighbor per phase every substep (§V-D message-count reduction). The
+  // group enrolls the field objects once; the rotation below swaps buffers
+  // between them, which the group re-resolves at each exchange.
+  halo::ExchangeGroup group(exchanger);
+  group.add(state.eta_cur, halo::FoldSign::Symmetric);
+  group.add(state.ubar_cur, halo::FoldSign::Antisymmetric);
+  group.add(state.vbar_cur, halo::FoldSign::Antisymmetric);
+  const std::vector<FilteredField> filtered = {
+      FilteredField(state.eta_cur, halo::FoldSign::Symmetric, /*conservative=*/true),
+      FilteredField(state.ubar_cur, halo::FoldSign::Antisymmetric, false),
+      FilteredField(state.vbar_cur, halo::FoldSign::Antisymmetric, false),
+  };
+
   for (int sub = 0; sub < nsub; ++sub) {
     // eta leapfrog.
     dyn::BarotropicEtaK ek{cref(g.kmt_view()), cref(g.dxu_view()), cref(g.dyu_view()),
@@ -464,16 +479,15 @@ void run_barotropic(const LocalGrid& g, const ModelConfig& cfg, OceanState& stat
     state.vbar_new.mark_dirty();
     state.rotate_barotropic();
 
-    // 2-D halo updates every substep (velocities flip across the fold).
-    exchanger.update(state.eta_cur, halo::FoldSign::Symmetric);
-    exchanger.update(state.ubar_cur, halo::FoldSign::Antisymmetric);
-    exchanger.update(state.vbar_cur, halo::FoldSign::Antisymmetric);
+    // Aggregated 2-D halo update every substep (velocities flip across the
+    // fold; each field keeps its own FoldSign inside the batch).
+    group.exchange();
 
     // Polar zonal filter: damp the grid-scale gravity-wave modes that exceed
-    // the explicit CFL limit near the fold. Volume-conservative on eta.
-    filter.apply(state.eta_cur, exchanger, halo::FoldSign::Symmetric, /*conservative=*/true);
-    filter.apply(state.ubar_cur, exchanger, halo::FoldSign::Antisymmetric, false);
-    filter.apply(state.vbar_cur, exchanger, halo::FoldSign::Antisymmetric, false);
+    // the explicit CFL limit near the fold. Volume-conservative on eta. The
+    // batched form exchanges all three fields per pass in one message per
+    // neighbor (zonal-only between passes).
+    filter.apply(filtered, exchanger);
 
     // Accumulate the sub-cycle average used to anchor the baroclinic mean.
     dyn::AccumulateK2D accu{cref(state.ubar_cur), mref(ubar_avg), weight};

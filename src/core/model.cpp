@@ -6,6 +6,7 @@
 #include "core/dynamics.hpp"
 #include "core/restart.hpp"
 #include "core/tracer.hpp"
+#include "halo/exchange_group.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 #include "util/sypd.hpp"
@@ -45,11 +46,13 @@ LicomModel::LicomModel(const ModelConfig& cfg, std::shared_ptr<const grid::Globa
   lgrid_ = std::make_unique<LocalGrid>(*global_, *decomp_, comm_.rank());
   exchanger_ = std::make_unique<halo::HaloExchanger>(*decomp_, comm_, comm_.rank());
   exchanger_->set_eliminate_redundant(cfg_.eliminate_redundant_halo);
+  exchanger_->set_batching(cfg_.batch_halo_exchange);
   exchanger_->set_verify_crc(cfg_.verify_halo_crc);
   state_ = std::make_unique<OceanState>(*lgrid_);
   mixer_ = std::make_unique<VerticalMixer>(*lgrid_, comm_, cfg_.vmix, cfg_.canuto_load_balance);
   polar_ = std::make_unique<PolarFilter>(*lgrid_);
   adv_ws_ = std::make_unique<AdvectionWorkspace>(*lgrid_);
+  adv_scratch_ = std::make_unique<TracerAdvScratch>(*lgrid_);
   ubar_avg_ = halo::BlockField2D("ubar_avg", lgrid_->extent());
   vbar_avg_ = halo::BlockField2D("vbar_avg", lgrid_->extent());
   gu_bar_ = halo::BlockField2D("gu_bar", lgrid_->extent());
@@ -58,13 +61,15 @@ LicomModel::LicomModel(const ModelConfig& cfg, std::shared_ptr<const grid::Globa
 }
 
 void LicomModel::initial_exchange() {
-  exchanger_->update(state_->t_cur, halo::FoldSign::Symmetric,
-                     cfg_.halo_strategy == HaloStrategy::TransposeVerticalMajor
-                         ? halo::Halo3DMethod::TransposeVerticalMajor
-                         : halo::Halo3DMethod::HorizontalMajor);
-  exchanger_->update(state_->s_cur);
-  exchanger_->update(state_->t_old);
-  exchanger_->update(state_->s_old);
+  const auto method = cfg_.halo_strategy == HaloStrategy::TransposeVerticalMajor
+                          ? halo::Halo3DMethod::TransposeVerticalMajor
+                          : halo::Halo3DMethod::HorizontalMajor;
+  halo::ExchangeGroup group(*exchanger_);
+  group.add(state_->t_cur, halo::FoldSign::Symmetric, method);
+  group.add(state_->s_cur, halo::FoldSign::Symmetric, method);
+  group.add(state_->t_old, halo::FoldSign::Symmetric, method);
+  group.add(state_->s_old, halo::FoldSign::Symmetric, method);
+  group.exchange();
 }
 
 double LicomModel::day_of_year() const { return std::fmod(sim_seconds_ / 86400.0, 365.0); }
@@ -86,12 +91,15 @@ void LicomModel::step() {
   {
     PhaseScope t("halo_in", "phase");
     // With redundant-exchange elimination these are no-ops except on the
-    // first step (the end-of-step exchanges keep versions current).
-    exchanger_->update(state_->t_cur, halo::FoldSign::Symmetric, method);
-    exchanger_->update(state_->s_cur, halo::FoldSign::Symmetric, method);
-    exchanger_->update(state_->u_cur, halo::FoldSign::Antisymmetric, method);
-    exchanger_->update(state_->v_cur, halo::FoldSign::Antisymmetric, method);
-    exchanger_->update(state_->eta_cur);
+    // first step (the end-of-step exchanges keep versions current). One
+    // aggregated message per neighbor covers every dirty prognostic field.
+    halo::ExchangeGroup group(*exchanger_);
+    group.add(state_->t_cur, halo::FoldSign::Symmetric, method);
+    group.add(state_->s_cur, halo::FoldSign::Symmetric, method);
+    group.add(state_->u_cur, halo::FoldSign::Antisymmetric, method);
+    group.add(state_->v_cur, halo::FoldSign::Antisymmetric, method);
+    group.add(state_->eta_cur, halo::FoldSign::Symmetric);
+    group.exchange();
   }
 
   {
@@ -100,11 +108,18 @@ void LicomModel::step() {
     compute_pressure(*lgrid_, state_->rho, state_->eta_cur, state_->pressure);
   }
 
+  // The diffusivity exchange overlaps the readyc tendency kernels: the
+  // kappa batch is posted right after the mixer fills the fields and only
+  // drained once the tendencies (which never read kappa ghosts) are done.
+  // tag_block 1 keeps its messages distinct from any step-phase batch.
+  halo::ExchangeGroup kappa_group(*exchanger_, /*tag_block=*/1);
+  kappa_group.add(state_->kappa_m, halo::FoldSign::Symmetric, method);
+  kappa_group.add(state_->kappa_t, halo::FoldSign::Symmetric, method);
+
   {
     PhaseScope t("vmix", "phase");
     mixer_->compute(*state_);
-    exchanger_->update(state_->kappa_m, halo::FoldSign::Symmetric, method);
-    exchanger_->update(state_->kappa_t, halo::FoldSign::Symmetric, method);
+    kappa_group.begin();
   }
 
   {
@@ -112,6 +127,7 @@ void LicomModel::step() {
     compute_momentum_tendencies(*lgrid_, cfg_, *state_, day, state_->fu_tend, state_->fv_tend);
     vertical_mean(*lgrid_, state_->fu_tend, gu_bar_);
     vertical_mean(*lgrid_, state_->fv_tend, gv_bar_);
+    kappa_group.finish();
   }
 
   {
@@ -124,20 +140,27 @@ void LicomModel::step() {
     PhaseScope t("bclinc", "phase");
     baroclinic_update(*lgrid_, cfg_, *state_, ubar_avg_, vbar_avg_);
     state_->rotate_velocity();
-    exchanger_->update(state_->u_cur, halo::FoldSign::Antisymmetric, method);
-    exchanger_->update(state_->v_cur, halo::FoldSign::Antisymmetric, method);
-    polar_->apply(state_->u_cur, *exchanger_, halo::FoldSign::Antisymmetric, false);
-    polar_->apply(state_->v_cur, *exchanger_, halo::FoldSign::Antisymmetric, false);
+    halo::ExchangeGroup group(*exchanger_);
+    group.add(state_->u_cur, halo::FoldSign::Antisymmetric, method);
+    group.add(state_->v_cur, halo::FoldSign::Antisymmetric, method);
+    group.exchange();
+    polar_->apply({FilteredField(state_->u_cur, halo::FoldSign::Antisymmetric, false, method),
+                   FilteredField(state_->v_cur, halo::FoldSign::Antisymmetric, false, method)},
+                  *exchanger_);
   }
 
   {
     PhaseScope t("tracer", "phase");
-    tracer_step(*lgrid_, cfg_, *state_, *adv_ws_, *exchanger_, day);
+    tracer_step(*lgrid_, cfg_, *state_, *adv_ws_, *adv_scratch_, *exchanger_, day);
     state_->rotate_tracers();
-    exchanger_->update(state_->t_cur, halo::FoldSign::Symmetric, method);
-    exchanger_->update(state_->s_cur, halo::FoldSign::Symmetric, method);
-    polar_->apply(state_->t_cur, *exchanger_, halo::FoldSign::Symmetric, /*conservative=*/true);
-    polar_->apply(state_->s_cur, *exchanger_, halo::FoldSign::Symmetric, /*conservative=*/true);
+    halo::ExchangeGroup group(*exchanger_);
+    group.add(state_->t_cur, halo::FoldSign::Symmetric, method);
+    group.add(state_->s_cur, halo::FoldSign::Symmetric, method);
+    group.exchange();
+    polar_->apply(
+        {FilteredField(state_->t_cur, halo::FoldSign::Symmetric, /*conservative=*/true, method),
+         FilteredField(state_->s_cur, halo::FoldSign::Symmetric, /*conservative=*/true, method)},
+        *exchanger_);
   }
 
   double prev_day = std::floor(sim_seconds_ / 86400.0);
@@ -181,6 +204,14 @@ void LicomModel::run_days(double days) {
     telemetry::set_gauge("model.simulated_seconds", sim_seconds_);
     telemetry::set_gauge("model.steps", static_cast<double>(steps_));
     telemetry::set_gauge("model.step_wall_s", step_wall_s_);
+    const auto& hs = exchanger_->stats();
+    telemetry::set_gauge("halo.msgs", static_cast<double>(hs.messages));
+    if (hs.messages > 0) {
+      telemetry::set_gauge("halo.bytes_per_msg",
+                           static_cast<double>(hs.bytes) / static_cast<double>(hs.messages));
+      telemetry::set_gauge("halo.msg_reduction", static_cast<double>(hs.equiv_messages) /
+                                                     static_cast<double>(hs.messages));
+    }
   }
 }
 
@@ -222,16 +253,18 @@ void LicomModel::read_restart(const std::string& prefix) {
   // restore this is value-neutral — the stored halos were themselves
   // exchange-consistent at checkpoint time.
   initial_exchange();
-  exchanger_->update(state_->u_cur, halo::FoldSign::Antisymmetric);
-  exchanger_->update(state_->v_cur, halo::FoldSign::Antisymmetric);
-  exchanger_->update(state_->u_old, halo::FoldSign::Antisymmetric);
-  exchanger_->update(state_->v_old, halo::FoldSign::Antisymmetric);
-  exchanger_->update(state_->eta_cur);
-  exchanger_->update(state_->eta_old);
-  exchanger_->update(state_->ubar_cur, halo::FoldSign::Antisymmetric);
-  exchanger_->update(state_->vbar_cur, halo::FoldSign::Antisymmetric);
-  exchanger_->update(state_->ubar_old, halo::FoldSign::Antisymmetric);
-  exchanger_->update(state_->vbar_old, halo::FoldSign::Antisymmetric);
+  halo::ExchangeGroup group(*exchanger_);
+  group.add(state_->u_cur, halo::FoldSign::Antisymmetric);
+  group.add(state_->v_cur, halo::FoldSign::Antisymmetric);
+  group.add(state_->u_old, halo::FoldSign::Antisymmetric);
+  group.add(state_->v_old, halo::FoldSign::Antisymmetric);
+  group.add(state_->eta_cur, halo::FoldSign::Symmetric);
+  group.add(state_->eta_old, halo::FoldSign::Symmetric);
+  group.add(state_->ubar_cur, halo::FoldSign::Antisymmetric);
+  group.add(state_->vbar_cur, halo::FoldSign::Antisymmetric);
+  group.add(state_->ubar_old, halo::FoldSign::Antisymmetric);
+  group.add(state_->vbar_old, halo::FoldSign::Antisymmetric);
+  group.exchange();
 }
 
 }  // namespace licomk::core

@@ -108,6 +108,7 @@ class LicomModel {
   std::unique_ptr<VerticalMixer> mixer_;
   std::unique_ptr<PolarFilter> polar_;
   std::unique_ptr<AdvectionWorkspace> adv_ws_;
+  std::unique_ptr<TracerAdvScratch> adv_scratch_;
   halo::BlockField2D ubar_avg_, vbar_avg_, gu_bar_, gv_bar_;
   std::vector<double> daily_sst_;
   std::vector<double> daily_eta_;

@@ -90,6 +90,7 @@ ModelConfig ModelConfig::from_config(const util::Config& cfg) {
     throw ConfigError("unknown model.halo3d: " + halo);
   }
   c.eliminate_redundant_halo = cfg.get_bool_or("model.eliminate_redundant_halo", true);
+  c.batch_halo_exchange = cfg.get_bool_or("model.batch_halo_exchange", true);
   c.verify_halo_crc = cfg.get_bool_or("model.verify_halo_crc", false);
   c.fp32_barotropic = cfg.get_bool_or("model.fp32_barotropic", false);
   return c;
@@ -102,7 +103,8 @@ std::string ModelConfig::describe() const {
      << (vmix == VMixScheme::Canuto ? "canuto" : "richardson")
      << (canuto_load_balance ? "+lb" : "") << " halo3d="
      << (halo_strategy == HaloStrategy::TransposeVerticalMajor ? "transpose" : "horizontal")
-     << (verify_halo_crc ? " halo-crc" : "") << (fp32_barotropic ? " fp32-barotr" : "");
+     << (verify_halo_crc ? " halo-crc" : "") << (batch_halo_exchange ? "" : " no-halo-batch")
+     << (fp32_barotropic ? " fp32-barotr" : "");
   return os.str();
 }
 

@@ -47,6 +47,10 @@ struct ModelConfig {
   // --- numerics/engineering ---
   HaloStrategy halo_strategy = HaloStrategy::TransposeVerticalMajor;
   bool eliminate_redundant_halo = true;
+  /// Aggregate multi-field halo exchanges into one message per neighbor per
+  /// phase (halo::ExchangeGroup, §V-D message-count reduction). Bit-identical
+  /// to per-field exchanges; off = the per-field ablation baseline.
+  bool batch_halo_exchange = true;
   /// Append a CRC-64 to every halo message and verify it on unpack, so
   /// in-flight corruption (bit flips on the network) surfaces as a CommError
   /// the run supervisor can recover from, instead of silently polluting the

@@ -14,10 +14,28 @@
 // round-off; velocities use the plain stencil. Land cells never exchange.
 #pragma once
 
+#include <vector>
+
 #include "core/local_grid.hpp"
+#include "halo/exchange_group.hpp"
 #include "halo/halo_exchange.hpp"
 
 namespace licomk::core {
+
+/// One field enrolled in a batched PolarFilter::apply.
+struct FilteredField {
+  FilteredField(halo::BlockField2D& f, halo::FoldSign sign, bool conservative)
+      : f2(&f), sign(sign), conservative(conservative) {}
+  FilteredField(halo::BlockField3D& f, halo::FoldSign sign, bool conservative,
+                halo::Halo3DMethod method = halo::Halo3DMethod::TransposeVerticalMajor)
+      : f3(&f), sign(sign), conservative(conservative), method(method) {}
+
+  halo::BlockField2D* f2 = nullptr;  ///< exactly one of f2/f3 is set
+  halo::BlockField3D* f3 = nullptr;
+  halo::FoldSign sign = halo::FoldSign::Symmetric;
+  bool conservative = false;
+  halo::Halo3DMethod method = halo::Halo3DMethod::TransposeVerticalMajor;
+};
 
 class PolarFilter {
  public:
@@ -41,6 +59,15 @@ class PolarFilter {
   /// Filter every level of a 3-D field in place.
   void apply(halo::BlockField3D& f, halo::HaloExchanger& exchanger, halo::FoldSign sign,
              bool conservative) const;
+
+  /// Filter a set of fields together, aggregating the per-pass halo traffic
+  /// into one ExchangeGroup. Intermediate passes refresh only the east/west
+  /// ghosts (the 1-2-1 stencil reads nothing else); the last pass runs a
+  /// full batched exchange, so on exit every field's complete halo is valid
+  /// and each field is bit-identical to a sequence of single-field apply()
+  /// calls (the smoothing of each field is independent of the others).
+  void apply(const std::vector<FilteredField>& fields,
+             halo::HaloExchanger& exchanger) const;
 
  private:
   void smooth_rows_2d(halo::BlockField2D& f, int pass, bool conservative) const;

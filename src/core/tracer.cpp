@@ -144,7 +144,8 @@ KXX_REGISTER_FOR_2D(trc_column, licomk::core::trc::TracerColumnK);
 namespace licomk::core {
 
 void tracer_step(const LocalGrid& g, const ModelConfig& cfg, OceanState& state,
-                 AdvectionWorkspace& ws, halo::HaloExchanger& exchanger, double day_of_year) {
+                 AdvectionWorkspace& ws, TracerAdvScratch& scratch,
+                 halo::HaloExchanger& exchanger, double day_of_year) {
   const int h = decomp::kHaloWidth;
   const double dt = cfg.grid.dt_tracer;
   // Global representative spacing (decomposition-independent physics).
@@ -154,8 +155,8 @@ void tracer_step(const LocalGrid& g, const ModelConfig& cfg, OceanState& state,
   const double restore_rate = 1.0 / (cfg.restore_timescale_days * 86400.0);
 
   compute_volume_fluxes(g, state.u_cur, state.v_cur, ws, cfg.gm_kappa, &state.rho);
-  advect_tracer_fct(g, dt, state.t_cur, ws, exchanger, state.t_new);
-  advect_tracer_fct(g, dt, state.s_cur, ws, exchanger, state.s_new);
+  advect_tracer_pair(g, dt, state.t_cur, state.s_cur, ws, scratch, exchanger, state.t_new,
+                     state.s_new);
 
   // Single-plane tiles for the staged trc_hdiff dispatches (see dynamics.cpp).
   kxx::MDRangePolicy3 interior3({0, h, h}, {g.nz(), h + g.ny(), h + g.nx()}, {1, 4, 64});

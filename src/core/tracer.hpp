@@ -17,9 +17,12 @@
 namespace licomk::core {
 
 /// Advance t_new/s_new from t_cur/s_cur over cfg.grid.dt_tracer. Performs the
-/// in-advection halo updates; the new fields' halos are NOT updated (the
-/// model driver exchanges after rotation).
+/// in-advection halo updates — temperature and salinity advect together
+/// through advect_tracer_pair, so their provisional-field exchanges travel
+/// as one aggregated message per neighbor; the new fields' halos are NOT
+/// updated (the model driver exchanges after rotation).
 void tracer_step(const LocalGrid& g, const ModelConfig& cfg, OceanState& state,
-                 AdvectionWorkspace& ws, halo::HaloExchanger& exchanger, double day_of_year);
+                 AdvectionWorkspace& ws, TracerAdvScratch& scratch,
+                 halo::HaloExchanger& exchanger, double day_of_year);
 
 }  // namespace licomk::core

@@ -11,12 +11,24 @@
 // pack/unpack elimination).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 #include "decomp/decomposition.hpp"
 #include "kxx/view.hpp"
 
 namespace licomk::halo {
+
+namespace detail {
+/// Process-wide allocation stamp for BlockFields. The halo exchanger keys its
+/// redundant-exchange cache on (base pointer, allocation id): a field freed
+/// and a new one allocated at the same address must NOT inherit the stale
+/// version entry, or its first exchange is silently skipped.
+inline std::uint64_t next_field_alloc_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+}  // namespace detail
 
 /// How a field transforms across the tripolar north fold.
 enum class FoldSign : int {
@@ -30,7 +42,8 @@ class BlockField2D {
   BlockField2D(std::string label, const decomp::BlockExtent& extent)
       : extent_(extent),
         data_(std::move(label), static_cast<size_t>(extent.ny() + 2 * decomp::kHaloWidth),
-              static_cast<size_t>(extent.nx() + 2 * decomp::kHaloWidth)) {}
+              static_cast<size_t>(extent.nx() + 2 * decomp::kHaloWidth)),
+        alloc_id_(detail::next_field_alloc_id()) {}
 
   static constexpr int h() { return decomp::kHaloWidth; }
   const decomp::BlockExtent& extent() const { return extent_; }
@@ -49,11 +62,16 @@ class BlockField2D {
 
   std::uint64_t version() const { return version_; }
   void mark_dirty() { version_ += 1; }
+  /// Unique per allocation (copies alias the same data and share the id;
+  /// a distinct allocation always gets a distinct id, even at the same
+  /// address). 0 for a default-constructed (null) field.
+  std::uint64_t alloc_id() const { return alloc_id_; }
 
  private:
   decomp::BlockExtent extent_;
   kxx::View<double, 2> data_;
   std::uint64_t version_ = 1;  // starts dirty so the first exchange runs
+  std::uint64_t alloc_id_ = 0;
 };
 
 class BlockField3D {
@@ -64,7 +82,8 @@ class BlockField3D {
         nz_(nz),
         data_(std::move(label), static_cast<size_t>(nz),
               static_cast<size_t>(extent.ny() + 2 * decomp::kHaloWidth),
-              static_cast<size_t>(extent.nx() + 2 * decomp::kHaloWidth)) {}
+              static_cast<size_t>(extent.nx() + 2 * decomp::kHaloWidth)),
+        alloc_id_(detail::next_field_alloc_id()) {}
 
   static constexpr int h() { return decomp::kHaloWidth; }
   const decomp::BlockExtent& extent() const { return extent_; }
@@ -83,12 +102,14 @@ class BlockField3D {
 
   std::uint64_t version() const { return version_; }
   void mark_dirty() { version_ += 1; }
+  std::uint64_t alloc_id() const { return alloc_id_; }
 
  private:
   decomp::BlockExtent extent_;
   int nz_ = 0;
   kxx::View<double, 3> data_;
   std::uint64_t version_ = 1;
+  std::uint64_t alloc_id_ = 0;
 };
 
 }  // namespace licomk::halo

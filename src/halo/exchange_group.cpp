@@ -1,0 +1,297 @@
+#include "halo/exchange_group.hpp"
+
+#include <cstring>
+
+#include "halo/halo_internal.hpp"
+#include "telemetry/telemetry.hpp"
+#include "util/crc64.hpp"
+
+namespace licomk::halo {
+
+using detail::batch_tag;
+using detail::note_counter;
+using detail::note_message;
+
+ExchangeGroup::ExchangeGroup(HaloExchanger& exchanger, int tag_block)
+    : ex_(exchanger), tag_block_(tag_block) {
+  LICOMK_REQUIRE(tag_block >= 0, "ExchangeGroup tag_block must be >= 0");
+}
+
+void ExchangeGroup::add(BlockField2D& field, FoldSign sign) {
+  LICOMK_REQUIRE(phase_ == Phase::Idle, "cannot enroll fields while an exchange is in flight");
+  LICOMK_REQUIRE(field.extent().cells() == ex_.extent_.cells() &&
+                     field.extent().i0 == ex_.extent_.i0 && field.extent().j0 == ex_.extent_.j0,
+                 "field extent does not match this exchanger's block");
+  Slot s;
+  s.f2 = &field;
+  s.sign = sign;
+  s.method = Halo3DMethod::HorizontalMajor;
+  slots_.push_back(s);
+}
+
+void ExchangeGroup::add(BlockField3D& field, FoldSign sign, Halo3DMethod method) {
+  LICOMK_REQUIRE(phase_ == Phase::Idle, "cannot enroll fields while an exchange is in flight");
+  LICOMK_REQUIRE(field.extent().cells() == ex_.extent_.cells() &&
+                     field.extent().i0 == ex_.extent_.i0 && field.extent().j0 == ex_.extent_.j0,
+                 "field extent does not match this exchanger's block");
+  Slot s;
+  s.f3 = &field;
+  s.sign = sign;
+  s.method = method;
+  slots_.push_back(s);
+}
+
+void ExchangeGroup::resolve(Slot& slot) {
+  if (slot.f2 != nullptr) {
+    slot.base = slot.f2->view().data();
+    slot.nz = 1;
+  } else {
+    slot.base = slot.f3->view().data();
+    slot.nz = slot.f3->nz();
+  }
+}
+
+std::size_t ExchangeGroup::batch_elements(int nj, int ni) const {
+  std::size_t n = 0;
+  for (const Slot& s : slots_) {
+    if (s.participating) n += static_cast<std::size_t>(s.nz) * nj * ni;
+  }
+  return n;
+}
+
+void ExchangeGroup::send_batch(int dest, int dir, int j0, int nj, int i0, int ni) {
+  const std::size_t payload = batch_elements(nj, ni);
+  std::vector<double> buf(payload + (ex_.verify_crc_ ? 1 : 0));
+  std::size_t off = 0;
+  for (Slot& s : slots_) {
+    if (!s.participating) continue;
+    ex_.pack_box(s.base, s.nz, s.method, j0, nj, i0, ni, buf.data() + off);
+    off += static_cast<std::size_t>(s.nz) * nj * ni;
+  }
+  if (ex_.verify_crc_) {
+    util::Crc64 crc;
+    crc.update(buf.data(), payload * sizeof(double));
+    std::uint64_t value = crc.value();
+    std::memcpy(&buf[payload], &value, sizeof(value));
+  }
+  ex_.comm_.send(buf.data(), buf.size() * sizeof(double), dest,
+                 batch_tag(tag_block_, static_cast<detail::BatchDir>(dir)));
+  ex_.stats_.messages += 1;
+  ex_.stats_.bytes += buf.size() * sizeof(double);
+  note_message(buf.size() * sizeof(double));
+  if (dir == detail::kBatchFold) {
+    ex_.stats_.fold_messages += 1;
+    note_counter("halo.fold_messages", 1);
+  }
+}
+
+void ExchangeGroup::recv_batch(int src, int dir, int j0, int nj, int i0, int ni,
+                               long long dst_sj, long long dst_si, bool fold) {
+  const std::size_t payload = batch_elements(nj, ni);
+  std::vector<double> buf(payload + (ex_.verify_crc_ ? 1 : 0));
+  const std::size_t expected = buf.size() * sizeof(double);
+  comm::Status st = ex_.comm_.recv(buf.data(), expected, src,
+                                   batch_tag(tag_block_, static_cast<detail::BatchDir>(dir)));
+  // Oversized messages already threw (truncation) inside recv; an undersized
+  // one means sender and receiver disagree on the batch composition — fail
+  // loudly rather than unpack garbage into ghost cells.
+  if (st.bytes != expected) {
+    throw CommError("aggregated halo message size mismatch on rank " +
+                    std::to_string(ex_.rank_) + " (from rank " + std::to_string(src) +
+                    "): got " + std::to_string(st.bytes) + " bytes, expected " +
+                    std::to_string(expected) +
+                    " — ranks disagree on the batch's enrolled/dirty fields");
+  }
+  if (ex_.verify_crc_) {
+    util::Crc64 crc;
+    crc.update(buf.data(), payload * sizeof(double));
+    std::uint64_t stored = 0;
+    std::memcpy(&stored, &buf[payload], sizeof(stored));
+    if (crc.value() != stored) {
+      note_counter("resilience.halo_crc_failures", 1);
+      throw CommError("halo batch CRC mismatch on rank " + std::to_string(ex_.rank_) +
+                      " (from rank " + std::to_string(src) +
+                      "): in-flight corruption detected");
+    }
+  }
+  std::size_t off = 0;
+  for (Slot& s : slots_) {
+    if (!s.participating) continue;
+    const double scale = fold ? (s.sign == FoldSign::Symmetric ? 1.0 : -1.0) : 1.0;
+    ex_.unpack_box(s.base, s.nz, s.method, j0, nj, i0, ni, dst_sj, dst_si, scale,
+                   buf.data() + off);
+    off += static_cast<std::size_t>(s.nz) * nj * ni;
+  }
+}
+
+void ExchangeGroup::zero_batch(int j0, int nj, int i0, int ni) {
+  for (Slot& s : slots_) {
+    if (s.participating) ex_.zero_box(s.base, s.nz, j0, nj, i0, ni);
+  }
+}
+
+void ExchangeGroup::send_phase1() {
+  const int h = decomp::kHaloWidth;
+  const int nx = ex_.extent_.nx();
+  const int ny = ex_.extent_.ny();
+  if (ex_.neigh_.south >= 0) {
+    send_batch(ex_.neigh_.south, detail::kBatchToSouth, h, h, h, nx);
+  }
+  if (ex_.neigh_.north >= 0 && !ex_.neigh_.north_is_fold) {
+    send_batch(ex_.neigh_.north, detail::kBatchToNorth, h + ny - h, h, h, nx);
+  }
+  if (ex_.top_row_fold_) {
+    const int nxg = ex_.decomp_.nx();
+    for (const HaloExchanger::FoldPartner& p : ex_.fold_partners_) {
+      int g_lo = nxg - p.col_hi;
+      int i_loc = h + (g_lo - ex_.extent_.i0);
+      send_batch(p.rank, detail::kBatchFold, h + ny - h, h, i_loc, p.col_hi - p.col_lo);
+    }
+  }
+}
+
+void ExchangeGroup::recv_phase1() {
+  const int h = decomp::kHaloWidth;
+  const int nx = ex_.extent_.nx();
+  const int ny = ex_.extent_.ny();
+  const long long nxt = nx + 2 * h;
+  if (ex_.neigh_.south >= 0) {
+    recv_batch(ex_.neigh_.south, detail::kBatchToNorth, 0, h, h, nx, nxt, 1, false);
+  } else {
+    zero_batch(0, h, 0, static_cast<int>(nxt));
+  }
+  if (ex_.neigh_.north >= 0 && !ex_.neigh_.north_is_fold) {
+    recv_batch(ex_.neigh_.north, detail::kBatchToSouth, h + ny, h, h, nx, nxt, 1, false);
+  } else if (!ex_.top_row_fold_) {
+    zero_batch(h + ny, h, 0, static_cast<int>(nxt));
+  }
+  if (ex_.top_row_fold_) {
+    const int nxg = ex_.decomp_.nx();
+    for (const HaloExchanger::FoldPartner& p : ex_.fold_partners_) {
+      int ni = p.col_hi - p.col_lo;
+      int i_start = h + (nxg - 1 - p.col_lo) - ex_.extent_.i0;
+      recv_batch(p.rank, detail::kBatchFold, h + ny + 1, h, i_start, ni, -nxt, -1, true);
+    }
+  }
+}
+
+void ExchangeGroup::do_zonal_phase() {
+  const int h = decomp::kHaloWidth;
+  const int nx = ex_.extent_.nx();
+  const int ny = ex_.extent_.ny();
+  const long long nxt = nx + 2 * h;
+  const int nyt = ny + 2 * h;
+  if (ex_.neigh_.west >= 0) {
+    send_batch(ex_.neigh_.west, detail::kBatchToWest, 0, nyt, h, h);
+  }
+  if (ex_.neigh_.east >= 0) {
+    send_batch(ex_.neigh_.east, detail::kBatchToEast, 0, nyt, h + nx - h, h);
+  }
+  if (ex_.neigh_.west >= 0) {
+    recv_batch(ex_.neigh_.west, detail::kBatchToEast, 0, nyt, 0, h, nxt, 1, false);
+  } else {
+    zero_batch(0, nyt, 0, h);
+  }
+  if (ex_.neigh_.east >= 0) {
+    recv_batch(ex_.neigh_.east, detail::kBatchToWest, 0, nyt, h + nx, h, nxt, 1, false);
+  } else {
+    zero_batch(0, nyt, h + nx, h);
+  }
+}
+
+void ExchangeGroup::begin() {
+  LICOMK_REQUIRE(phase_ == Phase::Idle,
+                 "ExchangeGroup::begin() while a batch exchange is already in flight");
+  phase_ = Phase::Begun;
+  if (!ex_.batching_) {
+    // Ablation fallback: exactly the pre-aggregation per-field pattern —
+    // one complete update() per field, in order. Split-phase overlap is NOT
+    // emulated here: per-field 2-D and 3-D messages share direction tags, so
+    // a full update interleaved between outstanding phase-1 sends would
+    // FIFO-match another field's message.
+    for (Slot& s : slots_) {
+      if (s.f2 != nullptr) {
+        ex_.update(*s.f2, s.sign);
+      } else {
+        ex_.update(*s.f3, s.sign, s.method);
+      }
+    }
+    return;
+  }
+  n_participating_ = 0;
+  for (Slot& s : slots_) {
+    resolve(s);
+    const std::uint64_t alloc_id = s.f2 != nullptr ? s.f2->alloc_id() : s.f3->alloc_id();
+    const std::uint64_t version = s.f2 != nullptr ? s.f2->version() : s.f3->version();
+    s.participating = !ex_.should_skip(s.base, alloc_id, version);
+    if (s.participating) ++n_participating_;
+  }
+  if (n_participating_ == 0) return;
+  ex_.stats_.exchanges += n_participating_;
+  ex_.stats_.equiv_messages +=
+      n_participating_ * static_cast<std::uint64_t>(ex_.full_message_count());
+  ex_.stats_.batches += 1;
+  ex_.stats_.batched_fields += n_participating_;
+  note_counter("halo.exchanges", n_participating_);
+  telemetry::ScopedSpan span("halo_batch_begin", "halo", {},
+                             static_cast<long long>(n_participating_));
+  send_phase1();
+}
+
+void ExchangeGroup::finish() {
+  LICOMK_REQUIRE(phase_ == Phase::Begun, "ExchangeGroup::finish() without a begin()");
+  phase_ = Phase::Idle;
+  if (!ex_.batching_) return;  // fallback exchanges completed in begin()
+  if (n_participating_ == 0) return;
+  // The phase-1 sends were packed from the buffers resolved at begin();
+  // the unpacks below must land in those same buffers.
+  for (const Slot& s : slots_) {
+    if (!s.participating) continue;
+    const double* now = s.f2 != nullptr ? s.f2->view().data() : s.f3->view().data();
+    LICOMK_REQUIRE(now == s.base,
+                   "ExchangeGroup::finish(): an enrolled field's buffer changed between "
+                   "begin() and finish() (moved, swapped, or reallocated)");
+  }
+  telemetry::ScopedSpan span("halo_batch_finish", "halo", {},
+                             static_cast<long long>(n_participating_));
+  recv_phase1();
+  do_zonal_phase();
+}
+
+void ExchangeGroup::exchange() {
+  begin();
+  finish();
+}
+
+void ExchangeGroup::exchange_zonal() {
+  LICOMK_REQUIRE(phase_ == Phase::Idle,
+                 "ExchangeGroup::exchange_zonal() while a batch exchange is in flight");
+  if (slots_.empty()) return;
+  if (!ex_.batching_) {
+    // Per-field fallback has no zonal-only primitive; full updates match the
+    // pre-aggregation call sites (one full exchange per filter pass).
+    for (Slot& s : slots_) {
+      if (s.f2 != nullptr) {
+        ex_.update(*s.f2, s.sign);
+      } else {
+        ex_.update(*s.f3, s.sign, s.method);
+      }
+    }
+    return;
+  }
+  for (Slot& s : slots_) {
+    resolve(s);
+    s.participating = true;
+  }
+  ex_.stats_.exchanges += slots_.size();
+  ex_.stats_.equiv_messages +=
+      slots_.size() * static_cast<std::uint64_t>(ex_.full_message_count());
+  ex_.stats_.batches += 1;
+  ex_.stats_.batched_fields += slots_.size();
+  note_counter("halo.exchanges", slots_.size());
+  telemetry::ScopedSpan span("halo_batch_zonal", "halo", {},
+                             static_cast<long long>(slots_.size()));
+  do_zonal_phase();
+}
+
+}  // namespace licomk::halo

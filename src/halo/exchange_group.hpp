@@ -1,0 +1,112 @@
+// exchange_group.hpp — aggregated multi-field halo exchange (paper §V-D).
+//
+// The per-field HaloExchanger sends one message per field per direction; the
+// hot phases of a step (barotropic subcycle, tracer loop) exchange many
+// fields back to back, so the message COUNT — not the byte volume — becomes
+// the bottleneck at scale. An ExchangeGroup enrolls a set of fields once and
+// then exchanges all of them with ONE message per neighbor per phase:
+//
+//   message = [ field0 box | field1 box | ... | fieldN box | crc? ]
+//
+// Per-field boxes are concatenated in enrollment order, each packed with its
+// own Halo3DMethod strides; with CRC verification on, one trailing CRC-64
+// word covers the whole aggregated payload. Fields skipped by the
+// redundancy eliminator are simply absent from every message of that round
+// (sender and receiver agree: both skip on the version the SENDER saw —
+// which is safe because halo exchange is symmetric: every rank runs the same
+// begin/finish sequence on fields marked dirty in lockstep). Unpacking
+// applies each field's own FoldSign across the tripolar seam.
+//
+// begin()/finish() split the batch exactly like begin_update/finish_update
+// split a single field: begin packs and posts the meridional + fold sends
+// for the whole batch, interior computation overlaps, finish receives and
+// runs the zonal phase. Bit-identity with sequential per-field update() is
+// asserted in test_exchange_group across every FoldSign/Halo3DMethod combo.
+//
+// exchange_zonal() refreshes only the east/west ghosts of every enrolled
+// field (one message per zonal neighbor for the whole batch). Stencils that
+// read only same-row neighbors between full exchanges — the polar filter's
+// smoothing passes — use it to avoid paying for meridional + fold traffic
+// they do not read; a final full exchange() restores all ghosts, so the
+// model state stays bit-identical to the all-full-exchange sequence.
+//
+// With batching disabled on the underlying exchanger (the ablation
+// baseline), the group degrades to the pre-aggregation per-field pattern:
+// one complete update() per enrolled field at begin() (finish() is a no-op)
+// and full per-field updates for exchange_zonal(). Split-phase overlap is
+// not emulated — per-field messages share direction tags across fields, so
+// interleaving full updates with in-flight phase-1 sends would mismatch.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "halo/halo_exchange.hpp"
+
+namespace licomk::halo {
+
+/// A reusable batch of fields exchanged together. Enroll with add() once
+/// (the group holds pointers; field objects must outlive it and stay at the
+/// same address — swapping *contents* between fields, as the prognostic
+/// rotations do, is fine because the group re-reads each field's buffer
+/// pointer at begin()). Groups that may be in flight concurrently on the
+/// same exchanger must use distinct tag_blocks so their aggregated messages
+/// cannot match each other.
+class ExchangeGroup {
+ public:
+  explicit ExchangeGroup(HaloExchanger& exchanger, int tag_block = 0);
+
+  void add(BlockField2D& field, FoldSign sign = FoldSign::Symmetric);
+  void add(BlockField3D& field, FoldSign sign = FoldSign::Symmetric,
+           Halo3DMethod method = Halo3DMethod::TransposeVerticalMajor);
+
+  /// Post the batch's meridional + fold sends (phase 1). Interior compute
+  /// may run between begin() and finish(); enrolled fields must not be
+  /// written in between. Throws if an exchange is already in flight.
+  void begin();
+  /// Receive phase 1, run the zonal phase 2, unpack everything. Throws if
+  /// begin() was not called, or if a participating field's buffer changed
+  /// since begin().
+  void finish();
+  /// Full exchange, no overlap: begin(); finish().
+  void exchange();
+
+  /// East/west-only refresh of ALL enrolled fields (no redundancy
+  /// elimination: versions are neither consulted nor recorded, so the next
+  /// full exchange can never be wrongly skipped while meridional ghosts are
+  /// stale). Cannot be called while begin() is in flight.
+  void exchange_zonal();
+
+  std::size_t size() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    BlockField2D* f2 = nullptr;  ///< exactly one of f2/f3 is set
+    BlockField3D* f3 = nullptr;
+    FoldSign sign = FoldSign::Symmetric;
+    Halo3DMethod method = Halo3DMethod::HorizontalMajor;
+    // Resolved at begin()/exchange_zonal() time (rotations swap buffers):
+    bool participating = false;
+    double* base = nullptr;
+    int nz = 1;
+  };
+  enum class Phase { Idle, Begun };
+
+  void resolve(Slot& slot);
+  std::size_t batch_elements(int nj, int ni) const;  ///< participating slots only
+  void send_batch(int dest, int dir, int j0, int nj, int i0, int ni);
+  void recv_batch(int src, int dir, int j0, int nj, int i0, int ni, long long dst_sj,
+                  long long dst_si, bool fold);
+  void zero_batch(int j0, int nj, int i0, int ni);
+  void send_phase1();
+  void recv_phase1();
+  void do_zonal_phase();
+
+  HaloExchanger& ex_;
+  int tag_block_;
+  std::vector<Slot> slots_;
+  Phase phase_ = Phase::Idle;
+  std::size_t n_participating_ = 0;
+};
+
+}  // namespace licomk::halo

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "halo/box_copy.hpp"
+#include "halo/halo_internal.hpp"
 #include "kxx/kxx.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/crc64.hpp"
@@ -11,45 +12,13 @@
 KXX_REGISTER_FOR_1D(halo_box_copy, licomk::halo::detail::BoxCopy);
 
 namespace licomk::halo {
-namespace {
 
 using detail::BoxCopy;
 using detail::box_copy;
-
-constexpr int kTagToSouth = 10;
-constexpr int kTagToNorth = 11;
-constexpr int kTagToWest = 12;
-constexpr int kTagToEast = 13;
-constexpr int kTagFold = 14;
-
-/// Message buffer strides for (nk, nj, ni) boxes under each method.
-struct BufStrides {
-  long long s0, s1, s2;  // strides for iteration dims (k, j, i)
-};
-
-BufStrides buffer_strides(Halo3DMethod method, long long nk, long long nj, long long ni) {
-  if (method == Halo3DMethod::HorizontalMajor) {
-    return {nj * ni, ni, 1};  // k slowest, i fastest
-  }
-  return {1, ni * nk, nk};  // Fig. 5: k fastest ("vertical major")
-}
-
-/// Telemetry funnel for the per-site stats_ increments: mirrored process-wide
-/// so metrics.json aggregates traffic across every exchanger instance.
-void note_message(std::uint64_t bytes) {
-  if (telemetry::enabled()) {
-    static telemetry::Counter& messages = telemetry::counter("halo.messages");
-    static telemetry::Counter& total = telemetry::counter("halo.bytes");
-    messages.add(1);
-    total.add(bytes);
-  }
-}
-
-void note_counter(const char* name, std::uint64_t delta) {
-  if (telemetry::enabled()) telemetry::counter(name).add(delta);
-}
-
-}  // namespace
+using detail::BufStrides;
+using detail::buffer_strides;
+using detail::note_counter;
+using detail::note_message;
 
 HaloExchanger::HaloExchanger(const decomp::Decomposition& decomp, comm::Communicator comm,
                              int rank)
@@ -74,15 +43,31 @@ HaloExchanger::HaloExchanger(const decomp::Decomposition& decomp, comm::Communic
   }
 }
 
-bool HaloExchanger::should_skip(const void* key, std::uint64_t version) {
+int HaloExchanger::full_message_count() const {
+  int n = 0;
+  if (neigh_.south >= 0) ++n;
+  if (neigh_.north >= 0 && !neigh_.north_is_fold) ++n;
+  n += static_cast<int>(fold_partners_.size());
+  if (neigh_.west >= 0) ++n;
+  if (neigh_.east >= 0) ++n;
+  return n;
+}
+
+bool HaloExchanger::should_skip(const void* key, std::uint64_t alloc_id,
+                                std::uint64_t version) {
   if (!eliminate_redundant_) return false;
-  auto [it, inserted] = last_version_.try_emplace(key, 0);
-  if (!inserted && it->second == version) {
+  auto [it, inserted] = last_version_.try_emplace(key, SkipEntry{alloc_id, 0});
+  if (!inserted && it->second.alloc_id != alloc_id) {
+    // Address reuse: a different allocation now lives at this base pointer.
+    // The old entry is stale — never let the new field inherit its version.
+    it->second = SkipEntry{alloc_id, 0};
+  }
+  if (!inserted && it->second.version == version) {
     stats_.skipped += 1;
     note_counter("halo.skipped", 1);
     return true;
   }
-  it->second = version;
+  it->second.version = version;
   return false;
 }
 
@@ -90,7 +75,7 @@ void HaloExchanger::update(BlockField2D& field, FoldSign sign) {
   LICOMK_REQUIRE(field.extent().cells() == extent_.cells() && field.extent().i0 == extent_.i0 &&
                      field.extent().j0 == extent_.j0,
                  "field extent does not match this exchanger's block");
-  if (should_skip(field.view().data(), field.version())) return;
+  if (should_skip(field.view().data(), field.alloc_id(), field.version())) return;
   do_update(field.view().data(), 1, sign, Halo3DMethod::HorizontalMajor);
 }
 
@@ -98,22 +83,18 @@ void HaloExchanger::update(BlockField3D& field, FoldSign sign, Halo3DMethod meth
   LICOMK_REQUIRE(field.extent().cells() == extent_.cells() && field.extent().i0 == extent_.i0 &&
                      field.extent().j0 == extent_.j0,
                  "field extent does not match this exchanger's block");
-  if (should_skip(field.view().data(), field.version())) return;
+  if (should_skip(field.view().data(), field.alloc_id(), field.version())) return;
   do_update(field.view().data(), field.nz(), sign, method);
 }
 
-void HaloExchanger::send_box(double* base, int nz, Halo3DMethod method, int dest, int tag,
-                             int j0, int nj, int i0, int ni) {
+void HaloExchanger::pack_box(const double* base, int nz, Halo3DMethod method, int j0, int nj,
+                             int i0, int ni, double* out) {
   const long long nxt = extent_.nx() + 2 * decomp::kHaloWidth;
   const long long nyt = extent_.ny() + 2 * decomp::kHaloWidth;
-  const size_t payload = static_cast<size_t>(nz) * nj * ni;
-  // With CRC verification on, the message carries one trailing word holding
-  // the CRC-64 of the packed payload.
-  std::vector<double> buf(payload + (verify_crc_ ? 1 : 0));
   BufStrides bs = buffer_strides(method, nz, nj, ni);
   BoxCopy op;
   op.src = base + static_cast<long long>(j0) * nxt + i0;
-  op.dst = buf.data();
+  op.dst = out;
   op.n1 = nj;
   op.n2 = ni;
   op.ss0 = nxt * nyt;
@@ -123,25 +104,57 @@ void HaloExchanger::send_box(double* base, int nz, Halo3DMethod method, int dest
   op.ds1 = bs.s1;
   op.ds2 = bs.s2;
   box_copy(op, nz);
+  const std::uint64_t elements = static_cast<std::uint64_t>(nz) * nj * ni;
+  stats_.packed_elements += elements;
+  note_counter("halo.packed_elements", elements);
+}
+
+void HaloExchanger::unpack_box(double* base, int nz, Halo3DMethod method, int j0, int nj,
+                               int i0, int ni, long long dst_sj, long long dst_si, double scale,
+                               const double* in) {
+  const long long nxt = extent_.nx() + 2 * decomp::kHaloWidth;
+  const long long nyt = extent_.ny() + 2 * decomp::kHaloWidth;
+  BufStrides bs = buffer_strides(method, nz, nj, ni);
+  BoxCopy op;
+  op.src = in;
+  op.dst = base + static_cast<long long>(j0) * nxt + i0;
+  op.n1 = nj;
+  op.n2 = ni;
+  op.ss0 = bs.s0;
+  op.ss1 = bs.s1;
+  op.ss2 = bs.s2;
+  op.ds0 = nxt * nyt;
+  op.ds1 = dst_sj;
+  op.ds2 = dst_si;
+  op.scale = scale;
+  box_copy(op, nz);
+  const std::uint64_t elements = static_cast<std::uint64_t>(nz) * nj * ni;
+  stats_.unpacked_elements += elements;
+  note_counter("halo.unpacked_elements", elements);
+}
+
+void HaloExchanger::send_box(double* base, int nz, Halo3DMethod method, int dest, int tag,
+                             int j0, int nj, int i0, int ni) {
+  const size_t payload = static_cast<size_t>(nz) * nj * ni;
+  // With CRC verification on, the message carries one trailing word holding
+  // the CRC-64 of the packed payload.
+  std::vector<double> buf(payload + (verify_crc_ ? 1 : 0));
+  pack_box(base, nz, method, j0, nj, i0, ni, buf.data());
   if (verify_crc_) {
     util::Crc64 crc;
     crc.update(buf.data(), payload * sizeof(double));
     std::uint64_t value = crc.value();
     std::memcpy(&buf[payload], &value, sizeof(value));
   }
-  stats_.packed_elements += payload;
   comm_.send(buf.data(), buf.size() * sizeof(double), dest, tag);
   stats_.messages += 1;
   stats_.bytes += buf.size() * sizeof(double);
-  note_counter("halo.packed_elements", payload);
   note_message(buf.size() * sizeof(double));
 }
 
 void HaloExchanger::recv_box(double* base, int nz, Halo3DMethod method, int src, int tag,
                              int j0, int nj, int i0, int ni, long long dst_sj, long long dst_si,
                              double scale) {
-  const long long nxt = extent_.nx() + 2 * decomp::kHaloWidth;
-  const long long nyt = extent_.ny() + 2 * decomp::kHaloWidth;
   const size_t payload = static_cast<size_t>(nz) * nj * ni;
   std::vector<double> buf(payload + (verify_crc_ ? 1 : 0));
   comm_.recv(buf.data(), buf.size() * sizeof(double), src, tag);
@@ -157,22 +170,7 @@ void HaloExchanger::recv_box(double* base, int nz, Halo3DMethod method, int src,
                             std::to_string(tag) + "): in-flight corruption detected");
     }
   }
-  BufStrides bs = buffer_strides(method, nz, nj, ni);
-  BoxCopy op;
-  op.src = buf.data();
-  op.dst = base + static_cast<long long>(j0) * nxt + i0;
-  op.n1 = nj;
-  op.n2 = ni;
-  op.ss0 = bs.s0;
-  op.ss1 = bs.s1;
-  op.ss2 = bs.s2;
-  op.ds0 = nxt * nyt;
-  op.ds1 = dst_sj;
-  op.ds2 = dst_si;
-  op.scale = scale;
-  box_copy(op, nz);
-  stats_.unpacked_elements += payload;
-  note_counter("halo.unpacked_elements", payload);
+  unpack_box(base, nz, method, j0, nj, i0, ni, dst_sj, dst_si, scale, buf.data());
 }
 
 void HaloExchanger::zero_box(double* base, int nz, int j0, int nj, int i0, int ni) {
@@ -190,9 +188,10 @@ void HaloExchanger::send_phase1(double* base, int nz, Halo3DMethod method) {
   const int h = decomp::kHaloWidth;
   const int nx = extent_.nx();
   const int ny = extent_.ny();
-  if (neigh_.south >= 0) send_box(base, nz, method, neigh_.south, kTagToSouth, h, h, h, nx);
+  if (neigh_.south >= 0)
+    send_box(base, nz, method, neigh_.south, detail::kTagToSouth, h, h, h, nx);
   if (neigh_.north >= 0 && !neigh_.north_is_fold) {
-    send_box(base, nz, method, neigh_.north, kTagToNorth, h + ny - h, h, h, nx);
+    send_box(base, nz, method, neigh_.north, detail::kTagToNorth, h + ny - h, h, h, nx);
   }
   if (top_row_fold_) {
     const int nxg = decomp_.nx();
@@ -200,7 +199,7 @@ void HaloExchanger::send_phase1(double* base, int nz, Halo3DMethod method) {
       // I send the mirror of the columns I receive: global [nxg - hi, nxg - lo).
       int g_lo = nxg - p.col_hi;
       int i_loc = h + (g_lo - extent_.i0);
-      send_box(base, nz, method, p.rank, kTagFold, h + ny - h, h, i_loc,
+      send_box(base, nz, method, p.rank, detail::kTagFold, h + ny - h, h, i_loc,
                p.col_hi - p.col_lo);
       stats_.fold_messages += 1;
       note_counter("halo.fold_messages", 1);
@@ -219,12 +218,13 @@ void HaloExchanger::finish_phases(double* base, int nz, FoldSign sign, Halo3DMet
   const double fold_scale = sign == FoldSign::Symmetric ? 1.0 : -1.0;
 
   if (neigh_.south >= 0) {
-    recv_box(base, nz, method, neigh_.south, kTagToNorth, 0, h, h, nx, nxt, 1, 1.0);
+    recv_box(base, nz, method, neigh_.south, detail::kTagToNorth, 0, h, h, nx, nxt, 1, 1.0);
   } else {
     zero_box(base, nz, 0, h, 0, static_cast<int>(nxt));
   }
   if (neigh_.north >= 0 && !neigh_.north_is_fold) {
-    recv_box(base, nz, method, neigh_.north, kTagToSouth, h + ny, h, h, nx, nxt, 1, 1.0);
+    recv_box(base, nz, method, neigh_.north, detail::kTagToSouth, h + ny, h, h, nx, nxt, 1,
+             1.0);
   } else if (!top_row_fold_) {
     zero_box(base, nz, h + ny, h, 0, static_cast<int>(nxt));
   }
@@ -237,28 +237,29 @@ void HaloExchanger::finish_phases(double* base, int nz, FoldSign sign, Halo3DMet
       // to local i = h + (nxg-1-m) - i0, so ascending m walks i downward.
       int ni = p.col_hi - p.col_lo;
       int i_start = h + (nxg - 1 - p.col_lo) - extent_.i0;
-      recv_box(base, nz, method, p.rank, kTagFold, h + ny + 1, h, i_start, ni, -nxt, -1,
-               fold_scale);
+      recv_box(base, nz, method, p.rank, detail::kTagFold, h + ny + 1, h, i_start, ni, -nxt,
+               -1, fold_scale);
     }
   }
 
   /// ---- Phase 2: east/west over the full meridional extent ----------------
   if (neigh_.west >= 0) {
-    send_box(base, nz, method, neigh_.west, kTagToWest, 0, static_cast<int>(nyt), h, h);
-  }
-  if (neigh_.east >= 0) {
-    send_box(base, nz, method, neigh_.east, kTagToEast, 0, static_cast<int>(nyt), h + nx - h,
+    send_box(base, nz, method, neigh_.west, detail::kTagToWest, 0, static_cast<int>(nyt), h,
              h);
   }
+  if (neigh_.east >= 0) {
+    send_box(base, nz, method, neigh_.east, detail::kTagToEast, 0, static_cast<int>(nyt),
+             h + nx - h, h);
+  }
   if (neigh_.west >= 0) {
-    recv_box(base, nz, method, neigh_.west, kTagToEast, 0, static_cast<int>(nyt), 0, h, nxt, 1,
-             1.0);
+    recv_box(base, nz, method, neigh_.west, detail::kTagToEast, 0, static_cast<int>(nyt), 0, h,
+             nxt, 1, 1.0);
   } else {
     zero_box(base, nz, 0, static_cast<int>(nyt), 0, h);
   }
   if (neigh_.east >= 0) {
-    recv_box(base, nz, method, neigh_.east, kTagToWest, 0, static_cast<int>(nyt), h + nx, h,
-             nxt, 1, 1.0);
+    recv_box(base, nz, method, neigh_.east, detail::kTagToWest, 0, static_cast<int>(nyt),
+             h + nx, h, nxt, 1, 1.0);
   } else {
     zero_box(base, nz, 0, static_cast<int>(nyt), h + nx, h);
   }
@@ -267,6 +268,7 @@ void HaloExchanger::finish_phases(double* base, int nz, FoldSign sign, Halo3DMet
 void HaloExchanger::do_update(double* base, int nz, FoldSign sign, Halo3DMethod method) {
   telemetry::ScopedSpan span("halo_exchange", "halo", {}, nz);
   stats_.exchanges += 1;
+  stats_.equiv_messages += static_cast<std::uint64_t>(full_message_count());
   note_counter("halo.exchanges", 1);
   send_phase1(base, nz, method);
   finish_phases(base, nz, sign, method);
@@ -278,26 +280,52 @@ HaloExchanger::Pending HaloExchanger::begin_update(BlockField3D& field, FoldSign
                      field.extent().j0 == extent_.j0,
                  "field extent does not match this exchanger's block");
   Pending p;
-  if (should_skip(field.view().data(), field.version())) return p;
-  p.active = true;
-  p.base = field.view().data();
-  p.nz = field.nz();
-  p.sign = sign;
-  p.method = method;
+  if (should_skip(field.view().data(), field.alloc_id(), field.version())) {
+    p.state_ = Pending::State::Skipped;
+    return p;
+  }
+  p.state_ = Pending::State::Active;
+  p.view_ = field.view();
+  p.field_ = &field;
+  p.alloc_id_ = field.alloc_id();
+  p.nz_ = field.nz();
+  p.sign_ = sign;
+  p.method_ = method;
   stats_.exchanges += 1;
+  stats_.equiv_messages += static_cast<std::uint64_t>(full_message_count());
   note_counter("halo.exchanges", 1);
   {
-    telemetry::ScopedSpan span("halo_begin", "halo", {}, p.nz);
-    send_phase1(p.base, p.nz, p.method);
+    telemetry::ScopedSpan span("halo_begin", "halo", {}, p.nz_);
+    send_phase1(p.view_.data(), p.nz_, p.method_);
   }
   return p;
 }
 
 void HaloExchanger::finish_update(Pending& pending) {
-  if (!pending.active) return;
-  telemetry::ScopedSpan span("halo_finish", "halo", {}, pending.nz);
-  finish_phases(pending.base, pending.nz, pending.sign, pending.method);
-  pending.active = false;
+  switch (pending.state_) {
+    case Pending::State::Null:
+      throw licomk::InvalidArgument(
+          "finish_update on a pending that was never begun (default-constructed)");
+    case Pending::State::Finished:
+      throw licomk::InvalidArgument("finish_update called twice on the same pending");
+    case Pending::State::Skipped:
+      pending.state_ = Pending::State::Finished;
+      return;
+    case Pending::State::Active:
+      break;
+  }
+  // The begun exchange posted messages from pending.view_'s buffer; the
+  // receives below unpack into it. The field must still own that exact
+  // allocation — a swap/move/reallocation in between means the caller would
+  // silently scatter ghosts into a dead (but View-kept-alive) buffer.
+  LICOMK_REQUIRE(pending.field_ != nullptr &&
+                     pending.field_->view().data() == pending.view_.data() &&
+                     pending.field_->alloc_id() == pending.alloc_id_,
+                 "finish_update: the field no longer owns the buffer this exchange was begun "
+                 "on (moved, swapped, or reallocated between begin_update and finish_update)");
+  telemetry::ScopedSpan span("halo_finish", "halo", {}, pending.nz_);
+  finish_phases(pending.view_.data(), pending.nz_, pending.sign_, pending.method_);
+  pending.state_ = Pending::State::Finished;
 }
 
 }  // namespace licomk::halo

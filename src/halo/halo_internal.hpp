@@ -1,0 +1,71 @@
+// halo_internal.hpp — constants and helpers shared between the per-field
+// exchanger (halo_exchange.cpp) and the batched ExchangeGroup
+// (exchange_group.cpp). Internal to the halo library; not installed API.
+#pragma once
+
+#include <cstdint>
+
+#include "halo/halo_exchange.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace licomk::halo::detail {
+
+/// Per-field message tags (one message per field per direction).
+inline constexpr int kTagToSouth = 10;
+inline constexpr int kTagToNorth = 11;
+inline constexpr int kTagToWest = 12;
+inline constexpr int kTagToEast = 13;
+inline constexpr int kTagFold = 14;
+
+/// Aggregated (ExchangeGroup) message tags. Each group occupies a block of
+/// kTagBlockStride tags starting at kTagBatchBase so that two groups in
+/// flight at once (e.g. a long-lived kappa group overlapping a per-step
+/// group) never match each other's messages:
+///   tag = kTagBatchBase + kTagBlockStride * tag_block + direction
+inline constexpr int kTagBatchBase = 32;
+inline constexpr int kTagBlockStride = 8;
+enum BatchDir : int {
+  kBatchToSouth = 0,
+  kBatchToNorth = 1,
+  kBatchToWest = 2,
+  kBatchToEast = 3,
+  kBatchFold = 4,
+};
+
+inline int batch_tag(int tag_block, BatchDir dir) {
+  return kTagBatchBase + kTagBlockStride * tag_block + static_cast<int>(dir);
+}
+
+/// Message buffer strides for (nk, nj, ni) boxes under each method.
+struct BufStrides {
+  long long s0, s1, s2;  // strides for iteration dims (k, j, i)
+};
+
+inline BufStrides buffer_strides(Halo3DMethod method, long long nk, long long nj,
+                                 long long ni) {
+  if (method == Halo3DMethod::HorizontalMajor) {
+    return {nj * ni, ni, 1};  // k slowest, i fastest
+  }
+  return {1, ni * nk, nk};  // Fig. 5: k fastest ("vertical major")
+}
+
+/// Telemetry funnel for the per-site stats_ increments: mirrored process-wide
+/// so metrics.json aggregates traffic across every exchanger instance. The
+/// span-attributed "halo.msgs"/"halo.bytes_msg" mirrors give per-phase
+/// message attribution (which phase of the step sent how many messages).
+inline void note_message(std::uint64_t bytes) {
+  if (telemetry::enabled()) {
+    static telemetry::Counter& messages = telemetry::counter("halo.messages");
+    static telemetry::Counter& total = telemetry::counter("halo.bytes");
+    messages.add(1);
+    total.add(bytes);
+    telemetry::span_counter_add("halo.msgs", 1);
+    telemetry::span_counter_add("halo.bytes_msg", bytes);
+  }
+}
+
+inline void note_counter(const char* name, std::uint64_t delta) {
+  if (telemetry::enabled()) telemetry::counter(name).add(delta);
+}
+
+}  // namespace licomk::halo::detail

@@ -1,5 +1,7 @@
 #include "util/sypd.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
 
 namespace licomk::util {
@@ -7,10 +9,18 @@ namespace licomk::util {
 namespace {
 constexpr double kSecondsPerDay = 86400.0;
 constexpr double kSecondsPerYear = 365.0 * kSecondsPerDay;
+/// Floor for the wall-time denominator: anything shorter than a nanosecond
+/// is clock noise, and dividing by it would put inf into metrics.json.
+constexpr double kMinWallSeconds = 1e-9;
 }  // namespace
 
 double sypd(double simulated_seconds, double wall_seconds) {
-  LICOMK_REQUIRE(wall_seconds > 0.0, "wall time must be positive");
+  // A freshly restored run asks for its SYPD before taking a step: both
+  // inputs can legitimately be zero (or NaN-free garbage near zero). Report
+  // "no throughput yet" instead of throwing or propagating inf/NaN into
+  // metrics.json. The !(x > 0) form also catches NaN inputs.
+  if (!(simulated_seconds > 0.0) || !(wall_seconds > 0.0)) return 0.0;
+  wall_seconds = std::max(wall_seconds, kMinWallSeconds);
   return (simulated_seconds / kSecondsPerYear) / (wall_seconds / kSecondsPerDay);
 }
 

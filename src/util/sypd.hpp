@@ -10,6 +10,9 @@ namespace licomk::util {
 
 /// Simulated-years-per-day: `simulated_seconds` of model time computed in
 /// `wall_seconds` of real time. SYPD = (sim_seconds / year) / (wall / day).
+/// Returns 0.0 when either input is zero, negative, or NaN (e.g. a freshly
+/// restored run before its first step), and clamps the wall-time denominator
+/// away from zero — so the result is always finite and metrics-safe.
 double sypd(double simulated_seconds, double wall_seconds);
 
 /// Inverse helper used by the performance model: wall seconds needed for one

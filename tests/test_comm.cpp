@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstring>
 #include <numeric>
+#include <string>
 #include <vector>
 
 #include "comm/communicator.hpp"
@@ -87,6 +88,70 @@ TEST(Comm, TruncationThrowsCommError) {
     } else {
       double small[2];
       EXPECT_THROW(c.recv(small, sizeof(small), 0, 1), licomk::CommError);
+    }
+  });
+}
+
+TEST(Comm, TruncationErrorNamesSourceRankAndTag) {
+  // The error text must identify the offending peer — without it a
+  // truncation deep inside a batched exchange is undebuggable.
+  lc::Runtime::run(3, [](lc::Communicator& c) {
+    if (c.rank() == 2) {
+      double big[8] = {};
+      c.send(big, sizeof(big), 0, 7);
+    } else if (c.rank() == 0) {
+      double small[2];
+      try {
+        c.recv(small, sizeof(small), 2, 7);
+        FAIL() << "expected CommError";
+      } catch (const licomk::CommError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("rank 2"), std::string::npos) << what;
+        EXPECT_NE(what.find("tag 7"), std::string::npos) << what;
+      }
+    }
+  });
+}
+
+TEST(Comm, TruncationConsumesTheMessage) {
+  // Documented contract: a truncated message is consumed, not left queued.
+  // The next matching recv sees the NEXT message, not the oversized one.
+  lc::Runtime::run(2, [](lc::Communicator& c) {
+    if (c.rank() == 0) {
+      double big[8] = {};
+      c.send(big, sizeof(big), 1, 5);
+      double follow = 42.0;
+      c.send(&follow, sizeof(follow), 1, 5);
+    } else {
+      double small[2];
+      EXPECT_THROW(c.recv(small, sizeof(small), 0, 5), licomk::CommError);
+      double got = 0.0;
+      lc::Status st = c.recv(&got, sizeof(got), 0, 5);
+      EXPECT_EQ(st.bytes, sizeof(double));
+      EXPECT_DOUBLE_EQ(got, 42.0);
+    }
+  });
+}
+
+TEST(Comm, IrecvTruncationThrowsAtWait) {
+  // The async path must detect truncation too: posting an undersized irecv
+  // succeeds, but wait_all() on it throws once the oversized message lands.
+  lc::Runtime::run(2, [](lc::Communicator& c) {
+    if (c.rank() == 0) {
+      double big[8] = {};
+      c.send(big, sizeof(big), 1, 9);
+    } else {
+      double small[2];
+      std::vector<lc::Request> reqs;
+      reqs.push_back(c.irecv(small, sizeof(small), 0, 9));
+      try {
+        c.wait_all(reqs);
+        FAIL() << "expected CommError from wait_all";
+      } catch (const licomk::CommError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("truncation"), std::string::npos) << what;
+        EXPECT_NE(what.find("rank 0"), std::string::npos) << what;
+      }
     }
   });
 }

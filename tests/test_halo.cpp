@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "comm/runtime.hpp"
@@ -326,12 +328,91 @@ TEST(Halo, SplitPhaseHonorsRedundancyElimination) {
     lh::BlockField3D f("f", d.block(0), 3);
     fill_interior_3d(f);
     auto p1 = ex.begin_update(f);
-    EXPECT_TRUE(p1.active);
+    EXPECT_TRUE(p1.active());
     ex.finish_update(p1);
     auto p2 = ex.begin_update(f);  // unchanged: skipped
-    EXPECT_FALSE(p2.active);
+    EXPECT_FALSE(p2.active());
     EXPECT_NO_THROW(ex.finish_update(p2));
     EXPECT_EQ(ex.stats().skipped, 1u);
+  });
+}
+
+TEST(Halo, FinishUpdateLifecycleGuards) {
+  // ISSUE 5 bugfix: a Pending used to be a raw pointer with no lifecycle —
+  // finishing one twice, or finishing a default-constructed one, was silent
+  // UB. Both must throw now; finishing a skipped pending stays a no-op once.
+  ld::Decomposition d(12, 8, 1, 1);
+  lc::Runtime::run(1, [&](lc::Communicator& c) {
+    lh::HaloExchanger ex(d, c, 0);
+    lh::BlockField3D f("f", d.block(0), 3);
+    fill_interior_3d(f);
+
+    lh::HaloExchanger::Pending null_pending;
+    EXPECT_FALSE(null_pending.active());
+    EXPECT_THROW(ex.finish_update(null_pending), licomk::InvalidArgument);
+
+    auto p = ex.begin_update(f);
+    ex.finish_update(p);
+    EXPECT_FALSE(p.active());
+    EXPECT_THROW(ex.finish_update(p), licomk::InvalidArgument);  // double finish
+
+    auto skipped = ex.begin_update(f);  // unchanged: skipped
+    EXPECT_NO_THROW(ex.finish_update(skipped));
+    EXPECT_THROW(ex.finish_update(skipped), licomk::InvalidArgument);
+  });
+}
+
+TEST(Halo, FinishUpdateDetectsSwappedFieldBuffer) {
+  // ISSUE 5 bugfix: finish_update on a pending whose field no longer owns
+  // the buffer begin_update saw (e.g. a leapfrog rotation std::swap'ed it)
+  // must throw instead of unpacking into the wrong time level.
+  ld::Decomposition d(12, 8, 1, 1);
+  lc::Runtime::run(1, [&](lc::Communicator& c) {
+    lh::HaloExchanger ex(d, c, 0);
+    lh::BlockField3D f("f", d.block(0), 3);
+    lh::BlockField3D g("g", d.block(0), 3);
+    fill_interior_3d(f);
+    fill_interior_3d(g);
+    auto p = ex.begin_update(f);
+    ASSERT_TRUE(p.active());
+    std::swap(f, g);  // the rotation pattern: buffers change owners
+    EXPECT_THROW(ex.finish_update(p), licomk::InvalidArgument);
+  });
+}
+
+TEST(Halo, SkipMapDoesNotAliasReallocatedFields) {
+  // ISSUE 5 bugfix: the redundancy eliminator used to key on the base
+  // pointer alone, so a NEW field allocated at a freed field's address with
+  // a matching version count inherited the stale "already exchanged" entry
+  // and silently skipped its first exchange. Keying on (pointer, alloc id)
+  // makes address reuse harmless. The test provokes reuse by repeatedly
+  // freeing and reallocating an identically-sized field.
+  ld::Decomposition d(12, 8, 1, 1);
+  lc::Runtime::run(1, [&](lc::Communicator& c) {
+    lh::HaloExchanger ex(d, c, 0);
+    bool reused = false;
+    for (int attempt = 0; attempt < 64 && !reused; ++attempt) {
+      auto f = std::make_unique<lh::BlockField3D>("f", d.block(0), 3);
+      const void* addr = f->view().data();
+      fill_interior_3d(*f);  // version 2 after the dirty mark
+      ex.update(*f);
+      const auto exchanges_before = ex.stats().exchanges;
+      f.reset();  // free; the next allocation may land at the same address
+      auto g = std::make_unique<lh::BlockField3D>("g", d.block(0), 3);
+      if (g->view().data() != addr) continue;  // no reuse this round; retry
+      reused = true;
+      fill_interior_3d(*g);  // same version count as f had — the old trap
+      ex.update(*g);
+      // The new field's exchange must NOT have been skipped...
+      EXPECT_EQ(ex.stats().exchanges, exchanges_before + 1);
+      EXPECT_EQ(ex.stats().skipped, 0u);
+      // ...and its ghosts must be correct.
+      check_all_cells_3d(d, *g, 1.0, 0);
+    }
+    if (!reused) {
+      GTEST_SKIP() << "allocator never reused the freed address; aliasing "
+                      "scenario not reproducible in this run";
+    }
   });
 }
 

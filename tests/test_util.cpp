@@ -3,6 +3,7 @@
 
 #include <cmath>
 #include <cstring>
+#include <limits>
 #include <vector>
 
 #include "util/config.hpp"
@@ -64,7 +65,19 @@ TEST(Sypd, Definition) {
   EXPECT_NEAR(lu::sypd(365.0 * 86400.0, 86400.0), 1.0, 1e-12);
   // Twice as fast => 2 SYPD.
   EXPECT_NEAR(lu::sypd(365.0 * 86400.0, 43200.0), 2.0, 1e-12);
-  EXPECT_THROW(lu::sypd(1.0, 0.0), licomk::InvalidArgument);
+}
+
+TEST(Sypd, DegenerateInputsAreMetricsSafe) {
+  // Zero/negative/NaN wall or simulated time must never poison telemetry
+  // with inf/NaN — the metric reads 0 ("no throughput measured").
+  EXPECT_DOUBLE_EQ(lu::sypd(1.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(lu::sypd(1.0, -3.0), 0.0);
+  EXPECT_DOUBLE_EQ(lu::sypd(0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(lu::sypd(-1.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(lu::sypd(std::numeric_limits<double>::quiet_NaN(), 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(lu::sypd(1.0, std::numeric_limits<double>::quiet_NaN()), 0.0);
+  // Tiny-but-positive wall times are clamped, so the result stays finite.
+  EXPECT_TRUE(std::isfinite(lu::sypd(365.0 * 86400.0, 1e-300)));
 }
 
 TEST(Sypd, WallSecondsPerSimulatedDayInvertsSypd) {
