@@ -18,14 +18,36 @@ import sys
 _TO_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 
-def load_times(path):
+class BenchFormatError(Exception):
+    """A benchmark JSON file is missing a key the gate needs."""
+
+
+def load_times(path, role):
     with open(path) as f:
         doc = json.load(f)
+    if "benchmarks" not in doc:
+        raise BenchFormatError(
+            f"{role} {path}: no 'benchmarks' array — not Google Benchmark JSON "
+            "(regenerate with ci/update_baseline.sh)")
     times = {}
-    for b in doc.get("benchmarks", []):
+    for i, b in enumerate(doc["benchmarks"]):
         if b.get("run_type") == "aggregate":
             continue  # use raw iterations; aggregates only exist with repetitions
-        times[b["name"]] = b["real_time"] * _TO_NS[b.get("time_unit", "ns")]
+        name = b.get("name")
+        if name is None:
+            raise BenchFormatError(
+                f"{role} {path}: benchmarks[{i}] has no 'name' key "
+                "(regenerate with ci/update_baseline.sh)")
+        if "real_time" not in b:
+            raise BenchFormatError(
+                f"{role} {path}: benchmark '{name}' has no 'real_time' key "
+                "(regenerate with ci/update_baseline.sh)")
+        unit = b.get("time_unit", "ns")
+        if unit not in _TO_NS:
+            raise BenchFormatError(
+                f"{role} {path}: benchmark '{name}' has unknown time_unit "
+                f"'{unit}' (expected one of {sorted(_TO_NS)})")
+        times[name] = b["real_time"] * _TO_NS[unit]
     return times
 
 
@@ -66,8 +88,12 @@ def main():
             print(f"error: {e}", file=sys.stderr)
         return 2
 
-    baseline = load_times(args.baseline)
-    current = load_times(args.current)
+    try:
+        baseline = load_times(args.baseline, "baseline")
+        current = load_times(args.current, "current")
+    except BenchFormatError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
     if not baseline:
         print(f"error: no benchmarks in baseline {args.baseline}", file=sys.stderr)
         return 2

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Halo configuration matrix: run every halo-touching test suite under all four
+# combinations of LICOMK_BATCH_HALO x LICOMK_PERSISTENT_HALO.
+#
+# ModelConfig::testing() honors those env vars, so the same binaries exercise:
+#   0/0  per-field exchanges (ablation baseline)
+#   0/1  persistent requested but degraded to per-field (batching off)
+#   1/0  aggregated batched exchanges (PR-5 path)
+#   1/1  batched + persistent subcycle engine (the default)
+# Tests that pin the flags explicitly (e.g. the bit-identity comparisons) stay
+# deterministic regardless of the env; the rest follow the matrix cell.
+#
+# Usage: ci/halo_matrix.sh [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-ci-release}"
+SUITES=(test_halo test_exchange_group test_persistent_group test_model)
+
+for batch in 0 1; do
+  for persist in 0 1; do
+    echo "=== LICOMK_BATCH_HALO=$batch LICOMK_PERSISTENT_HALO=$persist ==="
+    for suite in "${SUITES[@]}"; do
+      LICOMK_BATCH_HALO=$batch LICOMK_PERSISTENT_HALO=$persist \
+        "$BUILD_DIR/tests/$suite" --gtest_brief=1
+    done
+  done
+done
+echo "halo matrix: all 4 batch x persistent combinations passed"

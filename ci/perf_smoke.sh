@@ -36,11 +36,15 @@ python3 ci/check_perf.py bench/baseline_smoke.json "$OUT_DIR/bench_smoke.json" \
 # batched DMA, transfer/compute overlap, no MPE or staging fallbacks.
 python3 ci/check_ldm_staging.py "$OUT_DIR/metrics.json"
 
-# Halo batching: the same small 4-rank model with aggregated vs per-field
-# exchanges (CRC on in both). Gate on >= 3x message-count reduction and
-# zero CRC failures.
-mkdir -p "$OUT_DIR/halo-batched" "$OUT_DIR/halo-perfield"
+# Halo batching + persistent subcycle engine: the same small 4-rank model with
+# aggregated vs per-field vs persistent exchanges (CRC on everywhere). Gate on
+# >= 3x overall message reduction (batched vs per-field), >= 2x barotropic
+# subcycle message reduction (persistent vs batched), identical final state
+# CRCs across all three modes, and zero CRC failures.
+mkdir -p "$OUT_DIR/halo-batched" "$OUT_DIR/halo-perfield" "$OUT_DIR/halo-persistent"
 "$BUILD_DIR/examples/halo_batching_smoke" batched "$OUT_DIR/halo-batched"
 "$BUILD_DIR/examples/halo_batching_smoke" perfield "$OUT_DIR/halo-perfield"
+"$BUILD_DIR/examples/halo_batching_smoke" persistent "$OUT_DIR/halo-persistent"
 python3 ci/check_halo_batching.py \
-  "$OUT_DIR/halo-batched/metrics.json" "$OUT_DIR/halo-perfield/metrics.json"
+  "$OUT_DIR/halo-batched/metrics.json" "$OUT_DIR/halo-perfield/metrics.json" \
+  "$OUT_DIR/halo-persistent/metrics.json"

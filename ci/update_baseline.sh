@@ -3,6 +3,12 @@
 # reference machine after an intentional performance change, then commit the
 # result.
 #
+# Besides the Google Benchmark timings, the baseline context records the
+# halo.persistent.* / halo_smoke.subcycle_* gauges from a persistent-mode
+# halo_batching_smoke run, so the message-count regime the timings were taken
+# under is visible next to them (informational; the hard gate on those counts
+# lives in ci/check_halo_batching.py).
+#
 # Usage: ci/update_baseline.sh [build-dir]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -12,4 +18,24 @@ BUILD_DIR="${1:-build}"
   --benchmark_min_time=0.05 \
   --benchmark_out=bench/baseline_smoke.json \
   --benchmark_out_format=json
+
+TMP_DIR="$(mktemp -d)"
+trap 'rm -rf "$TMP_DIR"' EXIT
+"$BUILD_DIR/examples/halo_batching_smoke" persistent "$TMP_DIR" > /dev/null
+
+python3 - bench/baseline_smoke.json "$TMP_DIR/metrics.json" <<'EOF'
+import json, sys
+base_path, metrics_path = sys.argv[1:3]
+with open(base_path) as f:
+    base = json.load(f)
+with open(metrics_path) as f:
+    gauges = json.load(f).get("gauges", {})
+keep = {k: v for k, v in sorted(gauges.items())
+        if k.startswith("halo.persistent.") or k.startswith("halo_smoke.subcycle")}
+base.setdefault("context", {})["licomk_halo_gauges"] = keep
+with open(base_path, "w") as f:
+    json.dump(base, f, indent=1)
+    f.write("\n")
+print(f"recorded {len(keep)} halo gauges in baseline context")
+EOF
 echo "wrote bench/baseline_smoke.json"

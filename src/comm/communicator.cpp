@@ -240,6 +240,75 @@ void Communicator::wait_all(std::span<Request> requests) const {
   }
 }
 
+PersistentRequest Communicator::send_init(const void* buf, std::size_t bytes, int dest,
+                                          int tag) const {
+  check_user_tag(tag);
+  LICOMK_REQUIRE(world_ != nullptr, "communicator not attached to a world");
+  LICOMK_REQUIRE(buf != nullptr || bytes == 0, "send_init with a null buffer");
+  PersistentRequest req;
+  req.kind_ = PersistentRequest::Kind::Send;
+  req.send_buf_ = buf;
+  req.bytes_ = bytes;
+  req.peer_ = dest;
+  req.tag_ = tag;
+  return req;
+}
+
+PersistentRequest Communicator::recv_init(void* buf, std::size_t bytes, int source,
+                                          int tag) const {
+  if (tag != kAnyTag) check_user_tag(tag);
+  LICOMK_REQUIRE(world_ != nullptr, "communicator not attached to a world");
+  LICOMK_REQUIRE(buf != nullptr || bytes == 0, "recv_init with a null buffer");
+  PersistentRequest req;
+  req.kind_ = PersistentRequest::Kind::Recv;
+  req.recv_buf_ = buf;
+  req.bytes_ = bytes;
+  req.peer_ = source;
+  req.tag_ = tag;
+  return req;
+}
+
+void Communicator::start(PersistentRequest& request) const {
+  if (request.kind_ == PersistentRequest::Kind::Null) {
+    throw CommError("start on a null persistent request");
+  }
+  if (request.state_ == PersistentRequest::State::Started) {
+    throw CommError("start on an already-started persistent request (missing wait)");
+  }
+  if (request.kind_ == PersistentRequest::Kind::Send) {
+    // Buffered semantics, like isend(): the payload is copied out here, so
+    // the bound buffer is free for refill as soon as start() returns.
+    send(request.send_buf_, request.bytes_, request.peer_, request.tag_);
+  }
+  request.state_ = PersistentRequest::State::Started;
+}
+
+void Communicator::wait(PersistentRequest& request) const {
+  if (request.kind_ == PersistentRequest::Kind::Null) {
+    throw CommError("wait on a null persistent request");
+  }
+  if (request.state_ != PersistentRequest::State::Started) {
+    throw CommError("wait on a persistent request that was never started");
+  }
+  if (request.kind_ == PersistentRequest::Kind::Recv) {
+    request.status_ = recv(request.recv_buf_, request.bytes_, request.peer_, request.tag_);
+  }
+  // Completion RE-ARMS the handle: this is the whole point of persistence.
+  request.state_ = PersistentRequest::State::Armed;
+}
+
+void Communicator::start_all(std::span<PersistentRequest> requests) const {
+  for (PersistentRequest& r : requests) {
+    if (r.valid()) start(r);
+  }
+}
+
+void Communicator::wait_all(std::span<PersistentRequest> requests) const {
+  for (PersistentRequest& r : requests) {
+    if (r.started()) wait(r);
+  }
+}
+
 void Communicator::barrier() const {
   LICOMK_REQUIRE(world_ != nullptr, "communicator not attached to a world");
   world_->barrier_wait();

@@ -56,6 +56,39 @@ class Request {
   Status* status_out = nullptr;
 };
 
+/// The analogue of an MPI persistent request (MPI_Send_init / MPI_Recv_init
+/// + MPI_Start / MPI_Wait): the (buffer, count, peer, tag) envelope is bound
+/// ONCE at init, then the same handle is started and waited every iteration.
+/// Lifecycle: armed -> start() -> started -> wait() -> armed again. A
+/// completed wait() RE-ARMS the handle instead of invalidating it — unlike a
+/// one-shot Request, reuse after completion is the whole point. Misuse
+/// throws: start() while started ("you lost a wait"), wait() while armed
+/// ("you lost a start"), and either on a default-constructed handle.
+class PersistentRequest {
+ public:
+  PersistentRequest() = default;
+  bool valid() const { return kind_ != Kind::Null; }
+  /// Initialized and ready to start() (includes "completed and re-armed").
+  bool armed() const { return kind_ != Kind::Null && state_ == State::Armed; }
+  /// start()ed and not yet wait()ed.
+  bool started() const { return kind_ != Kind::Null && state_ == State::Started; }
+  /// Completion info of the most recent wait() (receives only).
+  const Status& last_status() const { return status_; }
+
+ private:
+  friend class Communicator;
+  enum class Kind { Null, Send, Recv };
+  enum class State { Armed, Started };
+  Kind kind_ = Kind::Null;
+  State state_ = State::Armed;
+  const void* send_buf_ = nullptr;
+  void* recv_buf_ = nullptr;
+  std::size_t bytes_ = 0;
+  int peer_ = kAnySource;
+  int tag_ = kAnyTag;
+  Status status_{};
+};
+
 /// A rank's handle onto a World. Cheap to copy.
 class Communicator {
  public:
@@ -87,6 +120,25 @@ class Communicator {
                 Status* status_out = nullptr) const;
   void wait(Request& request) const;
   void wait_all(std::span<Request> requests) const;
+
+  /// --- persistent requests (MPI_Send_init / MPI_Recv_init family) ---------
+  ///
+  /// Bind an envelope once, then start()/wait() the same handle every
+  /// iteration. The bound buffer is NOT copied at init: a persistent send
+  /// reads `buf` at each start() (so refill it between wait() and the next
+  /// start()), and a persistent recv fills `buf` inside wait(). Sends are
+  /// buffered like send()/isend(): start() copies the payload out, so the
+  /// bound buffer is reusable as soon as start() returns, and wait() on a
+  /// started send is bookkeeping only.
+  PersistentRequest send_init(const void* buf, std::size_t bytes, int dest, int tag) const;
+  PersistentRequest recv_init(void* buf, std::size_t bytes, int source, int tag) const;
+  void start(PersistentRequest& request) const;
+  /// Complete a started request and transition it back to Armed — the handle
+  /// stays valid for the next start(). Receives block until the message
+  /// arrives; truncation throws CommError exactly like recv().
+  void wait(PersistentRequest& request) const;
+  void start_all(std::span<PersistentRequest> requests) const;
+  void wait_all(std::span<PersistentRequest> requests) const;
 
   /// Typed helpers.
   template <typename T>

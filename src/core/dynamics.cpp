@@ -422,7 +422,8 @@ void vertical_mean(const LocalGrid& g, const halo::BlockField3D& x3, halo::Block
 void run_barotropic(const LocalGrid& g, const ModelConfig& cfg, OceanState& state,
                     halo::HaloExchanger& exchanger, const PolarFilter& filter,
                     const halo::BlockField2D& gu_bar, const halo::BlockField2D& gv_bar,
-                    halo::BlockField2D& ubar_avg, halo::BlockField2D& vbar_avg) {
+                    halo::BlockField2D& ubar_avg, halo::BlockField2D& vbar_avg,
+                    halo::PersistentGroup* subcycle_group) {
   const int nsub = cfg.grid.barotropic_substeps();
   const double dtb = cfg.grid.dt_barotropic;
   const double* iface = g.vertical().interfaces().data();
@@ -434,11 +435,16 @@ void run_barotropic(const LocalGrid& g, const ModelConfig& cfg, OceanState& stat
   // The three prognostic 2-D fields travel as ONE aggregated message per
   // neighbor per phase every substep (§V-D message-count reduction). The
   // group enrolls the field objects once; the rotation below swaps buffers
-  // between them, which the group re-resolves at each exchange.
+  // between them, which the group re-resolves at each exchange. When the
+  // caller supplies a PersistentGroup the per-call ExchangeGroup is not used
+  // at all — the persistent plan is reused across substeps AND baroclinic
+  // steps.
   halo::ExchangeGroup group(exchanger);
-  group.add(state.eta_cur, halo::FoldSign::Symmetric);
-  group.add(state.ubar_cur, halo::FoldSign::Antisymmetric);
-  group.add(state.vbar_cur, halo::FoldSign::Antisymmetric);
+  if (subcycle_group == nullptr) {
+    group.add(state.eta_cur, halo::FoldSign::Symmetric);
+    group.add(state.ubar_cur, halo::FoldSign::Antisymmetric);
+    group.add(state.vbar_cur, halo::FoldSign::Antisymmetric);
+  }
   const std::vector<FilteredField> filtered = {
       FilteredField(state.eta_cur, halo::FoldSign::Symmetric, /*conservative=*/true),
       FilteredField(state.ubar_cur, halo::FoldSign::Antisymmetric, false),
@@ -481,13 +487,28 @@ void run_barotropic(const LocalGrid& g, const ModelConfig& cfg, OceanState& stat
 
     // Aggregated 2-D halo update every substep (velocities flip across the
     // fold; each field keeps its own FoldSign inside the batch).
-    group.exchange();
+    if (subcycle_group != nullptr) {
+      // Persistent path. When the filter is active, the only ghost reads
+      // between here and the filter's closing full exchange are the zonal
+      // smoothing stencil's east/west columns — so the main substep update
+      // ships only the zonal phase, and the filter's final exchange rebuilds
+      // every ghost (meridional, fold, corners) from interior data before
+      // the next substep's kernels run. Bit-identical, fewer messages.
+      if (filter.active()) {
+        subcycle_group->exchange_zonal();
+      } else {
+        subcycle_group->exchange();
+      }
+      filter.apply(filtered, *subcycle_group);
+    } else {
+      group.exchange();
 
-    // Polar zonal filter: damp the grid-scale gravity-wave modes that exceed
-    // the explicit CFL limit near the fold. Volume-conservative on eta. The
-    // batched form exchanges all three fields per pass in one message per
-    // neighbor (zonal-only between passes).
-    filter.apply(filtered, exchanger);
+      // Polar zonal filter: damp the grid-scale gravity-wave modes that
+      // exceed the explicit CFL limit near the fold. Volume-conservative on
+      // eta. The batched form exchanges all three fields per pass in one
+      // message per neighbor (zonal-only between passes).
+      filter.apply(filtered, exchanger);
+    }
 
     // Accumulate the sub-cycle average used to anchor the baroclinic mean.
     dyn::AccumulateK2D accu{cref(state.ubar_cur), mref(ubar_avg), weight};

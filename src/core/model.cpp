@@ -49,6 +49,17 @@ LicomModel::LicomModel(const ModelConfig& cfg, std::shared_ptr<const grid::Globa
   exchanger_->set_batching(cfg_.batch_halo_exchange);
   exchanger_->set_verify_crc(cfg_.verify_halo_crc);
   state_ = std::make_unique<OceanState>(*lgrid_);
+  if (cfg_.persistent_halo_exchange) {
+    // Enroll the barotropic subcycle's prognostic 2-D fields once: the
+    // persistent plan (neighbor geometry, fused packing boxes, registered
+    // buffers) is built on first use and reused by every substep of every
+    // step. The group re-resolves field base pointers at each exchange, so
+    // the leapfrog buffer rotation is transparent to it.
+    subcycle_group_ = std::make_unique<halo::PersistentGroup>(*exchanger_);
+    subcycle_group_->add(state_->eta_cur, halo::FoldSign::Symmetric);
+    subcycle_group_->add(state_->ubar_cur, halo::FoldSign::Antisymmetric);
+    subcycle_group_->add(state_->vbar_cur, halo::FoldSign::Antisymmetric);
+  }
   mixer_ = std::make_unique<VerticalMixer>(*lgrid_, comm_, cfg_.vmix, cfg_.canuto_load_balance);
   polar_ = std::make_unique<PolarFilter>(*lgrid_);
   adv_ws_ = std::make_unique<AdvectionWorkspace>(*lgrid_);
@@ -132,8 +143,12 @@ void LicomModel::step() {
 
   {
     PhaseScope t("barotr", "phase");
+    const std::uint64_t msgs0 = exchanger_->stats().messages;
+    const std::uint64_t equiv0 = exchanger_->stats().equiv_messages;
     run_barotropic(*lgrid_, cfg_, *state_, *exchanger_, *polar_, gu_bar_, gv_bar_, ubar_avg_,
-                   vbar_avg_);
+                   vbar_avg_, subcycle_group_.get());
+    subcycle_msgs_ += exchanger_->stats().messages - msgs0;
+    subcycle_equiv_ += exchanger_->stats().equiv_messages - equiv0;
   }
 
   {
@@ -211,6 +226,22 @@ void LicomModel::run_days(double days) {
                            static_cast<double>(hs.bytes) / static_cast<double>(hs.messages));
       telemetry::set_gauge("halo.msg_reduction", static_cast<double>(hs.equiv_messages) /
                                                      static_cast<double>(hs.messages));
+    }
+    telemetry::set_gauge("halo.subcycle.msgs", static_cast<double>(subcycle_msgs_));
+    if (subcycle_msgs_ > 0) {
+      telemetry::set_gauge("halo.subcycle.msg_reduction",
+                           static_cast<double>(subcycle_equiv_) /
+                               static_cast<double>(subcycle_msgs_));
+    }
+    if (subcycle_group_ != nullptr) {
+      telemetry::set_gauge("halo.persistent.plan_builds",
+                           static_cast<double>(subcycle_group_->plan_builds()));
+      telemetry::set_gauge("halo.persistent.plan_hits",
+                           static_cast<double>(subcycle_group_->plan_hits()));
+      telemetry::set_gauge("halo.persistent.self_copies",
+                           static_cast<double>(subcycle_group_->self_copies()));
+      telemetry::set_gauge("halo.persistent.partial_exchanges",
+                           static_cast<double>(subcycle_group_->partial_exchanges()));
     }
   }
 }

@@ -22,6 +22,7 @@
 #include "core/state.hpp"
 #include "core/vmix.hpp"
 #include "halo/halo_exchange.hpp"
+#include "halo/persistent_group.hpp"
 
 namespace licomk::core {
 
@@ -85,6 +86,19 @@ class LicomModel {
   using StepHook = std::function<void(LicomModel&)>;
   void set_checkpoint_cadence(long long every_steps, StepHook hook);
 
+  /// Halo messages attributed to the barotropic subcycle (the barotr phase),
+  /// measured by snapshotting the exchanger's counters around run_barotropic.
+  /// This is the numerator/denominator pair behind the CI gate in
+  /// ci/check_halo_batching.py: comparing `subcycle_messages()` between a
+  /// persistent and a batched run yields the subcycle message-reduction
+  /// ratio directly, with no estimate involved.
+  std::uint64_t subcycle_messages() const { return subcycle_msgs_; }
+  std::uint64_t subcycle_equiv_messages() const { return subcycle_equiv_; }
+
+  /// The persistent subcycle group (η/ū/v̄), or nullptr when
+  /// cfg.persistent_halo_exchange is off.
+  const halo::PersistentGroup* subcycle_group() const { return subcycle_group_.get(); }
+
   const ModelConfig& config() const { return cfg_; }
   const LocalGrid& local_grid() const { return *lgrid_; }
   const grid::GlobalGrid& global_grid() const { return *global_; }
@@ -105,6 +119,10 @@ class LicomModel {
   std::unique_ptr<LocalGrid> lgrid_;
   std::unique_ptr<halo::HaloExchanger> exchanger_;
   std::unique_ptr<OceanState> state_;
+  /// Persistent halo engine for the subcycle's η/ū/v̄ (declared after
+  /// exchanger_/state_: it holds references into both, so it must be
+  /// destroyed first). Null when persistent_halo_exchange is off.
+  std::unique_ptr<halo::PersistentGroup> subcycle_group_;
   std::unique_ptr<VerticalMixer> mixer_;
   std::unique_ptr<PolarFilter> polar_;
   std::unique_ptr<AdvectionWorkspace> adv_ws_;
@@ -112,6 +130,8 @@ class LicomModel {
   halo::BlockField2D ubar_avg_, vbar_avg_, gu_bar_, gv_bar_;
   std::vector<double> daily_sst_;
   std::vector<double> daily_eta_;
+  std::uint64_t subcycle_msgs_ = 0;
+  std::uint64_t subcycle_equiv_ = 0;
   double sim_seconds_ = 0.0;
   long long steps_ = 0;
   double step_wall_s_ = 0.0;

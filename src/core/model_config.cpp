@@ -1,5 +1,6 @@
 #include "core/model_config.hpp"
 
+#include <cstdlib>
 #include <sstream>
 
 #include "util/error.hpp"
@@ -30,10 +31,28 @@ ModelConfig ModelConfig::km1() {
   return c;
 }
 
+namespace {
+/// CI ablation override: "0"/"off"/"false" forces the flag off, "1"/"on"/
+/// "true" forces it on, unset/other leaves the default. Lets the halo test
+/// matrix (ci/halo_matrix.sh) run every model-based suite under each
+/// batching × persistence combination without per-test plumbing.
+bool env_flag_or(const char* name, bool fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  std::string s(v);
+  if (s == "0" || s == "off" || s == "false") return false;
+  if (s == "1" || s == "on" || s == "true") return true;
+  return fallback;
+}
+}  // namespace
+
 ModelConfig ModelConfig::testing(int factor) {
   ModelConfig c;
   c.grid = grid::shrink(grid::spec_coarse100km(), factor);
   c.grid.nz = 12;
+  c.batch_halo_exchange = env_flag_or("LICOMK_BATCH_HALO", c.batch_halo_exchange);
+  c.persistent_halo_exchange =
+      env_flag_or("LICOMK_PERSISTENT_HALO", c.persistent_halo_exchange);
   return c;
 }
 
@@ -91,6 +110,7 @@ ModelConfig ModelConfig::from_config(const util::Config& cfg) {
   }
   c.eliminate_redundant_halo = cfg.get_bool_or("model.eliminate_redundant_halo", true);
   c.batch_halo_exchange = cfg.get_bool_or("model.batch_halo_exchange", true);
+  c.persistent_halo_exchange = cfg.get_bool_or("model.persistent_halo_exchange", true);
   c.verify_halo_crc = cfg.get_bool_or("model.verify_halo_crc", false);
   c.fp32_barotropic = cfg.get_bool_or("model.fp32_barotropic", false);
   return c;
@@ -104,6 +124,7 @@ std::string ModelConfig::describe() const {
      << (canuto_load_balance ? "+lb" : "") << " halo3d="
      << (halo_strategy == HaloStrategy::TransposeVerticalMajor ? "transpose" : "horizontal")
      << (verify_halo_crc ? " halo-crc" : "") << (batch_halo_exchange ? "" : " no-halo-batch")
+     << (persistent_halo_exchange ? "" : " no-persistent-halo")
      << (fp32_barotropic ? " fp32-barotr" : "");
   return os.str();
 }

@@ -51,6 +51,14 @@ struct ModelConfig {
   /// phase (halo::ExchangeGroup, §V-D message-count reduction). Bit-identical
   /// to per-field exchanges; off = the per-field ablation baseline.
   bool batch_halo_exchange = true;
+  /// Drive the barotropic subcycle's η/ū/v̄ exchanges through the persistent
+  /// nonblocking engine (halo::PersistentGroup): geometry, packing plans and
+  /// pre-registered buffers are resolved once and reused by every subcycle
+  /// iteration, with per-peer message fusion and self-copy elimination.
+  /// Bit-identical to the batched path; off = the PR 5 ExchangeGroup
+  /// ablation baseline. Requires batch_halo_exchange (with batching off the
+  /// persistent group degrades to per-field exchanges anyway).
+  bool persistent_halo_exchange = true;
   /// Append a CRC-64 to every halo message and verify it on unpack, so
   /// in-flight corruption (bit flips on the network) surfaces as a CommError
   /// the run supervisor can recover from, instead of silently polluting the

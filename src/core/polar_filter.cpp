@@ -45,6 +45,7 @@ PolarFilter::PolarFilter(const LocalGrid& grid, double threshold_lat, double str
   for (int lj = kH; lj < kH + grid_.ny(); ++lj) {
     int gj = e.j0 + (lj - kH);
     passes_[static_cast<size_t>(lj)] = passes_for_global_row(h, gj, threshold_lat, strength);
+    local_max_passes_ = std::max(local_max_passes_, passes_[static_cast<size_t>(lj)]);
   }
 }
 
@@ -140,6 +141,31 @@ void PolarFilter::apply(const std::vector<FilteredField>& fields,
     // the final pass restores every ghost with a full batched exchange.
     if (pass + 1 < max_passes_) {
       group.exchange_zonal();
+    } else {
+      group.exchange();
+    }
+  }
+}
+
+void PolarFilter::apply(const std::vector<FilteredField>& fields,
+                        halo::PersistentGroup& group) const {
+  if (max_passes_ == 0 || fields.empty()) return;
+  for (int pass = 0; pass < max_passes_; ++pass) {
+    for (const FilteredField& f : fields) {
+      if (f.f2 != nullptr) {
+        smooth_rows_2d(*f.f2, pass, f.conservative);
+        f.f2->mark_dirty();
+      } else {
+        smooth_rows_3d(*f.f3, pass, f.conservative);
+        f.f3->mark_dirty();
+      }
+    }
+    if (pass + 1 < max_passes_) {
+      // A zonal refresh at pass p only matters if somebody on this row band
+      // smooths at pass p+1. `passes_for_global_row` is a pure function of
+      // the global row, and east/west partners own the same rows, so the
+      // skip decision is symmetric across every pairwise zonal exchange.
+      if (local_max_passes_ > pass + 1) group.exchange_zonal();
     } else {
       group.exchange();
     }

@@ -19,6 +19,7 @@
 #include "core/local_grid.hpp"
 #include "halo/exchange_group.hpp"
 #include "halo/halo_exchange.hpp"
+#include "halo/persistent_group.hpp"
 
 namespace licomk::core {
 
@@ -46,6 +47,11 @@ class PolarFilter {
   /// True if any local row needs filtering (fast skip for tropical blocks).
   bool active() const { return max_passes_ > 0; }
   int max_passes() const { return max_passes_; }
+  /// Maximum pass count over the rows THIS rank owns (≤ max_passes()). Rows
+  /// beyond it are never smoothed locally, so once a pass index reaches it
+  /// this rank's east/west ghosts stop changing — the persistent-group apply
+  /// uses that to skip the tail's intermediate zonal refreshes.
+  int local_max_passes() const { return local_max_passes_; }
 
   /// Number of smoothing passes applied to local halo-inclusive row `j`.
   int passes_for_row(int j) const { return passes_[static_cast<size_t>(j)]; }
@@ -69,6 +75,18 @@ class PolarFilter {
   void apply(const std::vector<FilteredField>& fields,
              halo::HaloExchanger& exchanger) const;
 
+  /// Same batched filter, but driven through an already-enrolled persistent
+  /// group (the barotropic subcycle's η/ū/v̄). The group must contain exactly
+  /// the filtered fields. Two extra message savings over the ExchangeGroup
+  /// variant, both bit-identity-preserving:
+  ///   - intermediate zonal refreshes stop once `pass+1 >= local_max_passes_`
+  ///     (neither this rank nor its east/west partners — which share the same
+  ///     global rows, hence the same pass schedule — will smooth again before
+  ///     the final full exchange rebuilds every ghost), and
+  ///   - the persistent plan's per-peer fusion/self-copy elimination applies.
+  void apply(const std::vector<FilteredField>& fields,
+             halo::PersistentGroup& group) const;
+
  private:
   void smooth_rows_2d(halo::BlockField2D& f, int pass, bool conservative) const;
   void smooth_rows_3d(halo::BlockField3D& f, int pass, bool conservative) const;
@@ -76,6 +94,7 @@ class PolarFilter {
   const LocalGrid& grid_;
   std::vector<int> passes_;  ///< per local row (halo-inclusive indexing)
   int max_passes_ = 0;
+  int local_max_passes_ = 0;  ///< max of passes_ over locally owned rows
 };
 
 }  // namespace licomk::core

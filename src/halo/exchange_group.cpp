@@ -74,11 +74,8 @@ void ExchangeGroup::send_batch(int dest, int dir, int j0, int nj, int i0, int ni
     std::uint64_t value = crc.value();
     std::memcpy(&buf[payload], &value, sizeof(value));
   }
-  ex_.comm_.send(buf.data(), buf.size() * sizeof(double), dest,
-                 batch_tag(tag_block_, static_cast<detail::BatchDir>(dir)));
-  ex_.stats_.messages += 1;
-  ex_.stats_.bytes += buf.size() * sizeof(double);
-  note_message(buf.size() * sizeof(double));
+  ex_.post_send(buf.data(), buf.size() * sizeof(double), dest,
+                batch_tag(tag_block_, static_cast<detail::BatchDir>(dir)));
   if (dir == detail::kBatchFold) {
     ex_.stats_.fold_messages += 1;
     note_counter("halo.fold_messages", 1);
@@ -256,6 +253,7 @@ void ExchangeGroup::finish() {
                              static_cast<long long>(n_participating_));
   recv_phase1();
   do_zonal_phase();
+  ex_.drain_sends();
 }
 
 void ExchangeGroup::exchange() {
@@ -292,6 +290,7 @@ void ExchangeGroup::exchange_zonal() {
   telemetry::ScopedSpan span("halo_batch_zonal", "halo", {},
                              static_cast<long long>(slots_.size()));
   do_zonal_phase();
+  ex_.drain_sends();
 }
 
 }  // namespace licomk::halo

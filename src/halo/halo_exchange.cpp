@@ -133,6 +133,18 @@ void HaloExchanger::unpack_box(double* base, int nz, Halo3DMethod method, int j0
   note_counter("halo.unpacked_elements", elements);
 }
 
+void HaloExchanger::post_send(const void* buf, std::size_t bytes, int dest, int tag) {
+  inflight_sends_.push_back(comm_.isend(buf, bytes, dest, tag));
+  stats_.messages += 1;
+  stats_.bytes += bytes;
+  note_message(bytes);
+}
+
+void HaloExchanger::drain_sends() {
+  comm_.wait_all(std::span<comm::Request>(inflight_sends_));
+  inflight_sends_.clear();
+}
+
 void HaloExchanger::send_box(double* base, int nz, Halo3DMethod method, int dest, int tag,
                              int j0, int nj, int i0, int ni) {
   const size_t payload = static_cast<size_t>(nz) * nj * ni;
@@ -146,10 +158,7 @@ void HaloExchanger::send_box(double* base, int nz, Halo3DMethod method, int dest
     std::uint64_t value = crc.value();
     std::memcpy(&buf[payload], &value, sizeof(value));
   }
-  comm_.send(buf.data(), buf.size() * sizeof(double), dest, tag);
-  stats_.messages += 1;
-  stats_.bytes += buf.size() * sizeof(double);
-  note_message(buf.size() * sizeof(double));
+  post_send(buf.data(), buf.size() * sizeof(double), dest, tag);
 }
 
 void HaloExchanger::recv_box(double* base, int nz, Halo3DMethod method, int src, int tag,
@@ -263,6 +272,7 @@ void HaloExchanger::finish_phases(double* base, int nz, FoldSign sign, Halo3DMet
   } else {
     zero_box(base, nz, 0, static_cast<int>(nyt), h + nx, h);
   }
+  drain_sends();
 }
 
 void HaloExchanger::do_update(double* base, int nz, FoldSign sign, Halo3DMethod method) {

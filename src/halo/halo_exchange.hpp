@@ -37,6 +37,7 @@
 namespace licomk::halo {
 
 class ExchangeGroup;
+class PersistentGroup;
 
 enum class Halo3DMethod {
   HorizontalMajor,         ///< native layout, k slowest in the message
@@ -56,6 +57,10 @@ struct HaloStats {
   std::uint64_t equiv_messages = 0;
   std::uint64_t batches = 0;         ///< aggregated group exchanges
   std::uint64_t batched_fields = 0;  ///< field exchanges carried by batches
+  std::uint64_t persistent_batches = 0;  ///< exchanges through PersistentGroup plans
+  /// Peer-is-self transfers a PersistentGroup turned into local copies
+  /// instead of messages (px == 1 zonal wrap, self fold partners).
+  std::uint64_t self_copies = 0;
 };
 
 /// Per-rank halo updater. Construct once per (decomposition, rank) and reuse;
@@ -142,6 +147,7 @@ class HaloExchanger {
 
  private:
   friend class ExchangeGroup;
+  friend class PersistentGroup;
 
   struct FoldPartner {
     int rank;      ///< partner block on the top row
@@ -169,6 +175,14 @@ class HaloExchanger {
                   long long dst_sj, long long dst_si, double scale, const double* in);
   void send_box(double* base, int nz, Halo3DMethod method, int dest, int tag, int j0, int nj,
                 int i0, int ni);
+  /// Nonblocking send + request tracking: every outbound halo message goes
+  /// through isend, with the Request parked in inflight_sends_ until the
+  /// next drain point (the end of the phases that posted it). The comm
+  /// layer's buffered sends complete at post time, so the drain is
+  /// bookkeeping — but call sites are structured for genuinely asynchronous
+  /// transports: no buffer is touched between post and drain.
+  void post_send(const void* buf, std::size_t bytes, int dest, int tag);
+  void drain_sends();
   void recv_box(double* base, int nz, Halo3DMethod method, int src, int tag, int j0, int nj,
                 int i0, int ni, long long dst_sj, long long dst_si, double scale);
   void zero_box(double* base, int nz, int j0, int nj, int i0, int ni);
@@ -185,6 +199,7 @@ class HaloExchanger {
   bool batching_ = true;
   bool verify_crc_ = false;
   std::unordered_map<const void*, SkipEntry> last_version_;
+  std::vector<comm::Request> inflight_sends_;
   HaloStats stats_;
 };
 

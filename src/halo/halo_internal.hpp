@@ -36,6 +36,17 @@ inline int batch_tag(int tag_block, BatchDir dir) {
   return kTagBatchBase + kTagBlockStride * tag_block + static_cast<int>(dir);
 }
 
+/// Persistent-group (PersistentGroup) message tags. All boxes to one peer in
+/// one phase travel in a single fused message, so a group only needs one tag
+/// per phase (0 = meridional + fold, 1 = zonal); (source, tag) then uniquely
+/// identifies every in-flight message. Blocks of 4 leave room and keep the
+/// space disjoint from the batch tags for any realistic tag_block.
+inline constexpr int kTagPersistentBase = 96;
+
+inline int persistent_tag(int tag_block, int phase) {
+  return kTagPersistentBase + 4 * tag_block + phase;
+}
+
 /// Message buffer strides for (nk, nj, ni) boxes under each method.
 struct BufStrides {
   long long s0, s1, s2;  // strides for iteration dims (k, j, i)

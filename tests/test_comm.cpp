@@ -324,3 +324,150 @@ TEST(Comm, NegativeUserTagRejected) {
     EXPECT_THROW(c.send_n(&v, 1, 0, -5), licomk::InvalidArgument);
   });
 }
+
+// ---------------------------------------------------------------------------
+// Persistent requests (send_init/recv_init + start/wait): the comm substrate
+// under halo::PersistentGroup. The lifecycle contract is armed → started →
+// (wait) → armed again; misuse throws instead of deadlocking or corrupting.
+// ---------------------------------------------------------------------------
+
+TEST(Comm, PersistentRoundTripReusesRequestsAcrossRounds) {
+  lc::Runtime::run(2, [](lc::Communicator& c) {
+    constexpr int kRounds = 5;
+    double out[4] = {};
+    double in[4] = {};
+    if (c.rank() == 0) {
+      lc::PersistentRequest sreq = c.send_init(out, sizeof(out), 1, 11);
+      EXPECT_TRUE(sreq.armed());
+      for (int r = 0; r < kRounds; ++r) {
+        for (int i = 0; i < 4; ++i) out[i] = 10.0 * r + i;
+        c.start(sreq);
+        EXPECT_TRUE(sreq.started());
+        c.wait(sreq);
+        EXPECT_TRUE(sreq.armed());  // completed wait RE-ARMS, never invalidates
+      }
+    } else {
+      lc::PersistentRequest rreq = c.recv_init(in, sizeof(in), 0, 11);
+      for (int r = 0; r < kRounds; ++r) {
+        c.start(rreq);
+        c.wait(rreq);
+        EXPECT_EQ(rreq.last_status().bytes, sizeof(in));
+        EXPECT_EQ(rreq.last_status().source, 0);
+        for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(in[i], 10.0 * r + i);
+      }
+    }
+  });
+}
+
+TEST(Comm, PersistentDoubleStartThrows) {
+  lc::Runtime::run(2, [](lc::Communicator& c) {
+    double x = 3.5;
+    if (c.rank() == 0) {
+      lc::PersistentRequest sreq = c.send_init(&x, sizeof(x), 1, 12);
+      c.start(sreq);
+      EXPECT_THROW(c.start(sreq), licomk::CommError);  // missing wait
+      c.wait(sreq);
+      c.start(sreq);  // legal again after the re-arm
+      c.wait(sreq);
+    } else {
+      double got = 0.0;
+      lc::PersistentRequest rreq = c.recv_init(&got, sizeof(got), 0, 12);
+      for (int r = 0; r < 2; ++r) {
+        c.start(rreq);
+        c.wait(rreq);
+        EXPECT_DOUBLE_EQ(got, 3.5);
+      }
+    }
+  });
+}
+
+TEST(Comm, PersistentWaitBeforeStartThrows) {
+  lc::Runtime::run(1, [](lc::Communicator& c) {
+    double x = 0.0;
+    lc::PersistentRequest req = c.recv_init(&x, sizeof(x), 0, 13);
+    EXPECT_THROW(c.wait(req), licomk::CommError);  // never started
+  });
+}
+
+TEST(Comm, PersistentNullRequestOpsThrow) {
+  lc::Runtime::run(1, [](lc::Communicator& c) {
+    lc::PersistentRequest req;  // default: Null kind
+    EXPECT_FALSE(req.valid());
+    EXPECT_THROW(c.start(req), licomk::CommError);
+    EXPECT_THROW(c.wait(req), licomk::CommError);
+  });
+}
+
+TEST(Comm, PersistentSendBufferReusableAfterStart) {
+  // Buffered-send semantics: start() copies the payload out, so the bound
+  // buffer may be overwritten immediately — the receiver still sees the
+  // values present at start() time. This is what lets PersistentGroup run
+  // its pack buffers as a deferred ring without waiting on the consumer.
+  lc::Runtime::run(2, [](lc::Communicator& c) {
+    if (c.rank() == 0) {
+      double out = 1.0;
+      lc::PersistentRequest sreq = c.send_init(&out, sizeof(out), 1, 14);
+      c.start(sreq);
+      out = -999.0;  // scribble after start, before the receiver posts
+      c.wait(sreq);
+      c.start(sreq);  // second round carries the new value
+      c.wait(sreq);
+    } else {
+      double got = 0.0;
+      lc::PersistentRequest rreq = c.recv_init(&got, sizeof(got), 0, 14);
+      c.start(rreq);
+      c.wait(rreq);
+      EXPECT_DOUBLE_EQ(got, 1.0);
+      c.start(rreq);
+      c.wait(rreq);
+      EXPECT_DOUBLE_EQ(got, -999.0);
+    }
+  });
+}
+
+TEST(Comm, PersistentStartAllWaitAllSkipInvalidAndUnstarted) {
+  lc::Runtime::run(2, [](lc::Communicator& c) {
+    if (c.rank() == 0) {
+      double a = 1.0, b = 2.0;
+      std::vector<lc::PersistentRequest> reqs(3);  // [2] stays Null
+      reqs[0] = c.send_init(&a, sizeof(a), 1, 15);
+      reqs[1] = c.send_init(&b, sizeof(b), 1, 16);
+      c.start_all(std::span<lc::PersistentRequest>(reqs));
+      c.wait_all(std::span<lc::PersistentRequest>(reqs));
+      EXPECT_TRUE(reqs[0].armed());
+      EXPECT_TRUE(reqs[1].armed());
+      EXPECT_FALSE(reqs[2].valid());
+    } else {
+      double a = 0.0, b = 0.0;
+      std::vector<lc::PersistentRequest> reqs(2);
+      reqs[0] = c.recv_init(&a, sizeof(a), 0, 15);
+      reqs[1] = c.recv_init(&b, sizeof(b), 0, 16);
+      c.start_all(std::span<lc::PersistentRequest>(reqs));
+      c.wait_all(std::span<lc::PersistentRequest>(reqs));
+      EXPECT_DOUBLE_EQ(a, 1.0);
+      EXPECT_DOUBLE_EQ(b, 2.0);
+    }
+  });
+}
+
+TEST(Comm, PersistentRecvTruncationThrows) {
+  lc::Runtime::run(2, [](lc::Communicator& c) {
+    if (c.rank() == 0) {
+      double big[4] = {1, 2, 3, 4};
+      c.send(big, sizeof(big), 1, 17);
+    } else {
+      double small[2] = {};
+      lc::PersistentRequest rreq = c.recv_init(small, sizeof(small), 0, 17);
+      c.start(rreq);
+      EXPECT_THROW(c.wait(rreq), licomk::CommError);
+    }
+  });
+}
+
+TEST(Comm, PersistentInitValidatesArguments) {
+  lc::Runtime::run(1, [](lc::Communicator& c) {
+    double x = 0.0;
+    EXPECT_THROW(c.send_init(&x, sizeof(x), 0, -1), licomk::Error);   // negative tag
+    EXPECT_THROW(c.recv_init(nullptr, sizeof(x), 0, 1), licomk::Error);  // null buffer
+  });
+}
