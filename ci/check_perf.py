@@ -72,6 +72,54 @@ def check_build_type(path, role):
     return None
 
 
+# Gauge keys every tenant section of licomk_farm_gauges must carry — the
+# minimum needed to interpret the timings' multi-tenant regime (how many
+# steps each member ran, at what throughput, and whether it completed).
+_FARM_TENANT_KEYS = ("state", "steps", "sypd")
+
+
+def check_farm_context(path, role):
+    """Validate the OPTIONAL `licomk_farm_gauges` baseline-context section.
+
+    ci/update_baseline.sh records the forecast-farm ensemble gauges (one
+    section per tenant) next to the timings, the same way it records the halo
+    gauges. Absence is fine — pre-farm baselines stay valid — but a present
+    section must be well-formed: a half-written farm context means the
+    baseline was regenerated against a broken farm run, and the regime the
+    timings were taken under is unknowable. Returns a list of error strings
+    (empty when acceptable); callers report them and exit 2, never a
+    traceback.
+    """
+    with open(path) as f:
+        context = json.load(f).get("context", {})
+    farm = context.get("licomk_farm_gauges")
+    if farm is None:
+        return []
+    where = f"{role} {path}: licomk_farm_gauges"
+    if not isinstance(farm, dict):
+        return [f"{where} must be an object, got {type(farm).__name__} "
+                "(regenerate with ci/update_baseline.sh)"]
+    tenants = farm.get("tenants")
+    if not isinstance(tenants, dict) or not tenants:
+        return [f"{where} has no tenant sections — expected a non-empty "
+                "'tenants' object keyed by tenant name "
+                "(regenerate with ci/update_baseline.sh)"]
+    errors = []
+    for name, gauges in sorted(tenants.items()):
+        if not isinstance(gauges, dict):
+            errors.append(f"{where}: tenant '{name}' section must be an "
+                          f"object, got {type(gauges).__name__}")
+            continue
+        for key in _FARM_TENANT_KEYS:
+            if key not in gauges:
+                errors.append(f"{where}: tenant '{name}' is missing gauge "
+                              f"'{key}' (regenerate with ci/update_baseline.sh)")
+            elif not isinstance(gauges[key], (int, float)):
+                errors.append(f"{where}: tenant '{name}' gauge '{key}' must "
+                              f"be a number, got {type(gauges[key]).__name__}")
+    return errors
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("baseline")
@@ -83,6 +131,8 @@ def main():
     build_errors = [e for e in (check_build_type(args.baseline, "baseline"),
                                 check_build_type(args.current, "current"))
                     if e is not None]
+    build_errors += check_farm_context(args.baseline, "baseline")
+    build_errors += check_farm_context(args.current, "current")
     if build_errors:
         for e in build_errors:
             print(f"error: {e}", file=sys.stderr)

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Forecast-farm smoke: the 4-tenant perturbed-wind ensemble (examples/farm_run).
+#
+# farm_run gates internally on:
+#   * every tenant Completed, in both the sequential (max_concurrent=1) and
+#     concurrent (max_concurrent=2) farms;
+#   * every tenant's final-state per-field CRC-64s IDENTICAL to its
+#     standalone baseline — perturbed and unperturbed members alike;
+#   * one shared GlobalGrid behind all members (farm.base_state.shared_bytes);
+#   * concurrent farm wall time within 1/0.9 of the sequential farm;
+#   * a crash fault scoped to tenant w1's domain: w1 retries and completes
+#     bit-identically, siblings see exactly one attempt and unchanged CRCs.
+#
+# This script re-gates the exported metrics.json so a silently-empty telemetry
+# export can't pass, and checks the per-tenant gauge namespace is populated.
+#
+# Usage: ci/farm_smoke.sh [build-dir] [artifact-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-ci-release}"
+OUT_DIR="${2:-artifacts/farm-smoke}"
+
+mkdir -p "$OUT_DIR"
+"$BUILD_DIR/examples/farm_run" \
+  --out "$OUT_DIR/metrics.json" \
+  --dir "$OUT_DIR/checkpoints" \
+  | tee "$OUT_DIR/farm.log"
+
+python3 - "$OUT_DIR/metrics.json" <<'EOF'
+import json, sys
+
+m = json.load(open(sys.argv[1]))
+assert m["schema"] == "licomk.telemetry.v1", m.get("schema")
+g = m["gauges"]
+c = m["counters"]
+
+# The ensemble-level verdicts farm_run computed.
+assert g.get("farm.ensemble.bit_identical") == 1.0, g
+assert g.get("farm.ensemble.members") == 4.0, g
+assert g.get("farm.ensemble.throughput_ratio", 0.0) >= 0.9, g
+assert g.get("farm.base_state.shared_bytes", 0.0) > 0.0, g
+
+# Every tenant must have a populated, namespaced gauge section.
+for i in range(4):
+    ns = f"farm.tenant.w{i}."
+    for key in ("state", "steps", "admissions", "attempts", "sypd",
+                "run_wall_s", "model.steps", "model.sypd"):
+        assert ns + key in g, f"missing gauge {ns + key}"
+    assert g[ns + "steps"] == 6.0, (ns, g[ns + "steps"])
+    assert g[ns + "model.sypd"] > 0.0, ns
+
+# Farm-level counters: 4 members x (seq farm + conc farm + fault farm),
+# and the w1 crash must have produced at least one recovery.
+assert c.get("farm.submitted", 0) == 12, c
+assert c.get("farm.completions", 0) == 12, c
+assert c.get("farm.failures", 0) == 0, c
+assert c.get("resilience.faults_injected", 0) >= 1, c
+
+print("farm smoke gates passed")
+EOF

@@ -22,10 +22,13 @@ BUILD_DIR="${1:-build}"
 TMP_DIR="$(mktemp -d)"
 trap 'rm -rf "$TMP_DIR"' EXIT
 "$BUILD_DIR/examples/halo_batching_smoke" persistent "$TMP_DIR" > /dev/null
+"$BUILD_DIR/examples/farm_run" \
+  --out "$TMP_DIR/farm_metrics.json" --dir "$TMP_DIR/farm_ckpt" > /dev/null
 
-python3 - bench/baseline_smoke.json "$TMP_DIR/metrics.json" <<'EOF'
+python3 - bench/baseline_smoke.json "$TMP_DIR/metrics.json" \
+  "$TMP_DIR/farm_metrics.json" <<'EOF'
 import json, sys
-base_path, metrics_path = sys.argv[1:3]
+base_path, metrics_path, farm_path = sys.argv[1:4]
 with open(base_path) as f:
     base = json.load(f)
 with open(metrics_path) as f:
@@ -33,9 +36,27 @@ with open(metrics_path) as f:
 keep = {k: v for k, v in sorted(gauges.items())
         if k.startswith("halo.persistent.") or k.startswith("halo_smoke.subcycle")}
 base.setdefault("context", {})["licomk_halo_gauges"] = keep
+print(f"recorded {len(keep)} halo gauges in baseline context")
+
+# The multi-tenant regime next to the timings: one section per farm tenant
+# (validated by ci/check_perf.py's check_farm_context), plus the ensemble
+# summary gauges.
+with open(farm_path) as f:
+    fg = json.load(f).get("gauges", {})
+tenants = {}
+prefix = "farm.tenant."
+for k, v in sorted(fg.items()):
+    if not k.startswith(prefix):
+        continue
+    name, _, key = k[len(prefix):].partition(".")
+    tenants.setdefault(name, {})[key] = v
+ensemble = {k: v for k, v in sorted(fg.items())
+            if k.startswith("farm.ensemble.") or k == "farm.base_state.shared_bytes"}
+base["context"]["licomk_farm_gauges"] = {"tenants": tenants, "ensemble": ensemble}
+print(f"recorded {len(tenants)} farm tenant sections in baseline context")
+
 with open(base_path, "w") as f:
     json.dump(base, f, indent=1)
     f.write("\n")
-print(f"recorded {len(keep)} halo gauges in baseline context")
 EOF
 echo "wrote bench/baseline_smoke.json"

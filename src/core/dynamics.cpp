@@ -63,6 +63,7 @@ struct TendencyK {
   double viscosity = 0.0;
   double day_of_year = 0.0;
   double bottom_drag = 5.0e-4;  ///< linear drag velocity, m/s
+  double wind_scale = 1.0;      ///< ensemble wind-stress perturbation factor
 
   /// LDM staging footprint: u/v carry the full ±1 horizontal stencil, p is
   /// read at (j..j+1, i..i+1); fu/fv are written at every dispatched index
@@ -110,8 +111,8 @@ struct TendencyK {
 
     if (k == 0) {  // wind stress enters the top layer
       SurfaceForcing f = climatological_forcing(lon(j, i), lat(j, i), day_of_year);
-      gu += f.tau_x / (kRho0 * dz[0]);
-      gv += f.tau_y / (kRho0 * dz[0]);
+      gu += wind_scale * f.tau_x / (kRho0 * dz[0]);
+      gv += wind_scale * f.tau_y / (kRho0 * dz[0]);
     }
     if (k == kmu(j, i) - 1) {  // linear bottom drag in the deepest layer
       gu -= bottom_drag * uc / dz[k];
@@ -406,7 +407,8 @@ void compute_momentum_tendencies(const LocalGrid& g, const ModelConfig& cfg,
                    g.vertical().thicknesses().data(),
                    cfg.effective_viscosity(dx_mean),
                    day_of_year,
-                   5.0e-4};
+                   5.0e-4,
+                   cfg.wind_stress_scale};
   kxx::parallel_for("dyn_tendency", interior3(g), f);
   fu.mark_dirty();
   fv.mark_dirty();

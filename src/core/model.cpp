@@ -20,17 +20,21 @@ namespace {
 /// disabled; step wall time for sypd() is accumulated separately in step().
 using PhaseScope = telemetry::ScopedSpan;
 
-/// The single-rank world used by the convenience constructor. One static
-/// world is enough: single-rank communicators never exchange messages.
-comm::World& self_world() {
-  static comm::World world(1);
-  return world;
-}
 }  // namespace
 
 LicomModel::LicomModel(const ModelConfig& cfg)
+    : LicomModel(cfg, std::make_unique<comm::World>(1)) {}
+
+LicomModel::LicomModel(const ModelConfig& cfg, std::unique_ptr<comm::World> owned_world)
     : LicomModel(cfg, std::make_shared<grid::GlobalGrid>(cfg.grid, cfg.bathymetry_seed),
-                 self_world().communicator(0)) {}
+                 owned_world->communicator(0)) {
+  // Adopt AFTER delegation: the world outlived construction via the caller's
+  // unique_ptr, and from here on via the first-declared member slot. A world
+  // per instance, never a shared static — even 1-rank models exchange
+  // self-messages (fold/wrap), which would cross-match between concurrent
+  // instances sharing a mailbox.
+  owned_world_ = std::move(owned_world);
+}
 
 decomp::Decomposition LicomModel::plan_decomposition(const ModelConfig& cfg, int nranks) {
   auto [px, py] = decomp::choose_layout(nranks, cfg.grid.nx, cfg.grid.ny);
@@ -48,7 +52,26 @@ LicomModel::LicomModel(const ModelConfig& cfg, std::shared_ptr<const grid::Globa
   exchanger_->set_eliminate_redundant(cfg_.eliminate_redundant_halo);
   exchanger_->set_batching(cfg_.batch_halo_exchange);
   exchanger_->set_verify_crc(cfg_.verify_halo_crc);
+  exchanger_->set_tag_base(cfg_.halo_tag_base);
   state_ = std::make_unique<OceanState>(*lgrid_);
+  if (cfg_.initial_t_perturb_c != 0.0) {
+    // Initial-state ensemble member: shift both temperature time levels by a
+    // constant at every wet cell (halo rows included — the same physical
+    // point gets the same value on every rank, so ghost consistency holds).
+    const auto& kmt = lgrid_->kmt_view();
+    for (int k = 0; k < lgrid_->nz(); ++k) {
+      for (int j = 0; j < lgrid_->ny_total(); ++j) {
+        for (int i = 0; i < lgrid_->nx_total(); ++i) {
+          if (k < kmt(j, i)) {
+            state_->t_cur.at(k, j, i) += cfg_.initial_t_perturb_c;
+            state_->t_old.at(k, j, i) += cfg_.initial_t_perturb_c;
+          }
+        }
+      }
+    }
+    state_->t_cur.mark_dirty();
+    state_->t_old.mark_dirty();
+  }
   if (cfg_.persistent_halo_exchange) {
     // Enroll the barotropic subcycle's prognostic 2-D fields once: the
     // persistent plan (neighbor geometry, fused packing boxes, registered
@@ -215,33 +238,38 @@ void LicomModel::run_days(double days) {
   long long nsteps = static_cast<long long>(std::llround(days * 86400.0 / cfg_.grid.dt_baroclinic));
   for (long long n = 0; n < nsteps; ++n) step();
   if (telemetry::enabled()) {
-    telemetry::set_gauge("model.sypd", sypd());
-    telemetry::set_gauge("model.simulated_seconds", sim_seconds_);
-    telemetry::set_gauge("model.steps", static_cast<double>(steps_));
-    telemetry::set_gauge("model.step_wall_s", step_wall_s_);
+    // Every gauge goes out under the instance's namespace ("" standalone;
+    // "farm.tenant.<id>." inside the farm), so N concurrent instances keep
+    // distinct streams instead of clobbering one process-global name.
+    const std::string& ns = cfg_.telemetry_namespace;
+    auto gauge = [&ns](const char* name, double value) {
+      telemetry::set_gauge(ns.empty() ? std::string(name) : ns + name, value);
+    };
+    gauge("model.sypd", sypd());
+    gauge("model.simulated_seconds", sim_seconds_);
+    gauge("model.steps", static_cast<double>(steps_));
+    gauge("model.step_wall_s", step_wall_s_);
     const auto& hs = exchanger_->stats();
-    telemetry::set_gauge("halo.msgs", static_cast<double>(hs.messages));
+    gauge("halo.msgs", static_cast<double>(hs.messages));
     if (hs.messages > 0) {
-      telemetry::set_gauge("halo.bytes_per_msg",
-                           static_cast<double>(hs.bytes) / static_cast<double>(hs.messages));
-      telemetry::set_gauge("halo.msg_reduction", static_cast<double>(hs.equiv_messages) /
-                                                     static_cast<double>(hs.messages));
+      gauge("halo.bytes_per_msg",
+            static_cast<double>(hs.bytes) / static_cast<double>(hs.messages));
+      gauge("halo.msg_reduction",
+            static_cast<double>(hs.equiv_messages) / static_cast<double>(hs.messages));
     }
-    telemetry::set_gauge("halo.subcycle.msgs", static_cast<double>(subcycle_msgs_));
+    gauge("halo.subcycle.msgs", static_cast<double>(subcycle_msgs_));
     if (subcycle_msgs_ > 0) {
-      telemetry::set_gauge("halo.subcycle.msg_reduction",
-                           static_cast<double>(subcycle_equiv_) /
-                               static_cast<double>(subcycle_msgs_));
+      gauge("halo.subcycle.msg_reduction",
+            static_cast<double>(subcycle_equiv_) / static_cast<double>(subcycle_msgs_));
     }
     if (subcycle_group_ != nullptr) {
-      telemetry::set_gauge("halo.persistent.plan_builds",
-                           static_cast<double>(subcycle_group_->plan_builds()));
-      telemetry::set_gauge("halo.persistent.plan_hits",
-                           static_cast<double>(subcycle_group_->plan_hits()));
-      telemetry::set_gauge("halo.persistent.self_copies",
-                           static_cast<double>(subcycle_group_->self_copies()));
-      telemetry::set_gauge("halo.persistent.partial_exchanges",
-                           static_cast<double>(subcycle_group_->partial_exchanges()));
+      gauge("halo.persistent.plan_builds",
+            static_cast<double>(subcycle_group_->plan_builds()));
+      gauge("halo.persistent.plan_hits", static_cast<double>(subcycle_group_->plan_hits()));
+      gauge("halo.persistent.self_copies",
+            static_cast<double>(subcycle_group_->self_copies()));
+      gauge("halo.persistent.partial_exchanges",
+            static_cast<double>(subcycle_group_->partial_exchanges()));
     }
   }
 }

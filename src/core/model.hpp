@@ -110,8 +110,17 @@ class LicomModel {
   comm::Communicator communicator() const { return comm_; }
 
  private:
+  LicomModel(const ModelConfig& cfg, std::unique_ptr<comm::World> owned_world);
+
   void initial_exchange();
 
+  /// World owned by the single-rank convenience constructor. Declared FIRST
+  /// so it outlives comm_ and every comm-holding subsystem below. Each model
+  /// instance gets its OWN world: even a 1-rank decomposition sends
+  /// self-messages (tripolar fold, periodic wrap), so a world shared between
+  /// concurrent instances would FIFO-match one model's payloads into
+  /// another. Null for models handed an external communicator.
+  std::unique_ptr<comm::World> owned_world_;
   ModelConfig cfg_;
   std::shared_ptr<const grid::GlobalGrid> global_;
   comm::Communicator comm_;

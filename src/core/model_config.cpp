@@ -113,6 +113,11 @@ ModelConfig ModelConfig::from_config(const util::Config& cfg) {
   c.persistent_halo_exchange = cfg.get_bool_or("model.persistent_halo_exchange", true);
   c.verify_halo_crc = cfg.get_bool_or("model.verify_halo_crc", false);
   c.fp32_barotropic = cfg.get_bool_or("model.fp32_barotropic", false);
+  c.wind_stress_scale = cfg.get_double_or("model.wind_stress_scale", 1.0);
+  c.sst_target_offset_c = cfg.get_double_or("model.sst_target_offset_c", 0.0);
+  c.initial_t_perturb_c = cfg.get_double_or("model.initial_t_perturb_c", 0.0);
+  c.halo_tag_base = static_cast<int>(cfg.get_int_or("model.halo_tag_base", 0));
+  c.telemetry_namespace = cfg.get_string_or("model.telemetry_namespace", "");
   return c;
 }
 
@@ -126,6 +131,10 @@ std::string ModelConfig::describe() const {
      << (verify_halo_crc ? " halo-crc" : "") << (batch_halo_exchange ? "" : " no-halo-batch")
      << (persistent_halo_exchange ? "" : " no-persistent-halo")
      << (fp32_barotropic ? " fp32-barotr" : "");
+  if (wind_stress_scale != 1.0) os << " wind-scale=" << wind_stress_scale;
+  if (sst_target_offset_c != 0.0) os << " sst-offset=" << sst_target_offset_c;
+  if (initial_t_perturb_c != 0.0) os << " t0-perturb=" << initial_t_perturb_c;
+  if (halo_tag_base != 0) os << " tag-base=" << halo_tag_base;
   return os.str();
 }
 

@@ -70,6 +70,28 @@ struct ModelConfig {
   /// rounds. Accuracy impact is quantified in test_dynamics/bench_ablations.
   bool fp32_barotropic = false;
 
+  // --- scenario perturbations (forecast-farm ensemble workload) ---
+  /// Wind-stress multiplier applied to the climatological τx/τy before they
+  /// enter the top-layer momentum tendency. 1 = unperturbed physics.
+  double wind_stress_scale = 1.0;
+  /// Additive offset (°C) on the SST restoring target — the heat-flux
+  /// perturbation knob: the restoring term is the surface heat flux here, and
+  /// the shortwave profile is purely redistributive over the column.
+  double sst_target_offset_c = 0.0;
+  /// Constant offset (°C) added to the initial temperature at every active
+  /// point (both time levels, before the initial halo exchange), for
+  /// initial-state ensemble members. Constant so halos stay consistent.
+  double initial_t_perturb_c = 0.0;
+
+  // --- multi-tenant isolation (set by the farm; standalone runs keep 0/"") ---
+  /// Base added to every halo group tag_block of this instance, so concurrent
+  /// model instances own disjoint tag ranges (see HaloExchanger::set_tag_base).
+  int halo_tag_base = 0;
+  /// Prefix for the gauges run_days() publishes ("model.sypd" →
+  /// "<ns>model.sypd"); the farm sets "farm.tenant.<id>." so per-tenant
+  /// streams survive side by side in one telemetry registry.
+  std::string telemetry_namespace;
+
   /// Laplacian viscosity scaled to grid size when not set explicitly
   /// (A ~ 0.01 * dx * U with U ≈ 1 m/s, a standard eddy-viscosity scaling).
   double effective_viscosity(double dx_meters) const {

@@ -98,6 +98,10 @@ struct TracerColumnK {
   int which = 0;  ///< 0 = temperature, 1 = salinity
   int solar = 0;  ///< Jerlov shortwave penetration (temperature only)
   int nz = 0;
+  /// Heat-flux ensemble perturbation: offset on the SST restoring target
+  /// (the restoring term IS the surface heat flux; shortwave is
+  /// redistributive over the column, so this is the effective flux knob).
+  double sst_offset_c = 0.0;
 
   void operator()(long long j, long long i) const {
     int nlev = kmt(j, i);
@@ -127,7 +131,7 @@ struct TracerColumnK {
     }
 
     // Surface restoring enters as an explicit source in the top cell.
-    double target = which == 0 ? f.sst_target : f.sss_target;
+    double target = which == 0 ? f.sst_target + sst_offset_c : f.sss_target;
     col[0] += dt * restore_rate * (target - q_old(0, j, i));
     implicit_vertical_solve(nlev, dt, kf, dz, zc, col);
     for (int k = 0; k < nlev; ++k) q(k, j, i) = col[k];
@@ -205,7 +209,8 @@ void tracer_step(const LocalGrid& g, const ModelConfig& cfg, OceanState& state,
                           day_of_year,
                           which,
                           cfg.solar_penetration ? 1 : 0,
-                          g.nz()};
+                          g.nz(),
+                          cfg.sst_target_offset_c};
     kxx::parallel_for("trc_column", interior2, tc);
     q_new.mark_dirty();
   }

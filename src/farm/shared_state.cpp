@@ -1,0 +1,72 @@
+#include "farm/shared_state.hpp"
+
+#include <sstream>
+
+#include "telemetry/telemetry.hpp"
+
+namespace licomk::farm {
+
+std::string SharedBaseState::key(const grid::GridSpec& spec, unsigned seed) {
+  // Every field that shapes the materialized grid participates; two specs
+  // that differ in any of them must not share a GlobalGrid.
+  std::ostringstream k;
+  k << spec.name << '|' << spec.resolution_km << '|' << spec.nx << '|' << spec.ny << '|'
+    << spec.nz << '|' << spec.dt_barotropic << '|' << spec.dt_baroclinic << '|'
+    << spec.dt_tracer << '|' << spec.full_depth << '|' << spec.idealized_channel << '|'
+    << seed;
+  return k.str();
+}
+
+std::size_t SharedBaseState::grid_footprint_bytes(const grid::GlobalGrid& g) {
+  const std::size_t cells = static_cast<std::size_t>(g.nx()) * static_cast<std::size_t>(g.ny());
+  const std::size_t horizontal = cells * 8 * sizeof(double);  // lon,lat,dxt,dyt,dxu,dyu,area,f
+  const std::size_t bathymetry = cells * (sizeof(double) + sizeof(int));  // depth + kmt
+  const std::size_t vertical = (3 * static_cast<std::size_t>(g.nz()) + 1) * sizeof(double);
+  return horizontal + bathymetry + vertical;
+}
+
+std::shared_ptr<const grid::GlobalGrid> SharedBaseState::acquire(const grid::GridSpec& spec,
+                                                                 unsigned bathymetry_seed) {
+  std::shared_ptr<const grid::GlobalGrid> result;
+  std::size_t saved = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Entry& e = cache_[key(spec, bathymetry_seed)];
+    if (e.grid == nullptr) {
+      e.grid = std::make_shared<const grid::GlobalGrid>(spec, bathymetry_seed);
+      e.footprint = grid_footprint_bytes(*e.grid);
+    }
+    e.acquires += 1;
+    result = e.grid;
+    for (const auto& [k, entry] : cache_) {
+      if (entry.acquires > 1) saved += entry.footprint * (entry.acquires - 1);
+    }
+  }
+  if (telemetry::enabled()) {
+    telemetry::set_gauge("farm.base_state.shared_bytes", static_cast<double>(saved));
+  }
+  return result;
+}
+
+std::size_t SharedBaseState::shared_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t saved = 0;
+  for (const auto& [k, e] : cache_) {
+    if (e.acquires > 1) saved += e.footprint * (e.acquires - 1);
+  }
+  return saved;
+}
+
+std::size_t SharedBaseState::entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cache_.size();
+}
+
+std::uint64_t SharedBaseState::acquires() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [k, e] : cache_) total += e.acquires;
+  return total;
+}
+
+}  // namespace licomk::farm

@@ -1,0 +1,64 @@
+// shared_state.hpp — copy-on-write immutable base state for the forecast farm.
+//
+// N concurrent scenario instances of the same model configuration differ only
+// in their prognostic fields and forcing perturbations; the grid geometry,
+// metric terms, vertical levels and bathymetry are identical and immutable
+// (LicomModel takes the GlobalGrid by shared_ptr<const> and never writes it).
+// SharedBaseState is the cache that exploits this: acquire() returns one
+// shared GlobalGrid per distinct (GridSpec, bathymetry_seed), so a 4-tenant
+// ensemble owns ONE copy of the base state instead of four. Per-tenant memory
+// is then just the prognostic OceanState plus the scenario overrides —
+// exactly the copy-on-write split the multi-tenant farm is built around.
+//
+// Savings are observable: shared_bytes() reports the bytes that deduplication
+// avoided (Σ footprint × (acquires − 1) over cache entries), published as the
+// "farm.base_state.shared_bytes" gauge so the CI smoke can assert sharing
+// actually happened.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "grid/grid.hpp"
+
+namespace licomk::farm {
+
+class SharedBaseState {
+ public:
+  /// One grid per distinct (spec, seed): the first acquire materializes it,
+  /// later ones return the cached instance. Thread-safe; callers on worker
+  /// threads share one cache. Updates "farm.base_state.shared_bytes".
+  std::shared_ptr<const grid::GlobalGrid> acquire(const grid::GridSpec& spec,
+                                                  unsigned bathymetry_seed);
+
+  /// Bytes deduplication avoided so far: Σ footprint × (acquires − 1).
+  std::size_t shared_bytes() const;
+
+  /// Distinct grids materialized / total acquire() calls.
+  std::size_t entries() const;
+  std::uint64_t acquires() const;
+
+  /// Estimated resident bytes of one materialized grid: the horizontal mesh's
+  /// eight nx×ny double fields (lon/lat, four metric terms, area, Coriolis),
+  /// the bathymetry's depth (double) + kmt (int) fields, and the vertical
+  /// grid's 3·nz+1 doubles.
+  static std::size_t grid_footprint_bytes(const grid::GlobalGrid& g);
+
+ private:
+  struct Entry {
+    std::shared_ptr<const grid::GlobalGrid> grid;
+    std::uint64_t acquires = 0;
+    std::size_t footprint = 0;
+  };
+
+  static std::string key(const grid::GridSpec& spec, unsigned seed);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> cache_;
+};
+
+}  // namespace licomk::farm

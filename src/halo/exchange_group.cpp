@@ -1,6 +1,7 @@
 #include "halo/exchange_group.hpp"
 
 #include <cstring>
+#include <string>
 
 #include "halo/halo_internal.hpp"
 #include "telemetry/telemetry.hpp"
@@ -15,6 +16,23 @@ using detail::note_message;
 ExchangeGroup::ExchangeGroup(HaloExchanger& exchanger, int tag_block)
     : ex_(exchanger), tag_block_(tag_block) {
   LICOMK_REQUIRE(tag_block >= 0, "ExchangeGroup tag_block must be >= 0");
+}
+
+ExchangeGroup::~ExchangeGroup() { release_tags(); }
+
+void ExchangeGroup::claim_tags() {
+  const int first = batch_tag(eff_block(), detail::kBatchToSouth);
+  const int last = batch_tag(eff_block(), detail::kBatchFold);
+  ex_.claim_tag_range(first, last,
+                      "ExchangeGroup(tag_block=" + std::to_string(tag_block_) +
+                          ", tag_base=" + std::to_string(ex_.tag_base_) + ")");
+  tags_claimed_ = true;
+}
+
+void ExchangeGroup::release_tags() noexcept {
+  if (!tags_claimed_) return;
+  ex_.release_tag_range(batch_tag(eff_block(), detail::kBatchToSouth));
+  tags_claimed_ = false;
 }
 
 void ExchangeGroup::add(BlockField2D& field, FoldSign sign) {
@@ -75,7 +93,7 @@ void ExchangeGroup::send_batch(int dest, int dir, int j0, int nj, int i0, int ni
     std::memcpy(&buf[payload], &value, sizeof(value));
   }
   ex_.post_send(buf.data(), buf.size() * sizeof(double), dest,
-                batch_tag(tag_block_, static_cast<detail::BatchDir>(dir)));
+                batch_tag(eff_block(), static_cast<detail::BatchDir>(dir)));
   if (dir == detail::kBatchFold) {
     ex_.stats_.fold_messages += 1;
     note_counter("halo.fold_messages", 1);
@@ -88,7 +106,7 @@ void ExchangeGroup::recv_batch(int src, int dir, int j0, int nj, int i0, int ni,
   std::vector<double> buf(payload + (ex_.verify_crc_ ? 1 : 0));
   const std::size_t expected = buf.size() * sizeof(double);
   comm::Status st = ex_.comm_.recv(buf.data(), expected, src,
-                                   batch_tag(tag_block_, static_cast<detail::BatchDir>(dir)));
+                                   batch_tag(eff_block(), static_cast<detail::BatchDir>(dir)));
   // Oversized messages already threw (truncation) inside recv; an undersized
   // one means sender and receiver disagree on the batch composition — fail
   // loudly rather than unpack garbage into ghost cells.
@@ -224,6 +242,7 @@ void ExchangeGroup::begin() {
     if (s.participating) ++n_participating_;
   }
   if (n_participating_ == 0) return;
+  claim_tags();
   ex_.stats_.exchanges += n_participating_;
   ex_.stats_.equiv_messages +=
       n_participating_ * static_cast<std::uint64_t>(ex_.full_message_count());
@@ -254,6 +273,7 @@ void ExchangeGroup::finish() {
   recv_phase1();
   do_zonal_phase();
   ex_.drain_sends();
+  release_tags();
 }
 
 void ExchangeGroup::exchange() {
@@ -281,6 +301,7 @@ void ExchangeGroup::exchange_zonal() {
     resolve(s);
     s.participating = true;
   }
+  claim_tags();
   ex_.stats_.exchanges += slots_.size();
   ex_.stats_.equiv_messages +=
       slots_.size() * static_cast<std::uint64_t>(ex_.full_message_count());
@@ -291,6 +312,7 @@ void ExchangeGroup::exchange_zonal() {
                              static_cast<long long>(slots_.size()));
   do_zonal_phase();
   ex_.drain_sends();
+  release_tags();
 }
 
 }  // namespace licomk::halo

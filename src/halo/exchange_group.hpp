@@ -55,6 +55,9 @@ namespace licomk::halo {
 class ExchangeGroup {
  public:
   explicit ExchangeGroup(HaloExchanger& exchanger, int tag_block = 0);
+  ~ExchangeGroup();
+  ExchangeGroup(const ExchangeGroup&) = delete;
+  ExchangeGroup& operator=(const ExchangeGroup&) = delete;
 
   void add(BlockField2D& field, FoldSign sign = FoldSign::Symmetric);
   void add(BlockField3D& field, FoldSign sign = FoldSign::Symmetric,
@@ -93,6 +96,12 @@ class ExchangeGroup {
   enum class Phase { Idle, Begun };
 
   void resolve(Slot& slot);
+  /// Effective tag block: local block offset by the exchanger's tenant base.
+  int eff_block() const { return ex_.tag_base_ + tag_block_; }
+  /// Claim/release this group's direction-tag range in the exchanger's
+  /// in-flight registry (hard CommError when another live group overlaps).
+  void claim_tags();
+  void release_tags() noexcept;
   std::size_t batch_elements(int nj, int ni) const;  ///< participating slots only
   void send_batch(int dest, int dir, int j0, int nj, int i0, int ni);
   void recv_batch(int src, int dir, int j0, int nj, int i0, int ni, long long dst_sj,
@@ -107,6 +116,7 @@ class ExchangeGroup {
   std::vector<Slot> slots_;
   Phase phase_ = Phase::Idle;
   std::size_t n_participating_ = 0;
+  bool tags_claimed_ = false;
 };
 
 }  // namespace licomk::halo

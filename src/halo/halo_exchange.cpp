@@ -53,6 +53,36 @@ int HaloExchanger::full_message_count() const {
   return n;
 }
 
+void HaloExchanger::set_tag_base(int base) {
+  LICOMK_REQUIRE(base >= 0, "HaloExchanger tag_base must be >= 0");
+  LICOMK_REQUIRE(live_tag_claims_.empty(),
+                 "cannot change the tag_base while a group exchange is in flight");
+  tag_base_ = base;
+}
+
+void HaloExchanger::claim_tag_range(int first, int last, const std::string& owner) {
+  for (const TagClaim& c : live_tag_claims_) {
+    if (first <= c.last && c.first <= last) {
+      throw CommError("halo tag collision on rank " + std::to_string(rank_) + ": " + owner +
+                      " claims tags [" + std::to_string(first) + ", " + std::to_string(last) +
+                      "] while " + c.owner + " holds [" + std::to_string(c.first) + ", " +
+                      std::to_string(c.last) +
+                      "] — two live groups would FIFO-match each other's messages; give "
+                      "them distinct tag_blocks (or tenants distinct tag_bases)");
+    }
+  }
+  live_tag_claims_.push_back(TagClaim{first, last, owner});
+}
+
+void HaloExchanger::release_tag_range(int first) noexcept {
+  for (std::size_t k = 0; k < live_tag_claims_.size(); ++k) {
+    if (live_tag_claims_[k].first == first) {
+      live_tag_claims_.erase(live_tag_claims_.begin() + static_cast<std::ptrdiff_t>(k));
+      return;
+    }
+  }
+}
+
 bool HaloExchanger::should_skip(const void* key, std::uint64_t alloc_id,
                                 std::uint64_t version) {
   if (!eliminate_redundant_) return false;

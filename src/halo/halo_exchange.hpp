@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -134,6 +135,15 @@ class HaloExchanger {
   void set_verify_crc(bool on) { verify_crc_ = on; }
   bool verify_crc() const { return verify_crc_; }
 
+  /// Tenant tag-space partitioning: every ExchangeGroup/PersistentGroup on
+  /// this exchanger computes its message tags from (tag_base + local
+  /// tag_block), so concurrent model instances can be given disjoint tag
+  /// ranges without touching any group call site. The forecast farm assigns
+  /// each tenant `tenant_index * blocks_per_tenant`; standalone runs keep 0.
+  /// Must be set before any group exchange on this exchanger.
+  void set_tag_base(int base);
+  int tag_base() const { return tag_base_; }
+
   const HaloStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
 
@@ -162,6 +172,14 @@ class HaloExchanger {
     std::uint64_t alloc_id = 0;
     std::uint64_t version = 0;
   };
+
+  /// In-flight tag-range registry. A group claims its inclusive tag range
+  /// [first, last] when it posts messages and releases it once they are all
+  /// matched; two live owners whose ranges overlap are a hard CommError that
+  /// names both owners — the silent alternative is FIFO cross-matching one
+  /// group's payload into another group's ghost cells.
+  void claim_tag_range(int first, int last, const std::string& owner);
+  void release_tag_range(int first) noexcept;
 
   bool should_skip(const void* key, std::uint64_t alloc_id, std::uint64_t version);
   void do_update(double* base, int nz, FoldSign sign, Halo3DMethod method);
@@ -198,6 +216,13 @@ class HaloExchanger {
   bool eliminate_redundant_ = true;
   bool batching_ = true;
   bool verify_crc_ = false;
+  int tag_base_ = 0;
+  struct TagClaim {
+    int first;
+    int last;
+    std::string owner;
+  };
+  std::vector<TagClaim> live_tag_claims_;
   std::unordered_map<const void*, SkipEntry> last_version_;
   std::vector<comm::Request> inflight_sends_;
   HaloStats stats_;

@@ -22,6 +22,13 @@ inline constexpr int kTagFold = 14;
 /// flight at once (e.g. a long-lived kappa group overlapping a per-step
 /// group) never match each other's messages:
 ///   tag = kTagBatchBase + kTagBlockStride * tag_block + direction
+/// The effective tag_block is the group's local block plus the exchanger's
+/// tag_base (HaloExchanger::set_tag_base): the farm assigns each tenant a
+/// disjoint base so concurrent model instances' groups can never share a
+/// tag even if a transport ever multiplexed their traffic onto one World.
+/// Overlap between two groups whose exchanges are live at the same moment is
+/// detected by the exchanger's in-flight tag-range registry and raised as a
+/// hard CommError (no silent cross-talk).
 inline constexpr int kTagBatchBase = 32;
 inline constexpr int kTagBlockStride = 8;
 enum BatchDir : int {
@@ -39,9 +46,12 @@ inline int batch_tag(int tag_block, BatchDir dir) {
 /// Persistent-group (PersistentGroup) message tags. All boxes to one peer in
 /// one phase travel in a single fused message, so a group only needs one tag
 /// per phase (0 = meridional + fold, 1 = zonal); (source, tag) then uniquely
-/// identifies every in-flight message. Blocks of 4 leave room and keep the
-/// space disjoint from the batch tags for any realistic tag_block.
-inline constexpr int kTagPersistentBase = 96;
+/// identifies every in-flight message. The base sits far above the batch
+/// space: with per-tenant tag_bases the batch tags grow as 32 + 8 * block, so
+/// the old base of 96 would have collided with batch block 8 — the persistent
+/// space now starts at 2^20, leaving room for ~131k effective batch blocks
+/// (tenants * groups) below it.
+inline constexpr int kTagPersistentBase = 1 << 20;
 
 inline int persistent_tag(int tag_block, int phase) {
   return kTagPersistentBase + 4 * tag_block + phase;

@@ -24,6 +24,23 @@ PersistentGroup::~PersistentGroup() {
   } catch (...) {
     // A poisoned world can make the drain throw; destruction must not.
   }
+  release_tags();
+}
+
+int PersistentGroup::eff_block() const { return ex_.tag_base_ + tag_block_; }
+
+void PersistentGroup::claim_tags() {
+  if (tags_claimed_) return;
+  ex_.claim_tag_range(persistent_tag(eff_block(), 0), persistent_tag(eff_block(), 1),
+                      "PersistentGroup(tag_block=" + std::to_string(tag_block_) +
+                          ", tag_base=" + std::to_string(ex_.tag_base_) + ")");
+  tags_claimed_ = true;
+}
+
+void PersistentGroup::release_tags() noexcept {
+  if (!tags_claimed_) return;
+  ex_.release_tag_range(persistent_tag(eff_block(), 0));
+  tags_claimed_ = false;
 }
 
 void PersistentGroup::add(BlockField2D& field, FoldSign sign) {
@@ -129,6 +146,7 @@ void PersistentGroup::invalidate_plan() {
   drain_sends();
   plan_ = {};
   plan_valid_ = false;
+  release_tags();
 }
 
 void PersistentGroup::drain_sends() {
@@ -156,6 +174,9 @@ void PersistentGroup::ensure_plan() {
 void PersistentGroup::build_plan() {
   drain_sends();
   plan_ = {};
+  // The registered requests below keep this group's tags live until the plan
+  // is dropped; surface a conflicting live owner now, not at match time.
+  claim_tags();
   plan_crc_ = ex_.verify_crc_;
 
   const int h = decomp::kHaloWidth;
@@ -265,7 +286,7 @@ void PersistentGroup::build_plan() {
   // ---- fold the enumerations into fused ops and register buffers ----------
   for (int phase = 0; phase < 2; ++phase) {
     PhasePlan& plan = plan_[static_cast<std::size_t>(phase)];
-    const int tag = persistent_tag(tag_block_, phase);
+    const int tag = persistent_tag(eff_block(), phase);
     CopyOp copy;
     for (const SB& s : sends[static_cast<std::size_t>(phase)]) {
       if (s.peer == me) {

@@ -179,6 +179,15 @@ class PersistentGroup {
   void ensure_plan();
   void build_plan();
   void drain_sends();
+  /// Effective tag block: local block offset by the exchanger's tenant base.
+  int eff_block() const;
+  /// The persistent tag range is claimed for the PLAN's lifetime, not per
+  /// exchange: registered persistent requests (and deferred ring sends) keep
+  /// the tags live between rounds. Claimed in build_plan(), released by
+  /// invalidate_plan()/destruction; an overlap with any live claim is a hard
+  /// CommError.
+  void claim_tags();
+  void release_tags() noexcept;
   void resolve(Slot& slot);
   /// Doubles one box contributes for the currently participating slots.
   std::size_t box_elements(int nj, int ni) const;
@@ -204,6 +213,7 @@ class PersistentGroup {
   bool round_all_participating_ = true;
 
   bool plan_valid_ = false;
+  bool tags_claimed_ = false;
   bool plan_crc_ = false;  ///< verify_crc the plan's buffers were sized for
   std::array<PhasePlan, 2> plan_;
   std::uint64_t plan_builds_ = 0;

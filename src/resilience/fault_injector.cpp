@@ -8,6 +8,7 @@
 #include <mutex>
 #include <sstream>
 #include <thread>
+#include <tuple>
 
 #include "telemetry/telemetry.hpp"
 
@@ -63,17 +64,22 @@ FaultKind kind_from_name(const std::string& name) {
   throw InvalidArgument("unknown fault kind '" + name + "'");
 }
 
-/// Armed schedule plus per-(site, rank) op counters and fired flags. One
-/// mutex guards everything; hook sites bail on a relaxed atomic before ever
-/// touching it, so the disarmed cost is a single branch.
+/// Armed schedule plus per-(site, rank, domain) op counters and fired flags.
+/// One mutex guards everything; hook sites bail on a relaxed atomic before
+/// ever touching it, so the disarmed cost is a single branch.
 struct Injector {
   std::mutex mutex;
   std::vector<FaultEvent> events;
   std::vector<bool> fired;
-  std::map<std::pair<int, int>, std::uint64_t> op_counts;  ///< (site, rank) -> count
+  /// (site, rank, executing thread's domain) -> count
+  std::map<std::tuple<int, int, int>, std::uint64_t> op_counts;
   std::vector<std::string> log;
   std::atomic<std::uint64_t> injected{0};
 };
+
+/// The executing thread's fault domain. Rank threads are spawned fresh per
+/// supervisor attempt, so tenant leases install it at rank-body entry.
+thread_local int t_fault_domain = -1;
 
 Injector& injector() {
   static Injector inj;
@@ -86,6 +92,7 @@ void note_injected(Injector& inj, const FaultEvent& e, std::uint64_t op) {
   inj.injected.fetch_add(1, std::memory_order_relaxed);
   std::ostringstream os;
   os << site_name(e.site) << " rank=" << e.rank << " op=" << op << " " << kind_name(e.kind);
+  if (e.domain != -1) os << " domain=" << e.domain;
   inj.log.push_back(os.str());
   if (telemetry::enabled()) {
     static telemetry::Counter& c = telemetry::counter("resilience.faults_injected");
@@ -95,17 +102,21 @@ void note_injected(Injector& inj, const FaultEvent& e, std::uint64_t op) {
 
 /// Count the op and return the event that fires at it, if any. `rank` is the
 /// acting rank (-1 when the site has no rank identity); rank filters match
-/// when either side is -1 or they are equal.
+/// when either side is -1 or they are equal. Ops are counted against the
+/// executing thread's fault domain, and a domain-scoped event only matches
+/// threads inside its domain.
 std::optional<FaultEvent> match(FaultSite site, int rank, std::uint64_t forced_op) {
   Injector& inj = injector();
+  const int domain = t_fault_domain;
   std::lock_guard<std::mutex> lock(inj.mutex);
   std::uint64_t op = forced_op;
-  if (op == 0) op = ++inj.op_counts[{static_cast<int>(site), rank}];
+  if (op == 0) op = ++inj.op_counts[{static_cast<int>(site), rank, domain}];
   for (std::size_t n = 0; n < inj.events.size(); ++n) {
     if (inj.fired[n]) continue;
     const FaultEvent& e = inj.events[n];
     if (e.site != site) continue;
     if (e.rank != -1 && rank != -1 && e.rank != rank) continue;
+    if (e.domain != -1 && e.domain != domain) continue;
     // One-shot events fire exactly at their op; persistent events fire on
     // every op from at_op on and are never retired (a permanently dead rank
     // dies again on every relaunch).
@@ -212,11 +223,61 @@ std::vector<std::string> fired_log() {
   return inj.log;
 }
 
-std::uint64_t op_count(FaultSite site, int rank) {
+std::uint64_t op_count(FaultSite site, int rank) { return op_count(site, rank, -1); }
+
+std::uint64_t op_count(FaultSite site, int rank, int domain) {
   Injector& inj = injector();
   std::lock_guard<std::mutex> lock(inj.mutex);
-  auto it = inj.op_counts.find({static_cast<int>(site), rank});
+  auto it = inj.op_counts.find({static_cast<int>(site), rank, domain});
   return it == inj.op_counts.end() ? 0 : it->second;
+}
+
+void set_thread_fault_domain(int domain) { t_fault_domain = domain; }
+
+int thread_fault_domain() { return t_fault_domain; }
+
+void arm_scoped(int domain, const FaultSchedule& schedule) {
+  LICOMK_REQUIRE(domain >= 0, "arm_scoped needs a non-negative domain (use arm() for global)");
+  Injector& inj = injector();
+  std::lock_guard<std::mutex> lock(inj.mutex);
+  for (std::size_t n = inj.events.size(); n-- > 0;) {
+    if (inj.events[n].domain == domain) {
+      inj.events.erase(inj.events.begin() + static_cast<std::ptrdiff_t>(n));
+      inj.fired.erase(inj.fired.begin() + static_cast<std::ptrdiff_t>(n));
+    }
+  }
+  for (FaultEvent e : schedule.events()) {
+    e.domain = domain;
+    inj.events.push_back(e);
+    inj.fired.push_back(false);
+  }
+  for (auto it = inj.op_counts.begin(); it != inj.op_counts.end();) {
+    if (std::get<2>(it->first) == domain) {
+      it = inj.op_counts.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  g_armed.store(!inj.events.empty(), std::memory_order_relaxed);
+}
+
+void disarm_domain(int domain) {
+  Injector& inj = injector();
+  std::lock_guard<std::mutex> lock(inj.mutex);
+  for (std::size_t n = inj.events.size(); n-- > 0;) {
+    if (inj.events[n].domain == domain) {
+      inj.events.erase(inj.events.begin() + static_cast<std::ptrdiff_t>(n));
+      inj.fired.erase(inj.fired.begin() + static_cast<std::ptrdiff_t>(n));
+    }
+  }
+  for (auto it = inj.op_counts.begin(); it != inj.op_counts.end();) {
+    if (std::get<2>(it->first) == domain) {
+      it = inj.op_counts.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  g_armed.store(!inj.events.empty(), std::memory_order_relaxed);
 }
 
 namespace fault_hooks {

@@ -86,6 +86,13 @@ struct FaultEvent {
   /// dead rank: however often the supervisor relaunches, the same rank dies
   /// again, until the decomposition no longer includes it.
   bool persistent = false;
+  /// Fault-domain filter: -1 (default) matches threads in any domain — the
+  /// classic process-global schedule. A non-negative domain only matches
+  /// threads whose thread fault domain equals it (set_thread_fault_domain),
+  /// and its at_op indexes that domain's private op counters — the forecast
+  /// farm gives every tenant its own domain so one tenant's schedule can
+  /// never fire inside another tenant's ranks.
+  int domain = -1;
 };
 
 /// An ordered set of fault events. Each event fires at most once.
@@ -129,12 +136,32 @@ class SplitMix64 {
 
 /// --- the process-wide injector ---------------------------------------------
 
-/// Arm the injector with a schedule. Counters and fired flags are reset, so
-/// arming twice with the same schedule replays the same sequence.
+/// Arm the injector with a schedule. Counters and fired flags are reset —
+/// including every scoped domain's — so arming twice with the same schedule
+/// replays the same sequence. Events keep whatever `domain` they carry.
 void arm(const FaultSchedule& schedule);
 
 /// Disarm and clear all counters. Hook sites become single-branch no-ops.
 void disarm();
+
+/// --- fault domains (multi-tenant scoping) ----------------------------------
+/// Op counters are kept per (site, rank, domain of the EXECUTING thread); a
+/// thread's domain defaults to -1, so single-tenant programs see exactly the
+/// historical process-global behavior. Note: swsim CPE worker threads do not
+/// inherit the spawning thread's domain, so domain-scoped schedules should
+/// target the comm/restart/io sites, which run on rank threads.
+
+/// Set the calling thread's fault domain (-1 = the global domain).
+void set_thread_fault_domain(int domain);
+int thread_fault_domain();
+
+/// Add `schedule`'s events scoped to `domain` (replacing any events that
+/// domain had armed before) and reset that domain's counters. Events armed
+/// by other domains — and the global arm() schedule — are untouched.
+void arm_scoped(int domain, const FaultSchedule& schedule);
+
+/// Remove every event scoped to `domain` and clear its counters.
+void disarm_domain(int domain);
 
 /// Fast check used by every hook site (relaxed atomic load).
 bool armed();
@@ -148,8 +175,11 @@ std::vector<std::string> fired_log();
 /// Current op counter of (site, rank): how many ops that site has counted so
 /// far for that acting rank (-1 for rankless sites). Probe runs armed with a
 /// never-firing sentinel schedule read this to place later events exactly —
-/// e.g. "rank 1's first delivery after its step-N checkpoint".
+/// e.g. "rank 1's first delivery after its step-N checkpoint". The two-arg
+/// form reads the global domain (-1); the three-arg form reads one domain's
+/// private counter.
 std::uint64_t op_count(FaultSite site, int rank);
+std::uint64_t op_count(FaultSite site, int rank, int domain);
 
 namespace fault_hooks {
 

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "comm/runtime.hpp"
+#include "resilience/fault_injector.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
@@ -23,7 +24,7 @@ bool layout_feasible(const decomp::Decomposition& dec) {
   return true;
 }
 
-void bump(const char* name) {
+void bump(const std::string& name) {
   if (telemetry::enabled()) telemetry::counter(name).add(1);
 }
 
@@ -40,7 +41,12 @@ Supervisor::Supervisor(SupervisorOptions options)
 
 SupervisorReport Supervisor::run(const core::ModelConfig& config, const RankBody& body) {
   namespace fs = std::filesystem;
-  auto global = std::make_shared<grid::GlobalGrid>(config.grid, config.bathymetry_seed);
+  // A tenant lease runs over the farm's shared immutable base state; a
+  // standalone supervisor builds (and solely owns) its own grid.
+  std::shared_ptr<const grid::GlobalGrid> global = options_.shared_grid;
+  if (global == nullptr) {
+    global = std::make_shared<grid::GlobalGrid>(config.grid, config.bathymetry_seed);
+  }
   SupervisorReport report;
   double backoff_s = options_.backoff_initial_s;
 
@@ -76,6 +82,9 @@ SupervisorReport Supervisor::run(const core::ModelConfig& config, const RankBody
     }
     try {
       comm::Runtime::run(nranks, [&](comm::Communicator& c) {
+        // Rank threads are spawned fresh per attempt; scope them to this
+        // lease's fault domain before any hook site can count an op.
+        set_thread_fault_domain(options_.fault_domain);
         core::LicomModel model(config, global, c);
         if (options_.checkpoint_every_steps > 0) {
           checkpoints_.install(model, options_.checkpoint_every_steps);
@@ -104,7 +113,7 @@ SupervisorReport Supervisor::run(const core::ModelConfig& config, const RankBody
         if (!smaller) throw;  // nowhere left to shrink to
 
         report.shrinks += 1;
-        bump("resilience.shrinks");
+        bump(options_.telemetry_prefix + "resilience.shrinks");
         std::optional<std::pair<std::string, std::uint64_t>> source = pick_restore();
         if (source) {
           // Re-slice the newest verified state onto the smaller layout; the
@@ -129,7 +138,7 @@ SupervisorReport Supervisor::run(const core::ModelConfig& config, const RankBody
         retries_this_size = 0;
         backoff_s = options_.backoff_initial_s;
       } else {
-        bump("resilience.retries");
+        bump(options_.telemetry_prefix + "resilience.retries");
         LICOMK_LOG_WARN("resilience") << "attempt " << report.attempts << " failed: " << e.what()
                                       << "; relaunching at " << nranks << " ranks";
       }

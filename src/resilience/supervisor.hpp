@@ -47,6 +47,21 @@ struct SupervisorOptions {
   int min_ranks = 1;            ///< never shrink below this many ranks
   double backoff_initial_s = 0.0;  ///< sleep before the first relaunch
   double backoff_factor = 2.0;     ///< multiplier per further relaunch
+
+  // --- tenant-lease extensions (forecast farm). Defaults reproduce the
+  // --- classic single-run behavior exactly.
+  /// Immutable base state to build every attempt's models from. When null the
+  /// supervisor builds its own grid (standalone behavior); the farm passes
+  /// the SharedBaseState grid so N tenants on the same GridSpec share one
+  /// copy of the geometry/bathymetry instead of owning N.
+  std::shared_ptr<const grid::GlobalGrid> shared_grid;
+  /// Prefix for the "resilience.retries"/"resilience.shrinks" counters, so
+  /// each tenant's escalation history is its own telemetry stream.
+  std::string telemetry_prefix;
+  /// Fault domain installed on every rank thread of every attempt (-1 = the
+  /// global domain). Tenant leases get their own domain so a schedule armed
+  /// for one tenant can never fire inside another tenant's ranks.
+  int fault_domain = -1;
 };
 
 struct SupervisorReport {
@@ -75,9 +90,16 @@ class Supervisor {
   /// shrinking per the escalation policy above. Throws the final attempt's
   /// error when retries and shrinks are both exhausted. Telemetry:
   /// "resilience.retries" counts relaunches, "resilience.shrinks" counts
-  /// reductions; checkpoint spans/counters come from CheckpointManager;
+  /// reductions (both under options.telemetry_prefix); checkpoint
+  /// spans/counters come from CheckpointManager;
   /// "resilience.redistributed_bytes" and span "redistribute" come from the
   /// re-slicer.
+  ///
+  /// A checkpoint already on disk is restored even on the FIRST attempt —
+  /// warm starts are free: a tenant lease re-admitted after preemption picks
+  /// up at its newest verified generation. The body may return early (e.g.
+  /// at a checkpoint boundary when its tenant is over quota); the supervisor
+  /// treats a clean return as success.
   using RankBody = std::function<void(core::LicomModel&)>;
   SupervisorReport run(const core::ModelConfig& config, const RankBody& body);
 

@@ -399,6 +399,124 @@ TEST(ExchangeGroup, ConcurrentGroupsWithDistinctTagBlocksDoNotMix) {
   });
 }
 
+TEST(ExchangeGroup, LiveGroupsOnTheSameTagBlockAreAHardError) {
+  // Two live groups sharing a tag block would FIFO-match each other's
+  // aggregated messages — the in-flight claim registry must reject the
+  // second begin() as a CommError before anything is posted, and the
+  // surviving group must still complete correctly.
+  ld::Decomposition d(16, 10, 2, 2);
+  lc::Runtime::run(4, [&](lc::Communicator& c) {
+    lh::HaloExchanger ex(d, c, c.rank());
+    lh::HaloExchanger ex_ref(d, c, c.rank());
+    lh::BlockField3D a("a", d.block(c.rank()), 3);
+    lh::BlockField3D b("b", d.block(c.rank()), 3);
+    lh::BlockField3D ra("ra", d.block(c.rank()), 3);
+    fill_3d(a, 11);
+    fill_3d(b, 22);
+    fill_3d(ra, 11);
+    lh::ExchangeGroup ga(ex, /*tag_block=*/0);
+    lh::ExchangeGroup gb(ex, /*tag_block=*/0);
+    ga.add(a);
+    gb.add(b);
+    ga.begin();
+    try {
+      gb.begin();
+      FAIL() << "second begin() on the same live tag block did not throw";
+    } catch (const licomk::CommError& e) {
+      EXPECT_NE(std::string(e.what()).find("tag collision"), std::string::npos) << e.what();
+      EXPECT_NE(std::string(e.what()).find("ExchangeGroup"), std::string::npos) << e.what();
+    }
+    ga.finish();
+    ex_ref.update(ra);
+    expect_identical_3d(a, ra);
+    // The claim died with ga.finish(): a fresh group on block 0 works again.
+    lh::BlockField3D a2("a2", d.block(c.rank()), 3);
+    lh::BlockField3D ra2("ra2", d.block(c.rank()), 3);
+    fill_3d(a2, 33);
+    fill_3d(ra2, 33);
+    lh::ExchangeGroup gc(ex, /*tag_block=*/0);
+    gc.add(a2);
+    gc.exchange();
+    ex_ref.update(ra2);
+    expect_identical_3d(a2, ra2);
+  });
+}
+
+TEST(ExchangeGroup, PersistentPlanHoldsItsTagClaimForThePlanLifetime) {
+  // A PersistentGroup's registered requests keep its tags live until the
+  // plan is dropped — a SECOND persistent group on the same block must
+  // collide even between exchanges, and invalidate_plan() must release the
+  // claim. Batch groups use a disjoint tag space (kTagPersistentBase), so a
+  // batch group on the same block coexists with the live plan.
+  ld::Decomposition d(16, 10, 2, 2);
+  lc::Runtime::run(4, [&](lc::Communicator& c) {
+    lh::HaloExchanger ex(d, c, c.rank());
+    lh::BlockField3D p("p", d.block(c.rank()), 3);
+    lh::BlockField3D q("q", d.block(c.rank()), 3);
+    fill_3d(p, 11);
+    fill_3d(q, 22);
+    lh::PersistentGroup pa(ex, /*tag_block=*/0);
+    pa.add(p);
+    pa.exchange();  // builds the plan; the claim now outlives the exchange
+    lh::PersistentGroup pb(ex, /*tag_block=*/0);
+    pb.add(q);
+    try {
+      pb.exchange();
+      FAIL() << "second persistent plan on the same live tag block did not throw";
+    } catch (const licomk::CommError& e) {
+      EXPECT_NE(std::string(e.what()).find("tag collision"), std::string::npos) << e.what();
+      EXPECT_NE(std::string(e.what()).find("PersistentGroup"), std::string::npos) << e.what();
+    }
+    // Disjoint tag spaces / blocks coexist with the live plan.
+    lh::ExchangeGroup gb(ex, /*tag_block=*/0);
+    gb.add(q);
+    gb.exchange();
+    lh::PersistentGroup pc(ex, /*tag_block=*/1);
+    pc.add(q);
+    pc.exchange();
+    // Dropping the plan releases the claim: block 0 is free again.
+    pa.invalidate_plan();
+    lh::PersistentGroup pd(ex, /*tag_block=*/0);
+    pd.add(q);
+    pd.exchange();
+  });
+}
+
+TEST(ExchangeGroup, TagBasePartitionsTwoTenantsOnOneCommunicator) {
+  // Two exchangers (two "tenants") over the SAME communicator, both using
+  // tag_block 0: with distinct tag bases their interleaved batches must not
+  // mix. set_tag_base() is refused while a claim is live.
+  ld::Decomposition d(16, 10, 2, 2);
+  lc::Runtime::run(4, [&](lc::Communicator& c) {
+    lh::HaloExchanger ex_a(d, c, c.rank());
+    lh::HaloExchanger ex_b(d, c, c.rank());
+    lh::HaloExchanger ex_ref(d, c, c.rank());
+    ex_b.set_tag_base(4);
+    lh::BlockField3D a("a", d.block(c.rank()), 3);
+    lh::BlockField3D b("b", d.block(c.rank()), 3);
+    lh::BlockField3D ra("ra", d.block(c.rank()), 3);
+    lh::BlockField3D rb("rb", d.block(c.rank()), 3);
+    fill_3d(a, 11);
+    fill_3d(b, 22);
+    fill_3d(ra, 11);
+    fill_3d(rb, 22);
+    lh::ExchangeGroup ga(ex_a, /*tag_block=*/0);
+    lh::ExchangeGroup gb(ex_b, /*tag_block=*/0);
+    ga.add(a, lh::FoldSign::Antisymmetric);
+    gb.add(b, lh::FoldSign::Symmetric);
+    ga.begin();
+    EXPECT_THROW(ex_a.set_tag_base(8), licomk::Error);  // claim in flight
+    gb.begin();
+    gb.finish();
+    ga.finish();
+    ex_a.set_tag_base(8);  // fine again once the claim is released
+    ex_ref.update(ra, lh::FoldSign::Antisymmetric);
+    ex_ref.update(rb, lh::FoldSign::Symmetric);
+    expect_identical_3d(a, ra);
+    expect_identical_3d(b, rb);
+  });
+}
+
 TEST(ExchangeGroup, ModelStateBitIdenticalBatchedVsPerField) {
   // End to end: a model stepped with aggregated exchanges must produce the
   // SAME bits as one stepped with per-field exchanges — aggregation is a

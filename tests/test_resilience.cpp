@@ -2,11 +2,14 @@
 // self-checking checkpoint generations, and the auto-recovering supervisor.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <limits>
 #include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "comm/runtime.hpp"
 #include "core/model.hpp"
@@ -584,4 +587,115 @@ TEST(Supervisor, ShrinkRedistributesCheckpointAndResumes) {
       lc::verify_restart(lc::restart_rank_path(dir.path + "/shrink1/ckpt.gen1", 0)).has_value());
   licomk::telemetry::set_enabled(false);
   licomk::telemetry::reset();
+}
+
+TEST(FaultInjector, DomainScopedSchedulesOnlyFireInTheirDomain) {
+  // The forecast farm gives every tenant its own fault domain: a schedule
+  // armed via arm_scoped(domain, ...) must count ops and fire ONLY on
+  // threads whose thread fault domain matches, leaving the global domain
+  // and sibling domains untouched.
+  using lr::fault_hooks::CommAction;
+  Disarmed guard;
+  lr::set_thread_fault_domain(-1);
+  lr::FaultSchedule s = lr::FaultSchedule::parse("comm.deliver * 2 drop\n");
+  lr::arm_scoped(/*domain=*/7, s);
+  const std::uint64_t fired0 = lr::injected_count();
+
+  // Global domain (-1): the event never matches, ops count globally.
+  EXPECT_EQ(lr::fault_hooks::on_comm_deliver(0), CommAction::None);
+  EXPECT_EQ(lr::fault_hooks::on_comm_deliver(0), CommAction::None);
+  EXPECT_EQ(lr::op_count(lr::FaultSite::CommDeliver, 0), 2u);
+  EXPECT_EQ(lr::op_count(lr::FaultSite::CommDeliver, 0, 7), 0u);
+
+  // A sibling domain: its private counters advance, still no fire.
+  lr::set_thread_fault_domain(8);
+  EXPECT_EQ(lr::fault_hooks::on_comm_deliver(0), CommAction::None);
+  EXPECT_EQ(lr::fault_hooks::on_comm_deliver(0), CommAction::None);
+  EXPECT_EQ(lr::op_count(lr::FaultSite::CommDeliver, 0, 8), 2u);
+  EXPECT_EQ(lr::injected_count(), fired0);
+
+  // The owning domain: fires at ITS private op 2, independent of the six
+  // deliveries other domains already counted.
+  lr::set_thread_fault_domain(7);
+  EXPECT_EQ(lr::fault_hooks::on_comm_deliver(0), CommAction::None);
+  EXPECT_EQ(lr::fault_hooks::on_comm_deliver(0), CommAction::Drop);
+  EXPECT_EQ(lr::op_count(lr::FaultSite::CommDeliver, 0, 7), 2u);
+  EXPECT_EQ(lr::injected_count(), fired0 + 1);
+
+  // arm_scoped replaces and resets only that domain: re-arming replays the
+  // same sequence from scratch.
+  lr::arm_scoped(7, s);
+  EXPECT_EQ(lr::op_count(lr::FaultSite::CommDeliver, 0, 7), 0u);
+  EXPECT_EQ(lr::fault_hooks::on_comm_deliver(0), CommAction::None);
+  EXPECT_EQ(lr::fault_hooks::on_comm_deliver(0), CommAction::Drop);
+
+  // disarm_domain removes the domain's events; the same deliveries that
+  // just fired now pass clean.
+  lr::disarm_domain(7);
+  EXPECT_EQ(lr::fault_hooks::on_comm_deliver(0), CommAction::None);
+  EXPECT_EQ(lr::fault_hooks::on_comm_deliver(0), CommAction::None);
+  lr::set_thread_fault_domain(-1);
+}
+
+TEST(Checkpoint, ConcurrentReadOnlyWarmStartsShareAGeneration) {
+  // Two farm tenants warm-starting from the SAME verified generation while
+  // a writer keeps laying down newer generations (and garbage-collecting
+  // old ones): both readers must restore bit-identically and the shared
+  // generation must survive the writer's keep window.
+  kxx::initialize({kxx::Backend::Serial, 1, false});
+  TempDir dir("concread");
+  const lc::ModelConfig cfg = small_config();
+  const std::uint64_t shared_gen = 3;
+
+  {
+    lr::CheckpointManager writer(dir.path, /*keep_generations=*/4);
+    lc::LicomModel seed(cfg);
+    for (std::uint64_t g = 1; g <= shared_gen; ++g) {
+      seed.step();
+      writer.write(seed, g);
+    }
+  }
+
+  // Restore the shared generation, advance two steps, CRC the result.
+  auto crcs_after = [&](const std::string& tag) {
+    lr::CheckpointManager reader(dir.path, 4);
+    lc::LicomModel m(cfg);
+    reader.restore(m, shared_gen);
+    m.step();
+    m.step();
+    const std::string prefix = dir.path + "/out_" + tag;
+    m.write_restart(prefix);
+    return lr::assemble_global_state(prefix, lc::LicomModel::plan_decomposition(cfg, 1))
+        .field_crcs;
+  };
+  const std::vector<std::uint64_t> ref = crcs_after("ref");
+
+  // Concurrent phase: two readers + one writer. keep=4 with generations
+  // 4..5 appended keeps {2,3,4,5} — generation 3 stays on disk throughout.
+  std::vector<std::uint64_t> got_a, got_b;
+  std::thread ta([&] { got_a = crcs_after("a"); });
+  std::thread tb([&] { got_b = crcs_after("b"); });
+  {
+    lr::CheckpointManager writer(dir.path, 4);
+    lc::LicomModel m(cfg);
+    writer.restore(m, shared_gen);
+    for (std::uint64_t g = shared_gen + 1; g <= shared_gen + 2; ++g) {
+      m.step();
+      writer.write(m, g);
+    }
+  }
+  ta.join();
+  tb.join();
+
+  EXPECT_EQ(got_a, ref);
+  EXPECT_EQ(got_b, ref);
+  // Discovery from a fresh manager sees the writer's newest generation and
+  // the shared one still verifies.
+  lr::CheckpointManager probe(dir.path, 4);
+  auto newest = probe.newest_verified_generation(1);
+  ASSERT_TRUE(newest.has_value());
+  EXPECT_EQ(*newest, shared_gen + 2);
+  EXPECT_TRUE(
+      lc::verify_restart(lc::restart_rank_path(probe.generation_prefix(shared_gen), 0))
+          .has_value());
 }
