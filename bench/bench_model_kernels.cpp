@@ -88,6 +88,78 @@ static void BM_VerticalMixing(benchmark::State& state) {
 }
 BENCHMARK(BM_VerticalMixing)->Unit(benchmark::kMillisecond);
 
+// --- Pack/fusion ablation of the readyt/readyc dynamics chain -------------
+//
+// Three legs, bit-identical outputs (tests/test_dynamics.cpp): the scalar
+// unfused chain (density, pressure, tendencies, 2x vertical_mean), the fused
+// chain at pack width 1 (fusion-only win: elided rho/fu/fv re-reads), and the
+// fused chain at the compiled pack width (fusion + SIMD lanes).
+// ci/check_pack_fusion.py gates the packed+fused / scalar-unfused ratio.
+static void run_dyn_chain_unfused(lc::LicomModel& m, licomk::halo::BlockField2D& gu,
+                                  licomk::halo::BlockField2D& gv) {
+  auto& s = m.state();
+  lc::compute_density(m.local_grid(), false, s.t_cur, s.s_cur, s.rho);
+  lc::compute_pressure(m.local_grid(), s.rho, s.eta_cur, s.pressure);
+  lc::compute_momentum_tendencies(m.local_grid(), m.config(), m.state(), 0.0, s.fu_tend,
+                                  s.fv_tend);
+  lc::vertical_mean(m.local_grid(), s.fu_tend, gu);
+  lc::vertical_mean(m.local_grid(), s.fv_tend, gv);
+}
+
+static void run_dyn_chain_fused(lc::LicomModel& m, licomk::halo::BlockField2D& gu,
+                                licomk::halo::BlockField2D& gv) {
+  auto& s = m.state();
+  lc::compute_density_pressure_fused(m.local_grid(), false, s.t_cur, s.s_cur, s.rho, s.eta_cur,
+                                     s.pressure);
+  lc::compute_tendency_means_fused(m.local_grid(), m.config(), m.state(), 0.0, s.fu_tend,
+                                   s.fv_tend, gu, gv);
+}
+
+static void BM_DynChainScalarUnfused(benchmark::State& state) {
+  ModelHolder h(8, 12, kxx::Backend::Serial);
+  auto& m = *h.model;
+  licomk::halo::BlockField2D gu("gu_bar", m.local_grid().extent());
+  licomk::halo::BlockField2D gv("gv_bar", m.local_grid().extent());
+  kxx::set_pack_size(1);
+  for (auto _ : state) run_dyn_chain_unfused(m, gu, gv);
+  kxx::set_pack_size(LICOMK_PACK_SIZE);
+}
+BENCHMARK(BM_DynChainScalarUnfused)->Unit(benchmark::kMillisecond);
+
+static void BM_DynChainFusedScalar(benchmark::State& state) {
+  ModelHolder h(8, 12, kxx::Backend::Serial);
+  auto& m = *h.model;
+  licomk::halo::BlockField2D gu("gu_bar", m.local_grid().extent());
+  licomk::halo::BlockField2D gv("gv_bar", m.local_grid().extent());
+  kxx::set_pack_size(1);
+  for (auto _ : state) run_dyn_chain_fused(m, gu, gv);
+  kxx::set_pack_size(LICOMK_PACK_SIZE);
+}
+BENCHMARK(BM_DynChainFusedScalar)->Unit(benchmark::kMillisecond);
+
+static void BM_DynChainFusedPacked(benchmark::State& state) {
+  ModelHolder h(8, 12, kxx::Backend::Serial);
+  auto& m = *h.model;
+  licomk::halo::BlockField2D gu("gu_bar", m.local_grid().extent());
+  licomk::halo::BlockField2D gv("gv_bar", m.local_grid().extent());
+  kxx::set_pack_size(static_cast<int>(state.range(0)));
+  for (auto _ : state) run_dyn_chain_fused(m, gu, gv);
+  kxx::set_pack_size(LICOMK_PACK_SIZE);
+  state.counters["pack"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_DynChainFusedPacked)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+// Pack-vs-scalar on the fused tracer-hdiff pair path: full step at pack
+// width 1 vs the compiled width, fusion on in both.
+static void BM_FullStepPacked(benchmark::State& state) {
+  ModelHolder h(8, 12, kxx::Backend::Serial);
+  kxx::set_pack_size(static_cast<int>(state.range(0)));
+  for (auto _ : state) h.model->step();
+  kxx::set_pack_size(LICOMK_PACK_SIZE);
+  state.counters["pack"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_FullStepPacked)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
+
 // Custom main so the CI perf-smoke job can collect telemetry alongside the
 // benchmark numbers: with LICOMK_TELEMETRY=1 the run exports metrics.json and
 // trace.json into $LICOMK_TELEMETRY_OUT (default: the working directory).
@@ -111,6 +183,14 @@ int main(int argc, char** argv) {
     // self-registers on the first fallback).
     licomk::telemetry::counter("kxx.athread_fallbacks")
         .record_max(static_cast<std::uint64_t>(kxx::athread_fallback_count()));
+    // Pack/fusion gauges for the baseline context (ci/update_baseline.sh
+    // harvests these into licomk_pack_gauges; ci/check_perf.py shape-checks).
+    licomk::telemetry::set_gauge("kxx.pack.lanes_active",
+                                 static_cast<double>(kxx::pack_lanes_active()));
+    licomk::telemetry::set_gauge("kxx.pack.lanes_masked",
+                                 static_cast<double>(kxx::pack_lanes_masked()));
+    licomk::telemetry::set_gauge("kxx.fusion.views_elided_bytes",
+                                 static_cast<double>(kxx::fusion_views_elided_bytes()));
     const char* out = std::getenv("LICOMK_TELEMETRY_OUT");
     std::string prefix = out != nullptr ? std::string(out) + "/" : std::string();
     licomk::telemetry::write_metrics_json(prefix + "metrics.json");

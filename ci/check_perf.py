@@ -120,6 +120,49 @@ def check_farm_context(path, role):
     return errors
 
 
+# Gauge keys a licomk_pack_gauges section must carry — the SIMD regime the
+# timings were taken under (how many lanes did useful work, how many were
+# masked off at tails/land, and how many bytes of intermediate-field traffic
+# kernel fusion elided).
+_PACK_GAUGE_KEYS = ("kxx.pack.lanes_active", "kxx.pack.lanes_masked",
+                    "kxx.fusion.views_elided_bytes")
+
+
+def check_pack_context(path, role):
+    """Validate the OPTIONAL `licomk_pack_gauges` baseline-context section.
+
+    ci/update_baseline.sh records the kxx pack/fusion gauges from a
+    telemetry-enabled bench run next to the timings. Absence is fine —
+    pre-pack baselines stay valid — but a present section must carry every
+    gauge as a number: a half-written pack context means the vectorization
+    regime behind the timings is unknowable. Returns a list of error strings
+    (empty when acceptable); callers report them and exit 2.
+    """
+    with open(path) as f:
+        context = json.load(f).get("context", {})
+    pack = context.get("licomk_pack_gauges")
+    if pack is None:
+        return []
+    where = f"{role} {path}: licomk_pack_gauges"
+    if not isinstance(pack, dict):
+        return [f"{where} must be an object, got {type(pack).__name__} "
+                "(regenerate with ci/update_baseline.sh)"]
+    errors = []
+    for key in _PACK_GAUGE_KEYS:
+        if key not in pack:
+            errors.append(f"{where} is missing gauge '{key}' "
+                          "(regenerate with ci/update_baseline.sh)")
+        elif not isinstance(pack[key], (int, float)):
+            errors.append(f"{where}: gauge '{key}' must be a number, "
+                          f"got {type(pack[key]).__name__}")
+    if not errors and pack.get("kxx.pack.lanes_active", 0) <= 0:
+        errors.append(f"{where}: kxx.pack.lanes_active is "
+                      f"{pack.get('kxx.pack.lanes_active')} — the bench run "
+                      "never took the packed path (regenerate with "
+                      "ci/update_baseline.sh from a Release build)")
+    return errors
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("baseline")
@@ -133,6 +176,8 @@ def main():
                     if e is not None]
     build_errors += check_farm_context(args.baseline, "baseline")
     build_errors += check_farm_context(args.current, "current")
+    build_errors += check_pack_context(args.baseline, "baseline")
+    build_errors += check_pack_context(args.current, "current")
     if build_errors:
         for e in build_errors:
             print(f"error: {e}", file=sys.stderr)

@@ -10,12 +10,17 @@
 # Tests that pin the flags explicitly (e.g. the bit-identity comparisons) stay
 # deterministic regardless of the env; the rest follow the matrix cell.
 #
+# The model suite additionally sweeps LICOMK_PACK_SIZE in {1,4,8} inside every
+# halo cell: pack-width dispatch must compose with halo batching and the
+# persistent subcycle engine (the CRC matrix tests inside test_model then
+# prove bit-identity on top of whatever cell the env selected).
+#
 # Usage: ci/halo_matrix.sh [build-dir]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build-ci-release}"
-SUITES=(test_halo test_exchange_group test_persistent_group test_model)
+SUITES=(test_halo test_exchange_group test_persistent_group)
 
 for batch in 0 1; do
   for persist in 0 1; do
@@ -24,6 +29,12 @@ for batch in 0 1; do
       LICOMK_BATCH_HALO=$batch LICOMK_PERSISTENT_HALO=$persist \
         "$BUILD_DIR/tests/$suite" --gtest_brief=1
     done
+    for pack in 1 4 8; do
+      echo "--- test_model (LICOMK_PACK_SIZE=$pack) ---"
+      LICOMK_BATCH_HALO=$batch LICOMK_PERSISTENT_HALO=$persist \
+        LICOMK_PACK_SIZE=$pack \
+        "$BUILD_DIR/tests/test_model" --gtest_brief=1
+    done
   done
 done
-echo "halo matrix: all 4 batch x persistent combinations passed"
+echo "halo matrix: all 4 batch x persistent combinations passed (x3 pack widths on the model suite)"

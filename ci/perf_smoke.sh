@@ -36,6 +36,11 @@ python3 ci/check_perf.py bench/baseline_smoke.json "$OUT_DIR/bench_smoke.json" \
 # batched DMA, transfer/compute overlap, no MPE or staging fallbacks.
 python3 ci/check_ldm_staging.py "$OUT_DIR/metrics.json"
 
+# SIMD pack + kernel fusion: the fused+packed readyt/readyc dynamics chain
+# must measurably beat the scalar-unfused chain (guards against the packed
+# path silently lowering to scalar or a fusion regression).
+python3 ci/check_pack_fusion.py "$OUT_DIR/bench_smoke.json"
+
 # Halo batching + persistent subcycle engine: the same small 4-rank model with
 # aggregated vs per-field vs persistent exchanges (CRC on everywhere). Gate on
 # >= 3x overall message reduction (batched vs per-field), >= 2x barotropic

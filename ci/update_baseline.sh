@@ -14,21 +14,26 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build}"
-"$BUILD_DIR/bench/bench_model_kernels" \
+TMP_DIR="$(mktemp -d)"
+trap 'rm -rf "$TMP_DIR"' EXIT
+
+# Telemetry on, matching the perf-smoke run: the exported metrics.json also
+# carries the kxx.pack.* / kxx.fusion.* gauges recorded into the context
+# below.
+mkdir -p "$TMP_DIR/bench"
+LICOMK_TELEMETRY=1 LICOMK_TELEMETRY_OUT="$TMP_DIR/bench" \
+  "$BUILD_DIR/bench/bench_model_kernels" \
   --benchmark_min_time=0.05 \
   --benchmark_out=bench/baseline_smoke.json \
   --benchmark_out_format=json
-
-TMP_DIR="$(mktemp -d)"
-trap 'rm -rf "$TMP_DIR"' EXIT
 "$BUILD_DIR/examples/halo_batching_smoke" persistent "$TMP_DIR" > /dev/null
 "$BUILD_DIR/examples/farm_run" \
   --out "$TMP_DIR/farm_metrics.json" --dir "$TMP_DIR/farm_ckpt" > /dev/null
 
 python3 - bench/baseline_smoke.json "$TMP_DIR/metrics.json" \
-  "$TMP_DIR/farm_metrics.json" <<'EOF'
+  "$TMP_DIR/farm_metrics.json" "$TMP_DIR/bench/metrics.json" <<'EOF'
 import json, sys
-base_path, metrics_path, farm_path = sys.argv[1:4]
+base_path, metrics_path, farm_path, bench_metrics_path = sys.argv[1:5]
 with open(base_path) as f:
     base = json.load(f)
 with open(metrics_path) as f:
@@ -54,6 +59,16 @@ ensemble = {k: v for k, v in sorted(fg.items())
             if k.startswith("farm.ensemble.") or k == "farm.base_state.shared_bytes"}
 base["context"]["licomk_farm_gauges"] = {"tenants": tenants, "ensemble": ensemble}
 print(f"recorded {len(tenants)} farm tenant sections in baseline context")
+
+# The SIMD regime behind the timings: pack lane utilization and fused-kernel
+# traffic elision from the bench run itself (validated by ci/check_perf.py's
+# check_pack_context).
+with open(bench_metrics_path) as f:
+    bg = json.load(f).get("gauges", {})
+pack = {k: v for k, v in sorted(bg.items())
+        if k.startswith("kxx.pack.") or k.startswith("kxx.fusion.")}
+base["context"]["licomk_pack_gauges"] = pack
+print(f"recorded {len(pack)} pack/fusion gauges in baseline context")
 
 with open(base_path, "w") as f:
     json.dump(base, f, indent=1)

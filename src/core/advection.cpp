@@ -181,6 +181,113 @@ struct LowOrder {
   }
 };
 
+/// Stage 2a (fused pair): both tracers' monotone predictors in one sweep —
+/// the volume fluxes fe/fn/w and the cell volume are loaded once and feed
+/// both donor-cell updates, eliding the second LowOrder pass's full re-read
+/// of the three flux fields. Each tracer's update is textually LowOrder's
+/// expression, so the result is bit-identical to two LowOrder dispatches.
+struct FusedLowOrderPair {
+  Geo g;
+  CF3 qa, qb, fe, fn, w;
+  F3 qa_td, qb_td;
+  double dt;
+
+  void operator()(long long k, long long j, long long i) const {
+    if (!g.active(k, j, i)) {
+      qa_td(k, j, i) = qa(k, j, i);
+      qb_td(k, j, i) = qb(k, j, i);
+      return;
+    }
+    auto lo_e = [&](const CF3& q, long long jj, long long ii) {
+      return upwind_flux(fe(k, jj, ii), q(k, jj, ii), q(k, jj, ii + 1));
+    };
+    auto lo_n = [&](const CF3& q, long long jj, long long ii) {
+      return upwind_flux(fn(k, jj, ii), q(k, jj, ii), q(k, jj + 1, ii));
+    };
+    auto lo_t = [&](const CF3& q, long long kk) {
+      if (kk <= 0 || kk >= g.kmt(j, i)) return 0.0;
+      return upwind_flux(w(kk, j, i), q(kk, j, i), q(kk - 1, j, i));
+    };
+    double vol = g.area(j, i) * g.dz[k];
+    double div_a = lo_e(qa, j, i) - lo_e(qa, j, i - 1) + lo_n(qa, j, i) - lo_n(qa, j - 1, i) +
+                   lo_t(qa, k) - lo_t(qa, k + 1);
+    if (k == 0) div_a += qa(0, j, i) * w(0, j, i);
+    qa_td(k, j, i) = qa(k, j, i) - dt * div_a / vol;
+    double div_b = lo_e(qb, j, i) - lo_e(qb, j, i - 1) + lo_n(qb, j, i) - lo_n(qb, j - 1, i) +
+                   lo_t(qb, k) - lo_t(qb, k + 1);
+    if (k == 0) div_b += qb(0, j, i) * w(0, j, i);
+    qb_td(k, j, i) = qb(k, j, i) - dt * div_b / vol;
+  }
+
+  /// Packed form. No LevelsRef at the dispatch: inactive cells still write
+  /// the passthrough qtd = q, exactly as the scalar early-out does. The
+  /// horizontal flux/tracer neighborhoods load as Packs; the upwind selects
+  /// and the guarded vertical faces stay lane-scalar (data-dependent
+  /// branches), reading their lanes out of the loaded packs.
+  template <int N>
+  void pack_op(long long k, long long j, long long i0, const kxx::Mask<N>& tail) const {
+    using P = kxx::Pack<double, N>;
+    kxx::Mask<N> act;
+    for (int l = 0; l < N; ++l) act.set(l, tail[l] && g.active(k, j, i0 + l));
+
+    const P qa_c = kxx::pack_load<N>(tail, qa.ptr(k, j, i0));
+    const P qb_c = kxx::pack_load<N>(tail, qb.ptr(k, j, i0));
+    if (act.none()) {
+      kxx::pack_store<N>(tail, qa_td.ptr(k, j, i0), qa_c);
+      kxx::pack_store<N>(tail, qb_td.ptr(k, j, i0), qb_c);
+      return;
+    }
+    const P fe_c = kxx::pack_load<N>(act, fe.ptr(k, j, i0));
+    const P fe_w = kxx::pack_load<N>(act, fe.ptr(k, j, i0 - 1));
+    const P fn_c = kxx::pack_load<N>(act, fn.ptr(k, j, i0));
+    const P fn_s = kxx::pack_load<N>(act, fn.ptr(k, j - 1, i0));
+    const P qa_e = kxx::pack_load<N>(act, qa.ptr(k, j, i0 + 1));
+    const P qa_w = kxx::pack_load<N>(act, qa.ptr(k, j, i0 - 1));
+    const P qa_n = kxx::pack_load<N>(act, qa.ptr(k, j + 1, i0));
+    const P qa_s = kxx::pack_load<N>(act, qa.ptr(k, j - 1, i0));
+    const P qb_e = kxx::pack_load<N>(act, qb.ptr(k, j, i0 + 1));
+    const P qb_w = kxx::pack_load<N>(act, qb.ptr(k, j, i0 - 1));
+    const P qb_n = kxx::pack_load<N>(act, qb.ptr(k, j + 1, i0));
+    const P qb_s = kxx::pack_load<N>(act, qb.ptr(k, j - 1, i0));
+    const P area_p = kxx::pack_load<N>(act, g.area.ptr(j, i0));
+
+    // Horizontal donor-cell fluxes as Pack selects: both candidate products
+    // are the scalar path's own expressions, the blend keeps the one the
+    // scalar branch would have taken — per-lane results identical. The
+    // upwind mask comes from the face flux sign, not the activity mask, so
+    // dead lanes just compute garbage that the final blend discards.
+    auto upw = [](const P& vol, const P& q_from, const P& q_to) {
+      return kxx::blend(vol > 0.0, vol * q_from, vol * q_to);
+    };
+    P div_a = upw(fe_c, qa_c, qa_e) - upw(fe_w, qa_w, qa_c) + upw(fn_c, qa_c, qa_n) -
+              upw(fn_s, qa_s, qa_c);
+    P div_b = upw(fe_c, qb_c, qb_e) - upw(fe_w, qb_w, qb_c) + upw(fn_c, qb_c, qb_n) -
+              upw(fn_s, qb_s, qb_c);
+    // Vertical faces stay lane-scalar: each lane's own column depth guards
+    // the w/q reads at kk-1 and kk+1.
+    for (int l = 0; l < N; ++l) {
+      if (!act[l]) continue;
+      const long long i = i0 + l;
+      auto lo_t = [&](const CF3& q, long long kk) {
+        if (kk <= 0 || kk >= g.kmt(j, i)) return 0.0;
+        return upwind_flux(w(kk, j, i), q(kk, j, i), q(kk - 1, j, i));
+      };
+      div_a[l] = div_a[l] + lo_t(qa, k) - lo_t(qa, k + 1);
+      div_b[l] = div_b[l] + lo_t(qb, k) - lo_t(qb, k + 1);
+    }
+    if (k == 0) {
+      const P w0 = kxx::pack_load<N>(act, w.ptr(0, j, i0));
+      div_a += qa_c * w0;
+      div_b += qb_c * w0;
+    }
+    const P vol_p = area_p * g.dz[k];
+    const P qa_o = kxx::blend(act, qa_c - dt * div_a / vol_p, qa_c);
+    const P qb_o = kxx::blend(act, qb_c - dt * div_b / vol_p, qb_c);
+    kxx::pack_store<N>(tail, qa_td.ptr(k, j, i0), qa_o);
+    kxx::pack_store<N>(tail, qb_td.ptr(k, j, i0), qb_o);
+  }
+};
+
 /// Stage 2b: anti-diffusive fluxes A = F_centered - F_upwind, per face
 /// family. Faces touching land carry zero volume flux, so A vanishes there
 /// without extra masking.
@@ -314,6 +421,7 @@ KXX_REGISTER_FOR_3D(adv_flux_north, licomk::core::adv::FluxNorth);
 KXX_REGISTER_FOR_2D(adv_w_continuity, licomk::core::adv::WContinuity);
 KXX_REGISTER_FOR_2D(adv_gm_bolus, licomk::core::adv::GmBolus);
 KXX_REGISTER_FOR_3D(adv_low_order, licomk::core::adv::LowOrder);
+KXX_REGISTER_FOR_3D(adv_low_order_pair, licomk::core::adv::FusedLowOrderPair);
 KXX_REGISTER_FOR_3D(adv_anti_east, licomk::core::adv::AntiDiffEast);
 KXX_REGISTER_FOR_3D(adv_anti_north, licomk::core::adv::AntiDiffNorth);
 KXX_REGISTER_FOR_3D(adv_anti_top, licomk::core::adv::AntiDiffTop);
@@ -444,7 +552,8 @@ TracerAdvScratch::TracerAdvScratch(const LocalGrid& g)
 void advect_tracer_pair(const LocalGrid& g, double dt, const halo::BlockField3D& qa,
                         const halo::BlockField3D& qb, AdvectionWorkspace& ws,
                         TracerAdvScratch& scratch, halo::HaloExchanger& exchanger,
-                        halo::BlockField3D& qa_out, halo::BlockField3D& qb_out) {
+                        halo::BlockField3D& qa_out, halo::BlockField3D& qb_out,
+                        bool fuse_low_order) {
   adv::Geo geo = make_geo(g);
   const int h = decomp::kHaloWidth;
   const int nyt = g.ny_total();
@@ -452,13 +561,25 @@ void advect_tracer_pair(const LocalGrid& g, double dt, const halo::BlockField3D&
 
   // Monotone predictors for both tracers before any communication, so the
   // whole aggregated q_td exchange overlaps both tracers' flux kernels.
-  adv::LowOrder lo_a{geo, cref(qa), cref(ws.flux_e), cref(ws.flux_n), cref(ws.w_top),
-                     mref(ws.q_td), dt};
-  kxx::parallel_for("adv_low_order", cells3(g, 1), lo_a);
+  if (fuse_low_order) {
+    // Fused + packed: one sweep shares the fe/fn/w loads between both
+    // tracers' donor-cell updates (bit-identical to the two passes below).
+    adv::FusedLowOrderPair lo{geo,           cref(qa),       cref(qb),
+                              cref(ws.flux_e), cref(ws.flux_n), cref(ws.w_top),
+                              mref(ws.q_td), mref(scratch.q_td), dt};
+    kxx::parallel_for_packed("adv_low_order_pair", cells3(g, 1), lo);
+    // Elided: the second predictor's re-reads of the three flux fields.
+    kxx::note_fusion_views_elided(3LL * g.nz() * (g.ny_total() - 2) * (g.nx_total() - 2) *
+                                  static_cast<long long>(sizeof(double)));
+  } else {
+    adv::LowOrder lo_a{geo, cref(qa), cref(ws.flux_e), cref(ws.flux_n), cref(ws.w_top),
+                       mref(ws.q_td), dt};
+    kxx::parallel_for("adv_low_order", cells3(g, 1), lo_a);
+    adv::LowOrder lo_b{geo, cref(qb), cref(ws.flux_e), cref(ws.flux_n), cref(ws.w_top),
+                       mref(scratch.q_td), dt};
+    kxx::parallel_for("adv_low_order", cells3(g, 1), lo_b);
+  }
   ws.q_td.mark_dirty();
-  adv::LowOrder lo_b{geo, cref(qb), cref(ws.flux_e), cref(ws.flux_n), cref(ws.w_top),
-                     mref(scratch.q_td), dt};
-  kxx::parallel_for("adv_low_order", cells3(g, 1), lo_b);
   scratch.q_td.mark_dirty();
 
   // One batched exchange for both provisional fields — the busiest per-field

@@ -69,9 +69,16 @@ struct TracerAdvScratch {
 /// overlaps both tracers' anti-diffusive flux kernels. Bit-identical to two
 /// sequential advect_tracer_fct calls (asserted in test_advection); tracer
 /// `qa` uses the workspace scratch, `qb` the TracerAdvScratch.
+///
+/// `fuse_low_order` runs BOTH tracers' monotone predictors as one fused,
+/// packed sweep (FusedLowOrderPairK): the volume-flux loads fe/fn/w are
+/// shared instead of re-read per tracer. Bit-identical either way; callers
+/// should gate it on ModelConfig::fuse_kernels and leave it off on the
+/// AthreadSim backend (ci/check_ldm_staging.py gates on the unfused labels).
 void advect_tracer_pair(const LocalGrid& g, double dt, const halo::BlockField3D& qa,
                         const halo::BlockField3D& qb, AdvectionWorkspace& ws,
                         TracerAdvScratch& scratch, halo::HaloExchanger& exchanger,
-                        halo::BlockField3D& qa_out, halo::BlockField3D& qb_out);
+                        halo::BlockField3D& qa_out, halo::BlockField3D& qb_out,
+                        bool fuse_low_order = false);
 
 }  // namespace licomk::core

@@ -144,6 +144,289 @@ struct VertMeanK {
   }
 };
 
+/// Fused readyt (density + hydrostatic pressure) in one column sweep: ρ(k)
+/// is computed once, stored (GM bolus still reads the View), and consumed by
+/// the pressure integral FROM THE REGISTER — the unfused PressureK's full
+/// re-read of rho is elided. Bit-identity: the stored double and the register
+/// hold the same value, and the integral below is textually the PressureK
+/// expression, so every FP op matches the unfused chain.
+struct FusedDensityPressureK {
+  CI2 kmt;
+  CF3 t, s;
+  F3 rho;
+  F3 p;
+  const double* zc = nullptr;
+  const double* dz = nullptr;
+  int linear = 0;
+
+  void operator()(long long j, long long i) const {
+    const int nlev = kmt(j, i);
+    if (nlev == 0) return;
+    double rk = density(linear != 0, t(0, j, i), s(0, j, i), zc[0]);
+    rho(0, j, i) = rk;
+    double pk = kGravity * rk * 0.5 * dz[0] / kRho0;
+    p(0, j, i) = pk;
+    for (int k = 1; k < nlev; ++k) {
+      double rprev = rk;
+      rk = density(linear != 0, t(k, j, i), s(k, j, i), zc[k]);
+      rho(k, j, i) = rk;
+      double dzc = zc[k] - zc[k - 1];
+      pk += kGravity * 0.5 * (rprev + rk) * dzc / kRho0;
+      p(k, j, i) = pk;
+    }
+  }
+
+  /// Packed form: N adjacent columns advance level-by-level. The EOS stays
+  /// lane-scalar (branchy polynomial); the integral uses Pack ops, whose
+  /// lane order is the scalar order. Per-level masking is hoisted out of the
+  /// loop: the uniform prefix k < min(nlev) runs mask-free with unmasked
+  /// loads/stores (every lane is live, so every address is in-bounds), and
+  /// each deeper column is finished by the scalar recurrence seeded from the
+  /// prefix registers. Packs holding a dead lane (land or tail) delegate to
+  /// the scalar body per live lane — per-level mask bookkeeping there costs
+  /// more than the vector integral saves.
+  template <int N>
+  void pack_op(long long j, long long i0, const kxx::Mask<N>& cols) const {
+    int nlev[N];
+    int nmin = 1 << 30;
+    for (int l = 0; l < N; ++l) {
+      nlev[l] = cols[l] ? kmt(j, i0 + l) : 0;
+      nmin = nlev[l] < nmin ? nlev[l] : nmin;
+    }
+    if (nmin == 0) {
+      for (int l = 0; l < N; ++l)
+        if (nlev[l] > 0) (*this)(j, i0 + l);
+      return;
+    }
+    kxx::Pack<double, N> rk, pk;
+    for (int k = 0; k < nmin; ++k) {
+      const kxx::Pack<double, N> tv = kxx::pack_load<N>(t.ptr(k, j, i0));
+      const kxx::Pack<double, N> sv = kxx::pack_load<N>(s.ptr(k, j, i0));
+      kxx::Pack<double, N> rnew;
+      for (int l = 0; l < N; ++l) rnew[l] = density(linear != 0, tv[l], sv[l], zc[k]);
+      if (k == 0) {
+        rk = rnew;
+        pk = kGravity * rk * 0.5 * dz[0] / kRho0;
+      } else {
+        double dzc = zc[k] - zc[k - 1];
+        pk += kGravity * 0.5 * (rk + rnew) * dzc / kRho0;
+        rk = rnew;
+      }
+      kxx::pack_store<N>(rho.ptr(k, j, i0), rk);
+      kxx::pack_store<N>(p.ptr(k, j, i0), pk);
+    }
+    for (int l = 0; l < N; ++l) {
+      const long long i = i0 + l;
+      double rkl = rk[l];
+      double pkl = pk[l];
+      for (int k = nmin; k < nlev[l]; ++k) {
+        double rprev = rkl;
+        rkl = density(linear != 0, t(k, j, i), s(k, j, i), zc[k]);
+        rho(k, j, i) = rkl;
+        double dzc = zc[k] - zc[k - 1];
+        pkl += kGravity * 0.5 * (rprev + rkl) * dzc / kRho0;
+        p(k, j, i) = pkl;
+      }
+    }
+  }
+};
+
+/// Fused readyc (momentum tendencies + both dz-weighted vertical means): the
+/// tendencies gu/gv feed the mean accumulators straight from registers, so
+/// the two VertMeanK re-read passes over fu and fv are elided. The stencil
+/// math is textually TendencyK's; the accumulation is textually VertMeanK's.
+struct FusedTendencyMeanK {
+  CI2 kmu;
+  CF2 dxu, dyu, lon, lat;
+  CF3 u, v, p;
+  F3 fu, fv;
+  F2 gu_bar, gv_bar;
+  const double* dz = nullptr;
+  double viscosity = 0.0;
+  double day_of_year = 0.0;
+  double bottom_drag = 5.0e-4;
+  double wind_scale = 1.0;
+  int nz = 0;
+
+  void operator()(long long j, long long i) const {
+    const int nlev = kmu(j, i);
+    double inv_dx = 1.0 / dxu(j, i);
+    double inv_dy = 1.0 / dyu(j, i);
+    double num_u = 0.0;
+    double num_v = 0.0;
+    double den = 0.0;
+    for (int k = 0; k < nz; ++k) {
+      if (k >= nlev) {
+        fu(k, j, i) = 0.0;
+        fv(k, j, i) = 0.0;
+        continue;
+      }
+      double dpdx =
+          0.5 * ((p(k, j, i + 1) + p(k, j + 1, i + 1)) - (p(k, j, i) + p(k, j + 1, i))) * inv_dx;
+      double dpdy =
+          0.5 * ((p(k, j + 1, i) + p(k, j + 1, i + 1)) - (p(k, j, i) + p(k, j, i + 1))) * inv_dy;
+      double uc = u(k, j, i);
+      double vc = v(k, j, i);
+      double dudx = 0.5 * (u(k, j, i + 1) - u(k, j, i - 1)) * inv_dx;
+      double dudy = 0.5 * (u(k, j + 1, i) - u(k, j - 1, i)) * inv_dy;
+      double dvdx = 0.5 * (v(k, j, i + 1) - v(k, j, i - 1)) * inv_dx;
+      double dvdy = 0.5 * (v(k, j + 1, i) - v(k, j - 1, i)) * inv_dy;
+      double lap_u = (u(k, j, i + 1) - 2.0 * uc + u(k, j, i - 1)) * inv_dx * inv_dx +
+                     (u(k, j + 1, i) - 2.0 * uc + u(k, j - 1, i)) * inv_dy * inv_dy;
+      double lap_v = (v(k, j, i + 1) - 2.0 * vc + v(k, j, i - 1)) * inv_dx * inv_dx +
+                     (v(k, j + 1, i) - 2.0 * vc + v(k, j - 1, i)) * inv_dy * inv_dy;
+      double gu = -dpdx - (uc * dudx + vc * dudy) + viscosity * lap_u;
+      double gv = -dpdy - (uc * dvdx + vc * dvdy) + viscosity * lap_v;
+      if (k == 0) {
+        SurfaceForcing f = climatological_forcing(lon(j, i), lat(j, i), day_of_year);
+        gu += wind_scale * f.tau_x / (kRho0 * dz[0]);
+        gv += wind_scale * f.tau_y / (kRho0 * dz[0]);
+      }
+      if (k == nlev - 1) {
+        gu -= bottom_drag * uc / dz[k];
+        gv -= bottom_drag * vc / dz[k];
+      }
+      fu(k, j, i) = gu;
+      fv(k, j, i) = gv;
+      num_u += gu * dz[k];
+      num_v += gv * dz[k];
+      den += dz[k];
+    }
+    if (nlev == 0) {
+      gu_bar(j, i) = 0.0;
+      gv_bar(j, i) = 0.0;
+    } else {
+      gu_bar(j, i) = num_u / den;
+      gv_bar(j, i) = num_v / den;
+    }
+  }
+
+  /// Packed form over N adjacent corners. Stencil math runs as Pack ops
+  /// (lane order = scalar order); the branchy pieces — surface forcing at
+  /// k == 0, bottom drag at each lane's own deepest level, the mean
+  /// accumulators — stay lane-scalar under their masks so no spurious FP op
+  /// ever touches an accumulator (even x += 0.0 can flip a signed zero).
+  ///
+  /// Loads are never masked here: with a full tail every lane's address is
+  /// inside the dense (nz, ny_total, nx_total) allocation at every k, so
+  /// below-bottom lanes may read whatever the array holds — their results
+  /// are discarded by the masked stores/accumulation and elementwise lane
+  /// math cannot leak across lanes. The rare partial tail pack (at most one
+  /// per row) falls back to the scalar body per live lane.
+  template <int N>
+  void pack_op(long long j, long long i0, const kxx::Mask<N>& tail) const {
+    using P = kxx::Pack<double, N>;
+    if (!tail.all()) {
+      for (int l = 0; l < N; ++l)
+        if (tail[l]) (*this)(j, i0 + l);
+      return;
+    }
+    int nlev[N];
+    int nmin = nz;
+    int nmax = 0;
+    for (int l = 0; l < N; ++l) {
+      nlev[l] = kmu(j, i0 + l);
+      nmin = nlev[l] < nmin ? nlev[l] : nmin;
+      nmax = nlev[l] > nmax ? nlev[l] : nmax;
+    }
+    const P inv_dx = 1.0 / kxx::pack_load<N>(dxu.ptr(j, i0));
+    const P inv_dy = 1.0 / kxx::pack_load<N>(dyu.ptr(j, i0));
+    P num_u, num_v, den;
+    for (int k = 0; k < nz; ++k) {
+      if (k >= nmax) {  // every lane below its bottom: zeros, nothing else
+        kxx::pack_store<N>(fu.ptr(k, j, i0), P{});
+        kxx::pack_store<N>(fv.ptr(k, j, i0), P{});
+        continue;
+      }
+      const P p_c = kxx::pack_load<N>(p.ptr(k, j, i0));
+      const P p_e = kxx::pack_load<N>(p.ptr(k, j, i0 + 1));
+      const P p_n = kxx::pack_load<N>(p.ptr(k, j + 1, i0));
+      const P p_ne = kxx::pack_load<N>(p.ptr(k, j + 1, i0 + 1));
+      const P uc = kxx::pack_load<N>(u.ptr(k, j, i0));
+      const P vc = kxx::pack_load<N>(v.ptr(k, j, i0));
+      const P u_e = kxx::pack_load<N>(u.ptr(k, j, i0 + 1));
+      const P u_w = kxx::pack_load<N>(u.ptr(k, j, i0 - 1));
+      const P u_n = kxx::pack_load<N>(u.ptr(k, j + 1, i0));
+      const P u_s = kxx::pack_load<N>(u.ptr(k, j - 1, i0));
+      const P v_e = kxx::pack_load<N>(v.ptr(k, j, i0 + 1));
+      const P v_w = kxx::pack_load<N>(v.ptr(k, j, i0 - 1));
+      const P v_n = kxx::pack_load<N>(v.ptr(k, j + 1, i0));
+      const P v_s = kxx::pack_load<N>(v.ptr(k, j - 1, i0));
+      const P dpdx = 0.5 * ((p_e + p_ne) - (p_c + p_n)) * inv_dx;
+      const P dpdy = 0.5 * ((p_n + p_ne) - (p_c + p_e)) * inv_dy;
+      const P dudx = 0.5 * (u_e - u_w) * inv_dx;
+      const P dudy = 0.5 * (u_n - u_s) * inv_dy;
+      const P dvdx = 0.5 * (v_e - v_w) * inv_dx;
+      const P dvdy = 0.5 * (v_n - v_s) * inv_dy;
+      const P lap_u = (u_e - 2.0 * uc + u_w) * inv_dx * inv_dx +
+                      (u_n - 2.0 * uc + u_s) * inv_dy * inv_dy;
+      const P lap_v = (v_e - 2.0 * vc + v_w) * inv_dx * inv_dx +
+                      (v_n - 2.0 * vc + v_s) * inv_dy * inv_dy;
+      P gu = -dpdx - (uc * dudx + vc * dudy) + viscosity * lap_u;
+      P gv = -dpdy - (uc * dvdx + vc * dvdy) + viscosity * lap_v;
+      if (k < nmin) {
+        // Every lane live: no masks on this plane at all.
+        if (k == 0) {
+          for (int l = 0; l < N; ++l) {
+            SurfaceForcing f =
+                climatological_forcing(lon(j, i0 + l), lat(j, i0 + l), day_of_year);
+            gu[l] += wind_scale * f.tau_x / (kRho0 * dz[0]);
+            gv[l] += wind_scale * f.tau_y / (kRho0 * dz[0]);
+          }
+        }
+        if (k >= nmin - 1) {  // no lane can bottom out above the shallowest
+          for (int l = 0; l < N; ++l) {
+            if (k == nlev[l] - 1) {
+              gu[l] -= bottom_drag * uc[l] / dz[k];
+              gv[l] -= bottom_drag * vc[l] / dz[k];
+            }
+          }
+        }
+        kxx::pack_store<N>(fu.ptr(k, j, i0), gu);
+        kxx::pack_store<N>(fv.ptr(k, j, i0), gv);
+        num_u += gu * dz[k];
+        num_v += gv * dz[k];
+        den += P(dz[k]);
+        continue;
+      }
+      // Mixed plane: some lanes below bottom. Math above already ran on all
+      // lanes; dead lanes store 0 and never touch the accumulators.
+      kxx::Mask<N> mk;
+      for (int l = 0; l < N; ++l) mk.set(l, k < nlev[l]);
+      if (k == 0) {
+        for (int l = 0; l < N; ++l) {
+          if (!mk[l]) continue;
+          SurfaceForcing f =
+              climatological_forcing(lon(j, i0 + l), lat(j, i0 + l), day_of_year);
+          gu[l] += wind_scale * f.tau_x / (kRho0 * dz[0]);
+          gv[l] += wind_scale * f.tau_y / (kRho0 * dz[0]);
+        }
+      }
+      for (int l = 0; l < N; ++l) {
+        if (mk[l] && k == nlev[l] - 1) {
+          gu[l] -= bottom_drag * uc[l] / dz[k];
+          gv[l] -= bottom_drag * vc[l] / dz[k];
+        }
+      }
+      kxx::pack_store<N>(fu.ptr(k, j, i0), kxx::blend(mk, gu, 0.0));
+      kxx::pack_store<N>(fv.ptr(k, j, i0), kxx::blend(mk, gv, 0.0));
+      for (int l = 0; l < N; ++l) {
+        if (!mk[l]) continue;
+        num_u[l] += gu[l] * dz[k];
+        num_v[l] += gv[l] * dz[k];
+        den[l] += dz[k];
+      }
+    }
+    P ub, vb;
+    for (int l = 0; l < N; ++l) {
+      ub[l] = nlev[l] == 0 ? 0.0 : num_u[l] / den[l];
+      vb[l] = nlev[l] == 0 ? 0.0 : num_v[l] / den[l];
+    }
+    kxx::pack_store<N>(gu_bar.ptr(j, i0), ub);
+    kxx::pack_store<N>(gv_bar.ptr(j, i0), vb);
+  }
+};
+
 struct BarotropicEtaK {
   CI2 kmt;
   CF2 dxu, dyu, area, ubar, vbar, eta_old;
@@ -318,6 +601,8 @@ KXX_REGISTER_FOR_3D(dyn_density, licomk::core::dyn::DensityK);
 KXX_REGISTER_FOR_2D(dyn_pressure, licomk::core::dyn::PressureK);
 KXX_REGISTER_FOR_3D(dyn_tendency, licomk::core::dyn::TendencyK);
 KXX_REGISTER_FOR_2D(dyn_vert_mean, licomk::core::dyn::VertMeanK);
+KXX_REGISTER_FOR_2D(dyn_rho_p, licomk::core::dyn::FusedDensityPressureK);
+KXX_REGISTER_FOR_2D(dyn_tend_mean, licomk::core::dyn::FusedTendencyMeanK);
 KXX_REGISTER_FOR_2D(dyn_barotropic_eta, licomk::core::dyn::BarotropicEtaK);
 KXX_REGISTER_FOR_2D(dyn_barotropic_uv, licomk::core::dyn::BarotropicUVK);
 KXX_REGISTER_FOR_2D(dyn_asselin2d, licomk::core::dyn::AsselinK2D);
@@ -419,6 +704,67 @@ void vertical_mean(const LocalGrid& g, const halo::BlockField3D& x3, halo::Block
                    g.vertical().thicknesses().data()};
   kxx::parallel_for("dyn_vert_mean", interior2(g), f);
   out.mark_dirty();
+}
+
+void compute_density_pressure_fused(const LocalGrid& g, bool linear_eos,
+                                    const halo::BlockField3D& t, const halo::BlockField3D& s,
+                                    halo::BlockField3D& rho, const halo::BlockField2D& eta,
+                                    halo::BlockField3D& pressure) {
+  (void)eta;  // like PressureK's: surface slope belongs to the barotr subsystem
+  dyn::FusedDensityPressureK f{cref(g.kmt_view()),
+                               cref(t),
+                               cref(s),
+                               mref(rho),
+                               mref(pressure),
+                               g.vertical().centers().data(),
+                               g.vertical().thicknesses().data(),
+                               linear_eos ? 1 : 0};
+  // Same full-block footprint as the unfused chain (density is needed one
+  // ring beyond the interior for boundary-corner pressure gradients).
+  kxx::parallel_for_packed("dyn_rho_p",
+                           kxx::MDRangePolicy2({0, 0}, {g.ny_total(), g.nx_total()}),
+                           cref(g.kmt_view()).levels(), f);
+  // The elided traffic: PressureK's full re-read of the rho View.
+  kxx::note_fusion_views_elided(static_cast<long long>(g.nz()) * g.ny_total() *
+                                g.nx_total() * static_cast<long long>(sizeof(double)));
+  rho.mark_dirty();
+  pressure.mark_dirty();
+}
+
+void compute_tendency_means_fused(const LocalGrid& g, const ModelConfig& cfg,
+                                  const OceanState& state, double day_of_year,
+                                  halo::BlockField3D& fu, halo::BlockField3D& fv,
+                                  halo::BlockField2D& gu_bar, halo::BlockField2D& gv_bar) {
+  const auto& gh = g.global().h();
+  double dx_mean = gh.dx_t(gh.ny() / 2, gh.nx() / 2);
+  dyn::FusedTendencyMeanK f{cref(g.kmu_view()),
+                            cref(g.dxu_view()),
+                            cref(g.dyu_view()),
+                            cref(g.lon_view()),
+                            cref(g.lat_view()),
+                            cref(state.u_cur),
+                            cref(state.v_cur),
+                            cref(state.pressure),
+                            mref(fu),
+                            mref(fv),
+                            mref(gu_bar),
+                            mref(gv_bar),
+                            g.vertical().thicknesses().data(),
+                            cfg.effective_viscosity(dx_mean),
+                            day_of_year,
+                            5.0e-4,
+                            cfg.wind_stress_scale,
+                            g.nz()};
+  // No LevelsRef: land corners must still write fu = fv = 0 and zero means,
+  // exactly as the unfused TendencyK/VertMeanK do.
+  kxx::parallel_for_packed("dyn_tend_mean", interior2(g), f);
+  // Elided: the two VertMeanK re-read passes over fu and fv.
+  kxx::note_fusion_views_elided(2LL * g.nz() * g.ny() * g.nx() *
+                                static_cast<long long>(sizeof(double)));
+  fu.mark_dirty();
+  fv.mark_dirty();
+  gu_bar.mark_dirty();
+  gv_bar.mark_dirty();
 }
 
 void run_barotropic(const LocalGrid& g, const ModelConfig& cfg, OceanState& state,

@@ -4,28 +4,6 @@
 
 namespace licomk::core {
 
-double density_linear(double temp_c, double salt_psu) {
-  return kRho0 * (-kAlphaT * (temp_c - kTRef) + kBetaS * (salt_psu - kSRef));
-}
-
-double density_unesco(double temp_c, double salt_psu, double depth_m) {
-  const double t = temp_c;
-  const double s = salt_psu - kSRef;
-  const double p = depth_m * 1.0e-3;  // ~ pressure in 10^4 dbar units
-  // Reduced Jackett–McDougall-style fit: quadratic thermal expansion
-  // (expansion grows with T), linear haline term with weak T dependence, and
-  // a thermobaric term (alpha increases with pressure).
-  double alpha_eff = kAlphaT * (0.52 + 0.048 * t) * (1.0 + 0.12 * p);
-  double rho = -kRho0 * alpha_eff * (t - kTRef) + kRho0 * kBetaS * s * (1.0 - 0.0015 * t);
-  // Cabbeling-like curvature.
-  rho += 0.0045 * (t - kTRef) * (t - kTRef) - 0.1 * p * s * 0.001;
-  return rho;
-}
-
-double density(bool linear, double temp_c, double salt_psu, double depth_m) {
-  return linear ? density_linear(temp_c, salt_psu) : density_unesco(temp_c, salt_psu, depth_m);
-}
-
 double brunt_vaisala_sq(double rho_upper, double rho_lower, double dz) {
   return -(kGravity / kRho0) * (rho_upper - rho_lower) / dz;
 }

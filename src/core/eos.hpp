@@ -8,17 +8,39 @@
 // stability computations need.
 #pragma once
 
+#include "core/constants.hpp"
+
 namespace licomk::core {
 
 /// Linear EOS: rho' = kRho0 * (-alpha (T - Tref) + beta (S - Sref)).
-double density_linear(double temp_c, double salt_psu);
+/// Inline (with the forms below): the EOS is the dominant cost of the
+/// density/pressure column sweep, and as a header polynomial it inlines into
+/// both the scalar body and the Pack lane loop — where the branch-free
+/// arithmetic vectorizes across lanes.
+inline double density_linear(double temp_c, double salt_psu) {
+  return kRho0 * (-kAlphaT * (temp_c - kTRef) + kBetaS * (salt_psu - kSRef));
+}
 
 /// UNESCO-style EOS: nonlinear in T and S with a pressure (depth) term.
 /// `depth_m` is positive-down meters (used as a proxy for pressure in dbar).
-double density_unesco(double temp_c, double salt_psu, double depth_m);
+inline double density_unesco(double temp_c, double salt_psu, double depth_m) {
+  const double t = temp_c;
+  const double s = salt_psu - kSRef;
+  const double p = depth_m * 1.0e-3;  // ~ pressure in 10^4 dbar units
+  // Reduced Jackett–McDougall-style fit: quadratic thermal expansion
+  // (expansion grows with T), linear haline term with weak T dependence, and
+  // a thermobaric term (alpha increases with pressure).
+  double alpha_eff = kAlphaT * (0.52 + 0.048 * t) * (1.0 + 0.12 * p);
+  double rho = -kRho0 * alpha_eff * (t - kTRef) + kRho0 * kBetaS * s * (1.0 - 0.0015 * t);
+  // Cabbeling-like curvature.
+  rho += 0.0045 * (t - kTRef) * (t - kTRef) - 0.1 * p * s * 0.001;
+  return rho;
+}
 
 /// Dispatch helper.
-double density(bool linear, double temp_c, double salt_psu, double depth_m);
+inline double density(bool linear, double temp_c, double salt_psu, double depth_m) {
+  return linear ? density_linear(temp_c, salt_psu) : density_unesco(temp_c, salt_psu, depth_m);
+}
 
 /// Squared buoyancy frequency N^2 between two vertically adjacent samples
 /// (upper above lower; dz > 0 is the center-to-center distance in meters).

@@ -6,16 +6,23 @@
 #pragma once
 
 #include "halo/block_field.hpp"
+#include "kxx/pack.hpp"
 
 namespace licomk::core {
 
-/// Read-only 3-D reference.
+/// Read-only 3-D reference. ptr() exposes the lane-0 address for contiguous
+/// Pack loads along i (LayoutRight: i is stride-1). New members must go AFTER
+/// p/plane/row — kxx::AccessSpec locates staged views by those members'
+/// offsets inside the functor copy.
 struct CF3 {
   const double* p = nullptr;
   long long plane = 0;
   long long row = 0;
   double operator()(long long k, long long j, long long i) const {
     return p[k * plane + j * row + i];
+  }
+  const double* ptr(long long k, long long j, long long i) const {
+    return p + k * plane + j * row + i;
   }
 };
 
@@ -27,6 +34,9 @@ struct F3 {
   double& operator()(long long k, long long j, long long i) const {
     return p[k * plane + j * row + i];
   }
+  double* ptr(long long k, long long j, long long i) const {
+    return p + k * plane + j * row + i;
+  }
 };
 
 /// Read-only / mutable 2-D references.
@@ -34,11 +44,13 @@ struct CF2 {
   const double* p = nullptr;
   long long row = 0;
   double operator()(long long j, long long i) const { return p[j * row + i]; }
+  const double* ptr(long long j, long long i) const { return p + j * row + i; }
 };
 struct F2 {
   double* p = nullptr;
   long long row = 0;
   double& operator()(long long j, long long i) const { return p[j * row + i]; }
+  double* ptr(long long j, long long i) const { return p + j * row + i; }
 };
 
 /// Integer 2-D reference (kmt/kmu masks).
@@ -46,6 +58,9 @@ struct CI2 {
   const int* p = nullptr;
   long long row = 0;
   int operator()(long long j, long long i) const { return p[j * row + i]; }
+  /// The same mask as a kxx::LevelsRef, for parallel_for_packed's
+  /// partial-column lane-mask synthesis.
+  kxx::LevelsRef levels() const { return kxx::LevelsRef{p, row}; }
 };
 
 inline CF3 cref(const halo::BlockField3D& f) {

@@ -7,6 +7,7 @@
 #include "core/restart.hpp"
 #include "core/tracer.hpp"
 #include "halo/exchange_group.hpp"
+#include "kxx/kxx.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/error.hpp"
 #include "util/sypd.hpp"
@@ -136,10 +137,21 @@ void LicomModel::step() {
     group.exchange();
   }
 
+  // Fused + packed dynamics chains (DESIGN.md §12): bit-identical to the
+  // unfused dispatches; AthreadSim keeps the per-kernel labels its
+  // LDM-staging pipeline (and ci/check_ldm_staging.py) is built around.
+  const bool fuse =
+      cfg_.fuse_kernels && kxx::default_backend() != kxx::Backend::AthreadSim;
+
   {
     PhaseScope t("readyt", "phase");
-    compute_density(*lgrid_, cfg_.linear_eos, state_->t_cur, state_->s_cur, state_->rho);
-    compute_pressure(*lgrid_, state_->rho, state_->eta_cur, state_->pressure);
+    if (fuse) {
+      compute_density_pressure_fused(*lgrid_, cfg_.linear_eos, state_->t_cur, state_->s_cur,
+                                     state_->rho, state_->eta_cur, state_->pressure);
+    } else {
+      compute_density(*lgrid_, cfg_.linear_eos, state_->t_cur, state_->s_cur, state_->rho);
+      compute_pressure(*lgrid_, state_->rho, state_->eta_cur, state_->pressure);
+    }
   }
 
   // The diffusivity exchange overlaps the readyc tendency kernels: the
@@ -158,9 +170,15 @@ void LicomModel::step() {
 
   {
     PhaseScope t("readyc", "phase");
-    compute_momentum_tendencies(*lgrid_, cfg_, *state_, day, state_->fu_tend, state_->fv_tend);
-    vertical_mean(*lgrid_, state_->fu_tend, gu_bar_);
-    vertical_mean(*lgrid_, state_->fv_tend, gv_bar_);
+    if (fuse) {
+      compute_tendency_means_fused(*lgrid_, cfg_, *state_, day, state_->fu_tend,
+                                   state_->fv_tend, gu_bar_, gv_bar_);
+    } else {
+      compute_momentum_tendencies(*lgrid_, cfg_, *state_, day, state_->fu_tend,
+                                  state_->fv_tend);
+      vertical_mean(*lgrid_, state_->fu_tend, gu_bar_);
+      vertical_mean(*lgrid_, state_->fv_tend, gv_bar_);
+    }
     kappa_group.finish();
   }
 
@@ -262,6 +280,12 @@ void LicomModel::run_days(double days) {
       gauge("halo.subcycle.msg_reduction",
             static_cast<double>(subcycle_equiv_) / static_cast<double>(subcycle_msgs_));
     }
+    // Pack/fusion telemetry (process-wide kxx counters; one model per process
+    // outside the farm, and farm tenants share a backend anyway).
+    gauge("kxx.pack.lanes_active", static_cast<double>(kxx::pack_lanes_active()));
+    gauge("kxx.pack.lanes_masked", static_cast<double>(kxx::pack_lanes_masked()));
+    gauge("kxx.fusion.views_elided_bytes",
+          static_cast<double>(kxx::fusion_views_elided_bytes()));
     if (subcycle_group_ != nullptr) {
       gauge("halo.persistent.plan_builds",
             static_cast<double>(subcycle_group_->plan_builds()));

@@ -53,6 +53,7 @@ ModelConfig ModelConfig::testing(int factor) {
   c.batch_halo_exchange = env_flag_or("LICOMK_BATCH_HALO", c.batch_halo_exchange);
   c.persistent_halo_exchange =
       env_flag_or("LICOMK_PERSISTENT_HALO", c.persistent_halo_exchange);
+  c.fuse_kernels = env_flag_or("LICOMK_FUSE", c.fuse_kernels);
   return c;
 }
 
@@ -112,6 +113,7 @@ ModelConfig ModelConfig::from_config(const util::Config& cfg) {
   c.batch_halo_exchange = cfg.get_bool_or("model.batch_halo_exchange", true);
   c.persistent_halo_exchange = cfg.get_bool_or("model.persistent_halo_exchange", true);
   c.verify_halo_crc = cfg.get_bool_or("model.verify_halo_crc", false);
+  c.fuse_kernels = cfg.get_bool_or("model.fuse_kernels", true);
   c.fp32_barotropic = cfg.get_bool_or("model.fp32_barotropic", false);
   c.wind_stress_scale = cfg.get_double_or("model.wind_stress_scale", 1.0);
   c.sst_target_offset_c = cfg.get_double_or("model.sst_target_offset_c", 0.0);
@@ -130,6 +132,7 @@ std::string ModelConfig::describe() const {
      << (halo_strategy == HaloStrategy::TransposeVerticalMajor ? "transpose" : "horizontal")
      << (verify_halo_crc ? " halo-crc" : "") << (batch_halo_exchange ? "" : " no-halo-batch")
      << (persistent_halo_exchange ? "" : " no-persistent-halo")
+     << (fuse_kernels ? "" : " no-fusion")
      << (fp32_barotropic ? " fp32-barotr" : "");
   if (wind_stress_scale != 1.0) os << " wind-scale=" << wind_stress_scale;
   if (sst_target_offset_c != 0.0) os << " sst-offset=" << sst_target_offset_c;

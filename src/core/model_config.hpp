@@ -64,6 +64,14 @@ struct ModelConfig {
   /// the run supervisor can recover from, instead of silently polluting the
   /// state. Off by default: one extra word per message plus two CRC passes.
   bool verify_halo_crc = false;
+  /// Fuse adjacent dynamics/tracer kernels (density+pressure, tendency+
+  /// vertical means, the tracer hdiff and low-order advection pairs) so
+  /// intermediates stay in registers instead of round-tripping through Views.
+  /// Bit-identical to the unfused chain (same per-element expressions in the
+  /// same order — DESIGN.md §12); off = the scalar-unfused ablation baseline.
+  /// Ignored on the AthreadSim backend, whose LDM-staging pipeline keeps the
+  /// unfused per-kernel dispatches (ci/check_ldm_staging.py gates on them).
+  bool fuse_kernels = true;
   /// Run the barotropic sub-cycle's arithmetic in single precision (the
   /// paper's §VIII outlook: "mixed precision ... to improve the speed").
   /// State and communication stay double; only the substep kernels' math

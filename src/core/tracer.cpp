@@ -48,6 +48,115 @@ struct HDiffK {
   }
 };
 
+/// Fused Laplacian diffusion of BOTH tracers in one sweep: the face
+/// conductances cond_e/cond_n depend only on geometry and k, so computing
+/// them once and applying them to t and s halves the metric/mask traffic the
+/// unfused per-tracer dispatches pay twice. Each tracer's increment is
+/// textually HDiffK's expression — bit-identical to two HDiffK passes.
+struct FusedHDiffPairK {
+  CI2 kmt;
+  CF2 dxt, dyt, dxu, dyu, area;
+  CF3 qa, qb;      ///< pre-step tracers (time level n): t, s
+  F3 qa_acc, qb_acc;  ///< advected fields, incremented in place
+  const double* dz = nullptr;
+  double dt_ah = 0.0;
+  long long seam_j = -2;
+
+  void kxx_access(kxx::AccessSpec& a) const {
+    a.in(qa).halo(1, 1, 1).halo(2, 1, 1);
+    a.in(qb).halo(1, 1, 1).halo(2, 1, 1);
+    a.inout(qa_acc);
+    a.inout(qb_acc);
+  }
+
+  void operator()(long long k, long long j, long long i) const {
+    if (k >= kmt(j, i)) return;
+    auto cond_e = [&](long long jj, long long ii) {
+      if (k >= kmt(jj, ii) || k >= kmt(jj, ii + 1)) return 0.0;
+      return dyu(jj, ii) * dz[k] / dxt(jj, ii);
+    };
+    auto cond_n = [&](long long jj, long long ii) {
+      if (jj == seam_j || k >= kmt(jj, ii) || k >= kmt(jj + 1, ii)) return 0.0;
+      return dxu(jj, ii) * dz[k] / dyt(jj, ii);
+    };
+    double ce = cond_e(j, i);
+    double cw = cond_e(j, i - 1);
+    double cn = cond_n(j, i);
+    double cs = cond_n(j - 1, i);
+    double div_a = ce * (qa(k, j, i + 1) - qa(k, j, i)) -
+                   cw * (qa(k, j, i) - qa(k, j, i - 1)) +
+                   cn * (qa(k, j + 1, i) - qa(k, j, i)) -
+                   cs * (qa(k, j, i) - qa(k, j - 1, i));
+    qa_acc(k, j, i) += dt_ah * div_a / (area(j, i) * dz[k]);
+    double div_b = ce * (qb(k, j, i + 1) - qb(k, j, i)) -
+                   cw * (qb(k, j, i) - qb(k, j, i - 1)) +
+                   cn * (qb(k, j + 1, i) - qb(k, j, i)) -
+                   cs * (qb(k, j, i) - qb(k, j - 1, i));
+    qb_acc(k, j, i) += dt_ah * div_b / (area(j, i) * dz[k]);
+  }
+
+  /// Packed form, dispatched on the plain i-tail mask (no LevelsRef). With a
+  /// full tail every lane address — including the ±1 stencil neighbors — is
+  /// inside the dense allocation, so all loads are unmasked; the scalar body
+  /// also reads every neighbor and multiplies by a zero conductance at
+  /// land/below-bottom faces, so dead lanes compute the same discarded
+  /// products. Partial-column masking reduces to blended conductances plus
+  /// an `act`-masked read-modify-write store; partial tails (at most one
+  /// pack per row) fall back to the scalar body per live lane.
+  template <int N>
+  void pack_op(long long k, long long j, long long i0, const kxx::Mask<N>& tail) const {
+    using P = kxx::Pack<double, N>;
+    if (!tail.all()) {
+      for (int l = 0; l < N; ++l)
+        if (tail[l]) (*this)(k, j, i0 + l);
+      return;
+    }
+    kxx::Mask<N> act, me, mw, mn, ms;
+    for (int l = 0; l < N; ++l) {
+      const long long i = i0 + l;
+      const bool c = k < kmt(j, i);
+      act.m[l] = c;
+      me.m[l] = c && k < kmt(j, i + 1);
+      mw.m[l] = c && k < kmt(j, i - 1);
+      mn.m[l] = c && j != seam_j && k < kmt(j + 1, i);
+      ms.m[l] = c && (j - 1) != seam_j && k < kmt(j - 1, i);
+    }
+    if (act.none()) return;
+    const double dzk = dz[k];
+    const P ce = kxx::blend(
+        me, kxx::pack_load<N>(dyu.ptr(j, i0)) * dzk / kxx::pack_load<N>(dxt.ptr(j, i0)), 0.0);
+    const P cw = kxx::blend(
+        mw, kxx::pack_load<N>(dyu.ptr(j, i0 - 1)) * dzk / kxx::pack_load<N>(dxt.ptr(j, i0 - 1)),
+        0.0);
+    const P cn = kxx::blend(
+        mn, kxx::pack_load<N>(dxu.ptr(j, i0)) * dzk / kxx::pack_load<N>(dyt.ptr(j, i0)), 0.0);
+    const P cs = kxx::blend(
+        ms, kxx::pack_load<N>(dxu.ptr(j - 1, i0)) * dzk / kxx::pack_load<N>(dyt.ptr(j - 1, i0)),
+        0.0);
+    const P denom = kxx::pack_load<N>(area.ptr(j, i0)) * dzk;
+
+    const P qa_c = kxx::pack_load<N>(qa.ptr(k, j, i0));
+    const P qa_e = kxx::pack_load<N>(qa.ptr(k, j, i0 + 1));
+    const P qa_w = kxx::pack_load<N>(qa.ptr(k, j, i0 - 1));
+    const P qa_n = kxx::pack_load<N>(qa.ptr(k, j + 1, i0));
+    const P qa_s = kxx::pack_load<N>(qa.ptr(k, j - 1, i0));
+    const P div_a = ce * (qa_e - qa_c) - cw * (qa_c - qa_w) + cn * (qa_n - qa_c) -
+                    cs * (qa_c - qa_s);
+    const P acc_a = kxx::pack_load<N>(qa_acc.ptr(k, j, i0));
+    kxx::pack_store<N>(act, qa_acc.ptr(k, j, i0), acc_a + dt_ah * div_a / denom);
+
+    const P qb_c = kxx::pack_load<N>(qb.ptr(k, j, i0));
+    const P qb_e = kxx::pack_load<N>(qb.ptr(k, j, i0 + 1));
+    const P qb_w = kxx::pack_load<N>(qb.ptr(k, j, i0 - 1));
+    const P qb_n = kxx::pack_load<N>(qb.ptr(k, j + 1, i0));
+    const P qb_s = kxx::pack_load<N>(qb.ptr(k, j - 1, i0));
+    const P div_b = ce * (qb_e - qb_c) - cw * (qb_c - qb_w) + cn * (qb_n - qb_c) -
+                    cs * (qb_c - qb_s);
+    const P acc_b = kxx::pack_load<N>(qb_acc.ptr(k, j, i0));
+    kxx::pack_store<N>(act, qb_acc.ptr(k, j, i0), acc_b + dt_ah * div_b / denom);
+  }
+};
+
 /// First pass of the biharmonic operator: the flux-form Laplacian of q as a
 /// FIELD (not an increment). The second pass reuses HDiffK on this field
 /// with a negative coefficient: dq/dt = -A4 * lap(lap(q)). Two ghost layers
@@ -142,6 +251,7 @@ struct TracerColumnK {
 }  // namespace licomk::core
 
 KXX_REGISTER_FOR_3D(trc_hdiff, licomk::core::trc::HDiffK);
+KXX_REGISTER_FOR_3D(trc_hdiff_pair, licomk::core::trc::FusedHDiffPairK);
 KXX_REGISTER_FOR_3D(trc_lap_field, licomk::core::trc::LapFieldK);
 KXX_REGISTER_FOR_2D(trc_column, licomk::core::trc::TracerColumnK);
 
@@ -158,9 +268,11 @@ void tracer_step(const LocalGrid& g, const ModelConfig& cfg, OceanState& state,
   const double ah = cfg.effective_diffusivity(dx_mean);
   const double restore_rate = 1.0 / (cfg.restore_timescale_days * 86400.0);
 
+  const bool fuse_adv =
+      cfg.fuse_kernels && kxx::default_backend() != kxx::Backend::AthreadSim;
   compute_volume_fluxes(g, state.u_cur, state.v_cur, ws, cfg.gm_kappa, &state.rho);
   advect_tracer_pair(g, dt, state.t_cur, state.s_cur, ws, scratch, exchanger, state.t_new,
-                     state.s_new);
+                     state.s_new, fuse_adv);
 
   // Single-plane tiles for the staged trc_hdiff dispatches (see dynamics.cpp).
   kxx::MDRangePolicy3 interior3({0, h, h}, {g.nz(), h + g.ny(), h + g.nx()}, {1, 4, 64});
@@ -169,11 +281,34 @@ void tracer_step(const LocalGrid& g, const ModelConfig& cfg, OceanState& state,
   const long long seam = g.seam_row() >= 0 ? g.seam_row() : -2;
   const double a4 = cfg.effective_biharmonic(dx_mean);
 
+  // Fused t+s Laplacian diffusion: one sweep computes the face conductances
+  // once for both tracers (bit-identical to the per-tracer HDiffK passes).
+  // AthreadSim keeps the unfused dispatches — its LDM-staging pipeline is
+  // built around the registered per-kernel labels. The biharmonic path also
+  // stays unfused: both tracers round-trip through the shared ws.hmix_lap
+  // scratch field, so their Laplacian passes cannot overlap.
+  const bool fuse = cfg.fuse_kernels && cfg.hmix == HMixScheme::Laplacian &&
+                    kxx::default_backend() != kxx::Backend::AthreadSim;
+  if (fuse) {
+    trc::FusedHDiffPairK hp{cref(g.kmt_view()), cref(g.dxt_view()), cref(g.dyt_view()),
+                            cref(g.dxu_view()), cref(g.dyu_view()), cref(g.area_view()),
+                            cref(state.t_cur),  cref(state.s_cur),
+                            mref(state.t_new),  mref(state.s_new),
+                            g.vertical().thicknesses().data(), dt * ah, seam};
+    kxx::parallel_for_packed("trc_hdiff_pair", interior3, hp);
+    // Elided: the second pass's re-reads of the 2-D metrics/mask (5 doubles +
+    // 3 kmt probes per face pair, counted as the five metric planes).
+    kxx::note_fusion_views_elided(5LL * g.ny() * g.nx() *
+                                  static_cast<long long>(sizeof(double)));
+  }
+
   for (int which = 0; which < 2; ++which) {
     const halo::BlockField3D& q_cur = which == 0 ? state.t_cur : state.s_cur;
     halo::BlockField3D& q_new = which == 0 ? state.t_new : state.s_new;
 
-    if (cfg.hmix == HMixScheme::Laplacian) {
+    if (fuse) {
+      // Horizontal diffusion already applied by the fused pair sweep above.
+    } else if (cfg.hmix == HMixScheme::Laplacian) {
       trc::HDiffK hd{cref(g.kmt_view()), cref(g.dxt_view()), cref(g.dyt_view()),
                      cref(g.dxu_view()), cref(g.dyu_view()), cref(g.area_view()),
                      cref(q_cur),        mref(q_new),        g.vertical().thicknesses().data(),

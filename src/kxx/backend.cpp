@@ -20,8 +20,19 @@ struct RuntimeState {
   bool strict = false;
   int threads = 1;
   LdmStagingMode ldm_staging = LdmStagingMode::DoubleBuffered;
+  int pack = LICOMK_PACK_SIZE;
   std::atomic<long long> fallbacks{0};
+  std::atomic<long long> pack_active{0};
+  std::atomic<long long> pack_masked{0};
+  std::atomic<long long> fusion_elided{0};
 };
+
+void require_valid_pack_size(int n) {
+  if (n != 1 && n != 4 && n != 8) {
+    throw InvalidArgument("invalid pack size " + std::to_string(n) +
+                          " (instantiated widths: 1, 4, 8)");
+  }
+}
 
 RuntimeState& state() {
   static RuntimeState s;
@@ -34,6 +45,14 @@ void initialize(const InitConfig& config) {
   s.backend = config.backend;
   s.strict = config.athread_strict;
   s.ldm_staging = config.ldm_staging;
+  // LICOMK_PACK_SIZE wins over InitConfig on every entry point, not just
+  // config_from_env — the pack-width sweep (ci/halo_matrix.sh) and ad-hoc
+  // runs must be able to override binaries that initialize with a literal
+  // InitConfig (quickstart, benches). Invalid widths fail fast either way.
+  int pack = config.pack_size;
+  if (const char* p = std::getenv("LICOMK_PACK_SIZE")) pack = std::atoi(p);
+  require_valid_pack_size(pack);
+  s.pack = pack;
   int hw = static_cast<int>(std::thread::hardware_concurrency());
   s.threads = config.num_threads > 0 ? config.num_threads : (hw > 0 ? hw : 1);
   detail::global_thread_pool().resize(s.threads);
@@ -121,8 +140,40 @@ InitConfig config_from_env(InitConfig defaults) {
   if (const char* m = std::getenv("LICOMK_LDM_STAGING")) {
     defaults.ldm_staging = ldm_staging_mode_from_name(m);
   }
+  if (const char* p = std::getenv("LICOMK_PACK_SIZE")) {
+    defaults.pack_size = std::atoi(p);
+    require_valid_pack_size(defaults.pack_size);
+  }
   return defaults;
 }
+
+int pack_size() { return state().pack; }
+
+void set_pack_size(int n) {
+  require_valid_pack_size(n);
+  state().pack = n;
+}
+
+long long pack_lanes_active() { return state().pack_active.load(); }
+
+long long pack_lanes_masked() { return state().pack_masked.load(); }
+
+void reset_pack_lane_counts() {
+  state().pack_active.store(0);
+  state().pack_masked.store(0);
+}
+
+long long fusion_views_elided_bytes() { return state().fusion_elided.load(); }
+
+void note_fusion_views_elided(long long bytes) {
+  state().fusion_elided.fetch_add(bytes);
+  if (telemetry::enabled()) {
+    static telemetry::Counter& c = telemetry::counter("kxx.fusion.views_elided_bytes");
+    c.add(static_cast<std::uint64_t>(bytes));
+  }
+}
+
+void reset_fusion_views_elided() { state().fusion_elided.store(0); }
 
 long long athread_fallback_count() { return state().fallbacks.load(); }
 
@@ -134,6 +185,17 @@ void note_athread_fallback() {
   if (telemetry::enabled()) {
     static telemetry::Counter& c = telemetry::counter("kxx.athread_fallbacks");
     c.add(1);
+  }
+}
+
+void note_pack_lanes(long long active, long long masked) {
+  state().pack_active.fetch_add(active);
+  state().pack_masked.fetch_add(masked);
+  if (telemetry::enabled()) {
+    static telemetry::Counter& ca = telemetry::counter("kxx.pack.lanes_active");
+    static telemetry::Counter& cm = telemetry::counter("kxx.pack.lanes_masked");
+    ca.add(static_cast<std::uint64_t>(active));
+    cm.add(static_cast<std::uint64_t>(masked));
   }
 }
 }  // namespace detail

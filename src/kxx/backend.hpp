@@ -13,6 +13,15 @@
 
 #include <string>
 
+/// Compile-time default SIMD pack width for parallel_for_packed (overridable
+/// per build: -DLICOMK_PACK_SIZE=4). Runtime selection among the instantiated
+/// widths {1, 4, 8} goes through InitConfig::pack_size / set_pack_size / the
+/// LICOMK_PACK_SIZE environment override, so the CI matrix sweeps widths
+/// without recompiling.
+#ifndef LICOMK_PACK_SIZE
+#define LICOMK_PACK_SIZE 8
+#endif
+
 namespace licomk::kxx {
 
 enum class Backend { Serial, Threads, AthreadSim };
@@ -36,6 +45,8 @@ struct InitConfig {
   bool athread_strict = false;  ///< Throw instead of MPE fallback for
                                 ///< unregistered functors on AthreadSim.
   LdmStagingMode ldm_staging = LdmStagingMode::DoubleBuffered;
+  int pack_size = LICOMK_PACK_SIZE;  ///< SIMD width for parallel_for_packed
+                                     ///< (1 = scalar lowering, 4, or 8).
 };
 
 /// Initialize the runtime (idempotent per process; reconfigures on repeat
@@ -89,8 +100,32 @@ InitConfig config_from_env(InitConfig defaults = {});
 long long athread_fallback_count();
 void reset_athread_fallback_count();
 
+/// Active SIMD pack width for parallel_for_packed dispatches. Only 1, 4 and 8
+/// are instantiated; set_pack_size throws InvalidArgument on anything else.
+/// Width 1 (and the AthreadSim backend, whose registry/LDM-staging path is
+/// scalar by construction) lowers packed dispatches to plain scalar loops.
+int pack_size();
+void set_pack_size(int n);
+
+/// Lane accounting across every packed dispatch since the last reset: how
+/// many lanes did useful work vs. were masked off (i-extent tails, land
+/// columns, below-bottom levels). Exported as the kxx.pack.lanes_active /
+/// kxx.pack.lanes_masked gauges.
+long long pack_lanes_active();
+long long pack_lanes_masked();
+void reset_pack_lane_counts();
+
+/// Bytes of intermediate View traffic elided by fused kernels (ρ re-reads,
+/// tendency re-reads for the vertical means, shared advective fluxes) —
+/// accumulated by the fused call sites, exported as the
+/// kxx.fusion.views_elided_bytes gauge.
+long long fusion_views_elided_bytes();
+void note_fusion_views_elided(long long bytes);
+void reset_fusion_views_elided();
+
 namespace detail {
 void note_athread_fallback();
+void note_pack_lanes(long long active, long long masked);
 }
 
 }  // namespace licomk::kxx

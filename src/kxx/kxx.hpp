@@ -7,6 +7,7 @@
 #pragma once
 
 #include "kxx/backend.hpp"     // IWYU pragma: export
+#include "kxx/pack.hpp"        // IWYU pragma: export
 #include "kxx/parallel.hpp"    // IWYU pragma: export
 #include "kxx/policy.hpp"      // IWYU pragma: export
 #include "kxx/reducers.hpp"    // IWYU pragma: export

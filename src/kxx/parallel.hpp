@@ -12,9 +12,12 @@
 #include <algorithm>
 #include <mutex>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "kxx/backend.hpp"
+#include "kxx/pack.hpp"
 #include "kxx/policy.hpp"
 #include "kxx/reducers.hpp"
 #include "kxx/registry.hpp"
@@ -217,6 +220,169 @@ void parallel_for(const std::string& label, const MDRangePolicy3& p, const F& f)
       return;
     }
   }
+}
+
+/// --- parallel_for_packed ---------------------------------------------------
+//
+// Packed dispatch tiles the innermost (i) dimension into Pack<double,N>-wide
+// chunks and hands the functor's `template <int N> pack_op(...)` one pack at
+// a time together with a synthesized lane mask:
+//   2-D column form  pack_op<N>(j, i0, mask)     mask = i-tail ∧ kmt(j,i)>0
+//   3-D form         pack_op<N>(k, j, i0, mask)  mask = i-tail ∧ k<kmt(j,i)
+// (the kmt refinement only when a LevelsRef is supplied — kernels that must
+// write at land/below-bottom cells pass none and blend internally).
+//
+// Lowers to the plain scalar parallel_for — same registry, LDM staging and
+// telemetry path — when the backend is AthreadSim (the CPE pipeline is scalar
+// by construction), when pack_size() == 1, or when the functor has no
+// pack_op. One functor source therefore runs everywhere, and pack-vs-scalar
+// results stay bit-identical (each lane performs the scalar ops in scalar
+// order; see pack.hpp).
+
+namespace detail {
+
+template <typename F, typename = void>
+struct has_pack_op_2d : std::false_type {};
+template <typename F>
+struct has_pack_op_2d<F, std::void_t<decltype(std::declval<const F&>().template pack_op<4>(
+                             0LL, 0LL, std::declval<const Mask<4>&>()))>> : std::true_type {};
+
+template <typename F, typename = void>
+struct has_pack_op_3d : std::false_type {};
+template <typename F>
+struct has_pack_op_3d<F, std::void_t<decltype(std::declval<const F&>().template pack_op<4>(
+                             0LL, 0LL, 0LL, std::declval<const Mask<4>&>()))>>
+    : std::true_type {};
+
+/// Per-worker lane bookkeeping, merged into the process counters once per
+/// dispatch (not per pack — the counters are shared atomics).
+struct LaneCount {
+  long long active = 0;
+  long long masked = 0;
+  void note(int pack_width, int live) {
+    active += live;
+    masked += pack_width - live;
+  }
+};
+
+template <int N, typename F>
+void packed_rows_2d(const MDRangePolicy2& p, const LevelsRef& kmt, const F& f,
+                    long long j_lo, long long j_hi, LaneCount& lanes) {
+  for (long long j = j_lo; j < j_hi; ++j) {
+    for (long long i0 = p.begin[1]; i0 < p.end[1]; i0 += N) {
+      Mask<N> m;
+      for (int l = 0; l < N; ++l) {
+        long long i = i0 + l;
+        m.m[l] = i < p.end[1] && (!kmt.valid() || kmt(j, i) > 0);
+      }
+      lanes.note(N, m.count());
+      f.template pack_op<N>(j, i0, m);
+    }
+  }
+}
+
+template <int N, typename F>
+void packed_rows_3d(const MDRangePolicy3& p, const LevelsRef& kmt, const F& f,
+                    long long k_lo, long long k_hi, LaneCount& lanes) {
+  for (long long k = k_lo; k < k_hi; ++k) {
+    for (long long j = p.begin[1]; j < p.end[1]; ++j) {
+      for (long long i0 = p.begin[2]; i0 < p.end[2]; i0 += N) {
+        Mask<N> m;
+        for (int l = 0; l < N; ++l) {
+          long long i = i0 + l;
+          m.m[l] = i < p.end[2] && (!kmt.valid() || k < kmt(j, i));
+        }
+        lanes.note(N, m.count());
+        f.template pack_op<N>(k, j, i0, m);
+      }
+    }
+  }
+}
+
+/// Shared Serial/Threads driver: chunk dim0 across the pool exactly like the
+/// scalar dispatch, run `rows` per chunk, then merge the lane counts.
+template <typename Rows>
+void run_packed(long long begin0, long long end0, Rows&& rows) {
+  if (default_backend() == Backend::Threads) {
+    int nw = num_threads();
+    std::vector<LaneCount> partials(static_cast<size_t>(nw));
+    run_pool_exclusive([&](int w) {
+      auto [lo, hi] = chunk_of(begin0, end0, w, nw);
+      rows(lo, hi, partials[static_cast<size_t>(w)]);
+    });
+    LaneCount total;
+    for (const LaneCount& c : partials) {
+      total.active += c.active;
+      total.masked += c.masked;
+    }
+    note_pack_lanes(total.active, total.masked);
+    return;
+  }
+  LaneCount total;
+  rows(begin0, end0, total);
+  note_pack_lanes(total.active, total.masked);
+}
+
+}  // namespace detail
+
+template <typename F>
+void parallel_for_packed(const std::string& label, const MDRangePolicy2& p,
+                         const LevelsRef& kmt, const F& f) {
+  const int ps = pack_size();
+  if constexpr (detail::has_pack_op_2d<F>::value) {
+    if (default_backend() != Backend::AthreadSim && ps > 1) {
+      detail::KernelSpan span(label, detail::extent_of(p));
+      auto dispatch = [&](auto width) {
+        constexpr int N = decltype(width)::value;
+        detail::run_packed(p.begin[0], p.end[0],
+                           [&](long long lo, long long hi, detail::LaneCount& lanes) {
+                             detail::packed_rows_2d<N>(p, kmt, f, lo, hi, lanes);
+                           });
+      };
+      if (ps == 8) {
+        dispatch(std::integral_constant<int, 8>{});
+      } else {
+        dispatch(std::integral_constant<int, 4>{});
+      }
+      return;
+    }
+  }
+  parallel_for(label, p, f);  // scalar lowering (Serial/Threads/AthreadSim)
+}
+
+template <typename F>
+void parallel_for_packed(const std::string& label, const MDRangePolicy2& p, const F& f) {
+  parallel_for_packed(label, p, LevelsRef{}, f);
+}
+
+template <typename F>
+void parallel_for_packed(const std::string& label, const MDRangePolicy3& p,
+                         const LevelsRef& kmt, const F& f) {
+  const int ps = pack_size();
+  if constexpr (detail::has_pack_op_3d<F>::value) {
+    if (default_backend() != Backend::AthreadSim && ps > 1) {
+      detail::KernelSpan span(label, detail::extent_of(p));
+      auto dispatch = [&](auto width) {
+        constexpr int N = decltype(width)::value;
+        detail::run_packed(p.begin[0], p.end[0],
+                           [&](long long lo, long long hi, detail::LaneCount& lanes) {
+                             detail::packed_rows_3d<N>(p, kmt, f, lo, hi, lanes);
+                           });
+      };
+      if (ps == 8) {
+        dispatch(std::integral_constant<int, 8>{});
+      } else {
+        dispatch(std::integral_constant<int, 4>{});
+      }
+      return;
+    }
+  }
+  parallel_for(label, p, f);
+}
+
+template <typename F>
+void parallel_for_packed(const std::string& label, const MDRangePolicy3& p, const F& f) {
+  parallel_for_packed(label, p, LevelsRef{}, f);
 }
 
 /// --- parallel_reduce -------------------------------------------------------

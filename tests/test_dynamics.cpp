@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <memory>
 #include <numeric>
 
@@ -134,6 +135,85 @@ TEST(Dynamics, PressureIsTheHydrostaticIntegralOfDensity) {
           ASSERT_NEAR(s.pressure.at(k, j, i), expect, 1e-10);
         }
       }
+  });
+}
+
+// Fused + packed readyt chain vs the unfused scalar kernels: every byte of
+// rho and pressure (halos and land columns included) must match for every
+// pack width.
+TEST(Dynamics, FusedDensityPressureBitIdentical) {
+  kxx::initialize({kxx::Backend::Serial, 1, false});
+  ModelFixture fx;
+  lco::Runtime::run(1, [&](lco::Communicator& c) {
+    lc::LicomModel m(fx.cfg, fx.global, c);
+    m.step();  // evolve to a non-trivial state
+    const auto& g = m.local_grid();
+    const auto& s = m.state();
+    const std::size_t bytes3 = static_cast<std::size_t>(g.nz()) * g.ny_total() *
+                               g.nx_total() * sizeof(double);
+
+    licomk::halo::BlockField3D rho_ref("rho_ref", g.extent(), g.nz());
+    licomk::halo::BlockField3D p_ref("p_ref", g.extent(), g.nz());
+    lc::compute_density(g, fx.cfg.linear_eos, s.t_cur, s.s_cur, rho_ref);
+    lc::compute_pressure(g, rho_ref, s.eta_cur, p_ref);
+
+    for (int pack : {1, 4, 8}) {
+      kxx::set_pack_size(pack);
+      licomk::halo::BlockField3D rho_f("rho_f", g.extent(), g.nz());
+      licomk::halo::BlockField3D p_f("p_f", g.extent(), g.nz());
+      lc::compute_density_pressure_fused(g, fx.cfg.linear_eos, s.t_cur, s.s_cur, rho_f,
+                                         s.eta_cur, p_f);
+      EXPECT_EQ(0, std::memcmp(rho_ref.view().data(), rho_f.view().data(), bytes3))
+          << "rho pack=" << pack;
+      EXPECT_EQ(0, std::memcmp(p_ref.view().data(), p_f.view().data(), bytes3))
+          << "pressure pack=" << pack;
+    }
+    kxx::set_pack_size(LICOMK_PACK_SIZE);
+  });
+}
+
+// Fused + packed readyc chain (tendencies + both vertical means) vs the
+// unfused kernels, including the land-corner zero writes and the per-column
+// wind/bottom-drag branches at mid-pack positions.
+TEST(Dynamics, FusedTendencyMeansBitIdentical) {
+  kxx::initialize({kxx::Backend::Serial, 1, false});
+  ModelFixture fx;
+  lco::Runtime::run(1, [&](lco::Communicator& c) {
+    lc::LicomModel m(fx.cfg, fx.global, c);
+    m.step();
+    const auto& g = m.local_grid();
+    const auto& s = m.state();
+    const double day = 17.25;
+    const std::size_t bytes3 = static_cast<std::size_t>(g.nz()) * g.ny_total() *
+                               g.nx_total() * sizeof(double);
+    const std::size_t bytes2 =
+        static_cast<std::size_t>(g.ny_total()) * g.nx_total() * sizeof(double);
+
+    licomk::halo::BlockField3D fu_ref("fu_ref", g.extent(), g.nz());
+    licomk::halo::BlockField3D fv_ref("fv_ref", g.extent(), g.nz());
+    licomk::halo::BlockField2D gu_ref("gu_ref", g.extent());
+    licomk::halo::BlockField2D gv_ref("gv_ref", g.extent());
+    lc::compute_momentum_tendencies(g, fx.cfg, s, day, fu_ref, fv_ref);
+    lc::vertical_mean(g, fu_ref, gu_ref);
+    lc::vertical_mean(g, fv_ref, gv_ref);
+
+    for (int pack : {1, 4, 8}) {
+      kxx::set_pack_size(pack);
+      licomk::halo::BlockField3D fu_f("fu_f", g.extent(), g.nz());
+      licomk::halo::BlockField3D fv_f("fv_f", g.extent(), g.nz());
+      licomk::halo::BlockField2D gu_f("gu_f", g.extent());
+      licomk::halo::BlockField2D gv_f("gv_f", g.extent());
+      lc::compute_tendency_means_fused(g, fx.cfg, s, day, fu_f, fv_f, gu_f, gv_f);
+      EXPECT_EQ(0, std::memcmp(fu_ref.view().data(), fu_f.view().data(), bytes3))
+          << "fu pack=" << pack;
+      EXPECT_EQ(0, std::memcmp(fv_ref.view().data(), fv_f.view().data(), bytes3))
+          << "fv pack=" << pack;
+      EXPECT_EQ(0, std::memcmp(gu_ref.view().data(), gu_f.view().data(), bytes2))
+          << "gu_bar pack=" << pack;
+      EXPECT_EQ(0, std::memcmp(gv_ref.view().data(), gv_f.view().data(), bytes2))
+          << "gv_bar pack=" << pack;
+    }
+    kxx::set_pack_size(LICOMK_PACK_SIZE);
   });
 }
 

@@ -9,6 +9,7 @@
 #include "core/model.hpp"
 #include "kxx/kxx.hpp"
 #include "telemetry/telemetry.hpp"
+#include "util/crc64.hpp"
 #include "util/sypd.hpp"
 
 namespace lc = licomk::core;
@@ -109,6 +110,94 @@ TEST(Model, MultiRankMatchesSingleRank) {
     EXPECT_NEAR(dpar.max_abs_eta, dref.max_abs_eta, 1e-9) << nranks << " ranks";
     EXPECT_NEAR(dpar.mean_temp, dref.mean_temp, 1e-10) << nranks << " ranks";
   }
+}
+
+namespace {
+
+/// Per-field CRC-64 fingerprint of the prognostic state (halo-inclusive:
+/// bit-identity must hold for every byte, ghosts included).
+struct StateSig {
+  std::uint64_t t, s, u, v, eta;
+  bool operator==(const StateSig& o) const {
+    return t == o.t && s == o.s && u == o.u && v == o.v && eta == o.eta;
+  }
+};
+
+StateSig state_signature(const lc::LicomModel& m) {
+  namespace lu = licomk::util;
+  auto c3 = [](const licomk::halo::BlockField3D& f) {
+    return lu::crc64(f.view().data(), static_cast<std::size_t>(f.nz()) * f.ny_total() *
+                                          f.nx_total() * sizeof(double));
+  };
+  auto c2 = [](const licomk::halo::BlockField2D& f) {
+    return lu::crc64(f.view().data(),
+                     static_cast<std::size_t>(f.ny_total()) * f.nx_total() * sizeof(double));
+  };
+  const auto& s = m.state();
+  return StateSig{c3(s.t_cur), c3(s.s_cur), c3(s.u_cur), c3(s.v_cur), c2(s.eta_cur)};
+}
+
+}  // namespace
+
+// The ISSUE acceptance gate: the final prognostic state is CRC-64 identical
+// per field across LICOMK_PACK_SIZE ∈ {1, 4, 8} and fused vs unfused kernel
+// chains — packing and fusion change performance, never a single bit.
+TEST(Model, PackFusionCrcMatrixSingleRank) {
+  auto run = [](kxx::Backend backend, int nthreads, int pack, bool fuse) {
+    kxx::InitConfig kc{backend, nthreads, false};
+    kc.pack_size = pack;
+    kxx::initialize(kc);
+    auto cfg = small_config();
+    cfg.fuse_kernels = fuse;
+    lc::LicomModel m(cfg);
+    m.run_days(0.5);
+    return state_signature(m);
+  };
+  StateSig ref = run(kxx::Backend::Serial, 1, 1, false);  // scalar-unfused
+  for (int pack : {1, 4, 8}) {
+    for (bool fuse : {false, true}) {
+      StateSig sig = run(kxx::Backend::Serial, 1, pack, fuse);
+      EXPECT_TRUE(sig == ref) << "serial pack=" << pack << " fuse=" << fuse;
+    }
+  }
+  // Threads backend, fully packed + fused (the perf_smoke gate configuration).
+  StateSig thr = run(kxx::Backend::Threads, 4, 8, true);
+  EXPECT_TRUE(thr == ref) << "threads pack=8 fused";
+  kxx::initialize(kxx::config_from_env({kxx::Backend::Serial, 1, false}));
+}
+
+TEST(Model, PackFusionCrcMatrixMultiRank) {
+  auto cfg_of = [](bool fuse) {
+    auto cfg = small_config();
+    cfg.fuse_kernels = fuse;
+    return cfg;
+  };
+  auto global = std::make_shared<licomk::grid::GlobalGrid>(small_config().grid,
+                                                           small_config().bathymetry_seed);
+  const int nranks = 4;
+  auto run = [&](int pack, bool fuse) {
+    kxx::InitConfig kc{kxx::Backend::Serial, 1, false};
+    kc.pack_size = pack;
+    kxx::initialize(kc);
+    std::vector<StateSig> sigs(nranks);
+    lco::Runtime::run(nranks, [&](lco::Communicator& c) {
+      lc::LicomModel m(cfg_of(fuse), global, c);
+      m.run_days(0.5);
+      sigs[static_cast<std::size_t>(c.rank())] = state_signature(m);
+    });
+    return sigs;
+  };
+  // Per-rank equality of every block (halos included) implies global-field
+  // equality under any decomposition.
+  auto ref = run(1, false);
+  for (auto [pack, fuse] : {std::pair<int, bool>{4, true}, {8, true}, {8, false}}) {
+    auto sigs = run(pack, fuse);
+    for (int r = 0; r < nranks; ++r) {
+      EXPECT_TRUE(sigs[static_cast<std::size_t>(r)] == ref[static_cast<std::size_t>(r)])
+          << "rank " << r << " pack=" << pack << " fuse=" << fuse;
+    }
+  }
+  kxx::initialize(kxx::config_from_env({kxx::Backend::Serial, 1, false}));
 }
 
 TEST(Model, BackendsAgreeOnPhysics) {
