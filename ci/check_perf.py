@@ -163,6 +163,62 @@ def check_pack_context(path, role):
     return errors
 
 
+# Keys a licomk_elasticity_gauges section must carry — the elastic-resilience
+# regime recorded from the growback soak drill (shrink chain, a single
+# grow-back, final size) plus the weighted-decomposition imbalance pair.
+_ELASTICITY_KEYS = ("resilience.growbacks", "soak.shrinks", "soak.growbacks",
+                    "soak.final_nranks", "soak.final_crc_match",
+                    "decomp.weighted.imbalance_uniform",
+                    "decomp.weighted.imbalance_weighted")
+
+
+def check_elasticity_context(path, role):
+    """Validate the OPTIONAL `licomk_elasticity_gauges` baseline-context section.
+
+    ci/update_baseline.sh records the growback soak drill's counters and
+    gauges next to the timings. Absence is fine — pre-elasticity baselines
+    stay valid — but a present section must carry every key as a number, the
+    drill must actually have grown back (growbacks >= 1, CRC match), and the
+    weighted planner must not have done worse than the uniform split. Returns
+    a list of error strings (empty when acceptable); callers report them and
+    exit 2.
+    """
+    with open(path) as f:
+        context = json.load(f).get("context", {})
+    ela = context.get("licomk_elasticity_gauges")
+    if ela is None:
+        return []
+    where = f"{role} {path}: licomk_elasticity_gauges"
+    if not isinstance(ela, dict):
+        return [f"{where} must be an object, got {type(ela).__name__} "
+                "(regenerate with ci/update_baseline.sh)"]
+    errors = []
+    for key in _ELASTICITY_KEYS:
+        if key not in ela:
+            errors.append(f"{where} is missing '{key}' "
+                          "(regenerate with ci/update_baseline.sh)")
+        elif not isinstance(ela[key], (int, float)):
+            errors.append(f"{where}: '{key}' must be a number, "
+                          f"got {type(ela[key]).__name__}")
+    if errors:
+        return errors
+    if ela["resilience.growbacks"] < 1:
+        errors.append(f"{where}: resilience.growbacks is "
+                      f"{ela['resilience.growbacks']} — the soak drill never "
+                      "grew back (regenerate with ci/update_baseline.sh)")
+    if ela["soak.final_crc_match"] != 1:
+        errors.append(f"{where}: soak.final_crc_match is "
+                      f"{ela['soak.final_crc_match']} — the healed run was "
+                      "not bit-identical to its uninterrupted twin")
+    if ela["decomp.weighted.imbalance_weighted"] > \
+            ela["decomp.weighted.imbalance_uniform"] + 1e-12:
+        errors.append(f"{where}: weighted imbalance "
+                      f"{ela['decomp.weighted.imbalance_weighted']} exceeds "
+                      f"uniform {ela['decomp.weighted.imbalance_uniform']} — "
+                      "the ocean-aware planner did worse than the uniform split")
+    return errors
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("baseline")
@@ -178,6 +234,8 @@ def main():
     build_errors += check_farm_context(args.current, "current")
     build_errors += check_pack_context(args.baseline, "baseline")
     build_errors += check_pack_context(args.current, "current")
+    build_errors += check_elasticity_context(args.baseline, "baseline")
+    build_errors += check_elasticity_context(args.current, "current")
     if build_errors:
         for e in build_errors:
             print(f"error: {e}", file=sys.stderr)

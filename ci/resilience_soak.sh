@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Resilience soak: deterministic fault-injection drills (ISSUE 2 + ISSUE 3).
 #
-# Runs examples/soak_run three times, one scenario per run, each into its own
+# Runs examples/soak_run four times, one scenario per run, each into its own
 # artifact subdirectory, and gates on the exported metrics.json:
 #
 #   default  — three TRANSIENT faults (comm message drop, DMA transfer error,
@@ -18,6 +18,12 @@
 #              caught by the per-message CRC, an injected LDM allocation
 #              inflation must surface as a typed overflow, and the recovered
 #              run must match the fault-free twin bit for bit.
+#   growback — the full elasticity loop on the weighted decomposition:
+#              permanent loss of ranks 2 and 3 forces the shrink chain
+#              4 -> 3 -> 2; mid-run the capacity returns and the supervisor
+#              must grow back 2 -> 4 (CRC-proved redistribution under grow1/)
+#              and finish with a final state bit-identical to an
+#              uninterrupted 4-rank run.
 #
 # Usage: ci/resilience_soak.sh [build-dir] [artifact-dir]
 set -euo pipefail
@@ -26,7 +32,7 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-ci-release}"
 OUT_DIR="${2:-artifacts/resilience-soak}"
 
-for scenario in default rankloss detect; do
+for scenario in default rankloss detect growback; do
   mkdir -p "$OUT_DIR/$scenario"
   "$BUILD_DIR/examples/soak_run" \
     --scenario "$scenario" \
@@ -70,6 +76,26 @@ final_crcs = {k: v for k, v in c.items() if k.startswith("soak.final_crc.")}
 assert len(final_crcs) == 14, sorted(final_crcs)
 assert all(v != 0 for v in final_crcs.values()), final_crcs
 
+# growback: shrink chain 4 -> 3 -> 2 under injected rank loss, then a single
+# grow-back 2 -> 4 once capacity returns, final state CRC-matched against the
+# uninterrupted 4-rank twin — all on the ocean-aware weighted decomposition.
+c, g = load("growback")
+assert c.get("resilience.shrinks", 0) == 2, c
+assert c.get("resilience.growbacks", 0) == 1, c
+assert c.get("resilience.redistributed_bytes", 0) > 0, c
+assert g.get("soak.shrinks") == 2.0, g
+assert g.get("soak.growbacks") == 1.0, g
+assert g.get("soak.final_nranks") == 4.0, g
+assert g.get("soak.final_crc_match") == 1.0, g
+assert g.get("soak.bit_identical") == 1.0, g
+final_crcs = {k: v for k, v in c.items() if k.startswith("soak.final_crc.")}
+assert len(final_crcs) == 14, sorted(final_crcs)
+assert all(v != 0 for v in final_crcs.values()), final_crcs
+# The weighted planner ran and never did worse than the uniform split.
+assert "decomp.weighted.imbalance_uniform" in g, sorted(g)
+assert "decomp.weighted.imbalance_weighted" in g, sorted(g)
+assert g["decomp.weighted.imbalance_weighted"] <= g["decomp.weighted.imbalance_uniform"] + 1e-12, g
+
 # detect: both corruptions detected loudly and recovered bit-identically.
 c, g = load("detect")
 assert c.get("resilience.faults_injected", 0) == 2, c
@@ -77,5 +103,5 @@ assert c.get("resilience.halo_crc_failures", 0) >= 1, c
 assert c.get("resilience.ldm_overflows", 0) >= 1, c
 assert g.get("soak.bit_identical") == 1.0, g
 
-print("resilience soak metrics OK (default, rankloss, detect)")
+print("resilience soak metrics OK (default, rankloss, detect, growback)")
 EOF

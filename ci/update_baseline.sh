@@ -29,11 +29,14 @@ LICOMK_TELEMETRY=1 LICOMK_TELEMETRY_OUT="$TMP_DIR/bench" \
 "$BUILD_DIR/examples/halo_batching_smoke" persistent "$TMP_DIR" > /dev/null
 "$BUILD_DIR/examples/farm_run" \
   --out "$TMP_DIR/farm_metrics.json" --dir "$TMP_DIR/farm_ckpt" > /dev/null
+"$BUILD_DIR/examples/soak_run" --scenario growback --steps 24 \
+  --out "$TMP_DIR/growback_metrics.json" --dir "$TMP_DIR/growback_ckpt" > /dev/null
 
 python3 - bench/baseline_smoke.json "$TMP_DIR/metrics.json" \
-  "$TMP_DIR/farm_metrics.json" "$TMP_DIR/bench/metrics.json" <<'EOF'
+  "$TMP_DIR/farm_metrics.json" "$TMP_DIR/bench/metrics.json" \
+  "$TMP_DIR/growback_metrics.json" <<'EOF'
 import json, sys
-base_path, metrics_path, farm_path, bench_metrics_path = sys.argv[1:5]
+base_path, metrics_path, farm_path, bench_metrics_path, growback_path = sys.argv[1:6]
 with open(base_path) as f:
     base = json.load(f)
 with open(metrics_path) as f:
@@ -69,6 +72,19 @@ pack = {k: v for k, v in sorted(bg.items())
         if k.startswith("kxx.pack.") or k.startswith("kxx.fusion.")}
 base["context"]["licomk_pack_gauges"] = pack
 print(f"recorded {len(pack)} pack/fusion gauges in baseline context")
+
+# The elastic-resilience regime: the growback soak drill's shrink/grow-back
+# counters and the weighted-decomposition imbalance pair (validated by
+# ci/check_perf.py's check_elasticity_context).
+with open(growback_path) as f:
+    gm = json.load(f)
+gc, gg = gm.get("counters", {}), gm.get("gauges", {})
+ela = {k: v for k, v in sorted(gc.items())
+       if k in ("resilience.growbacks", "resilience.shrinks")}
+ela.update({k: v for k, v in sorted(gg.items())
+            if k.startswith("soak.") or k.startswith("decomp.weighted.")})
+base["context"]["licomk_elasticity_gauges"] = ela
+print(f"recorded {len(ela)} elasticity gauges in baseline context")
 
 with open(base_path, "w") as f:
     json.dump(base, f, indent=1)

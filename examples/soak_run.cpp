@@ -1,6 +1,6 @@
 // soak_run — deterministic fault-injection soak for the resilience subsystem.
 //
-// Three drills, selected with --scenario (ci/resilience_soak.sh runs all):
+// Four drills, selected with --scenario (ci/resilience_soak.sh runs all):
 //
 // default — the ISSUE-2 drill: derive a fault schedule from a fixed seed with
 // three TRANSIENT faults — one communication message drop, one DMA transfer
@@ -42,9 +42,10 @@
 // recovered by the supervisor, and the final state must be bit-identical to
 // the fault-free twin — never a hang, never silent corruption.
 //
-// Usage: soak_run [--scenario default|rankloss|detect] [--seed N] [--steps N]
+// Usage: soak_run [--scenario default|rankloss|detect|growback] [--seed N] [--steps N]
 //                 [--out metrics.json] [--dir ckptdir]
 // Exit code 0 = all expectations held; 1 = any failed.
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -329,6 +330,161 @@ int run_rankloss(std::uint64_t seed, long long target_steps, const std::string& 
   return finish(check, out_path);
 }
 
+// --- growback: shrink under rank loss, then re-expand when capacity returns -
+
+int run_growback(std::uint64_t seed, long long target_steps, const std::string& out_path,
+                 const std::string& ckpt_dir) {
+  (void)seed;
+  const long long cadence = 4;
+  if (target_steps < 5 * cadence) {
+    std::fprintf(stderr, "--steps must be at least %lld\n", 5 * cadence);
+    return 2;
+  }
+  auto cfg = soak_config();
+  // The full elasticity loop runs on the ocean-aware weighted decomposition,
+  // so this drill also exports the decomp.weighted.* imbalance gauges.
+  cfg.weighted_decomposition = true;
+
+  // Uninterrupted 4-rank twin: the CRC reference the healed run must hit.
+  std::printf("soak: running uninterrupted 4-rank twin (%lld steps)\n", target_steps);
+  const std::string twin_prefix = ckpt_dir + std::string("_twin/final");
+  std::filesystem::remove_all(ckpt_dir + std::string("_twin"));
+  std::filesystem::create_directories(ckpt_dir + std::string("_twin"));
+  {
+    auto global = std::make_shared<licomk::grid::GlobalGrid>(cfg.grid, cfg.bathymetry_seed);
+    lco::Runtime::run(4, [&](lco::Communicator& c) {
+      lc::LicomModel m(cfg, global, c);
+      while (m.steps_taken() < target_steps) m.step();
+      m.write_restart(twin_prefix);
+    });
+  }
+  const auto twin =
+      lr::assemble_global_state(twin_prefix, lc::LicomModel::plan_decomposition(cfg, 4));
+
+  // Calibration: 4-rank fault-free probe armed with a never-firing sentinel
+  // so per-rank delivery counters tick; ranks 2 and 3 sample their counts at
+  // the generation-1 boundary. Their permanent crashes land one delivery
+  // later, so generation 1 is always on disk before the dying starts.
+  lr::FaultSchedule sentinel;
+  sentinel.add({lr::FaultSite::CommDeliver, lr::FaultKind::CrashRank, 0,
+                std::numeric_limits<std::uint64_t>::max(), 0.0});
+  lr::arm(sentinel);
+  std::uint64_t ops2 = 0, ops3 = 0;
+  {
+    auto global = std::make_shared<licomk::grid::GlobalGrid>(cfg.grid, cfg.bathymetry_seed);
+    lco::Runtime::run(4, [&](lco::Communicator& c) {
+      lc::LicomModel m(cfg, global, c);
+      while (m.steps_taken() < cadence) m.step();
+      if (c.rank() == 2) ops2 = lr::op_count(lr::FaultSite::CommDeliver, 2);
+      if (c.rank() == 3) ops3 = lr::op_count(lr::FaultSite::CommDeliver, 3);
+    });
+  }
+
+  // Ranks 2 AND 3 die permanently (rank 3 alone would stabilize at 3 ranks):
+  // the supervisor must walk 4 -> 3 -> 2 before finding a healthy layout.
+  lr::FaultSchedule schedule;
+  schedule.add({lr::FaultSite::CommDeliver, lr::FaultKind::CrashRank, 2, ops2 + 1, 0.0,
+                /*persistent=*/true});
+  schedule.add({lr::FaultSite::CommDeliver, lr::FaultKind::CrashRank, 3, ops3 + 1, 0.0,
+                /*persistent=*/true});
+  std::printf("soak: armed schedule (permanent loss of ranks 2 and 3)\n%s",
+              schedule.to_string().c_str());
+  lr::arm(schedule);
+
+  // The "scheduler": 2 ranks available while the machine is degraded; the
+  // rank body repairs the machine mid-run (disarm + capacity back to 4).
+  std::atomic<int> capacity{2};
+
+  std::filesystem::remove_all(ckpt_dir);
+  lr::SupervisorOptions opts;
+  opts.nranks = 4;
+  opts.checkpoint_dir = ckpt_dir;
+  opts.checkpoint_every_steps = cadence;
+  opts.keep_generations = 8;
+  opts.max_retries = 1;
+  opts.max_shrinks = 2;
+  opts.grow_back = true;
+  opts.capacity_probe = [&capacity] { return capacity.load(); };
+  lr::Supervisor supervisor(opts);
+  long long final_steps = 0;
+  int final_size = 0;
+  const std::string final_prefix = ckpt_dir + std::string("/final");
+  const auto report = supervisor.run(cfg, [&](lc::LicomModel& m) {
+    while (m.steps_taken() < target_steps) {
+      m.step();
+      // Once the shrunk run is past 3 cadences, the dead ranks "come back":
+      // the fault schedule is cleared and the probe starts reporting 4.
+      if (m.communicator().size() == 2 && m.communicator().rank() == 0 &&
+          m.steps_taken() >= 3 * cadence) {
+        lr::disarm();
+        capacity.store(4);
+      }
+    }
+    m.write_restart(final_prefix);
+    if (m.communicator().rank() == 0) {
+      final_steps = m.steps_taken();
+      final_size = m.communicator().size();
+    }
+  });
+  lr::disarm();
+
+  std::printf("soak: %d attempts, %d recoveries, %d shrinks, %d growbacks, final nranks %d\n",
+              report.attempts, report.recoveries, report.shrinks, report.growbacks,
+              report.final_nranks);
+  for (const auto& f : report.failures) std::printf("soak: survived failure: %s\n", f.c_str());
+
+  Check check;
+  check.expect(report.attempts == 6,
+               "expected 6 attempts (2@4, 2@3, grow-signal@2, 1@4), got " +
+                   std::to_string(report.attempts));
+  check.expect(report.shrinks == 2,
+               "expected the shrink chain 4 -> 3 -> 2, got " + std::to_string(report.shrinks));
+  check.expect(report.growbacks == 1,
+               "expected exactly 1 grow-back, got " + std::to_string(report.growbacks));
+  check.expect(report.final_nranks == 4 && final_size == 4,
+               "expected the healed run to finish at full size (4 ranks)");
+  check.expect(final_steps == target_steps, "healed run did not reach the target step count");
+  bool redists_ok = report.redistributions.size() == 3;
+  for (const auto& rr : report.redistributions) redists_ok = redists_ok && rr.crcs_match();
+  check.expect(redists_ok,
+               "expected 3 CRC-proved redistributions (shrink1, shrink2, grow1), got " +
+                   std::to_string(report.redistributions.size()));
+  check.expect(tel::counter_value("resilience.growbacks") == 1,
+               "resilience.growbacks counter must be exactly 1");
+  check.expect(tel::counter_value("resilience.shrinks") == 2,
+               "resilience.shrinks counter must be exactly 2");
+  check.expect(report.backoff_wall_s == 0.0,
+               "no backoff was configured, yet backoff wall time accrued");
+
+  // The elasticity gate: per-field global CRC-64 of the healed run's final
+  // state must equal the uninterrupted 4-rank twin's, bit for bit.
+  bool crc_match = false;
+  try {
+    auto final_state =
+        lr::assemble_global_state(final_prefix, lc::LicomModel::plan_decomposition(cfg, 4));
+    crc_match = final_state.field_crcs == twin.field_crcs;
+    const auto& names = lc::prognostic_field_names();
+    for (size_t f = 0; f < names.size(); ++f) {
+      tel::counter("soak.final_crc." + names[f]).set(final_state.field_crcs[f]);
+      check.expect(final_state.field_crcs[f] != 0, "final CRC of " + names[f] + " is zero");
+    }
+    check.expect(final_state.info.steps == target_steps,
+                 "final checkpoint step count mismatch");
+  } catch (const std::exception& e) {
+    check.expect(false, std::string("failed to assemble final state: ") + e.what());
+  }
+  check.expect(crc_match,
+               "healed run is NOT bit-identical to the uninterrupted 4-rank twin");
+
+  tel::set_gauge("soak.attempts", static_cast<double>(report.attempts));
+  tel::set_gauge("soak.recoveries", static_cast<double>(report.recoveries));
+  tel::set_gauge("soak.shrinks", static_cast<double>(report.shrinks));
+  tel::set_gauge("soak.growbacks", static_cast<double>(report.growbacks));
+  tel::set_gauge("soak.final_nranks", static_cast<double>(report.final_nranks));
+  tel::set_gauge("soak.final_crc_match", crc_match ? 1.0 : 0.0);
+  return finish(check, out_path);
+}
+
 // --- detect: silent corruption made loud ------------------------------------
 
 int run_detect(std::uint64_t seed, long long target_steps, const std::string& out_path,
@@ -445,7 +601,7 @@ int main(int argc, char** argv) {
       scenario = next("--scenario");
     } else {
       std::fprintf(stderr,
-                   "usage: soak_run [--scenario default|rankloss|detect] [--seed N] [--steps N] "
+                   "usage: soak_run [--scenario default|rankloss|detect|growback] [--seed N] [--steps N] "
                    "[--out metrics.json] [--dir ckptdir]\n");
       return 2;
     }
@@ -462,6 +618,7 @@ int main(int argc, char** argv) {
   if (scenario == "default") return run_default(seed, target_steps, out_path, ckpt_dir);
   if (scenario == "rankloss") return run_rankloss(seed, target_steps, out_path, ckpt_dir);
   if (scenario == "detect") return run_detect(seed, target_steps, out_path, ckpt_dir);
-  std::fprintf(stderr, "unknown scenario '%s' (default|rankloss|detect)\n", scenario.c_str());
+  if (scenario == "growback") return run_growback(seed, target_steps, out_path, ckpt_dir);
+  std::fprintf(stderr, "unknown scenario '%s' (default|rankloss|detect|growback)\n", scenario.c_str());
   return 2;
 }

@@ -2,10 +2,14 @@
 
 #include <chrono>
 #include <cmath>
+#include <map>
+#include <mutex>
+#include <sstream>
 
 #include "core/dynamics.hpp"
 #include "core/restart.hpp"
 #include "core/tracer.hpp"
+#include "decomp/load_balance.hpp"
 #include "halo/exchange_group.hpp"
 #include "kxx/kxx.hpp"
 #include "telemetry/telemetry.hpp"
@@ -20,6 +24,60 @@ namespace {
 /// around the kernel spans dispatched inside. Cheap no-op when telemetry is
 /// disabled; step wall time for sypd() is accumulated separately in step().
 using PhaseScope = telemetry::ScopedSpan;
+
+/// Sea-point census of one bathymetry, in the Fig. 4 convention (a work item
+/// is a horizontal cell with kmt > 1): per-axis marginals feed the weighted
+/// quantile split, the 2-D prefix sum prices any block in O(1) for the
+/// imbalance gauges. Cached per bathymetry identity — plan_decomposition is
+/// called once per rank per attempt, and the census only depends on the grid
+/// spec and seed, never on the rank count.
+struct SeaCensus {
+  int nx = 0, ny = 0;
+  std::vector<long long> col_weight;  ///< per global i: sea cells in that x-slice
+  std::vector<long long> row_weight;  ///< per global j: sea cells in that y-slice
+  std::vector<long long> prefix;      ///< (ny+1) x (nx+1) 2-D prefix sum
+
+  long long block_count(const decomp::BlockExtent& e) const {
+    auto P = [&](int j, int i) {
+      return prefix[static_cast<size_t>(j) * static_cast<size_t>(nx + 1) +
+                    static_cast<size_t>(i)];
+    };
+    return P(e.j1, e.i1) - P(e.j0, e.i1) - P(e.j1, e.i0) + P(e.j0, e.i0);
+  }
+};
+
+const SeaCensus& sea_census_for(const ModelConfig& cfg) {
+  static std::mutex mu;
+  static std::map<std::string, std::unique_ptr<SeaCensus>> cache;
+  std::ostringstream key;
+  key << cfg.grid.name << '|' << cfg.grid.nx << 'x' << cfg.grid.ny << 'x' << cfg.grid.nz << '|'
+      << cfg.bathymetry_seed << '|' << cfg.grid.idealized_channel;
+  std::lock_guard<std::mutex> lock(mu);
+  auto& slot = cache[key.str()];
+  if (slot == nullptr) {
+    slot = std::make_unique<SeaCensus>();
+    grid::GlobalGrid g(cfg.grid, cfg.bathymetry_seed);
+    SeaCensus& c = *slot;
+    c.nx = g.nx();
+    c.ny = g.ny();
+    c.col_weight.assign(static_cast<size_t>(c.nx), 0);
+    c.row_weight.assign(static_cast<size_t>(c.ny), 0);
+    c.prefix.assign(static_cast<size_t>(c.ny + 1) * static_cast<size_t>(c.nx + 1), 0);
+    for (int j = 0; j < c.ny; ++j) {
+      for (int i = 0; i < c.nx; ++i) {
+        const long long sea = g.bathymetry().kmt(j, i) > 1 ? 1 : 0;
+        c.col_weight[static_cast<size_t>(i)] += sea;
+        c.row_weight[static_cast<size_t>(j)] += sea;
+        const size_t row0 = static_cast<size_t>(j) * static_cast<size_t>(c.nx + 1);
+        const size_t row1 = static_cast<size_t>(j + 1) * static_cast<size_t>(c.nx + 1);
+        c.prefix[row1 + static_cast<size_t>(i) + 1] =
+            c.prefix[row0 + static_cast<size_t>(i) + 1] + c.prefix[row1 + static_cast<size_t>(i)] -
+            c.prefix[row0 + static_cast<size_t>(i)] + sea;
+      }
+    }
+  }
+  return *slot;
+}
 
 }  // namespace
 
@@ -39,8 +97,42 @@ LicomModel::LicomModel(const ModelConfig& cfg, std::unique_ptr<comm::World> owne
 
 decomp::Decomposition LicomModel::plan_decomposition(const ModelConfig& cfg, int nranks) {
   auto [px, py] = decomp::choose_layout(nranks, cfg.grid.nx, cfg.grid.ny);
-  return decomp::Decomposition(cfg.grid.nx, cfg.grid.ny, px, py,
-                               /*periodic_x=*/true, /*tripolar=*/!cfg.grid.idealized_channel);
+  const bool tripolar = !cfg.grid.idealized_channel;
+  if (!cfg.weighted_decomposition) {
+    return decomp::Decomposition(cfg.grid.nx, cfg.grid.ny, px, py,
+                                 /*periodic_x=*/true, tripolar);
+  }
+  // Ocean-aware split: minimize the maximum per-block sea-point count in the
+  // Fig. 4 convention (alternating exact 1-D min-max splits seeded from the
+  // weighted marginal quantiles). When the refinement cannot strictly beat
+  // the uniform split — all-sea grids, degenerate censuses — weighted_layout
+  // hands back the exact uniform boundaries, so the decomposition is
+  // bit-identical to the uniform planner's.
+  const SeaCensus& census = sea_census_for(cfg);
+  auto layout = decomp::weighted_layout(
+      cfg.grid.nx, cfg.grid.ny, px, py, decomp::kHaloWidth,
+      [&census](int j0, int j1, int i0, int i1) {
+        return census.block_count(decomp::BlockExtent{i0, i1, j0, j1});
+      });
+  decomp::Decomposition weighted(cfg.grid.nx, cfg.grid.ny, std::move(layout.x_bounds),
+                                 std::move(layout.y_bounds),
+                                 /*periodic_x=*/true, tripolar);
+  if (telemetry::enabled()) {
+    const decomp::Decomposition uniform(cfg.grid.nx, cfg.grid.ny, px, py,
+                                        /*periodic_x=*/true, tripolar);
+    auto load = [&](const decomp::Decomposition& d) {
+      std::vector<long long> v;
+      for (int r = 0; r < d.nranks(); ++r) v.push_back(census.block_count(d.block(r)));
+      return v;
+    };
+    telemetry::set_gauge("decomp.weighted.px", static_cast<double>(px));
+    telemetry::set_gauge("decomp.weighted.py", static_cast<double>(py));
+    telemetry::set_gauge("decomp.weighted.imbalance_uniform",
+                         decomp::LoadBalancePlan::imbalance(load(uniform)));
+    telemetry::set_gauge("decomp.weighted.imbalance_weighted",
+                         decomp::LoadBalancePlan::imbalance(load(weighted)));
+  }
+  return weighted;
 }
 
 LicomModel::LicomModel(const ModelConfig& cfg, std::shared_ptr<const grid::GlobalGrid> global,

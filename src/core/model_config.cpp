@@ -54,6 +54,8 @@ ModelConfig ModelConfig::testing(int factor) {
   c.persistent_halo_exchange =
       env_flag_or("LICOMK_PERSISTENT_HALO", c.persistent_halo_exchange);
   c.fuse_kernels = env_flag_or("LICOMK_FUSE", c.fuse_kernels);
+  c.weighted_decomposition =
+      env_flag_or("LICOMK_WEIGHTED_DECOMP", c.weighted_decomposition);
   return c;
 }
 
@@ -114,6 +116,7 @@ ModelConfig ModelConfig::from_config(const util::Config& cfg) {
   c.persistent_halo_exchange = cfg.get_bool_or("model.persistent_halo_exchange", true);
   c.verify_halo_crc = cfg.get_bool_or("model.verify_halo_crc", false);
   c.fuse_kernels = cfg.get_bool_or("model.fuse_kernels", true);
+  c.weighted_decomposition = cfg.get_bool_or("model.weighted_decomposition", false);
   c.fp32_barotropic = cfg.get_bool_or("model.fp32_barotropic", false);
   c.wind_stress_scale = cfg.get_double_or("model.wind_stress_scale", 1.0);
   c.sst_target_offset_c = cfg.get_double_or("model.sst_target_offset_c", 0.0);
@@ -133,6 +136,7 @@ std::string ModelConfig::describe() const {
      << (verify_halo_crc ? " halo-crc" : "") << (batch_halo_exchange ? "" : " no-halo-batch")
      << (persistent_halo_exchange ? "" : " no-persistent-halo")
      << (fuse_kernels ? "" : " no-fusion")
+     << (weighted_decomposition ? " weighted-decomp" : "")
      << (fp32_barotropic ? " fp32-barotr" : "");
   if (wind_stress_scale != 1.0) os << " wind-scale=" << wind_stress_scale;
   if (sst_target_offset_c != 0.0) os << " sst-offset=" << sst_target_offset_c;

@@ -72,6 +72,15 @@ struct ModelConfig {
   /// Ignored on the AthreadSim backend, whose LDM-staging pipeline keeps the
   /// unfused per-kernel dispatches (ci/check_ldm_staging.py gates on them).
   bool fuse_kernels = true;
+  /// Ocean-aware weighted domain decomposition (the partitioning face of the
+  /// paper's Fig. 4 sea-point load balancing): plan_decomposition splits each
+  /// axis at weighted quantiles of the bathymetry's sea-point census instead
+  /// of uniformly, so land-heavy blocks are down-weighted and open-ocean
+  /// blocks shrink to match. The decomposition stays a tensor product, so
+  /// halo exchange, restart and checkpoint redistribution work unchanged; on
+  /// an all-sea grid the weighted split is bit-identical to the uniform one.
+  /// Off = the uniform ablation baseline.
+  bool weighted_decomposition = false;
   /// Run the barotropic sub-cycle's arithmetic in single precision (the
   /// paper's §VIII outlook: "mixed precision ... to improve the speed").
   /// State and communication stay double; only the substep kernels' math

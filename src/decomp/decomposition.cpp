@@ -28,11 +28,189 @@ std::pair<int, int> choose_layout(int nranks, int nx, int ny) {
   return {best_px, nranks / best_px};
 }
 
+std::vector<int> weighted_boundaries(const std::vector<long long>& weights, int parts,
+                                     int min_width) {
+  const int n = static_cast<int>(weights.size());
+  LICOMK_REQUIRE(parts >= 1, "need at least one part");
+  LICOMK_REQUIRE(n >= parts, "more parts than cells");
+  LICOMK_REQUIRE(min_width >= 1, "min_width must be >= 1");
+  for (long long w : weights) LICOMK_REQUIRE(w >= 0, "weights must be non-negative");
+  // The width floor is best-effort: clamp it so `parts` runs always fit.
+  // Whether the result is RUNNABLE (every block >= kHaloWidth) is decided by
+  // layout_feasible, the same arbiter the shrink/grow searches use.
+  const int mw = std::min(min_width, n / parts);
+
+  std::vector<int> bounds(static_cast<size_t>(parts) + 1);
+  bounds.front() = 0;
+  bounds.back() = n;
+
+  // Equal weights carry no preference: reproduce the uniform split formula
+  // exactly so the weighted planner is bit-identical to the uniform one on
+  // an all-sea grid (and on a weightless axis).
+  const bool all_equal =
+      std::all_of(weights.begin(), weights.end(), [&](long long w) { return w == weights[0]; });
+  if (all_equal) {
+    const int base = n / parts;
+    const int extra = n % parts;
+    for (int k = 1; k < parts; ++k) bounds[static_cast<size_t>(k)] = k * base + std::min(k, extra);
+    return bounds;
+  }
+
+  // prefix[b] = total weight of cells [0, b).
+  std::vector<long long> prefix(static_cast<size_t>(n) + 1, 0);
+  for (int i = 0; i < n; ++i) prefix[static_cast<size_t>(i) + 1] = prefix[static_cast<size_t>(i)] + weights[static_cast<size_t>(i)];
+  const long long total = prefix.back();
+
+  for (int k = 1; k < parts; ++k) {
+    // Smallest b with prefix[b] >= total*k/parts, in exact integer arithmetic
+    // (prefix[b] * parts >= total * k) so the quantile is deterministic.
+    const long long target = total * static_cast<long long>(k);
+    int b = static_cast<int>(
+        std::partition_point(prefix.begin(), prefix.end(),
+                             [&](long long p) { return p * parts < target; }) -
+        prefix.begin());
+    // Width floor: this part needs mw cells, and every remaining part after
+    // it still needs mw of its own.
+    const int lo = bounds[static_cast<size_t>(k) - 1] + mw;
+    const int hi = n - (parts - k) * mw;
+    bounds[static_cast<size_t>(k)] = std::clamp(b, lo, hi);
+  }
+  return bounds;
+}
+
+namespace {
+
+/// Exact 1-D min-max split: partition [0, n) into `parts` intervals, each at
+/// least `mw` wide, minimizing the maximum interval cost. `cost(a, b)` must
+/// be non-negative and monotone in b (a box/strip weight is). Binary search
+/// on the bottleneck value; a greedy maximal-prefix sweep (capped so every
+/// remaining part keeps its width floor) decides feasibility.
+std::vector<int> min_max_axis_split(int n, int parts, int mw,
+                                    const std::function<long long(int, int)>& cost) {
+  std::vector<int> bounds(static_cast<size_t>(parts) + 1, 0);
+  bounds.back() = n;
+  auto try_split = [&](long long limit, std::vector<int>* out) -> bool {
+    int pos = 0;
+    for (int k = 0; k < parts; ++k) {
+      const int remaining_floor = (parts - 1 - k) * mw;
+      const int cap = n - pos - remaining_floor;
+      if (cap < mw) return false;
+      int take = (k == parts - 1) ? n - pos : mw;
+      if (cost(pos, pos + take) > limit) return false;
+      while (take < cap && cost(pos, pos + take + 1) <= limit) ++take;
+      pos += take;
+      if (out != nullptr) (*out)[static_cast<size_t>(k) + 1] = pos;
+    }
+    return pos == n;
+  };
+  long long lo = 0, hi = cost(0, n);
+  while (lo < hi) {
+    const long long mid = lo + (hi - lo) / 2;
+    if (try_split(mid, nullptr)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  LICOMK_REQUIRE(try_split(lo, &bounds), "min-max axis split infeasible");
+  return bounds;
+}
+
+void validate_bounds(const std::vector<int>& bounds, int total, const char* axis) {
+  LICOMK_REQUIRE(bounds.size() >= 2, std::string("boundary vector too short on ") + axis);
+  LICOMK_REQUIRE(bounds.front() == 0 && bounds.back() == total,
+                 std::string("boundaries must span [0, total] on ") + axis);
+  for (size_t k = 1; k < bounds.size(); ++k) {
+    LICOMK_REQUIRE(bounds[k] > bounds[k - 1],
+                   std::string("boundaries must be strictly increasing on ") + axis);
+  }
+}
+}  // namespace
+
+WeightedLayout weighted_layout(
+    int nx, int ny, int px, int py, int min_width,
+    const std::function<long long(int j0, int j1, int i0, int i1)>& box_sum) {
+  LICOMK_REQUIRE(px >= 1 && py >= 1, "layout must be positive");
+  LICOMK_REQUIRE(nx >= px && ny >= py, "more blocks than cells");
+  LICOMK_REQUIRE(min_width >= 1, "min_width must be >= 1");
+  const int mwx = std::min(min_width, nx / px);
+  const int mwy = std::min(min_width, ny / py);
+
+  auto uniform_bounds = [](int total, int parts) {
+    std::vector<int> b(static_cast<size_t>(parts) + 1);
+    const int base = total / parts;
+    const int extra = total % parts;
+    for (int k = 0; k <= parts; ++k) b[static_cast<size_t>(k)] = k * base + std::min(k, extra);
+    return b;
+  };
+  auto max_block = [&](const std::vector<int>& xb, const std::vector<int>& yb) {
+    long long m = 0;
+    for (size_t by = 0; by + 1 < yb.size(); ++by)
+      for (size_t bx = 0; bx + 1 < xb.size(); ++bx)
+        m = std::max(m, box_sum(yb[by], yb[by + 1], xb[bx], xb[bx + 1]));
+    return m;
+  };
+
+  // Seed from the marginal quantiles, then let the alternating exact splits
+  // dissolve the hot corners the marginals create.
+  std::vector<long long> cols(static_cast<size_t>(nx));
+  std::vector<long long> rows(static_cast<size_t>(ny));
+  for (int i = 0; i < nx; ++i) cols[static_cast<size_t>(i)] = box_sum(0, ny, i, i + 1);
+  for (int j = 0; j < ny; ++j) rows[static_cast<size_t>(j)] = box_sum(j, j + 1, 0, nx);
+  std::vector<int> xb = weighted_boundaries(cols, px, mwx);
+  std::vector<int> yb = weighted_boundaries(rows, py, mwy);
+
+  for (int iter = 0; iter < 3; ++iter) {
+    xb = min_max_axis_split(nx, px, mwx, [&](int a, int b) {
+      long long m = 0;
+      for (size_t by = 0; by + 1 < yb.size(); ++by)
+        m = std::max(m, box_sum(yb[by], yb[by + 1], a, b));
+      return m;
+    });
+    yb = min_max_axis_split(ny, py, mwy, [&](int a, int b) {
+      long long m = 0;
+      for (size_t bx = 0; bx + 1 < xb.size(); ++bx)
+        m = std::max(m, box_sum(a, b, xb[bx], xb[bx + 1]));
+      return m;
+    });
+  }
+
+  WeightedLayout out;
+  std::vector<int> uxb = uniform_bounds(nx, px);
+  std::vector<int> uyb = uniform_bounds(ny, py);
+  if (max_block(xb, yb) < max_block(uxb, uyb)) {
+    out.x_bounds = std::move(xb);
+    out.y_bounds = std::move(yb);
+    out.improved = true;
+  } else {
+    // Refinement cannot beat uniform (all-sea grids, degenerate censuses):
+    // hand back the EXACT uniform boundaries so the decomposition is
+    // bit-identical to the uniform planner's.
+    out.x_bounds = std::move(uxb);
+    out.y_bounds = std::move(uyb);
+  }
+  return out;
+}
+
 Decomposition::Decomposition(int nx, int ny, int px, int py, bool periodic_x, bool tripolar)
     : nx_(nx), ny_(ny), px_(px), py_(py), periodic_x_(periodic_x), tripolar_(tripolar) {
   LICOMK_REQUIRE(px >= 1 && py >= 1, "layout must be positive");
   LICOMK_REQUIRE(nx >= px, "more zonal blocks than cells");
   LICOMK_REQUIRE(ny >= py, "more meridional blocks than cells");
+}
+
+Decomposition::Decomposition(int nx, int ny, std::vector<int> x_bounds, std::vector<int> y_bounds,
+                             bool periodic_x, bool tripolar)
+    : nx_(nx),
+      ny_(ny),
+      px_(static_cast<int>(x_bounds.size()) - 1),
+      py_(static_cast<int>(y_bounds.size()) - 1),
+      periodic_x_(periodic_x),
+      tripolar_(tripolar),
+      x_bounds_(std::move(x_bounds)),
+      y_bounds_(std::move(y_bounds)) {
+  validate_bounds(x_bounds_, nx_, "x");
+  validate_bounds(y_bounds_, ny_, "y");
 }
 
 int Decomposition::start(int total, int parts, int index) const {
@@ -55,10 +233,20 @@ int Decomposition::rank_of(int bx, int by) const {
 BlockExtent Decomposition::block(int rank) const {
   auto [bx, by] = coords(rank);
   BlockExtent e;
-  e.i0 = start(nx_, px_, bx);
-  e.i1 = start(nx_, px_, bx + 1);
-  e.j0 = start(ny_, py_, by);
-  e.j1 = start(ny_, py_, by + 1);
+  if (x_bounds_.empty()) {
+    e.i0 = start(nx_, px_, bx);
+    e.i1 = start(nx_, px_, bx + 1);
+  } else {
+    e.i0 = x_bounds_[static_cast<size_t>(bx)];
+    e.i1 = x_bounds_[static_cast<size_t>(bx) + 1];
+  }
+  if (y_bounds_.empty()) {
+    e.j0 = start(ny_, py_, by);
+    e.j1 = start(ny_, py_, by + 1);
+  } else {
+    e.j0 = y_bounds_[static_cast<size_t>(by)];
+    e.j1 = y_bounds_[static_cast<size_t>(by) + 1];
+  }
   return e;
 }
 
@@ -96,15 +284,37 @@ int Decomposition::fold_neighbor_of_column(int global_i) const {
 
 int Decomposition::owner_of(int j, int i) const {
   LICOMK_REQUIRE(j >= 0 && j < ny_ && i >= 0 && i < nx_, "cell out of range");
-  int base_x = nx_ / px_;
-  int extra_x = nx_ % px_;
-  int wide_span = (base_x + 1) * extra_x;  // cells covered by the wider blocks
-  int bx = i < wide_span ? i / (base_x + 1) : extra_x + (i - wide_span) / base_x;
-  int base_y = ny_ / py_;
-  int extra_y = ny_ % py_;
-  int wide_span_y = (base_y + 1) * extra_y;
-  int by = j < wide_span_y ? j / (base_y + 1) : extra_y + (j - wide_span_y) / base_y;
+  int bx, by;
+  if (x_bounds_.empty()) {
+    int base_x = nx_ / px_;
+    int extra_x = nx_ % px_;
+    int wide_span = (base_x + 1) * extra_x;  // cells covered by the wider blocks
+    bx = i < wide_span ? i / (base_x + 1) : extra_x + (i - wide_span) / base_x;
+  } else {
+    // Cell i lives in the part whose half-open boundary interval contains it.
+    bx = static_cast<int>(std::upper_bound(x_bounds_.begin(), x_bounds_.end(), i) -
+                          x_bounds_.begin()) -
+         1;
+  }
+  if (y_bounds_.empty()) {
+    int base_y = ny_ / py_;
+    int extra_y = ny_ % py_;
+    int wide_span_y = (base_y + 1) * extra_y;
+    by = j < wide_span_y ? j / (base_y + 1) : extra_y + (j - wide_span_y) / base_y;
+  } else {
+    by = static_cast<int>(std::upper_bound(y_bounds_.begin(), y_bounds_.end(), j) -
+                          y_bounds_.begin()) -
+         1;
+  }
   return rank_of(bx, by);
+}
+
+bool layout_feasible(const Decomposition& dec) {
+  for (int r = 0; r < dec.nranks(); ++r) {
+    const BlockExtent be = dec.block(r);
+    if (be.nx() < kHaloWidth || be.ny() < kHaloWidth) return false;
+  }
+  return true;
 }
 
 }  // namespace licomk::decomp

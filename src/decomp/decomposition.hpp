@@ -8,6 +8,7 @@
 // the tripolar north fold.
 #pragma once
 
+#include <functional>
 #include <utility>
 #include <vector>
 
@@ -40,10 +41,52 @@ struct Neighbors {
 /// best matches the grid's, minimizing halo perimeter.
 std::pair<int, int> choose_layout(int nranks, int nx, int ny);
 
+/// Split `weights.size()` cells into `parts` contiguous runs whose weight
+/// sums are as equal as the min-width constraint allows. Returns the
+/// parts+1 boundary vector (0 = first, weights.size() = last, strictly
+/// increasing). Every part is at least min(min_width, n/parts) cells wide —
+/// clamped so the request is always satisfiable, with `layout_feasible`
+/// as the downstream arbiter of whether the result is actually runnable.
+///
+/// Equal weights (including all-zero: a weightless axis carries no
+/// preference) reproduce the uniform split formula EXACTLY, so a weighted
+/// decomposition of an all-sea grid is bit-identical to the uniform one.
+std::vector<int> weighted_boundaries(const std::vector<long long>& weights, int parts,
+                                     int min_width);
+
+/// Ocean-aware rectilinear layout: px × py per-axis boundaries chosen to
+/// minimize the maximum per-block weight, where `box_sum(j0, j1, i0, j1)`
+/// prices the half-open box [j0,j1) × [i0,i1) (callers back it with a 2-D
+/// prefix sum over the sea-point census). Seeded from the per-axis weighted
+/// quantiles, then refined by alternating exact 1-D min-max splits (binary
+/// search on the bottleneck + greedy feasibility) per axis against the
+/// other axis's current strips — marginal quantiles alone compose badly in
+/// 2-D (sea-heavy strips intersect in hot corners and can be WORSE than
+/// uniform). When refinement cannot strictly beat the uniform split's
+/// maximum block weight, the exact uniform boundaries are returned
+/// (`improved` false), so an all-sea grid decomposes bit-identically to the
+/// uniform planner.
+struct WeightedLayout {
+  std::vector<int> x_bounds, y_bounds;
+  bool improved = false;  ///< refinement strictly beat the uniform split
+};
+WeightedLayout weighted_layout(
+    int nx, int ny, int px, int py, int min_width,
+    const std::function<long long(int j0, int j1, int i0, int i1)>& box_sum);
+
 /// A px × py block decomposition of an nx × ny global grid.
 class Decomposition {
  public:
   Decomposition(int nx, int ny, int px, int py, bool periodic_x = true, bool tripolar = true);
+
+  /// Non-uniform (weighted) splits: explicit per-axis boundary vectors, as
+  /// produced by weighted_boundaries. x_bounds has px+1 entries (0 … nx),
+  /// y_bounds py+1 (0 … ny), each strictly increasing. The decomposition
+  /// stays a tensor product — east/west neighbors share the exact j-range
+  /// and north/south neighbors the exact i-range — so every halo, restart
+  /// and redistribute contract built on block() holds unchanged.
+  Decomposition(int nx, int ny, std::vector<int> x_bounds, std::vector<int> y_bounds,
+                bool periodic_x = true, bool tripolar = true);
 
   int nx() const { return nx_; }
   int ny() const { return ny_; }
@@ -52,6 +95,8 @@ class Decomposition {
   int nranks() const { return px_ * py_; }
   bool periodic_x() const { return periodic_x_; }
   bool tripolar() const { return tripolar_; }
+  /// True when either axis carries explicit (non-uniform) boundaries.
+  bool weighted() const { return !x_bounds_.empty() || !y_bounds_.empty(); }
 
   /// Block coordinates of `rank` (bx fast: rank = by*px + bx).
   std::pair<int, int> coords(int rank) const;
@@ -77,6 +122,14 @@ class Decomposition {
 
   int nx_, ny_, px_, py_;
   bool periodic_x_, tripolar_;
+  /// Empty = uniform split (the start() formula); otherwise parts+1
+  /// boundaries per axis, validated strictly increasing with 0/total ends.
+  std::vector<int> x_bounds_, y_bounds_;
 };
+
+/// A layout is runnable only when every block is at least one halo wide in
+/// both directions — the halo exchange contract. The supervisor's shrink and
+/// grow-back searches use this to skip layouts the exchanger would reject.
+bool layout_feasible(const Decomposition& dec);
 
 }  // namespace licomk::decomp

@@ -188,6 +188,8 @@ bool ForecastFarm::run_lease(Tenant& t) {
   sup.max_retries = req.max_retries;
   sup.max_shrinks = req.max_shrinks;
   sup.min_ranks = req.min_ranks;
+  sup.grow_back = req.grow_back;
+  sup.capacity_probe = req.capacity_probe;
   sup.shared_grid = base_.acquire(cfg.grid, cfg.bathymetry_seed);
   sup.telemetry_prefix = ns;
   sup.fault_domain = domain;
@@ -238,9 +240,21 @@ bool ForecastFarm::run_lease(Tenant& t) {
     }
   };
 
+  // Constructed OUTSIDE the try so the catch can read last_report(): a lease
+  // that gives up permanently still surrenders its escalation forensics.
+  resilience::Supervisor supervisor(sup);
+  const auto record_report = [&](const resilience::SupervisorReport& report) {
+    // Caller holds mutex_.
+    t.status.attempts += report.attempts;
+    t.status.recoveries += report.recoveries;
+    t.status.shrinks += report.shrinks;
+    t.status.growbacks += report.growbacks;
+    t.status.redistributions += static_cast<int>(report.redistributions.size());
+    t.status.backoff_wall_s += report.backoff_wall_s;
+  };
+
   bool requeue = false;
   try {
-    resilience::Supervisor supervisor(sup);
     const resilience::SupervisorReport report = supervisor.run(cfg, body);
     std::vector<std::uint64_t> final_crcs;
     if (!preempted) {
@@ -250,9 +264,7 @@ bool ForecastFarm::run_lease(Tenant& t) {
       final_crcs = resilience::assemble_global_state(final_prefix, final_dec).field_crcs;
     }
     std::lock_guard<std::mutex> lock(mutex_);
-    t.status.attempts += report.attempts;
-    t.status.recoveries += report.recoveries;
-    t.status.shrinks += report.shrinks;
+    record_report(report);
     t.status.steps = end_steps;
     t.status.sypd = lease_sypd;
     t.status.step_cells += lease_step_cells;
@@ -267,6 +279,7 @@ bool ForecastFarm::run_lease(Tenant& t) {
     }
   } catch (const std::exception& e) {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (supervisor.last_report()) record_report(*supervisor.last_report());
     t.status.state = TenantState::Failed;
     t.status.error = e.what();
     t.status.run_wall_s += telemetry::now_seconds() - lease_start_s;
@@ -316,6 +329,9 @@ void ForecastFarm::publish_tenant_gauges(const Tenant& t) const {
   telemetry::set_gauge(ns + "attempts", static_cast<double>(s.attempts));
   telemetry::set_gauge(ns + "recoveries", static_cast<double>(s.recoveries));
   telemetry::set_gauge(ns + "shrinks", static_cast<double>(s.shrinks));
+  telemetry::set_gauge(ns + "growbacks", static_cast<double>(s.growbacks));
+  telemetry::set_gauge(ns + "redistributions", static_cast<double>(s.redistributions));
+  telemetry::set_gauge(ns + "backoff_wall_s", s.backoff_wall_s);
   telemetry::set_label(ns + "state_name", to_string(s.state));
 }
 

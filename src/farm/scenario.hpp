@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -38,6 +39,14 @@ struct ScenarioRequest {
   int max_retries = 3;
   int max_shrinks = 0;
   int min_ranks = 1;
+  /// Elastic resize: when the tenant's lease has shrunk below `nranks` and
+  /// `capacity_probe` reports the capacity back, the supervisor re-expands to
+  /// the largest feasible layout ≤ nranks (redistributing the newest verified
+  /// generation, per-field CRC-proved — see resilience::Supervisor). The
+  /// probe is called by rank 0 at checkpoint boundaries and by the lease
+  /// thread between attempts; it must be thread-safe.
+  bool grow_back = false;
+  std::function<int()> capacity_probe;
 
   /// Fault schedule armed in THIS tenant's fault domain at first admission
   /// (resilience::arm_scoped) and disarmed when the tenant leaves the farm.
@@ -72,10 +81,15 @@ struct TenantStatus {
   double run_wall_s = 0.0;    ///< wall time spent holding a lease
   double sypd = 0.0;          ///< global (slowest-rank) SYPD of the last lease
 
-  // Accumulated Supervisor history across all leases.
+  // Accumulated Supervisor history across all leases — recorded from the
+  // supervisor's report on success AND (via Supervisor::last_report) on
+  // permanent failure, so a Failed tenant keeps its escalation forensics.
   int attempts = 0;
   int recoveries = 0;
   int shrinks = 0;
+  int growbacks = 0;
+  int redistributions = 0;      ///< CRC-proved checkpoint re-slices (shrink+grow)
+  double backoff_wall_s = 0.0;  ///< wall seconds the leases spent in backoff sleeps
 
   std::string error;  ///< what() of the fatal failure (state == Failed)
 

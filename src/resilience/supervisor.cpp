@@ -1,5 +1,6 @@
 #include "resilience/supervisor.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <filesystem>
 #include <thread>
@@ -14,18 +15,30 @@ namespace licomk::resilience {
 
 namespace {
 
-/// A layout is runnable only when every block is at least one halo wide in
-/// both directions — the halo exchange contract.
-bool layout_feasible(const decomp::Decomposition& dec) {
-  for (int r = 0; r < dec.nranks(); ++r) {
-    const decomp::BlockExtent be = dec.block(r);
-    if (be.nx() < decomp::kHaloWidth || be.ny() < decomp::kHaloWidth) return false;
-  }
-  return true;
-}
-
 void bump(const std::string& name) {
   if (telemetry::enabled()) telemetry::counter(name).add(1);
+}
+
+/// Thrown out of the checkpoint-cadence hook when all ranks have agreed (via
+/// allreduce) that lost capacity has returned. Runtime::run preserves the
+/// exception type end-to-end, and the agreeing rank sets first_failure BEFORE
+/// poisoning its world, so the supervisor always catches the signal itself —
+/// never the CommError cascade the poison triggers on slower ranks.
+struct GrowBackSignal : std::exception {
+  const char* what() const noexcept override { return "grow-back: capacity returned"; }
+};
+
+/// Largest feasible rank count the returned capacity allows, in
+/// (current_nranks, options.nranks]; 0 when there is no room to grow (probe
+/// absent, already at full size, or every larger layout infeasible).
+int grow_target(const SupervisorOptions& opt, const core::ModelConfig& config,
+                int current_nranks) {
+  if (!opt.grow_back || !opt.capacity_probe || current_nranks >= opt.nranks) return 0;
+  const int cap = std::min(opt.capacity_probe(), opt.nranks);
+  for (int n = cap; n > current_nranks; --n) {
+    if (decomp::layout_feasible(core::LicomModel::plan_decomposition(config, n))) return n;
+  }
+  return 0;
 }
 
 }  // namespace
@@ -48,6 +61,15 @@ SupervisorReport Supervisor::run(const core::ModelConfig& config, const RankBody
     global = std::make_shared<grid::GlobalGrid>(config.grid, config.bathymetry_seed);
   }
   SupervisorReport report;
+  // Whatever way run() exits — clean return, give-up rethrow, or an error
+  // escaping the escalation machinery itself — the partial report survives in
+  // last_report_ for forensics (the farm records it on tenant failure).
+  last_report_.reset();
+  struct ReportGuard {
+    std::optional<SupervisorReport>& slot;
+    const SupervisorReport& live;
+    ~ReportGuard() { slot = live; }
+  } report_guard{last_report_, report};
   double backoff_s = options_.backoff_initial_s;
 
   int nranks = options_.nranks;
@@ -71,7 +93,71 @@ SupervisorReport Supervisor::run(const core::ModelConfig& config, const RankBody
     return redistributed;
   };
 
+  // Re-expand to `target` ranks, carrying the newest verified state over
+  // under "grow<k>/" — the exact inverse of shrink, with the same per-field
+  // global CRC-64 equality enforced by the redistributor.
+  auto grow_to = [&](int target) {
+    decomp::Decomposition bigger = core::LicomModel::plan_decomposition(config, target);
+    report.growbacks += 1;
+    bump(options_.telemetry_prefix + "resilience.growbacks");
+    std::optional<std::pair<std::string, std::uint64_t>> source = pick_restore();
+    if (source) {
+      std::string dst_prefix =
+          (fs::path(checkpoints_.dir()) / ("grow" + std::to_string(report.growbacks)) /
+           ("ckpt.gen" + std::to_string(source->second)))
+              .string();
+      report.redistributions.push_back(redistribute_checkpoint(
+          source->first, dec, dst_prefix, bigger, source->second));
+      redistributed = std::make_pair(dst_prefix, source->second);
+    } else {
+      redistributed.reset();  // no usable state: cold-start at the new size
+    }
+    LICOMK_LOG_INFO("resilience")
+        << "capacity returned; growing from " << nranks << " to " << target << " ranks"
+        << (source ? " and resuming from redistributed generation " +
+                         std::to_string(source->second)
+                   : " with a cold start");
+    nranks = target;
+    dec = bigger;
+    retries_this_size = 0;
+    backoff_s = options_.backoff_initial_s;
+  };
+
+  // While shrunk, rank 0 probes for returned capacity at every checkpoint
+  // boundary; the verdict is allreduced so either every rank leaves the
+  // attempt together (GrowBackSignal) or none does — the lease never tears.
+  auto install_hooks = [&](core::LicomModel& model, int attempt_nranks) {
+    if (options_.checkpoint_every_steps <= 0) return;
+    const bool watch = options_.grow_back && options_.capacity_probe != nullptr &&
+                       attempt_nranks < options_.nranks;
+    if (!watch) {
+      checkpoints_.install(model, options_.checkpoint_every_steps);
+      return;
+    }
+    const long long every = options_.checkpoint_every_steps;
+    model.set_checkpoint_cadence(every, [this, every, attempt_nranks,
+                                         &config](core::LicomModel& m) {
+      checkpoints_.write(m, static_cast<std::uint64_t>(m.steps_taken() / every));
+      double want = 0.0;
+      if (m.communicator().rank() == 0 &&
+          grow_target(options_, config, attempt_nranks) > 0) {
+        want = 1.0;
+      }
+      if (m.communicator().allreduce_scalar(want, comm::ReduceOp::Max) > 0.0) {
+        throw GrowBackSignal{};
+      }
+    });
+  };
+
+  bool just_shrank = false;
   for (;;) {
+    // Between attempts, probe directly (capacity may return while the run is
+    // down) — except right after a shrink, whose verdict that capacity is
+    // gone is fresher than any probe the same iteration could make.
+    if (!std::exchange(just_shrank, false)) {
+      const int target = grow_target(options_, config, nranks);
+      if (target > 0) grow_to(target);
+    }
     std::optional<std::pair<std::string, std::uint64_t>> restore = pick_restore();
     report.attempts += 1;
     report.attempt_nranks.push_back(nranks);
@@ -86,13 +172,18 @@ SupervisorReport Supervisor::run(const core::ModelConfig& config, const RankBody
         // lease's fault domain before any hook site can count an op.
         set_thread_fault_domain(options_.fault_domain);
         core::LicomModel model(config, global, c);
-        if (options_.checkpoint_every_steps > 0) {
-          checkpoints_.install(model, options_.checkpoint_every_steps);
-        }
+        install_hooks(model, nranks);
         if (restore) model.read_restart(restore->first);
         body(model);
       });
       return report;
+    } catch (const GrowBackSignal&) {
+      // Not a failure: every rank agreed at a checkpoint boundary that the
+      // lost capacity is back (the generation just written is the carry-over
+      // state). Re-expand and relaunch immediately — no retry accounting, no
+      // backoff.
+      const int target = grow_target(options_, config, nranks);
+      if (target > 0) grow_to(target);
     } catch (const std::exception& e) {
       report.failures.emplace_back(e.what());
       retries_this_size += 1;
@@ -104,7 +195,7 @@ SupervisorReport Supervisor::run(const core::ModelConfig& config, const RankBody
         int new_nranks = 0;
         for (int n = nranks - 1; n >= options_.min_ranks; --n) {
           decomp::Decomposition cand = core::LicomModel::plan_decomposition(config, n);
-          if (layout_feasible(cand)) {
+          if (decomp::layout_feasible(cand)) {
             smaller = cand;
             new_nranks = n;
             break;
@@ -137,12 +228,17 @@ SupervisorReport Supervisor::run(const core::ModelConfig& config, const RankBody
         dec = *smaller;
         retries_this_size = 0;
         backoff_s = options_.backoff_initial_s;
+        just_shrank = true;
       } else {
         bump(options_.telemetry_prefix + "resilience.retries");
         LICOMK_LOG_WARN("resilience") << "attempt " << report.attempts << " failed: " << e.what()
                                       << "; relaunching at " << nranks << " ranks";
       }
-      if (backoff_s > 0.0) {
+      // Backoff paces SAME-SIZE relaunches of the same suspected transient. A
+      // fresh, smaller layout is a different run entirely — its first attempt
+      // relaunches immediately (report.backoff_wall_s stays flat across a
+      // shrink; test_resilience pins this).
+      if (!just_shrank && backoff_s > 0.0) {
         report.backoff_wall_s += backoff_s;
         std::this_thread::sleep_for(std::chrono::duration<double>(backoff_s));
         backoff_s *= options_.backoff_factor;

@@ -17,6 +17,16 @@
 // redistributed state. Retry budget refills after each shrink; up to
 // max_shrinks shrinks are attempted before the supervisor gives up.
 //
+// Grow-back (the inverse, DESIGN.md §13): a shrunk run keeps watching for
+// the lost capacity to return. With grow_back set and a capacity_probe
+// installed, rank 0 probes at every checkpoint boundary (the decision is
+// allreduced so all ranks leave together, exactly like farm preemption) and
+// the supervisor probes again before every relaunch. When the probe reports
+// room for a larger feasible layout ≤ the original nranks, the newest
+// verified generation is re-sliced onto it under "grow<k>/" — the same
+// CRC-proved redistribution as shrink, in the other direction — and the run
+// resumes at the bigger size with a fresh retry budget and no backoff.
+//
 // The rank body must be resumable: it receives a model whose step count and
 // simulated time reflect the restored checkpoint (or a cold start) and
 // should step until its own completion criterion — e.g. "while
@@ -48,6 +58,15 @@ struct SupervisorOptions {
   double backoff_initial_s = 0.0;  ///< sleep before the first relaunch
   double backoff_factor = 2.0;     ///< multiplier per further relaunch
 
+  /// Re-expand a shrunk run when capacity returns (requires capacity_probe).
+  bool grow_back = false;
+  /// Currently available rank count, as seen by the deployment (a scheduler
+  /// query in production; an atomic flipped by the test/soak harness here).
+  /// Called by rank 0 only — at checkpoint boundaries while shrunk, and by
+  /// the supervisor thread between attempts. Values above the original
+  /// nranks are clamped; the supervisor never grows past its configured size.
+  std::function<int()> capacity_probe;
+
   // --- tenant-lease extensions (forecast farm). Defaults reproduce the
   // --- classic single-run behavior exactly.
   /// Immutable base state to build every attempt's models from. When null the
@@ -68,6 +87,7 @@ struct SupervisorReport {
   int attempts = 0;    ///< runs launched (1 = clean first run)
   int recoveries = 0;  ///< attempts that resumed from a verified checkpoint
   int shrinks = 0;     ///< decomposition reductions performed
+  int growbacks = 0;   ///< decomposition re-expansions performed
   int final_nranks = 0;  ///< rank count of the last attempt
   std::vector<int> attempt_nranks;    ///< rank count per attempt, in order
   std::vector<std::string> failures;  ///< what() per failed attempt, in order
@@ -103,11 +123,19 @@ class Supervisor {
   using RankBody = std::function<void(core::LicomModel&)>;
   SupervisorReport run(const core::ModelConfig& config, const RankBody& body);
 
+  /// The report of the most recent run() — including a PARTIAL report when
+  /// run() gave up and threw (retries and shrinks exhausted). The farm reads
+  /// this in its failure path so a permanently failed tenant still records
+  /// its attempts/shrinks/redistribution forensics instead of only the
+  /// exception string. Reset at every run() entry; nullopt before any run.
+  const std::optional<SupervisorReport>& last_report() const { return last_report_; }
+
   CheckpointManager& checkpoints() { return checkpoints_; }
 
  private:
   SupervisorOptions options_;
   CheckpointManager checkpoints_;
+  std::optional<SupervisorReport> last_report_;
 };
 
 }  // namespace licomk::resilience

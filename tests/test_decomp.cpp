@@ -4,8 +4,10 @@
 #include <numeric>
 #include <set>
 
+#include "core/model.hpp"
 #include "decomp/decomposition.hpp"
 #include "decomp/load_balance.hpp"
+#include "grid/grid.hpp"
 #include "util/error.hpp"
 
 namespace ld = licomk::decomp;
@@ -164,4 +166,157 @@ TEST(LoadBalance, AllZeroCensus) {
 TEST(LoadBalance, RejectsNegativeCensus) {
   EXPECT_THROW(ld::balance_work({5, -1}), licomk::InvalidArgument);
   EXPECT_THROW(ld::balance_work({}), licomk::InvalidArgument);
+}
+
+// --- weighted (ocean-aware) decomposition ----------------------------------
+
+namespace {
+
+/// Per-rank sea-point census of `dec` in the Fig. 4 convention (kmt > 1).
+std::vector<long long> block_census(const licomk::grid::GlobalGrid& g,
+                                    const ld::Decomposition& dec) {
+  std::vector<long long> census;
+  for (int r = 0; r < dec.nranks(); ++r) {
+    auto e = dec.block(r);
+    long long count = 0;
+    for (int j = e.j0; j < e.j1; ++j)
+      for (int i = e.i0; i < e.i1; ++i)
+        if (g.bathymetry().kmt(j, i) > 1) ++count;
+    census.push_back(count);
+  }
+  return census;
+}
+
+}  // namespace
+
+TEST(Weighted, BoundariesPartitionExactlyAndRespectMinWidth) {
+  const std::vector<long long> w = {9, 0, 0, 1, 14, 3, 0, 0, 0, 22, 5, 1, 0, 7};
+  for (int parts : {1, 2, 3, 4, 5, 7}) {
+    auto b = ld::weighted_boundaries(w, parts, 2);
+    ASSERT_EQ(b.size(), static_cast<size_t>(parts) + 1);
+    EXPECT_EQ(b.front(), 0);
+    EXPECT_EQ(b.back(), static_cast<int>(w.size()));
+    const int mw = std::min(2, static_cast<int>(w.size()) / parts);
+    for (int k = 0; k < parts; ++k) EXPECT_GE(b[k + 1] - b[k], mw) << "part " << k;
+  }
+}
+
+TEST(Weighted, BoundariesTrackTheWeightMass) {
+  // All the weight sits in the right half; the first boundary of a 2-way
+  // split must land past the midpoint.
+  std::vector<long long> w(20, 0);
+  for (int i = 12; i < 20; ++i) w[static_cast<size_t>(i)] = 10;
+  auto b = ld::weighted_boundaries(w, 2, 2);
+  EXPECT_GT(b[1], 10);
+}
+
+TEST(Weighted, EqualWeightsReproduceTheUniformSplitExactly) {
+  // The all-sea contract: a weightless axis must fall back to the uniform
+  // formula bit-for-bit, including the leftover-distribution pattern.
+  for (auto [n, parts] : {std::pair{10, 4}, {36, 5}, {21, 3}, {7, 7}, {100, 9}}) {
+    auto equal = ld::weighted_boundaries(std::vector<long long>(n, 3), parts, 2);
+    auto zero = ld::weighted_boundaries(std::vector<long long>(n, 0), parts, 2);
+    ld::Decomposition uniform(n, 8, parts, 1);
+    for (int k = 0; k < parts; ++k) {
+      EXPECT_EQ(equal[k], uniform.block(k).i0) << n << "/" << parts << " part " << k;
+      EXPECT_EQ(zero[k], uniform.block(k).i0);
+    }
+  }
+}
+
+TEST(Weighted, BlocksPartitionTheGridAndAgreeWithOwnerOf) {
+  ld::Decomposition d(20, 11, {0, 3, 9, 20}, {0, 2, 11});
+  EXPECT_TRUE(d.weighted());
+  EXPECT_EQ(d.px(), 3);
+  EXPECT_EQ(d.py(), 2);
+  EXPECT_EQ(d.nranks(), 6);
+  long long total = 0;
+  for (int r = 0; r < d.nranks(); ++r) {
+    auto e = d.block(r);
+    total += e.cells();
+    for (int j = e.j0; j < e.j1; ++j)
+      for (int i = e.i0; i < e.i1; ++i) EXPECT_EQ(d.owner_of(j, i), r);
+  }
+  EXPECT_EQ(total, 20LL * 11);
+}
+
+TEST(Weighted, TensorProductKeepsNeighborRangesAligned) {
+  // East/west neighbors must share the exact j-range and north/south the
+  // exact i-range — the contract every halo pack/unpack is built on.
+  ld::Decomposition d(30, 16, {0, 4, 17, 30}, {0, 9, 16});
+  for (int r = 0; r < d.nranks(); ++r) {
+    auto e = d.block(r);
+    auto n = d.neighbors(r);
+    if (n.east >= 0) {
+      auto ee = d.block(n.east);
+      EXPECT_EQ(ee.j0, e.j0);
+      EXPECT_EQ(ee.j1, e.j1);
+    }
+    if (n.south >= 0) {
+      auto se = d.block(n.south);
+      EXPECT_EQ(se.i0, e.i0);
+      EXPECT_EQ(se.i1, e.i1);
+    }
+  }
+}
+
+TEST(Weighted, FoldPartnersCoverTheMirroredRange) {
+  ld::Decomposition d(24, 10, {0, 5, 13, 24}, {0, 4, 10});
+  for (int i = 0; i < 24; ++i) {
+    int partner = d.fold_neighbor_of_column(i);
+    EXPECT_TRUE(d.block(partner).contains(9, 23 - i)) << "column " << i;
+  }
+}
+
+TEST(Weighted, RejectsMalformedBoundaries) {
+  EXPECT_THROW(ld::Decomposition(10, 10, {0, 5, 9}, {0, 5, 10}), licomk::InvalidArgument);
+  EXPECT_THROW(ld::Decomposition(10, 10, {0, 5, 10}, {0, 0, 10}), licomk::InvalidArgument);
+  EXPECT_THROW(ld::Decomposition(10, 10, {1, 5, 10}, {0, 5, 10}), licomk::InvalidArgument);
+}
+
+TEST(Weighted, LayoutFeasibleRequiresHaloWideBlocks) {
+  EXPECT_TRUE(ld::layout_feasible(ld::Decomposition(10, 10, {0, 5, 10}, {0, 2, 10})));
+  EXPECT_FALSE(ld::layout_feasible(ld::Decomposition(10, 10, {0, 1, 10}, {0, 5, 10})));
+  EXPECT_FALSE(ld::layout_feasible(ld::Decomposition(10, 10, {0, 5, 10}, {0, 9, 10})));
+}
+
+TEST(Weighted, PlannerFeasibleOnPrimeRankCountsAndTinyGrids) {
+  // The weighted planner must keep every block >= kHaloWidth in both
+  // directions wherever the grid leaves room, under awkward (prime) rank
+  // counts and grids barely bigger than the halo.
+  auto cfg = licomk::core::ModelConfig::testing(10);  // 36 x 21, synthetic Earth
+  cfg.weighted_decomposition = true;
+  for (int nranks : {1, 2, 3, 5, 7, 11, 13}) {
+    auto dec = licomk::core::LicomModel::plan_decomposition(cfg, nranks);
+    EXPECT_EQ(dec.nranks(), nranks);
+    EXPECT_TRUE(ld::layout_feasible(dec)) << nranks << " ranks";
+  }
+  // A tiny grid: 11 x 7 with the halo floor leaves room for up to 5x3.
+  std::vector<long long> cols = {0, 0, 4, 9, 1, 0, 0, 3, 8, 2, 0};
+  std::vector<long long> rows = {1, 6, 0, 0, 5, 2, 1};
+  for (int px : {2, 3, 5}) {
+    auto xb = ld::weighted_boundaries(cols, px, ld::kHaloWidth);
+    auto yb = ld::weighted_boundaries(rows, 3, ld::kHaloWidth);
+    EXPECT_TRUE(ld::layout_feasible(ld::Decomposition(11, 7, xb, yb))) << px;
+  }
+}
+
+TEST(Weighted, PlannerReducesImbalanceOnTheFig4LandDistribution) {
+  // The acceptance claim: on the synthetic Earth's real land distribution the
+  // weighted split must not be worse than uniform, and at rank counts where
+  // land/sea contrast bites it must be strictly better.
+  auto cfg = licomk::core::ModelConfig::testing(5);  // 72 x 43, synthetic Earth
+  auto uniform_cfg = cfg;
+  cfg.weighted_decomposition = true;
+  licomk::grid::GlobalGrid g(cfg.grid, cfg.bathymetry_seed);
+  bool strictly_better_somewhere = false;
+  for (int nranks : {4, 6, 9, 12}) {
+    auto wdec = licomk::core::LicomModel::plan_decomposition(cfg, nranks);
+    auto udec = licomk::core::LicomModel::plan_decomposition(uniform_cfg, nranks);
+    const double wi = ld::LoadBalancePlan::imbalance(block_census(g, wdec));
+    const double ui = ld::LoadBalancePlan::imbalance(block_census(g, udec));
+    EXPECT_LE(wi, ui + 1e-12) << nranks << " ranks";
+    if (wi < ui - 1e-9) strictly_better_somewhere = true;
+  }
+  EXPECT_TRUE(strictly_better_somewhere);
 }

@@ -5,6 +5,7 @@
 // global-state audit.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
 #include <memory>
 #include <string>
@@ -333,6 +334,81 @@ TEST(Farm, PerTenantTelemetryIsNamespaced) {
   EXPECT_EQ(tel::counter_value("farm.completions"), 2u);
   EXPECT_EQ(tel::counter_value("farm.admissions"), 2u);
   tel::reset();
+}
+
+TEST(Farm, FailedTenantKeepsSupervisorForensics) {
+  // The regression: when a tenant's supervisor gave up permanently, the farm
+  // only recorded the exception string — the escalation history (attempts,
+  // failures, shrinks) vanished with the thrown-away report. A Failed tenant
+  // must keep its forensics via Supervisor::last_report.
+  init_kxx();
+  TempDir dir("failed_forensics");
+  auto cfg = small_config();
+
+  lf::FarmOptions opts;
+  opts.checkpoint_root = dir.path + "/farm";
+  lf::ForecastFarm farm(opts);
+
+  lf::ScenarioRequest doomed;
+  doomed.name = "doomed";
+  doomed.config = cfg;
+  doomed.days = days_for_steps(cfg, 4);
+  doomed.max_retries = 1;
+  doomed.max_shrinks = 0;
+  // Rank 0 permanently dead: refires on every relaunch, no escape.
+  doomed.faults = lr::FaultSchedule::parse("comm.deliver 0 1 crash+\n");
+  const int idx = farm.submit(std::move(doomed));
+  farm.run();
+
+  const auto st = farm.status(idx);
+  ASSERT_EQ(st.state, lf::TenantState::Failed);
+  EXPECT_FALSE(st.error.empty());
+  EXPECT_EQ(st.attempts, 2);  // initial + 1 retry, preserved past the give-up
+  EXPECT_EQ(st.shrinks, 0);
+  EXPECT_EQ(st.steps, 0);
+}
+
+TEST(Farm, TenantGrowsBackWhenCapacityReturns) {
+  // End-to-end elasticity through the farm: a tenant loses a rank, shrinks,
+  // and — when its capacity probe reports the rank back at a checkpoint
+  // boundary — grows back to full size and still completes bit-identical to
+  // an uninterrupted standalone run at that size.
+  init_kxx();
+  TempDir dir("growback");
+  auto cfg = small_config();
+  const long long steps = 6;
+  const auto ref2 = standalone_crcs(cfg, 2, steps, dir.path + "/ref2");
+
+  lf::FarmOptions opts;
+  opts.checkpoint_root = dir.path + "/farm";
+  lf::ForecastFarm farm(opts);
+
+  // Probe called by rank 0 at checkpoint boundaries while shrunk: the first
+  // probe still sees the degraded machine, later ones see the rank returned.
+  auto probes = std::make_shared<std::atomic<int>>(0);
+  lf::ScenarioRequest r;
+  r.name = "elastic";
+  r.config = cfg;
+  r.days = days_for_steps(cfg, steps);
+  r.nranks = 2;
+  r.checkpoint_every_steps = 2;
+  r.max_retries = 0;
+  r.max_shrinks = 1;
+  r.grow_back = true;
+  r.capacity_probe = [probes] { return probes->fetch_add(1) < 1 ? 1 : 2; };
+  // Rank 1 crashes once, on its first delivery of the first attempt.
+  r.faults = lr::FaultSchedule::parse("comm.deliver 1 1 crash\n");
+  const int idx = farm.submit(std::move(r));
+  farm.run();
+
+  const auto st = farm.status(idx);
+  ASSERT_EQ(st.state, lf::TenantState::Completed) << st.error;
+  EXPECT_EQ(st.attempts, 3);  // 2 ranks (dies), 1 rank (shrunk), 2 ranks again
+  EXPECT_EQ(st.shrinks, 1);
+  EXPECT_EQ(st.growbacks, 1);
+  EXPECT_EQ(st.redistributions, 1);  // the grow-back re-slice (shrink was cold)
+  EXPECT_EQ(st.steps, steps);
+  EXPECT_EQ(st.final_crcs, ref2);
 }
 
 TEST(Farm, RejectsBadRequests) {

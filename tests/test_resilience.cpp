@@ -2,6 +2,7 @@
 // self-checking checkpoint generations, and the auto-recovering supervisor.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -587,6 +588,209 @@ TEST(Supervisor, ShrinkRedistributesCheckpointAndResumes) {
       lc::verify_restart(lc::restart_rank_path(dir.path + "/shrink1/ckpt.gen1", 0)).has_value());
   licomk::telemetry::set_enabled(false);
   licomk::telemetry::reset();
+}
+
+TEST(Redistribute, WeightedLayoutsRoundTripBitIdentically) {
+  // A weighted (non-uniform boundary) source re-sliced onto a uniform layout,
+  // then onto a SMALLER weighted layout, and back: every hop must preserve the
+  // per-field global CRCs, because weighted blocks are still a tensor-product
+  // partition — each global cell owned exactly once.
+  const int nz = 4;
+  const lc::RestartInfo info{43200.0, 5, 1.5};
+  TempDir dir("redist_weighted");
+  ld::Decomposition W(36, 21, {0, 5, 16, 36}, {0, 9, 21}, true, true);   // 3x2 weighted
+  ld::Decomposition U(36, 21, 2, 2, true, true);                         // uniform
+  ld::Decomposition S(36, 21, {0, 11, 36}, {0, 21}, true, true);         // 2x1 weighted
+  ASSERT_TRUE(ld::layout_feasible(W));
+  ASSERT_TRUE(ld::layout_feasible(S));
+
+  const std::string prefW = dir.path + "/w/ckpt.gen5";
+  const std::string prefU = dir.path + "/u/ckpt.gen5";
+  const std::string prefS = dir.path + "/s/ckpt.gen5";
+  const std::string prefW2 = dir.path + "/w2/ckpt.gen5";
+  fs::create_directories(dir.path + "/w");
+  write_synth_generation(prefW, W, nz, info);
+
+  auto wu = lr::redistribute_checkpoint(prefW, W, prefU, U, 5);
+  EXPECT_TRUE(wu.crcs_match());
+  EXPECT_EQ(wu.src_nranks, 6);
+  EXPECT_EQ(wu.dst_nranks, 4);
+  auto us = lr::redistribute_checkpoint(prefU, U, prefS, S, 5);
+  EXPECT_TRUE(us.crcs_match());
+  EXPECT_EQ(us.src_crcs, wu.src_crcs);
+  auto sw = lr::redistribute_checkpoint(prefS, S, prefW2, W, 5);
+  EXPECT_TRUE(sw.crcs_match());
+  EXPECT_EQ(sw.src_crcs, wu.src_crcs);
+
+  auto ga = lr::assemble_global_state(prefW, W);
+  auto ga2 = lr::assemble_global_state(prefW2, W);
+  EXPECT_EQ(ga.field_crcs, ga2.field_crcs);
+  for (size_t f = 0; f < ga.fields3.size(); ++f) ASSERT_EQ(ga.fields3[f], ga2.fields3[f]) << f;
+  for (size_t f = 0; f < ga.fields2.size(); ++f) ASSERT_EQ(ga.fields2[f], ga2.fields2[f]) << f;
+  EXPECT_EQ(ga2.info.steps, info.steps);
+}
+
+TEST(Supervisor, GiveUpPreservesReport) {
+  // The regression: run() used to throw away its SupervisorReport when
+  // retries and shrinks were exhausted, so a permanently failed run had no
+  // forensics — only the final exception. last_report() must survive the
+  // give-up rethrow with the full escalation history.
+  kxx::initialize({kxx::Backend::Serial, 1, false});
+  TempDir dir("sup_giveup_report");
+  lr::SupervisorOptions opts;
+  opts.nranks = 1;
+  opts.checkpoint_dir = dir.path;
+  opts.max_retries = 1;
+  opts.max_shrinks = 0;
+  lr::Supervisor sup(opts);
+  EXPECT_FALSE(sup.last_report().has_value());  // nullopt before any run
+  EXPECT_THROW(sup.run(small_config(),
+                       [](lc::LicomModel&) {
+                         throw licomk::ResourceError("node on fire");
+                       }),
+               licomk::ResourceError);
+  ASSERT_TRUE(sup.last_report().has_value());
+  const lr::SupervisorReport& r = *sup.last_report();
+  EXPECT_EQ(r.attempts, 2);  // initial + 1 retry
+  ASSERT_EQ(r.failures.size(), 2u);
+  EXPECT_NE(r.failures[0].find("node on fire"), std::string::npos);
+  ASSERT_EQ(r.attempt_nranks.size(), 2u);
+  EXPECT_EQ(r.final_nranks, 1);
+
+  // A subsequent successful run replaces the stale failure report.
+  auto ok = sup.run(small_config(), [](lc::LicomModel& m) { m.step(); });
+  ASSERT_TRUE(sup.last_report().has_value());
+  EXPECT_EQ(sup.last_report()->attempts, ok.attempts);
+  EXPECT_TRUE(sup.last_report()->failures.empty());
+}
+
+TEST(Supervisor, ShrinkRelaunchesWithoutBackoffSleep) {
+  // The regression: the relaunch after a shrink still slept the (escalated)
+  // backoff, even though a fresh smaller layout is a brand-new run, not a
+  // same-size retry of a suspected transient. backoff_wall_s must stay flat
+  // across a shrink.
+  Disarmed guard;
+  kxx::initialize({kxx::Backend::Serial, 1, false});
+  // Rank 1 permanently dead from its first delivery; no checkpoint completes.
+  lr::FaultSchedule s;
+  s.add({lr::FaultSite::CommDeliver, lr::FaultKind::CrashRank, 1, 1, 0.0, /*persistent=*/true});
+  lr::arm(s);
+
+  TempDir dir("sup_shrink_nosleep");
+  lr::SupervisorOptions opts;
+  opts.nranks = 2;
+  opts.checkpoint_dir = dir.path;
+  opts.checkpoint_every_steps = 2;
+  opts.max_retries = 0;  // first failure at a size escalates immediately
+  opts.max_shrinks = 1;
+  opts.backoff_initial_s = 0.2;  // would be visible wall time if slept
+  lr::Supervisor sup(opts);
+  auto report = sup.run(small_config(), [](lc::LicomModel& m) {
+    while (m.steps_taken() < 4) m.step();
+  });
+  EXPECT_EQ(report.attempts, 2);  // 1 at 2 ranks, shrink, 1 at 1 rank
+  EXPECT_EQ(report.shrinks, 1);
+  EXPECT_EQ(report.final_nranks, 1);
+  // Both relaunches in this run cross a shrink — no retry at constant size
+  // ever happened, so not a single backoff sleep may have been taken.
+  EXPECT_DOUBLE_EQ(report.backoff_wall_s, 0.0);
+}
+
+TEST(Supervisor, GrowsBackWhenCapacityReturns) {
+  // The full elastic loop: 2 ranks -> rank 1 dies -> shrink to 1 -> the
+  // capacity probe reports the rank back mid-run -> all ranks leave together
+  // at a checkpoint boundary -> the newest verified generation is re-sliced
+  // onto 2 ranks under grow1/ (CRC-proved) -> the run finishes at full size.
+  Disarmed guard;
+  kxx::initialize({kxx::Backend::Serial, 1, false});
+  licomk::telemetry::reset();
+  licomk::telemetry::set_enabled(true);
+  const long long target_steps = 8;
+  // Rank 1 crashes on its first delivery of the first attempt only.
+  lr::FaultSchedule s;
+  s.add({lr::FaultSite::CommDeliver, lr::FaultKind::CrashRank, 1, 1, 0.0});
+  lr::arm(s);
+
+  std::atomic<int> capacity{1};  // the lost rank has not come back yet
+  TempDir dir("sup_growback");
+  lr::SupervisorOptions opts;
+  opts.nranks = 2;
+  opts.checkpoint_dir = dir.path;
+  opts.checkpoint_every_steps = 2;
+  opts.max_retries = 0;
+  opts.max_shrinks = 1;
+  opts.grow_back = true;
+  opts.capacity_probe = [&capacity] { return capacity.load(); };
+  lr::Supervisor sup(opts);
+  long long final_steps = 0;
+  int final_size = 0;
+  auto report = sup.run(small_config(), [&](lc::LicomModel& m) {
+    while (m.steps_taken() < target_steps) {
+      m.step();
+      // Halfway through the shrunk attempt the "scheduler" returns the rank.
+      if (m.communicator().size() == 1 && m.steps_taken() >= 4) capacity.store(2);
+    }
+    if (m.communicator().rank() == 0) {
+      final_steps = m.steps_taken();
+      final_size = m.communicator().size();
+    }
+  });
+  // Attempt 1 @2 dies cold; shrink -> attempt 2 @1 runs until the boundary
+  // after capacity returns, leaves via the allreduced grow-back signal;
+  // attempt 3 @2 restores the re-sliced generation and completes.
+  EXPECT_EQ(report.attempts, 3);
+  ASSERT_EQ(report.attempt_nranks.size(), 3u);
+  EXPECT_EQ(report.attempt_nranks[0], 2);
+  EXPECT_EQ(report.attempt_nranks[1], 1);
+  EXPECT_EQ(report.attempt_nranks[2], 2);
+  EXPECT_EQ(report.shrinks, 1);
+  EXPECT_EQ(report.growbacks, 1);
+  EXPECT_EQ(report.final_nranks, 2);
+  EXPECT_EQ(final_size, 2);
+  EXPECT_EQ(final_steps, target_steps);
+  // The shrink had no checkpoint to carry (rank 1 died at once); the grow
+  // re-sliced one: 1 -> 2 ranks, per-field CRC equality enforced.
+  ASSERT_EQ(report.redistributions.size(), 1u);
+  const lr::RedistributeReport& rr = report.redistributions[0];
+  EXPECT_TRUE(rr.crcs_match());
+  EXPECT_EQ(rr.src_nranks, 1);
+  EXPECT_EQ(rr.dst_nranks, 2);
+  ASSERT_TRUE(report.last_restored_generation.has_value());
+  // The re-sliced generation lives under grow1/ and verifies on disk.
+  EXPECT_TRUE(lc::verify_restart(
+                  lc::restart_rank_path(dir.path + "/grow1/ckpt.gen" +
+                                            std::to_string(rr.generation),
+                                        0))
+                  .has_value());
+  EXPECT_EQ(licomk::telemetry::counter_value("resilience.growbacks"), 1u);
+  EXPECT_EQ(licomk::telemetry::counter_value("resilience.shrinks"), 1u);
+  // No backoff: the one failure shrank immediately, the grow-back relaunch
+  // is not a failure at all.
+  EXPECT_DOUBLE_EQ(report.backoff_wall_s, 0.0);
+  licomk::telemetry::set_enabled(false);
+  licomk::telemetry::reset();
+}
+
+TEST(Supervisor, GrowBackNeverExceedsConfiguredSizeOrInfeasibleLayouts) {
+  // The probe may report MORE capacity than the run ever had (another tenant
+  // left); the supervisor must clamp to its configured nranks. With the probe
+  // reporting plenty from the start and no failure at all, the first attempt
+  // launches directly at the configured size and no grow-back is counted.
+  kxx::initialize({kxx::Backend::Serial, 1, false});
+  TempDir dir("sup_grow_clamp");
+  lr::SupervisorOptions opts;
+  opts.nranks = 2;
+  opts.checkpoint_dir = dir.path;
+  opts.checkpoint_every_steps = 2;
+  opts.grow_back = true;
+  opts.capacity_probe = [] { return 64; };
+  lr::Supervisor sup(opts);
+  auto report = sup.run(small_config(), [](lc::LicomModel& m) {
+    while (m.steps_taken() < 4) m.step();
+  });
+  EXPECT_EQ(report.attempts, 1);
+  EXPECT_EQ(report.growbacks, 0);
+  EXPECT_EQ(report.final_nranks, 2);
 }
 
 TEST(FaultInjector, DomainScopedSchedulesOnlyFireInTheirDomain) {
